@@ -1,0 +1,83 @@
+//! Criterion bench for E3/E4 (Fig. 6): checkpoint paths and the
+//! Reed–Solomon coder.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use legato_bench::experiments::fig6;
+use legato_core::units::Bytes;
+use legato_fti::fti::Strategy;
+use legato_fti::{CheckpointLevel, Fti, FtiConfig, ReedSolomon};
+use legato_hw::memory::{AddrSpace, MemoryManager};
+use legato_hw::storage::{StorageDevice, StorageTier};
+use std::hint::black_box;
+
+fn bench_checkpoint_real_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/checkpoint_real");
+    let size = Bytes::mib(64);
+    g.throughput(Throughput::Bytes(size.as_u64()));
+    g.sample_size(20);
+    g.bench_function("64mib_host_async", |b| {
+        let mut mm = MemoryManager::new();
+        let region = mm.alloc(AddrSpace::Host, size).expect("alloc");
+        let mut fti = Fti::new(FtiConfig::default(), 0);
+        fti.protect(0, region, &mm).expect("protect");
+        let mut nvme = StorageDevice::new(StorageTier::local_nvme());
+        b.iter(|| {
+            fti.checkpoint(
+                &mut mm,
+                &mut nvme,
+                CheckpointLevel::L1,
+                Strategy::Async,
+                black_box(legato_core::units::Seconds::ZERO),
+            )
+            .expect("checkpoint")
+        })
+    });
+    g.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/reed_solomon");
+    let shard = vec![0xA5u8; 1 << 20];
+    let data: Vec<Vec<u8>> = (0..8).map(|_| shard.clone()).collect();
+    g.throughput(Throughput::Bytes((8 << 20) as u64));
+    g.sample_size(10);
+    g.bench_function("encode_8+2_1mib", |b| {
+        let rs = ReedSolomon::new(8, 2).expect("geometry");
+        b.iter(|| rs.encode(black_box(&data)).expect("encode"))
+    });
+    g.bench_function("reconstruct_2_of_10", |b| {
+        let rs = ReedSolomon::new(8, 2).expect("geometry");
+        let parity = rs.encode(&data).expect("encode");
+        let all: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity)
+            .map(Some)
+            .collect();
+        b.iter(|| {
+            let mut shards = all.clone();
+            shards[0] = None;
+            shards[5] = None;
+            rs.reconstruct(&mut shards).expect("reconstruct");
+            shards
+        })
+    });
+    g.finish();
+}
+
+fn bench_weak_scaling_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/weak_scaling");
+    g.sample_size(10);
+    g.bench_function("16_nodes_model", |b| {
+        b.iter(|| fig6::run(black_box(&[16]), Bytes::gib(2)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checkpoint_real_data,
+    bench_reed_solomon,
+    bench_weak_scaling_model
+);
+criterion_main!(benches);

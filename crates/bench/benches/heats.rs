@@ -1,0 +1,39 @@
+//! Criterion bench for E5 (Fig. 7): HEATS scheduling and model learning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legato_bench::experiments::heats as exp;
+use legato_core::units::Seconds;
+use legato_heats::{Heats, NodeModel};
+use legato_hw::cluster::NodeSpec;
+use std::hint::black_box;
+
+fn bench_schedule(c: &mut Criterion) {
+    c.bench_function("fig7/schedule_60_tasks_16_nodes", |b| {
+        b.iter(|| {
+            let mut h = Heats::new(exp::reference_cluster(), 42);
+            for t in exp::task_batch(60, 0.5, 42) {
+                h.submit(t);
+            }
+            h.schedule(black_box(Seconds::ZERO)).expect("schedulable")
+        })
+    });
+}
+
+fn bench_model_learning(c: &mut Criterion) {
+    c.bench_function("fig7/learn_node_model", |b| {
+        let spec = NodeSpec::gpu_node("g");
+        b.iter(|| NodeModel::learn(black_box(&spec), 12, 0.02, 7))
+    });
+}
+
+fn bench_full_tradeoff_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/tradeoff");
+    g.sample_size(10);
+    g.bench_function("one_weight_30_tasks", |b| {
+        b.iter(|| exp::run_weight(black_box(0.5), 30, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule, bench_model_learning, bench_full_tradeoff_point);
+criterion_main!(benches);

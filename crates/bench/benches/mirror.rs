@@ -1,0 +1,70 @@
+//! Criterion bench for E6 (§VI): the Smart Mirror tracking kernels and
+//! pipeline evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legato_mirror::geometry::BBox;
+use legato_mirror::hungarian::assign;
+use legato_mirror::kalman::BoxKalman;
+use legato_mirror::pipeline::MirrorPipeline;
+use legato_mirror::scene::{Scene, SceneConfig};
+use legato_mirror::tracker::{Tracker, TrackerConfig};
+use std::hint::black_box;
+
+fn bench_hungarian(c: &mut Criterion) {
+    // A 20×20 assignment, the size of a crowded mirror scene.
+    let cost: Vec<Vec<f64>> = (0..20)
+        .map(|i| (0..20).map(|j| f64::from((i * 7 + j * 13) % 100)).collect())
+        .collect();
+    c.bench_function("mirror/hungarian_20x20", |b| {
+        b.iter(|| assign(black_box(&cost)))
+    });
+}
+
+fn bench_kalman(c: &mut Criterion) {
+    c.bench_function("mirror/kalman_predict_update", |b| {
+        let mut k = BoxKalman::new(&BBox::new(100.0, 100.0, 50.0, 120.0));
+        let det = BBox::new(102.0, 101.0, 50.0, 120.0);
+        b.iter(|| {
+            k.predict().expect("consistent shapes");
+            k.update(black_box(&det)).expect("consistent shapes");
+        })
+    });
+}
+
+fn bench_tracker_frame(c: &mut Criterion) {
+    c.bench_function("mirror/tracker_frame_8_actors", |b| {
+        let mut scene = Scene::new(
+            SceneConfig {
+                actors: 8,
+                ..SceneConfig::default()
+            },
+            3,
+        );
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        // Warm up so tracks exist.
+        for _ in 0..10 {
+            let f = scene.step();
+            tracker.update(&f.detections);
+        }
+        b.iter(|| {
+            let f = scene.step();
+            tracker.update(black_box(&f.detections))
+        })
+    });
+}
+
+fn bench_pipeline_eval(c: &mut Criterion) {
+    c.bench_function("mirror/pipeline_evaluate", |b| {
+        let p = MirrorPipeline::workstation();
+        b.iter(|| black_box(&p).evaluate().expect("devices"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hungarian,
+    bench_kalman,
+    bench_tracker_frame,
+    bench_pipeline_eval
+);
+criterion_main!(benches);

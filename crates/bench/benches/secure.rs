@@ -1,0 +1,33 @@
+//! Criterion bench for E9: sealing throughput and attestation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use legato_secure::enclave::Platform;
+use legato_secure::seal::{seal, unseal};
+use std::hint::black_box;
+
+fn bench_seal_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secure/seal");
+    let data = vec![0x5Au8; 1 << 20];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("seal_1mib", |b| b.iter(|| seal(42, black_box(&data))));
+    g.bench_function("unseal_1mib", |b| {
+        let blob = seal(42, &data);
+        b.iter(|| unseal(42, black_box(&blob)).expect("intact"))
+    });
+    g.finish();
+}
+
+fn bench_attestation(c: &mut Criterion) {
+    c.bench_function("secure/attest_and_verify", |b| {
+        let mut p = Platform::new(7, true);
+        let e = p.create_enclave(b"detector").expect("limit not reached");
+        let m = p.measurement(e).expect("exists");
+        b.iter(|| {
+            let quote = p.attest(e, black_box(99)).expect("exists");
+            p.verify_quote(&quote, m, 99).expect("valid");
+        })
+    });
+}
+
+criterion_group!(benches, bench_seal_throughput, bench_attestation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates the HEATS evaluation behind Fig. 7: the customer
+//! energy/performance trade-off sweep on a heterogeneous cluster.
+
+use legato_bench::experiments::heats;
+use legato_bench::Table;
+
+fn main() {
+    println!("== Fig. 7 / E5: HEATS energy-performance trade-off ==\n");
+    println!(
+        "cluster: 4x high-perf x86 + 8x low-power ARM + 2x GPU + 2x FPGA, \
+         24 mixed tasks\n"
+    );
+    let points = heats::tradeoff_sweep(&[0.0, 0.25, 0.5, 0.75, 1.0], 24, 2024);
+    let mut t = Table::new(vec![
+        "weight (energy)", "mean completion", "makespan", "total energy",
+        "low-power share", "migrations",
+    ]);
+    for p in &points {
+        t.row(vec![
+            format!("{:.2}", p.weight),
+            format!("{:.1} s", p.mean_completion.0),
+            format!("{:.1} s", p.makespan.0),
+            format!("{:.0} J", p.energy.0),
+            format!("{:.0}%", p.low_power_share * 100.0),
+            p.migrations.to_string(),
+        ]);
+    }
+    println!("{t}");
+    let perf = &points[0];
+    let green = points.last().expect("non-empty sweep");
+    println!(
+        "energy saving at w=1 vs w=0: {:.1}% (at {:.1}x the mean completion time)",
+        (1.0 - green.energy.0 / perf.energy.0) * 100.0,
+        green.mean_completion.0 / perf.mean_completion.0
+    );
+    println!(
+        "paper (HEATS, PDP'19): customers trade performance against energy; \
+         placements shift to efficient hosts as the weight rises."
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates E9: the cost of security-by-design — plain vs.
+//! software-crypto vs. hardware-accelerated enclave execution of a mirror
+//! pipeline stage.
+
+use legato_bench::experiments::secure;
+use legato_bench::Table;
+use legato_core::units::{Seconds, Watt};
+
+fn main() {
+    println!("== E9: secure task execution cost (YOLO stage, full-HD frame) ==\n");
+    let rows = secure::run(Seconds(0.044), Watt(180.0));
+    let mut t = Table::new(vec![
+        "mode", "total time", "crypto time", "transitions", "FPS", "energy", "overhead",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:?}", r.mode),
+            format!("{:.1} ms", r.cost.total_time.0 * 1e3),
+            format!("{:.1} ms", r.cost.crypto_time.0 * 1e3),
+            format!("{:.2} ms", r.cost.transition_time.0 * 1e3),
+            format!("{:.1}", r.fps),
+            format!("{:.2} J", r.cost.energy.0),
+            format!("{:.1}%", r.cost.overhead * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "hardware crypto support reduces the security overhead {:.1}x \
+         (paper §I: leverage SGX/TrustZone to accelerate software-based \
+         security).",
+        secure::hardware_benefit(&rows)
+    );
+}

@@ -1,0 +1,160 @@
+//! E3/E4 — Fig. 6: Heat2D checkpoint/restart weak scaling.
+
+use legato_core::units::{Bytes, Seconds};
+use legato_fti::fti::Strategy;
+use legato_fti::mtbf::sustainable_mtbf;
+use legato_fti::{CheckpointLevel, Fti, FtiConfig, FtiGroup};
+use legato_hw::memory::{AddrSpace, MemoryManager};
+use legato_hw::storage::{StorageDevice, StorageTier};
+
+/// One bar of Fig. 6: checkpoint and recovery time for a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Nodes in the run.
+    pub nodes: usize,
+    /// Checkpointed bytes per process.
+    pub per_process: Bytes,
+    /// Total checkpointed data.
+    pub total: Bytes,
+    /// Strategy measured.
+    pub strategy: Strategy,
+    /// Wall time of the group checkpoint.
+    pub ckpt: Seconds,
+    /// Wall time of the group recovery.
+    pub recover: Seconds,
+}
+
+/// Run the Fig. 6 experiment: weak scaling over `node_counts`, 4
+/// processes per node, UVM-resident state of `per_process` bytes each
+/// (the Heat2D deployment: one process per GPU, `cudaMallocManaged`
+/// grids). State is phantom — timing-exact without allocating terabytes.
+///
+/// # Panics
+///
+/// Panics if the group construction fails (zero nodes).
+#[must_use]
+pub fn run(node_counts: &[usize], per_process: Bytes) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for &nodes in node_counts {
+        for strategy in [Strategy::Initial, Strategy::Async] {
+            let config = FtiConfig::default(); // 4 procs/node as in the paper
+            let ranks = nodes * config.procs_per_node;
+            let mut group = FtiGroup::new(config, ranks);
+            for r in 0..ranks {
+                group
+                    .engine_mut(r)
+                    .protect_phantom(0, AddrSpace::Unified, per_process)
+                    .expect("fresh engine");
+            }
+            let ckpt = group
+                .checkpoint_all(CheckpointLevel::L1, strategy, Seconds::ZERO)
+                .expect("checkpoint")
+                .wall;
+            let recover = group
+                .recover_all(strategy, Seconds(1e6))
+                .expect("recover")
+                .wall;
+            rows.push(Fig6Row {
+                nodes,
+                per_process,
+                total: per_process * ranks as u64,
+                strategy,
+                ckpt,
+                recover,
+            });
+        }
+    }
+    rows
+}
+
+/// E4: the single-process micro-comparison and MTBF sustainability claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroReport {
+    /// Initial-strategy checkpoint duration.
+    pub ckpt_initial: Seconds,
+    /// Async-strategy checkpoint duration.
+    pub ckpt_async: Seconds,
+    /// Initial-strategy recovery duration.
+    pub rec_initial: Seconds,
+    /// Async-strategy recovery duration.
+    pub rec_async: Seconds,
+    /// Checkpoint speedup (paper: 12.05×).
+    pub ckpt_speedup: f64,
+    /// Recovery speedup (paper: 5.13×).
+    pub rec_speedup: f64,
+    /// MTBF-sustainability factor at a 10 % overhead budget
+    /// (paper: ≈7×).
+    pub mtbf_factor: f64,
+}
+
+/// Run the E4 micro-benchmark on `size` bytes of device-resident state.
+#[must_use]
+pub fn micro(size: Bytes) -> MicroReport {
+    let mm = MemoryManager::new();
+    let nvme = StorageDevice::new(StorageTier::local_nvme());
+    let mut fti = Fti::new(FtiConfig::default(), 0);
+    fti.protect_phantom(0, AddrSpace::Device(legato_hw::DeviceId(0)), size)
+        .expect("fresh engine");
+    let ckpt_initial = fti.checkpoint_duration(&mm, &nvme.tier, Strategy::Initial);
+    let ckpt_async = fti.checkpoint_duration(&mm, &nvme.tier, Strategy::Async);
+    let rec_initial = fti.recover_duration(&mm, &nvme.tier, Strategy::Initial);
+    let rec_async = fti.recover_duration(&mm, &nvme.tier, Strategy::Async);
+    let m_slow = sustainable_mtbf(ckpt_initial, rec_initial, 0.10).expect("feasible");
+    let m_fast = sustainable_mtbf(ckpt_async, rec_async, 0.10).expect("feasible");
+    MicroReport {
+        ckpt_initial,
+        ckpt_async,
+        rec_initial,
+        rec_async,
+        ckpt_speedup: ckpt_initial / ckpt_async,
+        rec_speedup: rec_initial / rec_async,
+        mtbf_factor: m_slow.0 / m_fast.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_is_flat() {
+        let rows = run(&[1, 4, 8], Bytes::gib(2));
+        let asyncs: Vec<&Fig6Row> = rows
+            .iter()
+            .filter(|r| r.strategy == Strategy::Async)
+            .collect();
+        let base = asyncs[0].ckpt;
+        for r in &asyncs {
+            assert!(
+                (r.ckpt.0 - base.0).abs() / base.0 < 0.02,
+                "{} nodes: {} vs {}",
+                r.nodes,
+                r.ckpt,
+                base
+            );
+        }
+    }
+
+    #[test]
+    fn initial_to_async_gap_matches_paper_shape() {
+        let rows = run(&[1], Bytes::gib(2));
+        let initial = rows.iter().find(|r| r.strategy == Strategy::Initial).unwrap();
+        let fast = rows.iter().find(|r| r.strategy == Strategy::Async).unwrap();
+        let ckpt_ratio = initial.ckpt / fast.ckpt;
+        let rec_ratio = initial.recover / fast.recover;
+        assert!((8.0..16.0).contains(&ckpt_ratio), "ckpt ratio {ckpt_ratio:.2}");
+        assert!((3.0..8.0).contains(&rec_ratio), "recover ratio {rec_ratio:.2}");
+    }
+
+    #[test]
+    fn micro_report_consistent() {
+        let m = micro(Bytes::gib(2));
+        assert!(m.ckpt_speedup > 8.0, "ckpt speedup {:.1}", m.ckpt_speedup);
+        assert!(m.rec_speedup > 3.0, "rec speedup {:.1}", m.rec_speedup);
+        assert!(
+            (4.0..14.0).contains(&m.mtbf_factor),
+            "mtbf factor {:.1}",
+            m.mtbf_factor
+        );
+    }
+}

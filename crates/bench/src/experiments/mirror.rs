@@ -1,0 +1,125 @@
+//! E6 — Smart Mirror: workstation baseline vs. edge-server targets.
+
+use legato_core::units::{Joule, Watt};
+use legato_mirror::pipeline::{EdgeConfig, MirrorPipeline};
+use legato_mirror::scene::{Scene, SceneConfig};
+use legato_mirror::tracker::{Tracker, TrackerConfig};
+
+/// One hardware configuration's evaluation.
+#[derive(Debug, Clone)]
+pub struct MirrorRow {
+    /// Configuration label.
+    pub config: String,
+    /// Sustained FPS.
+    pub fps: f64,
+    /// Wall power.
+    pub power: Watt,
+    /// Energy per frame.
+    pub energy_per_frame: Joule,
+    /// Tracking quality over a reference scene (fraction of frames where
+    /// every reported track overlaps ground truth).
+    pub tracking_quality: f64,
+    /// Identities created for the 4-actor reference scene (4 = no churn).
+    pub identities: u64,
+}
+
+/// Evaluate a pipeline configuration plus the shared tracking-quality run.
+fn evaluate(label: &str, pipeline: &MirrorPipeline, seed: u64) -> MirrorRow {
+    let perf = pipeline.evaluate().expect("pipeline has devices");
+    let (quality, identities) = tracking_quality(seed);
+    MirrorRow {
+        config: label.to_string(),
+        fps: perf.fps,
+        power: perf.power,
+        energy_per_frame: perf.energy_per_frame,
+        tracking_quality: quality,
+        identities,
+    }
+}
+
+/// Tracking quality on the reference noisy scene (independent of the
+/// hardware configuration — the algorithms are identical everywhere).
+#[must_use]
+pub fn tracking_quality(seed: u64) -> (f64, u64) {
+    let mut scene = Scene::new(
+        SceneConfig {
+            actors: 4,
+            miss_rate: 0.05,
+            false_positives: 0.2,
+            noise_px: 4.0,
+            ..SceneConfig::default()
+        },
+        seed,
+    );
+    let mut tracker = Tracker::new(TrackerConfig::default());
+    let mut good_frames = 0u32;
+    let mut counted = 0u32;
+    for i in 0..200 {
+        let frame = scene.step();
+        let reported = tracker.update(&frame.detections);
+        if i > 15 {
+            counted += 1;
+            let all_on_gt = reported
+                .iter()
+                .all(|(_, b)| frame.ground_truth.iter().any(|(_, gt)| gt.iou(b) > 0.3));
+            if all_on_gt && reported.len() >= 3 {
+                good_frames += 1;
+            }
+        }
+    }
+    (
+        f64::from(good_frames) / f64::from(counted),
+        tracker.identities_created(),
+    )
+}
+
+/// Run the E6 comparison: the 2×GTX1080 workstation against every Fig. 9
+/// edge composition.
+#[must_use]
+pub fn run(seed: u64) -> Vec<MirrorRow> {
+    let mut rows = vec![evaluate(
+        "workstation 2x GTX1080",
+        &MirrorPipeline::workstation(),
+        seed,
+    )];
+    for config in EdgeConfig::ALL {
+        rows.push(evaluate(
+            &format!("edge: {config}"),
+            &MirrorPipeline::edge_server(config),
+            seed,
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_reproduces_paper_shape() {
+        let rows = run(3);
+        let ws = &rows[0];
+        assert!((18.0..26.0).contains(&ws.fps), "workstation fps {}", ws.fps);
+        assert!((330.0..470.0).contains(&ws.power.0), "workstation {}", ws.power);
+        // At least one edge config meets the ≥10 FPS, ≤70 W envelope.
+        assert!(
+            rows[1..]
+                .iter()
+                .any(|r| r.fps >= 10.0 && r.power.0 <= 70.0),
+            "no edge config hits target: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn tracking_quality_is_high_everywhere() {
+        for row in run(5) {
+            assert!(
+                row.tracking_quality > 0.75,
+                "{}: quality {}",
+                row.config,
+                row.tracking_quality
+            );
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared experiment implementations used by the `fig*` binaries and the
+//! Criterion benches. Every function here is deterministic given its seed
+//! arguments.
+
+pub mod fig5;
+pub mod fig6;
+pub mod goals;
+pub mod heats;
+pub mod mirror;
+pub mod ml;
+pub mod secure;

@@ -1,0 +1,81 @@
+//! E9 — security-by-design cost: plain vs. software-crypto vs.
+//! hardware-accelerated enclave execution of a mirror pipeline stage.
+
+use legato_core::units::{Bytes, Seconds, Watt};
+use legato_secure::task::{secure_task_cost, ExecutionMode, SecureCost};
+
+/// One row of the secure-execution comparison.
+#[derive(Debug, Clone)]
+pub struct SecureRow {
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Cost breakdown.
+    pub cost: SecureCost,
+    /// Sustained throughput in frames/s.
+    pub fps: f64,
+}
+
+/// The reference secure workload: one YOLO-stage evaluation (≈44 ms on
+/// the workstation GPU) moving a full-HD RGB frame in and detection
+/// results out of the enclave, 4 transitions per frame.
+#[must_use]
+pub fn run(base_time: Seconds, power: Watt) -> Vec<SecureRow> {
+    let frame = Bytes(1920 * 1080 * 3 + 64 * 1024); // image in + boxes out
+    [
+        ExecutionMode::Plain,
+        ExecutionMode::SecureSoftware,
+        ExecutionMode::SecureHardware,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let cost = secure_task_cost(base_time, power, frame, 4, mode);
+        SecureRow {
+            mode,
+            cost,
+            fps: 1.0 / cost.total_time.0,
+        }
+    })
+    .collect()
+}
+
+/// Overhead-reduction factor delivered by hardware crypto support
+/// (software overhead / hardware overhead).
+#[must_use]
+pub fn hardware_benefit(rows: &[SecureRow]) -> f64 {
+    let sw = rows
+        .iter()
+        .find(|r| r.mode == ExecutionMode::SecureSoftware)
+        .expect("sw row");
+    let hw = rows
+        .iter()
+        .find(|r| r.mode == ExecutionMode::SecureHardware)
+        .expect("hw row");
+    sw.cost.overhead / hw.cost.overhead.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_support_cuts_overhead_order_of_magnitude() {
+        let rows = run(Seconds(0.044), Watt(180.0));
+        let factor = hardware_benefit(&rows);
+        assert!(factor > 8.0, "benefit {factor:.1}x");
+        // Plain is fastest; hardware-secure stays close.
+        assert!(rows[0].fps > rows[2].fps);
+        assert!(rows[2].fps > rows[1].fps);
+        assert!(
+            rows[2].cost.overhead < 0.10,
+            "hw overhead {:.3} should be under 10 %",
+            rows[2].cost.overhead
+        );
+    }
+
+    #[test]
+    fn energy_ordering_follows_time() {
+        let rows = run(Seconds(0.044), Watt(180.0));
+        assert!(rows[0].cost.energy.0 < rows[2].cost.energy.0);
+        assert!(rows[2].cost.energy.0 < rows[1].cost.energy.0);
+    }
+}

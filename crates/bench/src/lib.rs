@@ -1,0 +1,16 @@
+//! # legato-bench
+//!
+//! Experiment harnesses regenerating every quantitative artefact of the
+//! LEGaTO paper. Each `fig*` binary prints the rows/series the paper
+//! reports; the Criterion benches in `benches/` measure the underlying
+//! kernels. The mapping from paper artefact to harness lives in
+//! `DESIGN.md` §3, and measured-vs-published numbers are recorded in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

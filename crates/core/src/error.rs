@@ -1,0 +1,63 @@
+//! Error type for core task-graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Errors produced by core task-graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A task id was used that the graph does not contain.
+    UnknownTask(TaskId),
+    /// A task was completed (or failed) twice, or completed before it was
+    /// ready.
+    InvalidTransition {
+        /// Task whose state transition was rejected.
+        task: TaskId,
+        /// Human-readable description of the rejected transition.
+        reason: &'static str,
+    },
+    /// An operation required a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            CoreError::InvalidTransition { task, reason } => {
+                write!(f, "invalid state transition for task {task}: {reason}")
+            }
+            CoreError::EmptyGraph => write!(f, "operation requires a non-empty task graph"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::UnknownTask(TaskId(7)).to_string(),
+            "unknown task T7"
+        );
+        assert!(CoreError::EmptyGraph.to_string().contains("non-empty"));
+        let e = CoreError::InvalidTransition {
+            task: TaskId(1),
+            reason: "not ready",
+        };
+        assert!(e.to_string().contains("not ready"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

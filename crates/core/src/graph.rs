@@ -1,0 +1,659 @@
+//! Dataflow task graph with OmpSs-style dependence inference.
+//!
+//! Tasks are appended in program order with their `(region, mode)` access
+//! declarations; the graph inserts read-after-write, write-after-read and
+//! write-after-write edges automatically. Because edges always point from an
+//! earlier submission to a later one, the graph is acyclic by construction.
+//!
+//! Beyond scheduling (ready set maintenance), the graph supports the two
+//! fault-tolerance analyses the paper assigns to the task model (§I):
+//!
+//! * **error propagation across task boundaries** — [`TaskGraph::fail`]
+//!   poisons every transitive successor of a failed task;
+//! * **failure root-cause analysis** — [`TaskGraph::root_cause`] walks the
+//!   dependence edges backwards from a poisoned task to the failed
+//!   ancestors that explain it.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::task::{AccessMode, RegionId, TaskDescriptor, TaskId};
+
+/// Lifecycle state of a task inside the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Waiting for predecessors.
+    Pending,
+    /// All predecessors completed; eligible to run.
+    Ready,
+    /// Claimed by a scheduler (between [`TaskGraph::start`] and
+    /// [`TaskGraph::complete`]).
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Finished with an error.
+    Failed,
+    /// A transitive predecessor failed; the task's inputs are suspect.
+    Poisoned,
+}
+
+impl TaskState {
+    /// Whether the task has reached a terminal state.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TaskState::Completed | TaskState::Failed | TaskState::Poisoned
+        )
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    descriptor: TaskDescriptor,
+    state: TaskState,
+    preds: Vec<TaskId>,
+    succs: Vec<TaskId>,
+    unmet: usize,
+    accesses: Vec<(RegionId, AccessMode)>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct RegionHistory {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// A dynamic dataflow DAG over [`TaskDescriptor`]s.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskGraph {
+    nodes: Vec<Node>,
+    regions: HashMap<RegionId, RegionHistory>,
+    edge_count: usize,
+    completed: usize,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Number of tasks ever submitted.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no task has been submitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of dependence edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of tasks in [`TaskState::Completed`].
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed
+    }
+
+    /// Whether every task completed successfully.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.nodes.len()
+    }
+
+    /// Submit a task with its data-access declarations, returning its id.
+    ///
+    /// Dependence edges are inferred against previously submitted tasks:
+    ///
+    /// * a read of region `r` depends on the last writer of `r` (RAW);
+    /// * a write of `r` depends on the last writer (WAW) **and** on every
+    ///   reader since that write (WAR).
+    ///
+    /// Duplicate edges between a task pair are coalesced.
+    pub fn add_task<I, R>(&mut self, descriptor: TaskDescriptor, accesses: I) -> TaskId
+    where
+        I: IntoIterator<Item = (R, AccessMode)>,
+        R: Into<RegionId>,
+    {
+        let id = TaskId(self.nodes.len() as u64);
+        let accesses: Vec<(RegionId, AccessMode)> = accesses
+            .into_iter()
+            .map(|(r, m)| (r.into(), m))
+            .collect();
+
+        let mut preds: Vec<TaskId> = Vec::new();
+        for &(region, mode) in &accesses {
+            let hist = self.regions.entry(region).or_default();
+            if mode.reads() {
+                if let Some(w) = hist.last_writer {
+                    preds.push(w);
+                }
+            }
+            if mode.writes() {
+                if let Some(w) = hist.last_writer {
+                    preds.push(w);
+                }
+                preds.extend(hist.readers_since_write.iter().copied());
+            }
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|&p| p != id);
+        // Only count predecessors that are still outstanding.
+        let unmet = preds
+            .iter()
+            .filter(|p| !self.nodes[p.index()].state.is_terminal())
+            .count();
+
+        let state = if unmet == 0 {
+            TaskState::Ready
+        } else {
+            TaskState::Pending
+        };
+        for &p in &preds {
+            self.nodes[p.index()].succs.push(id);
+        }
+        self.edge_count += preds.len();
+
+        // Update region histories *after* computing dependences.
+        for &(region, mode) in &accesses {
+            let hist = self.regions.entry(region).or_default();
+            if mode.writes() {
+                hist.last_writer = Some(id);
+                hist.readers_since_write.clear();
+            }
+            if mode.reads() && !mode.writes() {
+                hist.readers_since_write.push(id);
+            }
+        }
+
+        self.nodes.push(Node {
+            descriptor,
+            state,
+            preds,
+            succs: Vec::new(),
+            unmet,
+            accesses,
+        });
+        id
+    }
+
+    /// Descriptor of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    pub fn descriptor(&self, id: TaskId) -> Result<&TaskDescriptor, CoreError> {
+        self.node(id).map(|n| &n.descriptor)
+    }
+
+    /// Current lifecycle state of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    pub fn state(&self, id: TaskId) -> Result<TaskState, CoreError> {
+        self.node(id).map(|n| n.state)
+    }
+
+    /// Direct predecessors (dependences) of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    pub fn predecessors(&self, id: TaskId) -> Result<&[TaskId], CoreError> {
+        self.node(id).map(|n| n.preds.as_slice())
+    }
+
+    /// Direct successors (dependents) of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    pub fn successors(&self, id: TaskId) -> Result<&[TaskId], CoreError> {
+        self.node(id).map(|n| n.succs.as_slice())
+    }
+
+    /// The `(region, mode)` declarations a task was submitted with.
+    ///
+    /// The FTI integration uses this to checkpoint exactly the data declared
+    /// at task entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    pub fn accesses(&self, id: TaskId) -> Result<&[(RegionId, AccessMode)], CoreError> {
+        self.node(id).map(|n| n.accesses.as_slice())
+    }
+
+    /// All tasks currently in [`TaskState::Ready`], in submission order.
+    #[must_use]
+    pub fn ready(&self) -> Vec<TaskId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == TaskState::Ready)
+            .map(|(i, _)| TaskId(i as u64))
+            .collect()
+    }
+
+    /// Mark a ready task as running (claimed by a worker).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for a bad id;
+    /// [`CoreError::InvalidTransition`] if the task is not ready.
+    pub fn start(&mut self, id: TaskId) -> Result<(), CoreError> {
+        let node = self.node_mut(id)?;
+        if node.state != TaskState::Ready {
+            return Err(CoreError::InvalidTransition {
+                task: id,
+                reason: "task is not ready",
+            });
+        }
+        node.state = TaskState::Running;
+        Ok(())
+    }
+
+    /// Complete a task, returning the tasks that became ready.
+    ///
+    /// Accepts tasks in `Ready` or `Running` state (schedulers that do not
+    /// bother with [`TaskGraph::start`] may complete directly).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for a bad id;
+    /// [`CoreError::InvalidTransition`] if the task is pending or terminal.
+    pub fn complete(&mut self, id: TaskId) -> Result<Vec<TaskId>, CoreError> {
+        {
+            let node = self.node_mut(id)?;
+            match node.state {
+                TaskState::Ready | TaskState::Running => node.state = TaskState::Completed,
+                TaskState::Pending => {
+                    return Err(CoreError::InvalidTransition {
+                        task: id,
+                        reason: "task still has unmet dependences",
+                    })
+                }
+                _ => {
+                    return Err(CoreError::InvalidTransition {
+                        task: id,
+                        reason: "task already terminal",
+                    })
+                }
+            }
+        }
+        self.completed += 1;
+        Ok(self.release_successors(id))
+    }
+
+    /// Fail a task and poison all transitive successors whose inputs are now
+    /// suspect ("detecting error propagation across task boundaries",
+    /// paper §I). Returns the poisoned tasks in topological order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for a bad id;
+    /// [`CoreError::InvalidTransition`] if the task already terminal.
+    pub fn fail(&mut self, id: TaskId) -> Result<Vec<TaskId>, CoreError> {
+        {
+            let node = self.node_mut(id)?;
+            if node.state.is_terminal() {
+                return Err(CoreError::InvalidTransition {
+                    task: id,
+                    reason: "task already terminal",
+                });
+            }
+            node.state = TaskState::Failed;
+        }
+        let mut poisoned = Vec::new();
+        let mut stack: Vec<TaskId> = self.nodes[id.index()].succs.clone();
+        while let Some(next) = stack.pop() {
+            let node = &mut self.nodes[next.index()];
+            if node.state == TaskState::Poisoned || node.state == TaskState::Failed {
+                continue;
+            }
+            node.state = TaskState::Poisoned;
+            poisoned.push(next);
+            stack.extend(self.nodes[next.index()].succs.iter().copied());
+        }
+        poisoned.sort_unstable();
+        poisoned.dedup();
+        Ok(poisoned)
+    }
+
+    /// Walk the dependence edges backwards from `id` and return the set of
+    /// [`TaskState::Failed`] ancestors — the root causes of a poisoned task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    pub fn root_cause(&self, id: TaskId) -> Result<Vec<TaskId>, CoreError> {
+        self.node(id)?;
+        let mut visited = vec![false; self.nodes.len()];
+        let mut causes = Vec::new();
+        let mut stack = vec![id];
+        visited[id.index()] = true;
+        while let Some(next) = stack.pop() {
+            for &p in &self.nodes[next.index()].preds {
+                if !visited[p.index()] {
+                    visited[p.index()] = true;
+                    if self.nodes[p.index()].state == TaskState::Failed {
+                        causes.push(p);
+                    }
+                    stack.push(p);
+                }
+            }
+        }
+        causes.sort_unstable();
+        Ok(causes)
+    }
+
+    /// A topological order of all tasks (submission order is always one,
+    /// since edges only point forward).
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        (0..self.nodes.len() as u64).map(TaskId).collect()
+    }
+
+    /// Critical path under a per-task cost function: returns the total cost
+    /// and the path itself (source → sink).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyGraph`] if the graph has no tasks.
+    pub fn critical_path<F>(&self, cost: F) -> Result<(f64, Vec<TaskId>), CoreError>
+    where
+        F: Fn(TaskId, &TaskDescriptor) -> f64,
+    {
+        if self.nodes.is_empty() {
+            return Err(CoreError::EmptyGraph);
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![0.0_f64; n];
+        let mut best_pred: Vec<Option<TaskId>> = vec![None; n];
+        for i in 0..n {
+            let id = TaskId(i as u64);
+            let c = cost(id, &self.nodes[i].descriptor);
+            let mut incoming = 0.0_f64;
+            for &p in &self.nodes[i].preds {
+                if dist[p.index()] > incoming {
+                    incoming = dist[p.index()];
+                    best_pred[i] = Some(p);
+                }
+            }
+            dist[i] = incoming + c;
+        }
+        let (mut at, mut total) = (TaskId(0), dist[0]);
+        for i in 1..n {
+            if dist[i] > total {
+                total = dist[i];
+                at = TaskId(i as u64);
+            }
+        }
+        let mut path = vec![at];
+        while let Some(p) = best_pred[at.index()] {
+            path.push(p);
+            at = p;
+        }
+        path.reverse();
+        Ok((total, path))
+    }
+
+    /// Total work (sum of the cost function) across all tasks, for
+    /// parallelism = work / critical-path calculations.
+    #[must_use]
+    pub fn total_cost<F>(&self, cost: F) -> f64
+    where
+        F: Fn(TaskId, &TaskDescriptor) -> f64,
+    {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| cost(TaskId(i as u64), &n.descriptor))
+            .sum()
+    }
+
+    fn release_successors(&mut self, id: TaskId) -> Vec<TaskId> {
+        let succs = self.nodes[id.index()].succs.clone();
+        let mut released = Vec::new();
+        for s in succs {
+            let node = &mut self.nodes[s.index()];
+            if node.state != TaskState::Pending {
+                continue;
+            }
+            node.unmet -= 1;
+            if node.unmet == 0 {
+                node.state = TaskState::Ready;
+                released.push(s);
+            }
+        }
+        released
+    }
+
+    fn node(&self, id: TaskId) -> Result<&Node, CoreError> {
+        self.nodes
+            .get(id.index())
+            .ok_or(CoreError::UnknownTask(id))
+    }
+
+    fn node_mut(&mut self, id: TaskId) -> Result<&mut Node, CoreError> {
+        self.nodes
+            .get_mut(id.index())
+            .ok_or(CoreError::UnknownTask(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskDescriptor;
+
+    fn desc(name: &str) -> TaskDescriptor {
+        TaskDescriptor::named(name)
+    }
+
+    #[test]
+    fn raw_dependence() {
+        let mut g = TaskGraph::new();
+        let w = g.add_task(desc("w"), [(0u64, AccessMode::Out)]);
+        let r = g.add_task(desc("r"), [(0u64, AccessMode::In)]);
+        assert_eq!(g.predecessors(r).unwrap(), &[w]);
+        assert_eq!(g.successors(w).unwrap(), &[r]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn war_dependence() {
+        let mut g = TaskGraph::new();
+        let _w0 = g.add_task(desc("w0"), [(0u64, AccessMode::Out)]);
+        let r = g.add_task(desc("r"), [(0u64, AccessMode::In)]);
+        let w1 = g.add_task(desc("w1"), [(0u64, AccessMode::Out)]);
+        // w1 must wait for the reader (WAR) and the previous writer (WAW).
+        assert!(g.predecessors(w1).unwrap().contains(&r));
+    }
+
+    #[test]
+    fn waw_dependence() {
+        let mut g = TaskGraph::new();
+        let w0 = g.add_task(desc("w0"), [(0u64, AccessMode::Out)]);
+        let w1 = g.add_task(desc("w1"), [(0u64, AccessMode::Out)]);
+        assert_eq!(g.predecessors(w1).unwrap(), &[w0]);
+    }
+
+    #[test]
+    fn independent_readers_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        let w = g.add_task(desc("w"), [(0u64, AccessMode::Out)]);
+        let r1 = g.add_task(desc("r1"), [(0u64, AccessMode::In)]);
+        let r2 = g.add_task(desc("r2"), [(0u64, AccessMode::In)]);
+        g.complete(w).unwrap();
+        let ready = g.ready();
+        assert!(ready.contains(&r1) && ready.contains(&r2));
+    }
+
+    #[test]
+    fn inout_chains_serialize() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::InOut)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::InOut)]);
+        let c = g.add_task(desc("c"), [(0u64, AccessMode::InOut)]);
+        assert_eq!(g.predecessors(b).unwrap(), &[a]);
+        assert_eq!(g.predecessors(c).unwrap(), &[b]);
+        assert_eq!(g.ready(), vec![a]);
+    }
+
+    #[test]
+    fn completion_releases_in_order() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::Out)]);
+        let c = g.add_task(desc("c"), [(1u64, AccessMode::In)]);
+        assert_eq!(g.complete(a).unwrap(), vec![b]);
+        assert_eq!(g.complete(b).unwrap(), vec![c]);
+        assert_eq!(g.complete(c).unwrap(), vec![]);
+        assert!(g.is_complete());
+    }
+
+    #[test]
+    fn completing_pending_task_is_rejected() {
+        let mut g = TaskGraph::new();
+        let _a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In)]);
+        assert!(matches!(
+            g.complete(b),
+            Err(CoreError::InvalidTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn double_completion_is_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        g.complete(a).unwrap();
+        assert!(g.complete(a).is_err());
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let g = TaskGraph::new();
+        assert_eq!(
+            g.state(TaskId(5)).unwrap_err(),
+            CoreError::UnknownTask(TaskId(5))
+        );
+    }
+
+    #[test]
+    fn start_then_complete() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        g.start(a).unwrap();
+        assert_eq!(g.state(a).unwrap(), TaskState::Running);
+        assert!(g.start(a).is_err());
+        g.complete(a).unwrap();
+        assert_eq!(g.state(a).unwrap(), TaskState::Completed);
+    }
+
+    #[test]
+    fn failure_poisons_descendants() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::Out)]);
+        let c = g.add_task(desc("c"), [(1u64, AccessMode::In)]);
+        let d = g.add_task(desc("d"), [(2u64, AccessMode::Out)]); // independent
+        let poisoned = g.fail(a).unwrap();
+        assert_eq!(poisoned, vec![b, c]);
+        assert_eq!(g.state(d).unwrap(), TaskState::Ready);
+        assert_eq!(g.state(a).unwrap(), TaskState::Failed);
+        assert_eq!(g.state(c).unwrap(), TaskState::Poisoned);
+    }
+
+    #[test]
+    fn root_cause_walks_back() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(1u64, AccessMode::Out)]);
+        let c = g.add_task(
+            desc("c"),
+            [(0u64, AccessMode::In), (1u64, AccessMode::In), (2u64, AccessMode::Out)],
+        );
+        let d = g.add_task(desc("d"), [(2u64, AccessMode::In)]);
+        g.fail(a).unwrap();
+        let causes = g.root_cause(d).unwrap();
+        assert_eq!(causes, vec![a]);
+        assert!(!causes.contains(&b));
+        assert!(!causes.contains(&c));
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let mut g = TaskGraph::new();
+        let _a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let _b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::Out)]);
+        let _c = g.add_task(desc("c"), [(0u64, AccessMode::In), (2u64, AccessMode::Out)]);
+        let d = g.add_task(desc("d"), [(1u64, AccessMode::In), (2u64, AccessMode::In)]);
+        // b costs 5, everything else 1: critical path a→b→d = 7.
+        let (len, path) = g
+            .critical_path(|id, _| if id == TaskId(1) { 5.0 } else { 1.0 })
+            .unwrap();
+        assert!((len - 7.0).abs() < 1e-12);
+        assert_eq!(path.first(), Some(&TaskId(0)));
+        assert_eq!(path.last(), Some(&d));
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn critical_path_empty_graph() {
+        let g = TaskGraph::new();
+        assert_eq!(g.critical_path(|_, _| 1.0), Err(CoreError::EmptyGraph));
+    }
+
+    #[test]
+    fn total_cost_sums_all() {
+        let mut g = TaskGraph::new();
+        g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        g.add_task(desc("b"), [(0u64, AccessMode::In)]);
+        assert!((g.total_cost(|_, _| 2.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accesses_are_recorded() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(7u64, AccessMode::InOut)]);
+        assert_eq!(g.accesses(a).unwrap(), &[(RegionId(7), AccessMode::InOut)]);
+    }
+
+    #[test]
+    fn submission_after_completion_sees_no_stale_dependence() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        g.complete(a).unwrap();
+        // New reader depends on a completed writer: must be immediately ready.
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In)]);
+        assert_eq!(g.state(b).unwrap(), TaskState::Ready);
+        assert_eq!(g.predecessors(b).unwrap(), &[a]);
+    }
+
+    #[test]
+    fn duplicate_region_access_deduplicates_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out), (1u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::In)]);
+        // Two shared regions but only one edge a→b.
+        assert_eq!(g.predecessors(b).unwrap(), &[a]);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Non-functional requirements attached to tasks.
+//!
+//! LEGaTO applications "have a different set of requirements in terms of
+//! energy efficiency, Fault Tolerance, and Security … facilitated by a
+//! single programming model which … allows the developer to specify their
+//! requirements" (paper, §II). This module is that specification surface:
+//! a [`Requirements`] value travels with every task descriptor and is
+//! interpreted by the runtime (replication, checkpointing), by HEATS (the
+//! energy/performance trade-off weight) and by the secure layer (enclave
+//! placement).
+
+use serde::{Deserialize, Serialize};
+
+/// How reliability-critical a task is.
+///
+/// The LEGaTO runtime performs *energy-efficient selective replication*:
+/// "only the most reliability-critical tasks will be replicated" (paper,
+/// §I). The runtime maps these levels to replica counts.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Criticality {
+    /// Failure is tolerable (e.g. a dropped video frame).
+    Low,
+    /// Default level: failures are detected but not masked.
+    #[default]
+    Normal,
+    /// Failures must be detected and the task retried.
+    High,
+    /// Failures must be masked; the runtime replicates and votes.
+    Critical,
+}
+
+impl Criticality {
+    /// Number of replicas the runtime schedules for this level
+    /// (1 = no replication).
+    #[must_use]
+    pub fn replica_count(self) -> usize {
+        match self {
+            Criticality::Low | Criticality::Normal => 1,
+            Criticality::High => 2,
+            Criticality::Critical => 3,
+        }
+    }
+
+    /// Whether results of replicas must be voted on.
+    #[must_use]
+    pub fn requires_voting(self) -> bool {
+        matches!(self, Criticality::Critical)
+    }
+}
+
+/// Confidentiality class of the data a task touches.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum SecurityLevel {
+    /// No confidentiality requirement.
+    #[default]
+    Public,
+    /// Data must be sealed at rest; execution may run outside an enclave.
+    Confidential,
+    /// Execution must happen inside a (simulated) enclave with attestation.
+    Enclave,
+}
+
+impl SecurityLevel {
+    /// Whether this level forces enclave execution.
+    #[must_use]
+    pub fn requires_enclave(self) -> bool {
+        matches!(self, SecurityLevel::Enclave)
+    }
+}
+
+/// Bundle of non-functional requirements for one task.
+///
+/// ```
+/// use legato_core::requirements::{Criticality, Requirements, SecurityLevel};
+///
+/// let req = Requirements::new()
+///     .with_energy_weight(0.8)
+///     .with_criticality(Criticality::Critical)
+///     .with_security(SecurityLevel::Enclave);
+/// assert_eq!(req.criticality.replica_count(), 3);
+/// assert!(req.security.requires_enclave());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Requirements {
+    /// Energy/performance trade-off in `[0, 1]`: `0.0` means "pure
+    /// performance", `1.0` means "pure energy efficiency". HEATS calls this
+    /// the customer-demanded weight.
+    pub energy_weight: f64,
+    /// Reliability criticality level.
+    pub criticality: Criticality,
+    /// Confidentiality level.
+    pub security: SecurityLevel,
+    /// Whether the task's declared data should be included in application
+    /// level checkpoints ("only the necessary and sufficient data (declared
+    /// at the task entry) will be checkpointed", paper §I).
+    pub checkpointed: bool,
+}
+
+impl Requirements {
+    /// Requirements with all defaults: balanced energy weight, normal
+    /// criticality, public data, no checkpointing.
+    #[must_use]
+    pub fn new() -> Self {
+        Requirements {
+            energy_weight: 0.5,
+            criticality: Criticality::Normal,
+            security: SecurityLevel::Public,
+            checkpointed: false,
+        }
+    }
+
+    /// Set the energy/performance trade-off weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not in `[0, 1]` or not finite.
+    #[must_use]
+    pub fn with_energy_weight(mut self, w: f64) -> Self {
+        assert!(
+            w.is_finite() && (0.0..=1.0).contains(&w),
+            "energy weight must be in [0, 1], got {w}"
+        );
+        self.energy_weight = w;
+        self
+    }
+
+    /// Set the criticality level.
+    #[must_use]
+    pub fn with_criticality(mut self, c: Criticality) -> Self {
+        self.criticality = c;
+        self
+    }
+
+    /// Set the security level.
+    #[must_use]
+    pub fn with_security(mut self, s: SecurityLevel) -> Self {
+        self.security = s;
+        self
+    }
+
+    /// Mark the task's declared data for application-level checkpointing.
+    #[must_use]
+    pub fn with_checkpointing(mut self, on: bool) -> Self {
+        self.checkpointed = on;
+        self
+    }
+}
+
+impl Default for Requirements {
+    fn default() -> Self {
+        Requirements::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_neutral() {
+        let r = Requirements::default();
+        assert_eq!(r.energy_weight, 0.5);
+        assert_eq!(r.criticality, Criticality::Normal);
+        assert_eq!(r.security, SecurityLevel::Public);
+        assert!(!r.checkpointed);
+    }
+
+    #[test]
+    fn replica_counts_follow_criticality() {
+        assert_eq!(Criticality::Low.replica_count(), 1);
+        assert_eq!(Criticality::Normal.replica_count(), 1);
+        assert_eq!(Criticality::High.replica_count(), 2);
+        assert_eq!(Criticality::Critical.replica_count(), 3);
+    }
+
+    #[test]
+    fn only_critical_votes() {
+        assert!(Criticality::Critical.requires_voting());
+        assert!(!Criticality::High.requires_voting());
+    }
+
+    #[test]
+    fn criticality_is_ordered() {
+        assert!(Criticality::Low < Criticality::Normal);
+        assert!(Criticality::Normal < Criticality::High);
+        assert!(Criticality::High < Criticality::Critical);
+    }
+
+    #[test]
+    fn security_enclave_detection() {
+        assert!(!SecurityLevel::Public.requires_enclave());
+        assert!(!SecurityLevel::Confidential.requires_enclave());
+        assert!(SecurityLevel::Enclave.requires_enclave());
+    }
+
+    #[test]
+    #[should_panic(expected = "energy weight must be in [0, 1]")]
+    fn rejects_out_of_range_weight() {
+        let _ = Requirements::new().with_energy_weight(1.5);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let r = Requirements::new()
+            .with_energy_weight(1.0)
+            .with_criticality(Criticality::High)
+            .with_checkpointing(true);
+        assert_eq!(r.energy_weight, 1.0);
+        assert_eq!(r.criticality, Criticality::High);
+        assert!(r.checkpointed);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the dataflow graph invariants.
+//!
+//! These encode the contracts every downstream crate relies on: the graph is
+//! acyclic, dependences only point backwards in submission order, executing
+//! in ready order always drains the graph, and RAW serialization holds for
+//! every region.
+
+use legato_core::graph::{TaskGraph, TaskState};
+use legato_core::task::{AccessMode, TaskDescriptor, TaskId};
+use proptest::prelude::*;
+
+/// A random access declaration: small region space to force conflicts.
+fn access_strategy() -> impl Strategy<Value = (u64, AccessMode)> {
+    (0u64..6, prop_oneof![
+        Just(AccessMode::In),
+        Just(AccessMode::Out),
+        Just(AccessMode::InOut)
+    ])
+}
+
+fn accesses_strategy() -> impl Strategy<Value = Vec<(u64, AccessMode)>> {
+    prop::collection::vec(access_strategy(), 0..4)
+}
+
+fn graph_strategy() -> impl Strategy<Value = Vec<Vec<(u64, AccessMode)>>> {
+    prop::collection::vec(accesses_strategy(), 1..40)
+}
+
+fn build(tasks: &[Vec<(u64, AccessMode)>]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for (i, acc) in tasks.iter().enumerate() {
+        g.add_task(TaskDescriptor::named(format!("t{i}")), acc.iter().copied());
+    }
+    g
+}
+
+proptest! {
+    /// Every dependence edge points from an earlier task to a later one,
+    /// which guarantees acyclicity.
+    #[test]
+    fn edges_point_forward(tasks in graph_strategy()) {
+        let g = build(&tasks);
+        for i in 0..g.len() {
+            let id = TaskId(i as u64);
+            for &p in g.predecessors(id).unwrap() {
+                prop_assert!(p < id, "predecessor {p} of {id} is not earlier");
+            }
+            for &s in g.successors(id).unwrap() {
+                prop_assert!(s > id, "successor {s} of {id} is not later");
+            }
+        }
+    }
+
+    /// Repeatedly completing any ready task drains the whole graph — no
+    /// deadlock, no lost wakeups.
+    #[test]
+    fn ready_order_execution_drains(tasks in graph_strategy()) {
+        let mut g = build(&tasks);
+        let mut done = 0usize;
+        while !g.is_complete() {
+            let ready = g.ready();
+            prop_assert!(!ready.is_empty(), "graph stuck with {done} done of {}", g.len());
+            // Complete the *last* ready task to vary order vs submission.
+            let pick = *ready.last().unwrap();
+            g.complete(pick).unwrap();
+            done += 1;
+        }
+        prop_assert_eq!(done, g.len());
+    }
+
+    /// Predecessor and successor lists agree (edge symmetry).
+    #[test]
+    fn edge_symmetry(tasks in graph_strategy()) {
+        let g = build(&tasks);
+        for i in 0..g.len() {
+            let id = TaskId(i as u64);
+            for &p in g.predecessors(id).unwrap() {
+                prop_assert!(g.successors(p).unwrap().contains(&id));
+            }
+            for &s in g.successors(id).unwrap() {
+                prop_assert!(g.predecessors(s).unwrap().contains(&id));
+            }
+        }
+    }
+
+    /// For every region, two consecutive writers are ordered by a dependence
+    /// path (write serialization).
+    #[test]
+    fn writers_of_same_region_are_ordered(tasks in graph_strategy()) {
+        let g = build(&tasks);
+        // Collect writers per region in submission order.
+        let mut writers: std::collections::HashMap<u64, Vec<TaskId>> = Default::default();
+        for (i, acc) in tasks.iter().enumerate() {
+            let id = TaskId(i as u64);
+            if acc.iter().any(|(_, m)| m.writes()) {
+                for (r, m) in acc {
+                    if m.writes() {
+                        writers.entry(*r).or_default().push(id);
+                    }
+                }
+            }
+        }
+        for (_region, ws) in writers {
+            for pair in ws.windows(2) {
+                if pair[0] == pair[1] { continue; }
+                prop_assert!(
+                    path_exists(&g, pair[0], pair[1]),
+                    "no path {} -> {}", pair[0], pair[1]
+                );
+            }
+        }
+    }
+
+    /// Failing the first task poisons exactly the set of tasks reachable
+    /// from it, and each poisoned task's root cause is that task.
+    #[test]
+    fn poison_matches_reachability(tasks in graph_strategy()) {
+        let mut g = build(&tasks);
+        let reachable = reachable_set(&g, TaskId(0));
+        let poisoned = g.fail(TaskId(0)).unwrap();
+        let poisoned_set: std::collections::HashSet<TaskId> =
+            poisoned.iter().copied().collect();
+        prop_assert_eq!(&poisoned_set, &reachable);
+        for p in &poisoned {
+            prop_assert_eq!(g.state(*p).unwrap(), TaskState::Poisoned);
+            let causes = g.root_cause(*p).unwrap();
+            prop_assert_eq!(causes, vec![TaskId(0)]);
+        }
+    }
+
+    /// The critical path cost never exceeds total work and is at least the
+    /// most expensive single task.
+    #[test]
+    fn critical_path_bounds(tasks in graph_strategy()) {
+        let g = build(&tasks);
+        let cost = |id: TaskId, _d: &TaskDescriptor| 1.0 + (id.0 % 5) as f64;
+        let (len, path) = g.critical_path(cost).unwrap();
+        let total = g.total_cost(cost);
+        let max_single = (0..g.len() as u64)
+            .map(|i| cost(TaskId(i), g.descriptor(TaskId(i)).unwrap()))
+            .fold(0.0_f64, f64::max);
+        prop_assert!(len <= total + 1e-9);
+        prop_assert!(len >= max_single - 1e-9);
+        // Path must follow dependence edges.
+        for w in path.windows(2) {
+            prop_assert!(g.predecessors(w[1]).unwrap().contains(&w[0]));
+        }
+    }
+}
+
+fn reachable_set(
+    g: &TaskGraph,
+    from: TaskId,
+) -> std::collections::HashSet<TaskId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![from];
+    while let Some(t) = stack.pop() {
+        for &s in g.successors(t).unwrap() {
+            if seen.insert(s) {
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+fn path_exists(g: &TaskGraph, from: TaskId, to: TaskId) -> bool {
+    reachable_set(g, from).contains(&to)
+}

@@ -1,0 +1,68 @@
+//! Error type for the FPGA model.
+
+use std::error::Error;
+use std::fmt;
+
+use legato_core::units::Volt;
+
+/// Errors produced by the simulated FPGA.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// The device is in the crash region (DONE pin unset); it no longer
+    /// responds to any request until reprogrammed at a safe voltage.
+    Crashed {
+        /// The rail voltage at which the device crashed.
+        at: Volt,
+    },
+    /// A voltage outside the physically sensible range was requested.
+    InvalidVoltage {
+        /// The rejected voltage.
+        requested: Volt,
+    },
+    /// BRAM address out of range.
+    AddressOutOfRange {
+        /// Requested word offset.
+        offset: usize,
+        /// Capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::Crashed { at } => {
+                write!(f, "fpga crashed: DONE pin unset at {at}")
+            }
+            FpgaError::InvalidVoltage { requested } => {
+                write!(f, "invalid rail voltage {requested}")
+            }
+            FpgaError::AddressOutOfRange { offset, capacity } => {
+                write!(f, "bram offset {offset} out of range (capacity {capacity} bytes)")
+            }
+        }
+    }
+}
+
+impl Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FpgaError::Crashed { at: Volt(0.5) };
+        assert!(e.to_string().contains("DONE pin"));
+        assert!(FpgaError::InvalidVoltage { requested: Volt(-1.0) }
+            .to_string()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FpgaError>();
+    }
+}

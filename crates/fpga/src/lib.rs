@@ -1,0 +1,59 @@
+//! # legato-fpga
+//!
+//! Behavioural FPGA model with aggressive BRAM supply-voltage underscaling
+//! (paper §III, Fig. 5).
+//!
+//! The paper characterizes four Xilinx boards (VC707, two KC705 samples,
+//! ZC702) whose BRAM rail `VCCBRAM` is regulated independently. Three
+//! voltage regions emerge as the rail is underscaled below the nominal
+//! 1.0 V:
+//!
+//! * **guardband** — down to a minimum safe voltage `Vmin`, no faults;
+//! * **critical** — below `Vmin`, the FPGA still responds but BRAM content
+//!   suffers bit-flips whose rate grows *exponentially*, reaching hundreds
+//!   of faults/Mbit;
+//! * **crash** — at `Vcrash` the DONE pin drops and the device stops
+//!   responding.
+//!
+//! Power falls continuously through both usable regions — more than 90 %
+//! saving at `Vcrash` versus nominal for the VC707.
+//!
+//! This crate reproduces that behaviour against simulated BRAM arrays that
+//! hold real bytes: undervolting genuinely corrupts stored data, so
+//! downstream consumers (the ML-resilience ablation, the fault-tolerant
+//! runtime) exercise the same code paths a real undervolted board would.
+//!
+//! ## Example
+//!
+//! ```
+//! use legato_fpga::{FpgaPlatform, UndervoltFpga, VoltageRegion};
+//! use legato_core::units::Volt;
+//!
+//! # fn main() -> Result<(), legato_fpga::FpgaError> {
+//! let mut fpga = UndervoltFpga::new(FpgaPlatform::vc707(), 42);
+//! assert_eq!(fpga.region(), VoltageRegion::Guardband);
+//!
+//! fpga.set_vccbram(Volt(0.58))?; // below Vmin: critical region
+//! assert_eq!(fpga.region(), VoltageRegion::Critical);
+//! assert!(fpga.fault_rate().0 > 0.0);
+//! assert!(fpga.power() < fpga.platform().nominal_power());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bram;
+pub mod error;
+pub mod fpga;
+pub mod platform;
+pub mod sweep;
+pub mod voltage;
+
+pub use bram::BramArray;
+pub use error::FpgaError;
+pub use fpga::UndervoltFpga;
+pub use platform::FpgaPlatform;
+pub use sweep::{undervolt_sweep, SweepPoint};
+pub use voltage::VoltageRegion;

@@ -1,0 +1,202 @@
+//! Configuration of the checkpoint library.
+
+use legato_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`Fti`](crate::fti::Fti) instance or
+/// [`FtiGroup`](crate::group::FtiGroup).
+///
+/// The four `l*_every` counters express the multi-level cadence: every
+/// `snapshot()` call increments an iteration counter, and the highest
+/// level whose counter divides it is taken (FTI's `ckpt_L*` intervals).
+///
+/// ```
+/// use legato_fti::FtiConfig;
+/// use legato_core::units::Bytes;
+///
+/// let cfg = FtiConfig::builder()
+///     .l1_every(2)
+///     .l4_every(100)
+///     .parity(3)
+///     .async_chunk(Bytes::mib(32))
+///     .build();
+/// assert_eq!(cfg.parity, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FtiConfig {
+    /// Snapshots between L1 (local) checkpoints.
+    pub l1_every: u32,
+    /// Snapshots between L2 (partner) checkpoints.
+    pub l2_every: u32,
+    /// Snapshots between L3 (Reed–Solomon) checkpoints.
+    pub l3_every: u32,
+    /// Snapshots between L4 (parallel FS) checkpoints.
+    pub l4_every: u32,
+    /// Pipeline chunk size of the async strategy.
+    pub async_chunk: Bytes,
+    /// Chunk size of the initial (synchronous) strategy.
+    pub initial_chunk: Bytes,
+    /// Reed–Solomon parity shards per group (L3).
+    pub parity: usize,
+    /// Processes per node (they share the node-local NVMe).
+    pub procs_per_node: usize,
+}
+
+impl Default for FtiConfig {
+    fn default() -> Self {
+        FtiConfig {
+            l1_every: 1,
+            l2_every: 4,
+            l3_every: 16,
+            l4_every: 64,
+            async_chunk: Bytes::mib(64),
+            initial_chunk: Bytes::mib(4),
+            parity: 2,
+            procs_per_node: 4,
+        }
+    }
+}
+
+impl FtiConfig {
+    /// Start building a configuration from the defaults.
+    #[must_use]
+    pub fn builder() -> FtiConfigBuilder {
+        FtiConfigBuilder {
+            config: FtiConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`FtiConfig`].
+#[derive(Debug, Clone)]
+pub struct FtiConfigBuilder {
+    config: FtiConfig,
+}
+
+impl FtiConfigBuilder {
+    /// Set the L1 cadence (must be ≥ 1).
+    #[must_use]
+    pub fn l1_every(mut self, n: u32) -> Self {
+        self.config.l1_every = n.max(1);
+        self
+    }
+
+    /// Set the L2 cadence (must be ≥ 1).
+    #[must_use]
+    pub fn l2_every(mut self, n: u32) -> Self {
+        self.config.l2_every = n.max(1);
+        self
+    }
+
+    /// Set the L3 cadence (must be ≥ 1).
+    #[must_use]
+    pub fn l3_every(mut self, n: u32) -> Self {
+        self.config.l3_every = n.max(1);
+        self
+    }
+
+    /// Set the L4 cadence (must be ≥ 1).
+    #[must_use]
+    pub fn l4_every(mut self, n: u32) -> Self {
+        self.config.l4_every = n.max(1);
+        self
+    }
+
+    /// Set the async pipeline chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    #[must_use]
+    pub fn async_chunk(mut self, chunk: Bytes) -> Self {
+        assert!(chunk > Bytes::ZERO, "chunk must be positive");
+        self.config.async_chunk = chunk;
+        self
+    }
+
+    /// Set the initial-strategy chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    #[must_use]
+    pub fn initial_chunk(mut self, chunk: Bytes) -> Self {
+        assert!(chunk > Bytes::ZERO, "chunk must be positive");
+        self.config.initial_chunk = chunk;
+        self
+    }
+
+    /// Set the Reed–Solomon parity count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parity` is zero.
+    #[must_use]
+    pub fn parity(mut self, parity: usize) -> Self {
+        assert!(parity >= 1, "parity must be at least 1");
+        self.config.parity = parity;
+        self
+    }
+
+    /// Set the number of processes per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn procs_per_node(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one process per node");
+        self.config.procs_per_node = n;
+        self
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> FtiConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FtiConfig::default();
+        assert_eq!(c.l1_every, 1);
+        assert!(c.l2_every >= c.l1_every);
+        assert!(c.async_chunk > c.initial_chunk);
+        assert_eq!(c.procs_per_node, 4); // Fig. 6: "in each node we execute 4 processes"
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = FtiConfig::builder()
+            .l1_every(3)
+            .l2_every(6)
+            .l3_every(12)
+            .l4_every(24)
+            .parity(4)
+            .procs_per_node(2)
+            .initial_chunk(Bytes::mib(1))
+            .async_chunk(Bytes::mib(128))
+            .build();
+        assert_eq!(c.l1_every, 3);
+        assert_eq!(c.l4_every, 24);
+        assert_eq!(c.parity, 4);
+        assert_eq!(c.procs_per_node, 2);
+    }
+
+    #[test]
+    fn zero_cadence_clamped() {
+        let c = FtiConfig::builder().l1_every(0).build();
+        assert_eq!(c.l1_every, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = FtiConfig::builder().async_chunk(Bytes::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the checkpoint library.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::level::CheckpointLevel;
+
+/// Errors produced by the FTI-like checkpoint library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FtiError {
+    /// A protection id was registered twice.
+    DuplicateId(u32),
+    /// A recovery was requested but no checkpoint exists at any level.
+    NoCheckpoint,
+    /// A checkpoint at the given level is missing or incomplete for a rank.
+    MissingCheckpoint {
+        /// The level that was probed.
+        level: CheckpointLevel,
+        /// The rank whose data is missing.
+        rank: usize,
+    },
+    /// Reed–Solomon reconstruction failed (too many lost shards).
+    TooManyErasures {
+        /// Shards present.
+        present: usize,
+        /// Shards required.
+        required: usize,
+    },
+    /// A stored checkpoint disagrees with the protected region layout.
+    LayoutMismatch(String),
+    /// The underlying memory substrate rejected an operation.
+    Memory(String),
+}
+
+impl fmt::Display for FtiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtiError::DuplicateId(id) => write!(f, "protection id {id} already registered"),
+            FtiError::NoCheckpoint => write!(f, "no checkpoint available for recovery"),
+            FtiError::MissingCheckpoint { level, rank } => {
+                write!(f, "no {level} checkpoint for rank {rank}")
+            }
+            FtiError::TooManyErasures { present, required } => write!(
+                f,
+                "reed-solomon reconstruction needs {required} shards, only {present} present"
+            ),
+            FtiError::LayoutMismatch(msg) => write!(f, "checkpoint layout mismatch: {msg}"),
+            FtiError::Memory(msg) => write!(f, "memory substrate error: {msg}"),
+        }
+    }
+}
+
+impl Error for FtiError {}
+
+impl From<legato_hw::HwError> for FtiError {
+    fn from(e: legato_hw::HwError) -> Self {
+        FtiError::Memory(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(FtiError::DuplicateId(3).to_string().contains("3"));
+        assert!(FtiError::NoCheckpoint.to_string().contains("no checkpoint"));
+        assert!(FtiError::TooManyErasures {
+            present: 2,
+            required: 4
+        }
+        .to_string()
+        .contains("reed-solomon"));
+    }
+
+    #[test]
+    fn from_hw_error() {
+        let e: FtiError = legato_hw::HwError::UnknownRegion(9).into();
+        assert!(matches!(e, FtiError::Memory(_)));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FtiError>();
+    }
+}

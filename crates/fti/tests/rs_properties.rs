@@ -1,0 +1,106 @@
+//! Property-based tests of the Reed–Solomon erasure coder: the L3
+//! checkpoint level's correctness rests entirely on these invariants.
+
+use legato_fti::ReedSolomon;
+use proptest::prelude::*;
+
+/// Geometry + data strategy: small but varied shard configurations.
+fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    // (data shards, parity shards, shard length)
+    (1usize..8, 1usize..4, 0usize..128)
+}
+
+proptest! {
+    /// Any loss of up to `parity` shards is fully recoverable, and the
+    /// recovered data shards are bit-identical to the originals.
+    #[test]
+    fn reconstruct_recovers_any_tolerable_loss(
+        (k, m, len) in geometry(),
+        seed in 0u64..1000,
+        loss_selector in prop::collection::vec(any::<u16>(), 0..4),
+    ) {
+        let rs = ReedSolomon::new(k, m).expect("valid geometry");
+        // Deterministic pseudo-random shard content.
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((seed as usize + i * 131 + j * 17) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        let parity = rs.encode(&data).expect("encode");
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
+
+        // Erase up to `m` distinct shards chosen by the selector.
+        let total = k + m;
+        let mut erased = std::collections::HashSet::new();
+        for sel in loss_selector.iter().take(m) {
+            erased.insert(*sel as usize % total);
+        }
+        for &e in &erased {
+            shards[e] = None;
+        }
+
+        rs.reconstruct(&mut shards).expect("within parity budget");
+        for (i, original) in data.iter().enumerate() {
+            prop_assert_eq!(shards[i].as_ref().expect("restored"), original);
+        }
+    }
+
+    /// Losing more than `parity` shards is always detected as an error,
+    /// never silently mis-decoded.
+    #[test]
+    fn over_budget_loss_is_rejected(
+        (k, m, len) in geometry(),
+    ) {
+        prop_assume!(k + m >= m + 1);
+        let rs = ReedSolomon::new(k, m).expect("valid geometry");
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; len]).collect();
+        let parity = rs.encode(&data).expect("encode");
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.into_iter().chain(parity).map(Some).collect();
+        // Erase m + 1 shards (guaranteed over budget).
+        for slot in shards.iter_mut().take(m + 1) {
+            *slot = None;
+        }
+        let result = rs.reconstruct(&mut shards);
+        if k > m + 1 || k + m > m + 1 + m {
+            // Fewer than k survivors whenever k + m - (m+1) < k, i.e. always.
+            prop_assert!(result.is_err());
+        }
+    }
+
+    /// Parity is deterministic: encoding the same data twice yields the
+    /// same shards (no hidden state).
+    #[test]
+    fn encode_is_deterministic((k, m, len) in geometry()) {
+        let rs = ReedSolomon::new(k, m).expect("valid geometry");
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![(i * 37) as u8; len]).collect();
+        let a = rs.encode(&data).expect("encode");
+        let b = rs.encode(&data).expect("encode");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Single-byte corruption of a data shard always changes at least one
+    /// parity shard (the code has minimum distance > 1).
+    #[test]
+    fn parity_detects_single_corruption(
+        (k, m) in (2usize..8, 1usize..4),
+        byte in any::<u8>(),
+        pos in any::<u16>(),
+    ) {
+        let len = 32usize;
+        let rs = ReedSolomon::new(k, m).expect("valid geometry");
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; len]).collect();
+        let clean = rs.encode(&data).expect("encode");
+        let mut corrupted = data.clone();
+        let target = pos as usize % (k * len);
+        let (shard, offset) = (target / len, target % len);
+        let old = corrupted[shard][offset];
+        prop_assume!(old != byte);
+        corrupted[shard][offset] = byte;
+        let dirty = rs.encode(&corrupted).expect("encode");
+        prop_assert_ne!(clean, dirty);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cluster state and monitoring.
+//!
+//! "Resource availability in the hardware nodes is monitored and reported
+//! to HEATS monitoring module" (paper §V). A [`ClusterNode`] tracks free
+//! cores and memory plus the set of running task instances; the
+//! [`ClusterNode::status`] snapshot is what the scheduler's monitoring
+//! input consists of.
+
+use legato_core::units::{Bytes, Seconds, Watt};
+use legato_hw::cluster::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::error::HeatsError;
+use crate::request::TaskRequest;
+
+/// A running task instance on a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningTask {
+    /// Instance id assigned by the scheduler.
+    pub id: usize,
+    /// The original request.
+    pub request: TaskRequest,
+    /// When the instance started on this node.
+    pub started: Seconds,
+    /// When it will finish on this node.
+    pub finishes: Seconds,
+}
+
+/// Monitoring snapshot of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// Free cores.
+    pub free_cores: u32,
+    /// Free memory.
+    pub free_memory: Bytes,
+    /// Present utilization in `[0, 1]` (core-based).
+    pub load: f64,
+    /// Present power draw under the node's linear power model.
+    pub power: Watt,
+    /// Number of running task instances.
+    pub running: usize,
+}
+
+/// A schedulable node with live occupancy state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterNode {
+    /// Static description.
+    pub spec: NodeSpec,
+    running: Vec<RunningTask>,
+}
+
+impl ClusterNode {
+    /// An empty node.
+    #[must_use]
+    pub fn new(spec: NodeSpec) -> Self {
+        ClusterNode {
+            spec,
+            running: Vec::new(),
+        }
+    }
+
+    /// Cores not currently reserved.
+    #[must_use]
+    pub fn free_cores(&self) -> u32 {
+        let used: u32 = self.running.iter().map(|r| r.request.cores).sum();
+        self.spec.cores.saturating_sub(used)
+    }
+
+    /// Memory not currently reserved.
+    #[must_use]
+    pub fn free_memory(&self) -> Bytes {
+        let used: Bytes = self.running.iter().map(|r| r.request.memory).sum();
+        self.spec.memory.saturating_sub(used)
+    }
+
+    /// Whether `request` fits in the node's free resources.
+    #[must_use]
+    pub fn fits(&self, request: &TaskRequest) -> bool {
+        request.cores <= self.free_cores() && request.memory <= self.free_memory()
+    }
+
+    /// Core-based utilization in `[0, 1]`.
+    #[must_use]
+    pub fn load(&self) -> f64 {
+        if self.spec.cores == 0 {
+            return 0.0;
+        }
+        1.0 - f64::from(self.free_cores()) / f64::from(self.spec.cores)
+    }
+
+    /// Monitoring snapshot.
+    #[must_use]
+    pub fn status(&self) -> NodeStatus {
+        NodeStatus {
+            free_cores: self.free_cores(),
+            free_memory: self.free_memory(),
+            load: self.load(),
+            power: self.spec.power_at(self.load()),
+            running: self.running.len(),
+        }
+    }
+
+    /// Running instances.
+    #[must_use]
+    pub fn running(&self) -> &[RunningTask] {
+        &self.running
+    }
+
+    /// Place an instance on this node.
+    ///
+    /// # Errors
+    ///
+    /// [`HeatsError::Unsatisfiable`] if it does not fit.
+    pub fn place(&mut self, instance: RunningTask) -> Result<(), HeatsError> {
+        if !self.fits(&instance.request) {
+            return Err(HeatsError::Unsatisfiable {
+                task: instance.request.name.clone(),
+            });
+        }
+        self.running.push(instance);
+        Ok(())
+    }
+
+    /// Remove an instance by id; returns it if present.
+    pub fn remove(&mut self, id: usize) -> Option<RunningTask> {
+        let idx = self.running.iter().position(|r| r.id == id)?;
+        Some(self.running.remove(idx))
+    }
+
+    /// Remove and return all instances finished at or before `now`.
+    pub fn reap_finished(&mut self, now: Seconds) -> Vec<RunningTask> {
+        let (done, keep): (Vec<_>, Vec<_>) = self
+            .running
+            .drain(..)
+            .partition(|r| r.finishes <= now);
+        self.running = keep;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_core::task::{TaskKind, Work};
+
+    fn req(cores: u32, mem_gib: u64) -> TaskRequest {
+        TaskRequest::new(
+            "t",
+            cores,
+            Bytes::gib(mem_gib),
+            Work::flops(1e9),
+            TaskKind::Compute,
+        )
+    }
+
+    fn instance(id: usize, cores: u32, mem_gib: u64) -> RunningTask {
+        RunningTask {
+            id,
+            request: req(cores, mem_gib),
+            started: Seconds::ZERO,
+            finishes: Seconds(10.0),
+        }
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut n = ClusterNode::new(NodeSpec::high_perf_x86("n"));
+        assert_eq!(n.free_cores(), 16);
+        n.place(instance(0, 4, 8)).unwrap();
+        assert_eq!(n.free_cores(), 12);
+        assert_eq!(n.free_memory(), Bytes::gib(56));
+        assert!((n.load() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_overcommit() {
+        let mut n = ClusterNode::new(NodeSpec::low_power_arm("n"));
+        assert!(n.place(instance(0, 99, 1)).is_err());
+        assert!(n.place(instance(1, 1, 999)).is_err());
+        assert_eq!(n.running().len(), 0);
+    }
+
+    #[test]
+    fn status_power_tracks_load() {
+        let mut n = ClusterNode::new(NodeSpec::high_perf_x86("n"));
+        let idle_power = n.status().power;
+        n.place(instance(0, 16, 8)).unwrap();
+        let busy_power = n.status().power;
+        assert_eq!(idle_power, n.spec.idle_power);
+        assert_eq!(busy_power, n.spec.busy_power);
+    }
+
+    #[test]
+    fn reap_returns_finished_only() {
+        let mut n = ClusterNode::new(NodeSpec::high_perf_x86("n"));
+        let mut early = instance(0, 2, 2);
+        early.finishes = Seconds(5.0);
+        let mut late = instance(1, 2, 2);
+        late.finishes = Seconds(50.0);
+        n.place(early).unwrap();
+        n.place(late).unwrap();
+        let done = n.reap_finished(Seconds(10.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 0);
+        assert_eq!(n.running().len(), 1);
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut n = ClusterNode::new(NodeSpec::high_perf_x86("n"));
+        n.place(instance(7, 1, 1)).unwrap();
+        assert!(n.remove(7).is_some());
+        assert!(n.remove(7).is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! Model learning: per-node performance and energy prediction.
+//!
+//! "Our system first learns the performance and energy features of the
+//! physical hosts" (paper §V) — software probing runs calibrated workloads
+//! on each node, measures (simulated) execution time and power, and fits
+//! linear models by ordinary least squares. The learned [`NodeModel`]
+//! predicts execution time and energy for incoming requests without ever
+//! consulting the ground-truth spec again.
+//!
+//! Two rates are learned per node: the full-socket CPU rate (scaled by
+//! the core share a request reserves) and the accelerated inference rate
+//! (core-share independent — the accelerator does the work).
+
+use legato_core::stats::linear_fit;
+use legato_core::task::{TaskKind, Work};
+use legato_core::units::{Joule, Seconds, Watt};
+use legato_hw::cluster::NodeSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Learned model of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeModel {
+    /// Effective FLOP/s of the whole CPU socket for generic compute.
+    cpu_rate_full: f64,
+    /// Effective FLOP/s of the inference path (accelerator when present).
+    inference_rate: f64,
+    /// Fitted idle power (intercept of the power curve).
+    pub idle_power: Watt,
+    /// Fitted fully-loaded power (value of the curve at load 1).
+    pub busy_power: Watt,
+    /// Goodness of the time fits (worst r² across probes).
+    pub fit_quality: f64,
+}
+
+impl NodeModel {
+    /// Learn a model for `spec` by running `probes` probe workloads per
+    /// path, with multiplicative measurement noise of `noise` relative
+    /// half-width (monitoring is never exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes < 2` or `noise` is negative.
+    #[must_use]
+    pub fn learn(spec: &NodeSpec, probes: usize, noise: f64, seed: u64) -> Self {
+        assert!(probes >= 2, "need at least two probe points");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut jitter = |v: f64| v * (1.0 + noise * (rng.gen_range(0.0..1.0) - 0.5) * 2.0);
+
+        // Probe execution time against work size for each path.
+        let mut fit_path = |kind: TaskKind, cores: u32| -> (f64, f64) {
+            let points: Vec<(f64, f64)> = (1..=probes)
+                .map(|i| {
+                    let flops = i as f64 * 1e10;
+                    let t = spec.request_time(Work::flops(flops), kind, cores).0;
+                    (flops, jitter(t))
+                })
+                .collect();
+            let fit = linear_fit(&points).expect("probes >= 2 distinct x");
+            (1.0 / fit.slope.max(1e-18), fit.r_squared)
+        };
+        let (cpu_rate_full, r2_c) = fit_path(TaskKind::Compute, spec.cores);
+        let (inference_rate, r2_i) = fit_path(TaskKind::Inference, 1);
+
+        // Probe power against load.
+        let power_points: Vec<(f64, f64)> = (0..=probes)
+            .map(|i| {
+                let load = i as f64 / probes as f64;
+                (load, jitter(spec.power_at(load).0))
+            })
+            .collect();
+        let pfit = linear_fit(&power_points).expect("probes >= 2");
+        NodeModel {
+            cpu_rate_full,
+            inference_rate,
+            idle_power: Watt(pfit.intercept.max(0.0)),
+            busy_power: Watt((pfit.intercept + pfit.slope).max(0.0)),
+            fit_quality: r2_c.min(r2_i).min(pfit.r_squared),
+        }
+    }
+
+    /// Predicted execution time of `work` of `kind` when reserving
+    /// `cores` of `total_cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn predict_time(&self, work: Work, kind: TaskKind, cores: u32, total_cores: u32) -> Seconds {
+        assert!(cores >= 1, "request must reserve at least one core");
+        match kind {
+            TaskKind::Inference => Seconds(work.flops / self.inference_rate.max(1e-18)),
+            _ => {
+                let share = f64::from(cores) / f64::from(total_cores.max(1));
+                Seconds(work.flops / (self.cpu_rate_full * share).max(1e-18))
+            }
+        }
+    }
+
+    /// Predicted energy: the core-share of the node's full power envelope
+    /// sustained for the predicted duration.
+    #[must_use]
+    pub fn predict_energy(
+        &self,
+        work: Work,
+        kind: TaskKind,
+        cores: u32,
+        total_cores: u32,
+    ) -> Joule {
+        let t = self.predict_time(work, kind, cores, total_cores);
+        let share = f64::from(cores) / f64::from(total_cores.max(1));
+        let power = self.busy_power * share;
+        power * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_learning_recovers_spec() {
+        let spec = NodeSpec::high_perf_x86("n");
+        let m = NodeModel::learn(&spec, 8, 0.0, 1);
+        assert!(m.fit_quality > 0.999, "r² {}", m.fit_quality);
+        let w = Work::flops(3e11);
+        let truth = spec.request_time(w, TaskKind::Compute, 16);
+        let pred = m.predict_time(w, TaskKind::Compute, 16, 16);
+        assert!((truth.0 - pred.0).abs() / truth.0 < 1e-6);
+        assert!((m.idle_power.0 - spec.idle_power.0).abs() < 1e-6);
+        assert!((m.busy_power.0 - spec.busy_power.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predicted_time_scales_with_share() {
+        let spec = NodeSpec::high_perf_x86("n");
+        let m = NodeModel::learn(&spec, 8, 0.0, 1);
+        let w = Work::flops(1e12);
+        let narrow = m.predict_time(w, TaskKind::Compute, 4, 16);
+        let wide = m.predict_time(w, TaskKind::Compute, 16, 16);
+        assert!((narrow.0 / wide.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_learning_stays_close() {
+        let spec = NodeSpec::gpu_node("g");
+        let m = NodeModel::learn(&spec, 16, 0.10, 7);
+        let w = Work::flops(1e12);
+        let truth = spec.request_time(w, TaskKind::Inference, 1).0;
+        let pred = m.predict_time(w, TaskKind::Inference, 1, 8).0;
+        assert!(
+            (truth - pred).abs() / truth < 0.15,
+            "truth {truth}, pred {pred}"
+        );
+    }
+
+    #[test]
+    fn model_separates_paths() {
+        let spec = NodeSpec::gpu_node("g");
+        let m = NodeModel::learn(&spec, 8, 0.0, 3);
+        let w = Work::flops(1e12);
+        assert!(
+            m.predict_time(w, TaskKind::Inference, 1, 8)
+                < m.predict_time(w, TaskKind::Compute, 8, 8)
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_cores_for_fixed_kind() {
+        // For inference (time fixed by the accelerator) more reserved
+        // cores mean strictly more attributed energy.
+        let spec = NodeSpec::gpu_node("g");
+        let m = NodeModel::learn(&spec, 8, 0.0, 1);
+        let w = Work::flops(1e12);
+        let narrow = m.predict_energy(w, TaskKind::Inference, 1, 8);
+        let wide = m.predict_energy(w, TaskKind::Inference, 4, 8);
+        assert!(wide.0 > narrow.0);
+    }
+
+    #[test]
+    fn arm_beats_x86_on_energy_for_cpu_work() {
+        let arm = NodeModel::learn(&NodeSpec::low_power_arm("a"), 8, 0.0, 1);
+        let x86 = NodeModel::learn(&NodeSpec::high_perf_x86("x"), 8, 0.0, 2);
+        let w = Work::flops(5e11);
+        let e_arm = arm.predict_energy(w, TaskKind::Compute, 2, 8);
+        let e_x86 = x86.predict_energy(w, TaskKind::Compute, 2, 16);
+        assert!(e_arm.0 < e_x86.0, "arm {e_arm:?} vs x86 {e_x86:?}");
+        // ...while x86 wins on time.
+        let t_arm = arm.predict_time(w, TaskKind::Compute, 2, 8);
+        let t_x86 = x86.predict_time(w, TaskKind::Compute, 2, 16);
+        assert!(t_x86 < t_arm);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two probe points")]
+    fn probe_count_validated() {
+        let _ = NodeModel::learn(&NodeSpec::low_power_arm("a"), 1, 0.0, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = NodeSpec::fpga_node("f");
+        let a = NodeModel::learn(&spec, 8, 0.05, 9);
+        let b = NodeModel::learn(&spec, 8, 0.05, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Task submissions.
+//!
+//! "The resource requirements of a task, as for instance memory or number
+//! of cores, are specified before submission" (paper §V). A request also
+//! carries the workload description the models predict from and the
+//! customer's energy/performance weight.
+
+use legato_core::task::{TaskKind, Work};
+use legato_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A task submitted to HEATS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRequest {
+    /// Task name (for reports).
+    pub name: String,
+    /// CPU cores demanded.
+    pub cores: u32,
+    /// Memory demanded.
+    pub memory: Bytes,
+    /// Total computational work.
+    pub work: Work,
+    /// Workload kind (drives device affinity on heterogeneous nodes).
+    pub kind: TaskKind,
+    /// Customer energy/performance trade-off in `[0, 1]`:
+    /// `0` = pure performance, `1` = pure energy.
+    pub weight: f64,
+}
+
+impl TaskRequest {
+    /// A request with a balanced (0.5) trade-off weight.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        cores: u32,
+        memory: Bytes,
+        work: Work,
+        kind: TaskKind,
+    ) -> Self {
+        TaskRequest {
+            name: name.into(),
+            cores,
+            memory,
+            work,
+            kind,
+            weight: 0.5,
+        }
+    }
+
+    /// Set the energy/performance weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_weight(mut self, w: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w), "weight must be in [0, 1]");
+        self.weight = w;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_balanced() {
+        let t = TaskRequest::new("t", 1, Bytes::gib(1), Work::flops(1.0), TaskKind::Compute);
+        assert_eq!(t.weight, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in [0, 1]")]
+    fn weight_validated() {
+        let _ = TaskRequest::new("t", 1, Bytes::ZERO, Work::default(), TaskKind::Compute)
+            .with_weight(2.0);
+    }
+}

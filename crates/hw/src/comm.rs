@@ -1,0 +1,337 @@
+//! In-process message-passing group standing in for MPI.
+//!
+//! The FTI library and the Heat2D solver are MPI programs in the paper
+//! (Listing 1 opens with `MPI_Init`). This module provides the subset they
+//! need — ranked endpoints with point-to-point sends, barriers, broadcast,
+//! gather and sum-allreduce — implemented over crossbeam channels so a
+//! "cluster" runs as threads inside one test process.
+//!
+//! Channels are FIFO per (sender, receiver) pair, matching MPI's
+//! non-overtaking guarantee for same-source messages.
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::HwError;
+
+/// A communicator group; construct endpoints with [`Group::endpoints`].
+#[derive(Debug)]
+pub struct Group {
+    size: usize,
+}
+
+impl Group {
+    /// Create a group of `size` ranks and return all endpoints.
+    ///
+    /// Hand each endpoint to its own thread, as in MPI's one-process-per-
+    /// rank model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn endpoints(size: usize) -> Vec<Endpoint> {
+        assert!(size > 0, "communicator group must have at least one rank");
+        let mut txs: Vec<Vec<Option<Sender<Vec<u8>>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Vec<u8>>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        for from in 0..size {
+            for to in 0..size {
+                let (tx, rx) = unbounded();
+                txs[from][to] = Some(tx);
+                rxs[to][from] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(size));
+        txs.into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| Endpoint {
+                rank,
+                size,
+                senders: tx_row.into_iter().map(|t| t.expect("filled")).collect(),
+                receivers: rx_row.into_iter().map(|r| r.expect("filled")).collect(),
+                barrier: Arc::clone(&barrier),
+            })
+            .collect()
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// One rank's endpoint in a [`Group`].
+#[derive(Debug)]
+pub struct Endpoint {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Vec<u8>>>,
+    receivers: Vec<Receiver<Vec<u8>>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send a payload to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Comm`] if `to` is out of range or the peer endpoint was
+    /// dropped.
+    pub fn send(&self, to: usize, payload: Vec<u8>) -> Result<(), HwError> {
+        let tx = self
+            .senders
+            .get(to)
+            .ok_or_else(|| HwError::Comm(format!("rank {to} out of range 0..{}", self.size)))?;
+        tx.send(payload)
+            .map_err(|_| HwError::Comm(format!("rank {to} has hung up")))
+    }
+
+    /// Receive the next payload from `from` (blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Comm`] if `from` is out of range or the peer endpoint was
+    /// dropped without sending.
+    pub fn recv(&self, from: usize) -> Result<Vec<u8>, HwError> {
+        let rx = self
+            .receivers
+            .get(from)
+            .ok_or_else(|| HwError::Comm(format!("rank {from} out of range 0..{}", self.size)))?;
+        rx.recv()
+            .map_err(|_| HwError::Comm(format!("rank {from} has hung up")))
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sum-allreduce a scalar across the group.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Comm`] if any peer hangs up mid-collective.
+    pub fn allreduce_sum(&self, value: f64) -> Result<f64, HwError> {
+        if self.size == 1 {
+            return Ok(value);
+        }
+        if self.rank == 0 {
+            let mut acc = value;
+            for from in 1..self.size {
+                let bytes = self.recv(from)?;
+                acc += decode_f64(&bytes)?;
+            }
+            for to in 1..self.size {
+                self.send(to, acc.to_le_bytes().to_vec())?;
+            }
+            Ok(acc)
+        } else {
+            self.send(0, value.to_le_bytes().to_vec())?;
+            decode_f64(&self.recv(0)?)
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns the payload on
+    /// all ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Comm`] on hang-up or out-of-range root.
+    pub fn broadcast(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, HwError> {
+        if root >= self.size {
+            return Err(HwError::Comm(format!(
+                "root {root} out of range 0..{}",
+                self.size
+            )));
+        }
+        if self.rank == root {
+            for to in 0..self.size {
+                if to != root {
+                    self.send(to, data.clone())?;
+                }
+            }
+            Ok(data)
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Gather every rank's payload at `root`; returns `Some(payloads)` (in
+    /// rank order) on the root and `None` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Comm`] on hang-up or out-of-range root.
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>, HwError> {
+        if root >= self.size {
+            return Err(HwError::Comm(format!(
+                "root {root} out of range 0..{}",
+                self.size
+            )));
+        }
+        if self.rank == root {
+            let mut all = vec![Vec::new(); self.size];
+            all[root] = data;
+            for from in 0..self.size {
+                if from != root {
+                    all[from] = self.recv(from)?;
+                }
+            }
+            Ok(Some(all))
+        } else {
+            self.send(root, data)?;
+            Ok(None)
+        }
+    }
+}
+
+fn decode_f64(bytes: &[u8]) -> Result<f64, HwError> {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .map_err(|_| HwError::Comm("malformed f64 payload".into()))?;
+    Ok(f64::from_le_bytes(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_group<F>(size: usize, f: F)
+    where
+        F: Fn(Endpoint) + Send + Sync + Clone + 'static,
+    {
+        let endpoints = Group::endpoints(size);
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let f = f.clone();
+                thread::spawn(move || f(ep))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank panicked");
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        run_group(4, |ep| {
+            let next = (ep.rank() + 1) % ep.size();
+            let prev = (ep.rank() + ep.size() - 1) % ep.size();
+            ep.send(next, vec![ep.rank() as u8]).unwrap();
+            let got = ep.recv(prev).unwrap();
+            assert_eq!(got, vec![prev as u8]);
+        });
+    }
+
+    #[test]
+    fn allreduce_sums_ranks() {
+        run_group(5, |ep| {
+            let total = ep.allreduce_sum(ep.rank() as f64).unwrap();
+            assert_eq!(total, 10.0); // 0+1+2+3+4
+        });
+    }
+
+    #[test]
+    fn allreduce_single_rank() {
+        run_group(1, |ep| {
+            assert_eq!(ep.allreduce_sum(42.0).unwrap(), 42.0);
+        });
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        run_group(3, |ep| {
+            let data = if ep.rank() == 1 { vec![7, 7, 7] } else { vec![] };
+            let got = ep.broadcast(1, data).unwrap();
+            assert_eq!(got, vec![7, 7, 7]);
+        });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        run_group(4, |ep| {
+            let out = ep.gather(0, vec![ep.rank() as u8; 2]).unwrap();
+            if ep.rank() == 0 {
+                let all = out.unwrap();
+                for (r, payload) in all.iter().enumerate() {
+                    assert_eq!(payload, &vec![r as u8; 2]);
+                }
+            } else {
+                assert!(out.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let endpoints = Group::endpoints(4);
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    ep.barrier();
+                    // After the barrier everyone must see all increments.
+                    assert_eq!(counter.load(Ordering::SeqCst), 4);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn out_of_range_rank_errors() {
+        let mut eps = Group::endpoints(2);
+        let ep = eps.remove(0);
+        assert!(matches!(ep.send(5, vec![]), Err(HwError::Comm(_))));
+        assert!(matches!(ep.recv(9), Err(HwError::Comm(_))));
+        assert!(matches!(ep.broadcast(7, vec![]), Err(HwError::Comm(_))));
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        run_group(2, |ep| {
+            if ep.rank() == 0 {
+                for i in 0..10u8 {
+                    ep.send(1, vec![i]).unwrap();
+                }
+            } else {
+                for i in 0..10u8 {
+                    assert_eq!(ep.recv(0).unwrap(), vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_size_group_panics() {
+        let _ = Group::endpoints(0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Device models: CPUs, GPUs, FPGAs, dataflow engines and SoCs.
+//!
+//! Each [`DeviceSpec`] carries a peak compute rate, a memory bandwidth, and
+//! idle/busy power draws. Task execution cost follows a roofline: the time
+//! is the larger of the compute time (scaled by a per-`TaskKind` efficiency
+//! that captures how well the device's architecture matches the workload)
+//! and the memory-streaming time. Energy is busy power integrated over that
+//! time.
+//!
+//! The constructors ([`DeviceSpec::xeon_x86`], [`DeviceSpec::gtx1080`], …)
+//! encode representative figures for the hardware classes the RECS|BOX
+//! hosts (paper Fig. 4: x86/ARM64 CPUs, GPU, FPGA, SoCs and Maxeler DFEs).
+
+use legato_core::task::{TaskKind, Work};
+use legato_core::units::{Bytes, BytesPerSec, Hertz, Joule, Seconds, Watt};
+use serde::{Deserialize, Serialize};
+
+use crate::power::EnergyMeter;
+
+/// Identifier of a device instance within a topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DeviceId(pub u64);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Architectural class of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DeviceKind {
+    /// x86-64 server CPU.
+    CpuX86,
+    /// ARM64 server/embedded CPU.
+    CpuArm,
+    /// Discrete GPU.
+    Gpu,
+    /// FPGA fabric (programmed through HLS flows in LEGaTO).
+    Fpga,
+    /// Maxeler-style dataflow engine.
+    Dfe,
+    /// Embedded SoC (e.g. Jetson-class, CPU+GPU on die).
+    Soc,
+}
+
+impl DeviceKind {
+    /// Architectural affinity of this device class for a task kind, in
+    /// `(0, 1]`. It scales the usable fraction of peak compute.
+    ///
+    /// The numbers express the qualitative matrix behind LEGaTO's
+    /// scheduling decisions: GPUs and DFEs excel at dense inference and
+    /// streaming compute; FPGAs deliver good inference throughput at far
+    /// lower power; CPUs are balanced and best at I/O-bound control code.
+    #[must_use]
+    pub fn efficiency(self, task: TaskKind) -> f64 {
+        match (self, task) {
+            (DeviceKind::CpuX86, TaskKind::Compute) => 0.90,
+            (DeviceKind::CpuX86, TaskKind::Inference) => 0.35,
+            (DeviceKind::CpuX86, TaskKind::Transfer) => 0.90,
+            (DeviceKind::CpuX86, TaskKind::Io) => 1.00,
+
+            (DeviceKind::CpuArm, TaskKind::Compute) => 0.85,
+            (DeviceKind::CpuArm, TaskKind::Inference) => 0.35,
+            (DeviceKind::CpuArm, TaskKind::Transfer) => 0.85,
+            (DeviceKind::CpuArm, TaskKind::Io) => 0.95,
+
+            (DeviceKind::Gpu, TaskKind::Compute) => 0.70,
+            (DeviceKind::Gpu, TaskKind::Inference) => 0.95,
+            (DeviceKind::Gpu, TaskKind::Transfer) => 0.80,
+            (DeviceKind::Gpu, TaskKind::Io) => 0.20,
+
+            (DeviceKind::Fpga, TaskKind::Compute) => 0.60,
+            (DeviceKind::Fpga, TaskKind::Inference) => 0.85,
+            (DeviceKind::Fpga, TaskKind::Transfer) => 0.70,
+            (DeviceKind::Fpga, TaskKind::Io) => 0.40,
+
+            (DeviceKind::Dfe, TaskKind::Compute) => 0.80,
+            (DeviceKind::Dfe, TaskKind::Inference) => 0.90,
+            (DeviceKind::Dfe, TaskKind::Transfer) => 0.95,
+            (DeviceKind::Dfe, TaskKind::Io) => 0.30,
+
+            (DeviceKind::Soc, TaskKind::Compute) => 0.70,
+            (DeviceKind::Soc, TaskKind::Inference) => 0.75,
+            (DeviceKind::Soc, TaskKind::Transfer) => 0.70,
+            (DeviceKind::Soc, TaskKind::Io) => 0.80,
+
+            // `TaskKind` is non-exhaustive; unknown kinds get a neutral 0.5.
+            _ => 0.5,
+        }
+    }
+}
+
+/// Static description of a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing-style name, e.g. `"GTX 1080"`.
+    pub name: String,
+    /// Architectural class.
+    pub kind: DeviceKind,
+    /// Peak compute rate in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth.
+    pub mem_bandwidth: BytesPerSec,
+    /// Device memory capacity.
+    pub mem_capacity: Bytes,
+    /// Idle power draw.
+    pub idle_power: Watt,
+    /// Fully-busy power draw.
+    pub busy_power: Watt,
+    /// Core clock (informational; cost model uses `peak_flops`).
+    pub clock: Hertz,
+}
+
+impl DeviceSpec {
+    /// Representative dual-socket x86 server CPU (COM Express
+    /// high-performance microserver class).
+    #[must_use]
+    pub fn xeon_x86() -> Self {
+        DeviceSpec {
+            name: "Xeon x86 microserver".into(),
+            kind: DeviceKind::CpuX86,
+            peak_flops: 500e9,
+            mem_bandwidth: BytesPerSec::gib_per_sec(60.0),
+            mem_capacity: Bytes::gib(64),
+            idle_power: Watt(35.0),
+            busy_power: Watt(130.0),
+            clock: Hertz::from_ghz(2.4),
+        }
+    }
+
+    /// Representative ARM64 low-power microserver (Apalis-class).
+    #[must_use]
+    pub fn arm64() -> Self {
+        DeviceSpec {
+            name: "ARM64 microserver".into(),
+            kind: DeviceKind::CpuArm,
+            peak_flops: 80e9,
+            mem_bandwidth: BytesPerSec::gib_per_sec(18.0),
+            mem_capacity: Bytes::gib(8),
+            idle_power: Watt(3.0),
+            busy_power: Watt(12.0),
+            clock: Hertz::from_ghz(1.8),
+        }
+    }
+
+    /// NVIDIA GTX 1080-class discrete GPU — the Smart Mirror's original
+    /// workstation carries two of these (paper §VI).
+    #[must_use]
+    pub fn gtx1080() -> Self {
+        DeviceSpec {
+            name: "GTX 1080".into(),
+            kind: DeviceKind::Gpu,
+            peak_flops: 8.9e12,
+            mem_bandwidth: BytesPerSec::gib_per_sec(298.0),
+            mem_capacity: Bytes::gib(8),
+            idle_power: Watt(8.0),
+            busy_power: Watt(180.0),
+            clock: Hertz::from_ghz(1.6),
+        }
+    }
+
+    /// Kintex-class FPGA accelerator (the power-oriented family evaluated
+    /// in §III).
+    #[must_use]
+    pub fn fpga_kintex() -> Self {
+        DeviceSpec {
+            name: "Kintex FPGA".into(),
+            kind: DeviceKind::Fpga,
+            peak_flops: 2.4e12,
+            mem_bandwidth: BytesPerSec::gib_per_sec(34.0),
+            mem_capacity: Bytes::gib(4),
+            idle_power: Watt(4.0),
+            busy_power: Watt(20.0),
+            clock: Hertz::from_mhz(300.0),
+        }
+    }
+
+    /// Maxeler-style dataflow engine.
+    #[must_use]
+    pub fn maxeler_dfe() -> Self {
+        DeviceSpec {
+            name: "Maxeler DFE".into(),
+            kind: DeviceKind::Dfe,
+            peak_flops: 2.0e12,
+            mem_bandwidth: BytesPerSec::gib_per_sec(60.0),
+            mem_capacity: Bytes::gib(48),
+            idle_power: Watt(12.0),
+            busy_power: Watt(60.0),
+            clock: Hertz::from_mhz(200.0),
+        }
+    }
+
+    /// Jetson-class embedded GPU SoC (low-power microserver, Fig. 4).
+    #[must_use]
+    pub fn jetson_soc() -> Self {
+        DeviceSpec {
+            name: "Jetson SoC".into(),
+            kind: DeviceKind::Soc,
+            peak_flops: 1.3e12,
+            mem_bandwidth: BytesPerSec::gib_per_sec(25.0),
+            mem_capacity: Bytes::gib(8),
+            idle_power: Watt(2.0),
+            busy_power: Watt(15.0),
+            clock: Hertz::from_ghz(1.3),
+        }
+    }
+
+    /// Execution time of `work` of kind `task` on this device (roofline:
+    /// max of compute and memory-streaming time).
+    ///
+    /// Returns [`Seconds::ZERO`] for empty work.
+    #[must_use]
+    pub fn time_for(&self, work: Work, task: TaskKind) -> Seconds {
+        let eff = self.kind.efficiency(task);
+        let compute = if work.flops > 0.0 {
+            work.flops / (self.peak_flops * eff)
+        } else {
+            0.0
+        };
+        let memory = if work.bytes > Bytes::ZERO {
+            work.bytes.as_f64() / self.mem_bandwidth.0
+        } else {
+            0.0
+        };
+        Seconds(compute.max(memory))
+    }
+
+    /// Energy consumed executing `work` of kind `task` (busy power over the
+    /// execution time).
+    #[must_use]
+    pub fn energy_for(&self, work: Work, task: TaskKind) -> Joule {
+        self.busy_power * self.time_for(work, task)
+    }
+
+    /// Energy-delay product, a common energy-efficiency figure of merit.
+    #[must_use]
+    pub fn edp_for(&self, work: Work, task: TaskKind) -> f64 {
+        let t = self.time_for(work, task);
+        (self.energy_for(work, task).0) * t.0
+    }
+}
+
+/// A device instance: a spec plus mutable execution state (energy meter,
+/// busy-until time for contention modelling).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Instance id.
+    pub id: DeviceId,
+    /// Static description.
+    pub spec: DeviceSpec,
+    meter: EnergyMeter,
+    busy_until: Seconds,
+}
+
+impl Device {
+    /// Instantiate a device from a spec.
+    #[must_use]
+    pub fn new(id: DeviceId, spec: DeviceSpec) -> Self {
+        Device {
+            id,
+            spec,
+            meter: EnergyMeter::new(),
+            busy_until: Seconds::ZERO,
+        }
+    }
+
+    /// Earliest simulated time at which the device is free.
+    #[must_use]
+    pub fn busy_until(&self) -> Seconds {
+        self.busy_until
+    }
+
+    /// Execute `work` starting no earlier than `now`; returns
+    /// `(start, finish)` in simulated time and records the energy.
+    ///
+    /// The device serializes work: execution begins at
+    /// `max(now, busy_until)`.
+    pub fn execute(&mut self, now: Seconds, work: Work, task: TaskKind) -> (Seconds, Seconds) {
+        let start = now.max(self.busy_until);
+        let dur = self.spec.time_for(work, task);
+        let finish = start + dur;
+        self.meter.record(self.spec.busy_power, dur);
+        self.busy_until = finish;
+        (start, finish)
+    }
+
+    /// Record idle power between two instants (used by whole-system energy
+    /// accounting).
+    pub fn record_idle(&mut self, duration: Seconds) {
+        self.meter.record(self.spec.idle_power, duration);
+    }
+
+    /// The device's energy meter.
+    #[must_use]
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Reset execution state (meter and availability).
+    pub fn reset(&mut self) {
+        self.meter.reset();
+        self.busy_until = Seconds::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_bounded() {
+        for kind in [
+            DeviceKind::CpuX86,
+            DeviceKind::CpuArm,
+            DeviceKind::Gpu,
+            DeviceKind::Fpga,
+            DeviceKind::Dfe,
+            DeviceKind::Soc,
+        ] {
+            for task in [
+                TaskKind::Compute,
+                TaskKind::Transfer,
+                TaskKind::Inference,
+                TaskKind::Io,
+            ] {
+                let e = kind.efficiency(task);
+                assert!(e > 0.0 && e <= 1.0, "{kind:?}/{task:?} -> {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_beats_cpu_at_inference() {
+        let gpu = DeviceSpec::gtx1080();
+        let cpu = DeviceSpec::xeon_x86();
+        let w = Work::flops(65.9e9); // one YOLOv3-like frame
+        assert!(gpu.time_for(w, TaskKind::Inference) < cpu.time_for(w, TaskKind::Inference));
+    }
+
+    #[test]
+    fn fpga_beats_gpu_on_inference_energy() {
+        // FPGA is slower but draws far less power: lower energy per frame.
+        let gpu = DeviceSpec::gtx1080();
+        let fpga = DeviceSpec::fpga_kintex();
+        let w = Work::flops(65.9e9);
+        assert!(
+            fpga.energy_for(w, TaskKind::Inference).0 < gpu.energy_for(w, TaskKind::Inference).0
+        );
+    }
+
+    #[test]
+    fn roofline_takes_max() {
+        let dev = DeviceSpec::xeon_x86();
+        // Memory-bound workload: almost no flops, lots of bytes.
+        let w = Work::new(1.0, Bytes::gib(60));
+        let t = dev.time_for(w, TaskKind::Compute);
+        assert!((t.0 - 1.0).abs() < 0.01, "expected ~1 s, got {t}");
+    }
+
+    #[test]
+    fn empty_work_is_free() {
+        let dev = DeviceSpec::arm64();
+        assert_eq!(dev.time_for(Work::default(), TaskKind::Compute), Seconds::ZERO);
+        assert_eq!(dev.energy_for(Work::default(), TaskKind::Compute), Joule::ZERO);
+    }
+
+    #[test]
+    fn device_serializes_work() {
+        let mut d = Device::new(DeviceId(0), DeviceSpec::arm64());
+        let w = Work::flops(80e9 * 0.85); // exactly 1 s on this device
+        let (s1, f1) = d.execute(Seconds::ZERO, w, TaskKind::Compute);
+        let (s2, f2) = d.execute(Seconds::ZERO, w, TaskKind::Compute);
+        assert_eq!(s1, Seconds::ZERO);
+        assert!((f1.0 - 1.0).abs() < 1e-9);
+        assert_eq!(s2, f1);
+        assert!((f2.0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_energy_accounting() {
+        let mut d = Device::new(DeviceId(1), DeviceSpec::arm64());
+        let w = Work::flops(80e9 * 0.85);
+        d.execute(Seconds::ZERO, w, TaskKind::Compute);
+        assert!((d.meter().total().0 - 12.0).abs() < 1e-6); // 12 W × 1 s
+        d.record_idle(Seconds(10.0));
+        assert!((d.meter().total().0 - 42.0).abs() < 1e-6); // + 3 W × 10 s
+        d.reset();
+        assert_eq!(d.meter().total(), Joule::ZERO);
+    }
+
+    #[test]
+    fn edp_prefers_balanced_devices() {
+        let w = Work::flops(1e12);
+        let gpu = DeviceSpec::gtx1080();
+        let edp = gpu.edp_for(w, TaskKind::Inference);
+        assert!(edp > 0.0);
+    }
+
+    #[test]
+    fn display_device_id() {
+        assert_eq!(DeviceId(3).to_string(), "D3");
+    }
+}

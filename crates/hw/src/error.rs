@@ -1,0 +1,72 @@
+//! Error type for the hardware substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated hardware substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A memory region id was not found.
+    UnknownRegion(u64),
+    /// A device id was not found.
+    UnknownDevice(u64),
+    /// An allocation exceeded the capacity of a memory space or storage
+    /// tier.
+    OutOfCapacity {
+        /// What ran out (e.g. `"device memory"`).
+        what: &'static str,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// Topology constraint violated when building a RECS|BOX.
+    Topology(String),
+    /// A communicator operation was used incorrectly.
+    Comm(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::UnknownRegion(id) => write!(f, "unknown memory region {id}"),
+            HwError::UnknownDevice(id) => write!(f, "unknown device {id}"),
+            HwError::OutOfCapacity {
+                what,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of {what}: requested {requested} B, {available} B available"
+            ),
+            HwError::Topology(msg) => write!(f, "invalid topology: {msg}"),
+            HwError::Comm(msg) => write!(f, "communicator misuse: {msg}"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(HwError::UnknownRegion(3).to_string(), "unknown memory region 3");
+        assert!(HwError::OutOfCapacity {
+            what: "device memory",
+            requested: 10,
+            available: 5
+        }
+        .to_string()
+        .contains("device memory"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<HwError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! # legato-hw
+//!
+//! Simulated heterogeneous hardware substrate for the LEGaTO reproduction.
+//!
+//! The paper's experiments run on hardware this repository cannot assume:
+//! a RECS|BOX microserver chassis, CUDA GPUs with UVM, node-local NVMe,
+//! MPI clusters. This crate provides behavioural stand-ins that move real
+//! bytes and account simulated time and energy deterministically:
+//!
+//! * [`device`] — CPU/GPU/FPGA/DFE device models with roofline-style cost
+//!   and power models;
+//! * [`power`] — energy metering;
+//! * [`time`] — the simulated clock and an analytic pipeline model used to
+//!   reason about overlapped (async) data movement;
+//! * [`memory`] — host/device/unified address spaces with explicit
+//!   transfer costs, the substrate under the FTI GPU checkpointing;
+//! * [`storage`] — NVMe-class and parallel-file-system storage tiers with
+//!   distinct streaming and chunk-synchronous write paths;
+//! * [`recs`] — the RECS|BOX chassis topology of Fig. 3/4 (backplane,
+//!   carriers, microservers, networks);
+//! * [`cluster`] — node descriptions consumed by the HEATS scheduler;
+//! * [`comm`] — an in-process message-passing group standing in for MPI.
+//!
+//! Determinism: nothing in this crate reads the wall clock; all time is
+//! [`Seconds`](legato_core::units::Seconds) advanced by the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod comm;
+pub mod device;
+pub mod error;
+pub mod memory;
+pub mod power;
+pub mod recs;
+pub mod storage;
+pub mod time;
+
+pub use cluster::{NodeClass, NodeSpec};
+pub use comm::Group;
+pub use device::{Device, DeviceId, DeviceKind, DeviceSpec};
+pub use error::HwError;
+pub use memory::{AddrSpace, MemoryManager, RegionHandle};
+pub use power::EnergyMeter;
+pub use recs::{Carrier, Microserver, RecsBox, RecsBoxBuilder};
+pub use storage::{StorageTier, WriteMode};
+pub use time::{pipeline_time, SimClock};

@@ -1,0 +1,148 @@
+//! Energy metering.
+//!
+//! HEATS "monitors … energy (PDU, PowerSpy)" (paper Fig. 7); the simulated
+//! equivalent is an [`EnergyMeter`] every device and node carries. Meters
+//! integrate power over simulated time and keep the sample series so
+//! harnesses can report both totals and traces.
+
+use legato_core::units::{Joule, Seconds, Watt};
+use serde::{Deserialize, Serialize};
+
+/// Integrates power over simulated time.
+///
+/// ```
+/// use legato_hw::power::EnergyMeter;
+/// use legato_core::units::{Joule, Seconds, Watt};
+///
+/// let mut m = EnergyMeter::new();
+/// m.record(Watt(100.0), Seconds(2.0));
+/// m.record(Watt(50.0), Seconds(2.0));
+/// assert_eq!(m.total(), Joule(300.0));
+/// assert_eq!(m.elapsed(), Seconds(4.0));
+/// assert_eq!(m.average_power(), Watt(75.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    total: Joule,
+    elapsed: Seconds,
+    samples: Vec<(Watt, Seconds)>,
+}
+
+impl EnergyMeter {
+    /// A meter with no recorded samples.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Record `power` sustained for `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if power or duration is negative or not finite.
+    pub fn record(&mut self, power: Watt, duration: Seconds) {
+        assert!(
+            power.0.is_finite() && power.0 >= 0.0,
+            "power must be non-negative, got {power}"
+        );
+        assert!(
+            duration.0.is_finite() && duration.0 >= 0.0,
+            "duration must be non-negative, got {duration}"
+        );
+        self.total += power * duration;
+        self.elapsed += duration;
+        self.samples.push((power, duration));
+    }
+
+    /// Total energy recorded.
+    #[must_use]
+    pub fn total(&self) -> Joule {
+        self.total
+    }
+
+    /// Total duration recorded.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Time-weighted average power ([`Watt::ZERO`] before any sample).
+    #[must_use]
+    pub fn average_power(&self) -> Watt {
+        if self.elapsed.0 <= 0.0 {
+            Watt::ZERO
+        } else {
+            self.total / self.elapsed
+        }
+    }
+
+    /// The recorded `(power, duration)` samples, in order.
+    #[must_use]
+    pub fn samples(&self) -> &[(Watt, Seconds)] {
+        &self.samples
+    }
+
+    /// Merge another meter's samples into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.total += other.total;
+        self.elapsed += other.elapsed;
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Clear all samples.
+    pub fn reset(&mut self) {
+        *self = EnergyMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_energy() {
+        let mut m = EnergyMeter::new();
+        m.record(Watt(10.0), Seconds(1.0));
+        m.record(Watt(20.0), Seconds(0.5));
+        assert_eq!(m.total(), Joule(20.0));
+        assert_eq!(m.samples().len(), 2);
+    }
+
+    #[test]
+    fn average_power_empty_is_zero() {
+        assert_eq!(EnergyMeter::new().average_power(), Watt::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = EnergyMeter::new();
+        a.record(Watt(5.0), Seconds(2.0));
+        let mut b = EnergyMeter::new();
+        b.record(Watt(10.0), Seconds(1.0));
+        a.merge(&b);
+        assert_eq!(a.total(), Joule(20.0));
+        assert_eq!(a.elapsed(), Seconds(3.0));
+        assert_eq!(a.samples().len(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = EnergyMeter::new();
+        m.record(Watt(5.0), Seconds(2.0));
+        m.reset();
+        assert_eq!(m.total(), Joule::ZERO);
+        assert!(m.samples().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be non-negative")]
+    fn rejects_negative_power() {
+        EnergyMeter::new().record(Watt(-1.0), Seconds(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be non-negative")]
+    fn rejects_negative_duration() {
+        EnergyMeter::new().record(Watt(1.0), Seconds(-1.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests of the timing substrate: the pipeline model
+//! underpinning the async checkpoint path, and storage cost monotonicity.
+
+use legato_core::units::{Bytes, Seconds};
+use legato_hw::storage::{StorageTier, WriteMode};
+use legato_hw::time::{pipeline_time, serial_time};
+use proptest::prelude::*;
+
+fn stage_times() -> impl Strategy<Value = Vec<Seconds>> {
+    prop::collection::vec((0.001..5.0f64).prop_map(Seconds), 1..5)
+}
+
+proptest! {
+    /// Pipelining never loses to strictly serial execution, and the gap
+    /// is bounded by the pipeline-fill term.
+    #[test]
+    fn pipeline_bounds(chunks in 1u64..500, stages in stage_times()) {
+        let p = pipeline_time(chunks, &stages);
+        let s = serial_time(chunks, &stages, Seconds::ZERO);
+        prop_assert!(p.0 <= s.0 + 1e-9, "pipeline {p} worse than serial {s}");
+        // Lower bound: the bottleneck stage must process every chunk.
+        let bottleneck = stages.iter().map(|s| s.0).fold(0.0, f64::max);
+        prop_assert!(p.0 + 1e-9 >= bottleneck * chunks as f64);
+        // Upper bound: fill + (chunks-1) * bottleneck exactly.
+        let fill: f64 = stages.iter().map(|s| s.0).sum();
+        prop_assert!((p.0 - (fill + bottleneck * (chunks - 1) as f64)).abs() < 1e-9);
+    }
+
+    /// Pipeline latency is monotone in the chunk count.
+    #[test]
+    fn pipeline_monotone_in_chunks(chunks in 1u64..200, stages in stage_times()) {
+        let a = pipeline_time(chunks, &stages);
+        let b = pipeline_time(chunks + 1, &stages);
+        prop_assert!(b >= a);
+    }
+
+    /// Storage write time is monotone in size for both write modes, and
+    /// chunk-synchronous writes never beat streaming writes.
+    #[test]
+    fn storage_costs_monotone(mib in 1u64..512, chunk_mib in 1u64..64) {
+        let tier = StorageTier::local_nvme();
+        let small = Bytes::mib(mib);
+        let large = Bytes::mib(mib + 1);
+        for mode in [
+            WriteMode::Streaming,
+            WriteMode::ChunkSync { chunk: Bytes::mib(chunk_mib) },
+        ] {
+            prop_assert!(tier.write_time(large, mode) >= tier.write_time(small, mode));
+            prop_assert!(tier.read_time(large, mode) >= tier.read_time(small, mode));
+        }
+        let stream = tier.write_time(small, WriteMode::Streaming);
+        let chunked = tier.write_time(
+            small,
+            WriteMode::ChunkSync { chunk: Bytes::mib(chunk_mib) },
+        );
+        prop_assert!(chunked >= stream);
+    }
+
+    /// Larger chunks shrink the chunk-sync penalty (fewer syncs).
+    #[test]
+    fn bigger_chunks_cost_less(mib in 8u64..256) {
+        let tier = StorageTier::local_nvme();
+        let size = Bytes::mib(mib);
+        let small_chunks = tier.write_time(size, WriteMode::ChunkSync { chunk: Bytes::mib(1) });
+        let big_chunks = tier.write_time(size, WriteMode::ChunkSync { chunk: Bytes::mib(8) });
+        prop_assert!(big_chunks < small_chunks);
+    }
+}

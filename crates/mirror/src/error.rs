@@ -1,0 +1,48 @@
+//! Error type for the Smart Mirror components.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the Smart Mirror components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MirrorError {
+    /// A matrix operation received incompatible dimensions.
+    Dimension {
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// A matrix inversion hit a (numerically) singular matrix.
+    Singular,
+    /// A pipeline was configured without any compute device.
+    NoDevices,
+}
+
+impl fmt::Display for MirrorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MirrorError::Dimension { what } => write!(f, "dimension mismatch: {what}"),
+            MirrorError::Singular => write!(f, "matrix is singular"),
+            MirrorError::NoDevices => write!(f, "pipeline has no compute devices"),
+        }
+    }
+}
+
+impl Error for MirrorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MirrorError::Singular.to_string().contains("singular"));
+        assert!(MirrorError::NoDevices.to_string().contains("devices"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MirrorError>();
+    }
+}

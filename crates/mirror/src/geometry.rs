@@ -1,0 +1,153 @@
+//! Bounding boxes and overlap metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in pixel coordinates, stored as center
+/// plus size (the Kalman filter's natural parameterization).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Center x.
+    pub cx: f64,
+    /// Center y.
+    pub cy: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl BBox {
+    /// A box from its center and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or height is negative.
+    #[must_use]
+    pub fn new(cx: f64, cy: f64, w: f64, h: f64) -> Self {
+        assert!(w >= 0.0 && h >= 0.0, "box size must be non-negative");
+        BBox { cx, cy, w, h }
+    }
+
+    /// A box from corner coordinates `(x1, y1)-(x2, y2)`.
+    #[must_use]
+    pub fn from_corners(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
+        let (x1, x2) = (x1.min(x2), x1.max(x2));
+        let (y1, y2) = (y1.min(y2), y1.max(y2));
+        BBox::new((x1 + x2) / 2.0, (y1 + y2) / 2.0, x2 - x1, y2 - y1)
+    }
+
+    /// Left edge.
+    #[must_use]
+    pub fn x1(&self) -> f64 {
+        self.cx - self.w / 2.0
+    }
+
+    /// Top edge.
+    #[must_use]
+    pub fn y1(&self) -> f64 {
+        self.cy - self.h / 2.0
+    }
+
+    /// Right edge.
+    #[must_use]
+    pub fn x2(&self) -> f64 {
+        self.cx + self.w / 2.0
+    }
+
+    /// Bottom edge.
+    #[must_use]
+    pub fn y2(&self) -> f64 {
+        self.cy + self.h / 2.0
+    }
+
+    /// Area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Aspect ratio `w / h` (`0` for degenerate boxes).
+    #[must_use]
+    pub fn aspect(&self) -> f64 {
+        if self.h <= 0.0 {
+            0.0
+        } else {
+            self.w / self.h
+        }
+    }
+
+    /// Intersection area with another box.
+    #[must_use]
+    pub fn intersection(&self, other: &BBox) -> f64 {
+        let iw = (self.x2().min(other.x2()) - self.x1().max(other.x1())).max(0.0);
+        let ih = (self.y2().min(other.y2()) - self.y1().max(other.y1())).max(0.0);
+        iw * ih
+    }
+
+    /// Intersection-over-union in `[0, 1]`.
+    ///
+    /// ```
+    /// use legato_mirror::geometry::BBox;
+    /// let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+    /// assert_eq!(a.iou(&a), 1.0);
+    /// let b = BBox::new(10.0, 10.0, 2.0, 2.0);
+    /// assert_eq!(a.iou(&b), 0.0);
+    /// ```
+    #[must_use]
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let inter = self.intersection(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_round_trip() {
+        let b = BBox::from_corners(1.0, 2.0, 5.0, 10.0);
+        assert_eq!((b.x1(), b.y1(), b.x2(), b.y2()), (1.0, 2.0, 5.0, 10.0));
+        assert_eq!(b.area(), 32.0);
+        assert_eq!(b.aspect(), 0.5);
+    }
+
+    #[test]
+    fn swapped_corners_normalized() {
+        let b = BBox::from_corners(5.0, 10.0, 1.0, 2.0);
+        assert_eq!((b.x1(), b.y1()), (1.0, 2.0));
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = BBox::from_corners(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::from_corners(1.0, 0.0, 3.0, 2.0);
+        // Intersection 2, union 6.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_symmetry() {
+        let a = BBox::new(3.0, 4.0, 5.0, 2.0);
+        let b = BBox::new(4.0, 4.5, 3.0, 3.0);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_boxes() {
+        let a = BBox::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(a.iou(&a), 0.0);
+        assert_eq!(a.aspect(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_size_rejected() {
+        let _ = BBox::new(0.0, 0.0, -1.0, 1.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The Hungarian (Kuhn–Munkres) assignment algorithm.
+//!
+//! Minimizes total cost of a row→column assignment in O(n³) using the
+//! potentials formulation. The tracker uses it to match predicted tracks
+//! to detections under an IoU-based cost, exactly as the Smart Mirror
+//! pipeline does ("Kalman and Hungarian filters are used to keep track",
+//! paper §VI).
+
+/// Cost used to pad rectangular problems; assignments at or above this
+/// cost are reported as unassigned.
+const PAD_COST: f64 = 1.0e9;
+
+/// Solve the minimum-cost assignment for a (possibly rectangular) cost
+/// matrix given as rows. Returns, per row, the column it is assigned to
+/// (`None` when more rows than columns leave it unmatched, or when its
+/// only option was a padded/forbidden cell).
+///
+/// Entries of `f64::INFINITY` mark forbidden pairs.
+///
+/// # Panics
+///
+/// Panics on empty or ragged input.
+///
+/// ```
+/// use legato_mirror::hungarian::assign;
+/// let cost = vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ];
+/// // Optimal: row0→col1? No: row1 wants col1 too. Minimum total is 5.
+/// let a = assign(&cost);
+/// let total: f64 = a.iter().enumerate()
+///     .map(|(r, c)| cost[r][c.unwrap()])
+///     .sum();
+/// assert_eq!(total, 5.0);
+/// ```
+#[must_use]
+pub fn assign(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
+    assert!(!cost.is_empty(), "cost matrix needs at least one row");
+    let rows = cost.len();
+    let cols = cost[0].len();
+    assert!(cols > 0, "cost matrix needs at least one column");
+    assert!(
+        cost.iter().all(|r| r.len() == cols),
+        "cost matrix must be rectangular"
+    );
+
+    // Pad to rows ≤ cols with expensive dummy columns.
+    let m = cols.max(rows);
+    let a = |i: usize, j: usize| -> f64 {
+        if j < cols {
+            let v = cost[i][j];
+            if v.is_finite() {
+                v
+            } else {
+                PAD_COST * 2.0
+            }
+        } else {
+            PAD_COST
+        }
+    };
+
+    // e-maxx potentials algorithm, 1-indexed.
+    let n = rows;
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; m + 1];
+    let mut p = vec![0_usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0_usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0_usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0_usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = a(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut result = vec![None; rows];
+    for j in 1..=m {
+        let row = p[j];
+        if row == 0 {
+            continue;
+        }
+        if j <= cols {
+            // Forbidden cells count as unassigned.
+            if cost[row - 1][j - 1].is_finite() {
+                result[row - 1] = Some(j - 1);
+            }
+        }
+    }
+    result
+}
+
+/// Total cost of an assignment (skipping unassigned rows).
+#[must_use]
+pub fn assignment_cost(cost: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(r, c)| c.map(|c| cost[r][c]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force optimum over all row→column injections.
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        let rows = cost.len();
+        let cols = cost[0].len();
+        let mut cols_perm: Vec<usize> = (0..cols).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols_perm, 0, &mut |perm| {
+            let total: f64 = (0..rows.min(cols)).map(|r| cost[r][perm[r]]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn identity_costs() {
+        let cost = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        assert_eq!(assign(&cost), vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // A well-known 4x4 instance; optimum = 13.
+        let cost = vec![
+            vec![82.0, 83.0, 69.0, 92.0],
+            vec![77.0, 37.0, 49.0, 92.0],
+            vec![11.0, 69.0, 5.0, 86.0],
+            vec![8.0, 9.0, 98.0, 23.0],
+        ];
+        let a = assign(&cost);
+        let total = assignment_cost(&cost, &a);
+        assert_eq!(total, 140.0); // 69 + 37 + 11 + 23
+    }
+
+    #[test]
+    fn rectangular_more_columns() {
+        let cost = vec![vec![5.0, 1.0, 9.0], vec![2.0, 8.0, 3.0]];
+        let a = assign(&cost);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows_leaves_row_unassigned() {
+        let cost = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let a = assign(&cost);
+        let assigned: Vec<usize> = a.iter().flatten().copied().collect();
+        assert_eq!(assigned, vec![0]);
+        assert_eq!(a[0], Some(0), "cheapest row gets the only column");
+        assert_eq!(a.iter().filter(|x| x.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn forbidden_edges_respected() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, 1.0], vec![1.0, inf]];
+        let a = assign(&cost);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn fully_forbidden_row_unassigned() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![1.0, 2.0], vec![inf, inf]];
+        let a = assign(&cost);
+        assert_eq!(a[1], None);
+        assert_eq!(a[0], Some(0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for case in 0..60 {
+            let rows = rng.gen_range(1..=5);
+            let cols = rng.gen_range(rows..=6);
+            let cost: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| f64::from(rng.gen_range(0..100))).collect())
+                .collect();
+            let a = assign(&cost);
+            let total = assignment_cost(&cost, &a);
+            let best = brute_force(&cost);
+            assert!(
+                (total - best).abs() < 1e-9,
+                "case {case}: hungarian {total} vs brute {best} for {cost:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_cell() {
+        assert_eq!(assign(&[vec![7.0]]), vec![Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_rejected() {
+        let _ = assign(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_rejected() {
+        let _ = assign(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+}

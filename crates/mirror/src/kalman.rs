@@ -1,0 +1,229 @@
+//! Kalman filtering for bounding-box tracking.
+//!
+//! A generic linear [`KalmanFilter`] (predict/update over [`Matrix`]) and
+//! the SORT-style [`BoxKalman`] specialization: constant-velocity state
+//! `[cx, cy, s, r, vcx, vcy, vs]` where `s` is the box area and `r` the
+//! (assumed constant) aspect ratio, observed as `[cx, cy, s, r]`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MirrorError;
+use crate::geometry::BBox;
+use crate::matrix::Matrix;
+
+/// A generic linear Kalman filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KalmanFilter {
+    /// State estimate (n×1).
+    pub x: Matrix,
+    /// State covariance (n×n).
+    pub p: Matrix,
+}
+
+impl KalmanFilter {
+    /// A filter with initial state and covariance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a column vector or `p` not square of matching
+    /// size.
+    #[must_use]
+    pub fn new(x: Matrix, p: Matrix) -> Self {
+        assert_eq!(x.cols(), 1, "state must be a column vector");
+        assert_eq!(p.rows(), p.cols(), "covariance must be square");
+        assert_eq!(p.rows(), x.rows(), "covariance size must match state");
+        KalmanFilter { x, p }
+    }
+
+    /// Predict step: `x ← F x`, `P ← F P Fᵀ + Q`.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::Dimension`] on shape mismatches.
+    pub fn predict(&mut self, f: &Matrix, q: &Matrix) -> Result<(), MirrorError> {
+        self.x = f.mul(&self.x)?;
+        self.p = f.mul(&self.p)?.mul(&f.transpose())?.add(q)?;
+        Ok(())
+    }
+
+    /// Update step with measurement `z`, model `H` and noise `R`:
+    /// standard Kalman gain `K = P Hᵀ (H P Hᵀ + R)⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::Dimension`] on shape mismatches;
+    /// [`MirrorError::Singular`] if the innovation covariance cannot be
+    /// inverted.
+    pub fn update(&mut self, z: &Matrix, h: &Matrix, r: &Matrix) -> Result<(), MirrorError> {
+        let innovation = z.sub(&h.mul(&self.x)?)?;
+        let s = h.mul(&self.p)?.mul(&h.transpose())?.add(r)?;
+        let k = self.p.mul(&h.transpose())?.mul(&s.inverse()?)?;
+        self.x = self.x.add(&k.mul(&innovation)?)?;
+        let i = Matrix::identity(self.p.rows());
+        self.p = i.sub(&k.mul(h)?)?.mul(&self.p)?;
+        Ok(())
+    }
+}
+
+/// SORT-style bounding-box Kalman tracker state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxKalman {
+    kf: KalmanFilter,
+}
+
+impl BoxKalman {
+    /// Initialize from a first detection.
+    #[must_use]
+    pub fn new(bbox: &BBox) -> Self {
+        let x = Matrix::column(&[bbox.cx, bbox.cy, bbox.area(), bbox.aspect(), 0.0, 0.0, 0.0]);
+        // High uncertainty on the unobserved velocities.
+        let mut p = Matrix::identity(7).scale(10.0);
+        for i in 4..7 {
+            p.set(i, i, 1000.0);
+        }
+        BoxKalman {
+            kf: KalmanFilter::new(x, p),
+        }
+    }
+
+    /// Constant-velocity transition (dt = 1 frame).
+    fn transition() -> Matrix {
+        let mut f = Matrix::identity(7);
+        f.set(0, 4, 1.0); // cx += vcx
+        f.set(1, 5, 1.0); // cy += vcy
+        f.set(2, 6, 1.0); // s  += vs
+        f
+    }
+
+    fn measurement_model() -> Matrix {
+        let mut h = Matrix::zeros(4, 7);
+        for i in 0..4 {
+            h.set(i, i, 1.0);
+        }
+        h
+    }
+
+    /// Predict the next-frame box.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix errors (shapes are internally consistent, so
+    /// this is effectively infallible).
+    pub fn predict(&mut self) -> Result<BBox, MirrorError> {
+        let f = Self::transition();
+        let q = Matrix::identity(7).scale(0.01);
+        self.kf.predict(&f, &q)?;
+        Ok(self.current())
+    }
+
+    /// Fold in a matched detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix errors.
+    pub fn update(&mut self, bbox: &BBox) -> Result<(), MirrorError> {
+        let z = Matrix::column(&[bbox.cx, bbox.cy, bbox.area(), bbox.aspect()]);
+        let h = Self::measurement_model();
+        let r = Matrix::identity(4).scale(1.0);
+        self.kf.update(&z, &h, &r)
+    }
+
+    /// The current state as a bounding box.
+    #[must_use]
+    pub fn current(&self) -> BBox {
+        let cx = self.kf.x.get(0, 0);
+        let cy = self.kf.x.get(1, 0);
+        let s = self.kf.x.get(2, 0).max(1e-6);
+        let r = self.kf.x.get(3, 0).max(1e-6);
+        // s = w·h, r = w/h  ⇒  w = sqrt(s·r), h = sqrt(s/r).
+        let w = (s * r).sqrt();
+        let h = (s / r).sqrt();
+        BBox::new(cx, cy, w, h)
+    }
+
+    /// Current velocity estimate `(vcx, vcy)`.
+    #[must_use]
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.kf.x.get(4, 0), self.kf.x.get(5, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_matches_detection() {
+        let b = BBox::new(10.0, 20.0, 4.0, 2.0);
+        let k = BoxKalman::new(&b);
+        let c = k.current();
+        assert!((c.cx - 10.0).abs() < 1e-9);
+        assert!((c.cy - 20.0).abs() < 1e-9);
+        assert!((c.area() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learns_constant_velocity() {
+        // Object moving +2 px/frame in x: after several updates the filter
+        // predicts ahead of the last seen position.
+        let mut k = BoxKalman::new(&BBox::new(0.0, 0.0, 10.0, 10.0));
+        for i in 1..=20 {
+            k.predict().unwrap();
+            k.update(&BBox::new(2.0 * f64::from(i), 0.0, 10.0, 10.0))
+                .unwrap();
+        }
+        let (vx, vy) = k.velocity();
+        assert!((vx - 2.0).abs() < 0.3, "vx {vx}");
+        assert!(vy.abs() < 0.2, "vy {vy}");
+        let pred = k.predict().unwrap();
+        assert!(pred.cx > 40.0, "prediction should lead: {}", pred.cx);
+    }
+
+    #[test]
+    fn update_pulls_toward_measurement() {
+        let mut k = BoxKalman::new(&BBox::new(0.0, 0.0, 10.0, 10.0));
+        k.predict().unwrap();
+        k.update(&BBox::new(5.0, 5.0, 10.0, 10.0)).unwrap();
+        let c = k.current();
+        assert!(c.cx > 2.0 && c.cx < 5.5, "cx {}", c.cx);
+        assert!(c.cy > 2.0 && c.cy < 5.5, "cy {}", c.cy);
+    }
+
+    #[test]
+    fn covariance_shrinks_with_updates() {
+        let mut k = BoxKalman::new(&BBox::new(0.0, 0.0, 10.0, 10.0));
+        let before = k.kf.p.get(0, 0);
+        for _ in 0..5 {
+            k.predict().unwrap();
+            k.update(&BBox::new(0.0, 0.0, 10.0, 10.0)).unwrap();
+        }
+        let after = k.kf.p.get(0, 0);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn prediction_without_updates_keeps_box_sane() {
+        let mut k = BoxKalman::new(&BBox::new(50.0, 50.0, 20.0, 10.0));
+        for _ in 0..10 {
+            k.predict().unwrap();
+        }
+        let c = k.current();
+        assert!(c.w > 0.0 && c.h > 0.0);
+        assert!((c.cx - 50.0).abs() < 1.0, "stationary init should stay");
+    }
+
+    #[test]
+    fn generic_filter_validates_shapes() {
+        let x = Matrix::column(&[0.0, 0.0]);
+        let p = Matrix::identity(2);
+        let mut kf = KalmanFilter::new(x, p);
+        let bad_f = Matrix::identity(3);
+        assert!(kf.predict(&bad_f, &Matrix::identity(3)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "column vector")]
+    fn non_vector_state_rejected() {
+        let _ = KalmanFilter::new(Matrix::identity(2), Matrix::identity(2));
+    }
+}

@@ -1,0 +1,62 @@
+//! # legato-mirror
+//!
+//! The Smart Mirror use case (paper §VI, Fig. 8/9): a privacy-preserving
+//! smart-home interface that runs face, object and gesture recognition
+//! *locally*. "Neural networks like Yolov3 are providing the detections
+//! and Kalman and Hungarian filters are used to keep track."
+//!
+//! This crate implements the actual mathematics of that pipeline:
+//!
+//! * [`matrix`] — a small dense linear-algebra kernel (multiply,
+//!   transpose, Gauss–Jordan inverse);
+//! * [`kalman`] — a constant-velocity Kalman filter over bounding boxes
+//!   (SORT-style state `[cx, cy, area, aspect, vx, vy, varea]`);
+//! * [`hungarian`] — the Kuhn–Munkres assignment algorithm in O(n³);
+//! * [`tracker`] — a multi-object tracker combining both, with track
+//!   lifecycle management and identity metrics;
+//! * [`scene`] — a synthetic living-room scene generator with misses,
+//!   false positives and pixel noise, providing ground truth;
+//! * [`pipeline`] — the end-to-end cost model: detector workloads mapped
+//!   onto hardware configurations (the 2×GTX1080 workstation of the
+//!   paper's baseline vs. the modular 3-microserver edge server of
+//!   Fig. 9), yielding FPS and power;
+//! * [`nn`] — a from-scratch multilayer perceptron with int8
+//!   quantization, used by the ML-under-undervolting ablation (§III-C):
+//!   weights live in simulated BRAM and survive — or don't — voltage
+//!   underscaling.
+//!
+//! ## Example
+//!
+//! ```
+//! use legato_mirror::scene::{Scene, SceneConfig};
+//! use legato_mirror::tracker::{Tracker, TrackerConfig};
+//!
+//! let mut scene = Scene::new(SceneConfig::default(), 42);
+//! let mut tracker = Tracker::new(TrackerConfig::default());
+//! for _ in 0..50 {
+//!     let frame = scene.step();
+//!     tracker.update(&frame.detections);
+//! }
+//! assert!(!tracker.confirmed_tracks().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod geometry;
+pub mod hungarian;
+pub mod kalman;
+pub mod matrix;
+pub mod nn;
+pub mod pipeline;
+pub mod scene;
+pub mod tracker;
+
+pub use error::MirrorError;
+pub use geometry::BBox;
+pub use hungarian::assign;
+pub use kalman::BoxKalman;
+pub use matrix::Matrix;
+pub use pipeline::{EdgeConfig, MirrorPerf, MirrorPipeline};
+pub use tracker::{Tracker, TrackerConfig};

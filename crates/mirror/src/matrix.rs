@@ -1,0 +1,363 @@
+//! Small dense matrices over `f64`.
+//!
+//! Sized for Kalman filtering (7×7 at most in this crate), so clarity
+//! beats blocking/SIMD: row-major `Vec<f64>`, naive triple-loop multiply,
+//! Gauss–Jordan inversion with partial pivoting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MirrorError;
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or ragged input.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
+    }
+
+    /// A column vector.
+    #[must_use]
+    pub fn column(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "vector needs at least one entry");
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::Dimension`] when inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, MirrorError> {
+        if self.cols != rhs.rows {
+            return Err(MirrorError::Dimension {
+                what: format!("{}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::Dimension`] when shapes disagree.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, MirrorError> {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::Dimension`] when shapes disagree.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, MirrorError> {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * k).collect(),
+        }
+    }
+
+    /// Inverse by Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::Dimension`] for non-square matrices;
+    /// [`MirrorError::Singular`] when no usable pivot exists.
+    pub fn inverse(&self) -> Result<Matrix, MirrorError> {
+        if self.rows != self.cols {
+            return Err(MirrorError::Dimension {
+                what: format!("inverse of {}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        // Augmented [A | I].
+        let mut aug = vec![vec![0.0; 2 * n]; n];
+        for (i, row) in aug.iter_mut().enumerate() {
+            for j in 0..n {
+                row[j] = self.get(i, j);
+            }
+            row[n + i] = 1.0;
+        }
+        for col in 0..n {
+            // Partial pivot: largest magnitude in the column.
+            let pivot = (col..n)
+                .max_by(|&a, &b| {
+                    aug[a][col]
+                        .abs()
+                        .partial_cmp(&aug[b][col].abs())
+                        .expect("finite")
+                })
+                .expect("non-empty range");
+            if aug[pivot][col].abs() < 1e-12 {
+                return Err(MirrorError::Singular);
+            }
+            aug.swap(col, pivot);
+            let p = aug[col][col];
+            for v in &mut aug[col] {
+                *v /= p;
+            }
+            for r in 0..n {
+                if r != col {
+                    let f = aug[r][col];
+                    if f != 0.0 {
+                        for c in 0..2 * n {
+                            aug[r][c] -= f * aug[col][c];
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out.set(i, j, aug[i][n + j]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute element difference against another matrix (∞-norm
+    /// of the difference), for approximate comparisons in tests.
+    #[must_use]
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn zip(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Result<Matrix, MirrorError> {
+        if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
+            return Err(MirrorError::Dimension {
+                what: format!("{}x{} vs {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul(&i).unwrap(), a);
+        assert_eq!(i.mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.mul(&b), Err(MirrorError::Dimension { .. })));
+        let c = Matrix::zeros(3, 2);
+        assert!(a.mul(&c).is_ok());
+        assert!(matches!(a.add(&c), Err(MirrorError::Dimension { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 7.0, 2.0],
+            &[3.0, 6.0, 1.0],
+            &[2.0, 5.0, 3.0],
+        ]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.inverse().unwrap_err(), MirrorError::Singular);
+    }
+
+    #[test]
+    fn non_square_inverse_rejected() {
+        assert!(matches!(
+            Matrix::zeros(2, 3).inverse(),
+            Err(MirrorError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let inv = a.inverse().unwrap();
+        assert!(inv.max_abs_diff(&a) < 1e-12); // permutation is own inverse
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(b.sub(&a).unwrap(), Matrix::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn column_vector() {
+        let v = Matrix::column(&[1.0, 2.0, 3.0]);
+        assert_eq!((v.rows(), v.cols()), (3, 1));
+        assert_eq!(v.get(2, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0][..]]);
+    }
+}

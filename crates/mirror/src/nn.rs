@@ -1,0 +1,409 @@
+//! A from-scratch multilayer perceptron with int8 quantization.
+//!
+//! Supports the §III-C ablation: "due to inherent resilience of ML models,
+//! aggressive undervolting can lead to significant power saving even below
+//! the voltage guardband region." The experiment stores quantized weights
+//! in simulated BRAM, underscales the rail, and measures accuracy as
+//! bit-flips accumulate — the model's classification accuracy degrades
+//! gracefully rather than collapsing at the first fault.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `out = tanh(W x + b)` (hidden) or linear (output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut SmallRng) -> Self {
+        let scale = (2.0 / in_dim as f64).sqrt();
+        Layer {
+            in_dim,
+            out_dim,
+            w: (0..in_dim * out_dim)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    fn forward(&self, x: &[f64], activate: bool) -> Vec<f64> {
+        (0..self.out_dim)
+            .map(|o| {
+                let z: f64 = self.b[o]
+                    + self.w[o * self.in_dim..(o + 1) * self.in_dim]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>();
+                if activate {
+                    z.tanh()
+                } else {
+                    z
+                }
+            })
+            .collect()
+    }
+}
+
+/// A small fully-connected network with tanh hidden layers and a linear
+/// output layer, trained by SGD on mean squared error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Random network with the given layer dimensions, e.g. `[2, 16, 2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given.
+    #[must_use]
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need input and output dimensions");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Mlp {
+            layers: dims
+                .windows(2)
+                .map(|w| Layer::new(w[0], w[1], &mut rng))
+                .collect(),
+        }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total weight (and bias) parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Forward pass; returns the output layer activations (logits).
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.layers.len();
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur = layer.forward(&cur, i + 1 < n);
+        }
+        cur
+    }
+
+    /// Predicted class (argmax of logits).
+    #[must_use]
+    pub fn classify(&self, x: &[f64]) -> usize {
+        let out = self.forward(x);
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// One SGD epoch over `(input, class)` pairs with one-hot MSE loss.
+    /// Returns the mean loss.
+    pub fn train_epoch(&mut self, data: &[(Vec<f64>, usize)], lr: f64) -> f64 {
+        let n_layers = self.layers.len();
+        let mut total_loss = 0.0;
+        for (x, class) in data {
+            // Forward, caching activations.
+            let mut acts: Vec<Vec<f64>> = vec![x.clone()];
+            for (i, layer) in self.layers.iter().enumerate() {
+                let a = layer.forward(acts.last().expect("seeded"), i + 1 < n_layers);
+                acts.push(a);
+            }
+            let out = acts.last().expect("non-empty").clone();
+            let target: Vec<f64> = (0..out.len())
+                .map(|i| if i == *class { 1.0 } else { -1.0 })
+                .collect();
+            total_loss += out
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| (o - t).powi(2))
+                .sum::<f64>()
+                / out.len() as f64;
+
+            // Backward.
+            let mut delta: Vec<f64> = out
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| 2.0 * (o - t) / out.len() as f64)
+                .collect();
+            for li in (0..n_layers).rev() {
+                let input = acts[li].clone();
+                let output = acts[li + 1].clone();
+                // tanh derivative on hidden layers.
+                if li + 1 < n_layers {
+                    for (d, o) in delta.iter_mut().zip(&output) {
+                        *d *= 1.0 - o * o;
+                    }
+                }
+                let layer = &mut self.layers[li];
+                let mut next_delta = vec![0.0; layer.in_dim];
+                for o in 0..layer.out_dim {
+                    for i in 0..layer.in_dim {
+                        next_delta[i] += layer.w[o * layer.in_dim + i] * delta[o];
+                        layer.w[o * layer.in_dim + i] -= lr * delta[o] * input[i];
+                    }
+                    layer.b[o] -= lr * delta[o];
+                }
+                delta = next_delta;
+            }
+        }
+        total_loss / data.len() as f64
+    }
+
+    /// Classification accuracy on `(input, class)` pairs.
+    #[must_use]
+    pub fn accuracy(&self, data: &[(Vec<f64>, usize)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, c)| self.classify(x) == *c)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// A two-class Gaussian-blob dataset (linearly separable up to overlap).
+#[must_use]
+pub fn two_blobs(n: usize, seed: u64) -> Vec<(Vec<f64>, usize)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let gauss = move |rng: &mut SmallRng| {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        (-2.0 * u1.ln()).sqrt() * u2.cos()
+    };
+    (0..n)
+        .map(|i| {
+            let class = i % 2;
+            let (cx, cy) = if class == 0 { (-1.0, -1.0) } else { (1.0, 1.0) };
+            (
+                vec![cx + 0.6 * gauss(&mut rng), cy + 0.6 * gauss(&mut rng)],
+                class,
+            )
+        })
+        .collect()
+}
+
+/// An int8-quantized network image suitable for storage in simulated BRAM.
+///
+/// The byte image holds only the quantized weights/biases (what an FPGA
+/// accelerator keeps in on-chip memory); dimensions and scales live
+/// off-chip (flash metadata) and are not exposed to bit-flips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    dims: Vec<usize>,
+    /// Per-layer `(weight scale, bias scale)`.
+    scales: Vec<(f64, f64)>,
+    /// Quantized parameters, layer by layer: weights then biases.
+    pub bytes: Vec<u8>,
+}
+
+impl QuantizedMlp {
+    /// Quantize a trained network to int8 with per-layer symmetric
+    /// scales.
+    #[must_use]
+    pub fn quantize(mlp: &Mlp) -> Self {
+        let mut dims = vec![mlp.layers[0].in_dim];
+        dims.extend(mlp.layers.iter().map(|l| l.out_dim));
+        let mut scales = Vec::new();
+        let mut bytes = Vec::new();
+        for layer in &mlp.layers {
+            let w_scale = layer.w.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-9) / 127.0;
+            let b_scale = layer.b.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-9) / 127.0;
+            scales.push((w_scale, b_scale));
+            bytes.extend(
+                layer
+                    .w
+                    .iter()
+                    .map(|v| (v / w_scale).round().clamp(-127.0, 127.0) as i8 as u8),
+            );
+            bytes.extend(
+                layer
+                    .b
+                    .iter()
+                    .map(|v| (v / b_scale).round().clamp(-127.0, 127.0) as i8 as u8),
+            );
+        }
+        QuantizedMlp {
+            dims,
+            scales,
+            bytes,
+        }
+    }
+
+    /// Size of the byte image.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Rebuild a float network from (possibly corrupted) bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` has the wrong length for this network's
+    /// dimensions.
+    #[must_use]
+    pub fn dequantize_from(&self, bytes: &[u8]) -> Mlp {
+        assert_eq!(bytes.len(), self.bytes.len(), "byte image length mismatch");
+        let mut layers = Vec::new();
+        let mut pos = 0;
+        for (li, win) in self.dims.windows(2).enumerate() {
+            let (in_dim, out_dim) = (win[0], win[1]);
+            let (w_scale, b_scale) = self.scales[li];
+            let w: Vec<f64> = bytes[pos..pos + in_dim * out_dim]
+                .iter()
+                .map(|&b| f64::from(b as i8) * w_scale)
+                .collect();
+            pos += in_dim * out_dim;
+            let b: Vec<f64> = bytes[pos..pos + out_dim]
+                .iter()
+                .map(|&v| f64::from(v as i8) * b_scale)
+                .collect();
+            pos += out_dim;
+            layers.push(Layer {
+                in_dim,
+                out_dim,
+                w,
+                b,
+            });
+        }
+        Mlp { layers }
+    }
+
+    /// Rebuild from this image's own (uncorrupted) bytes.
+    #[must_use]
+    pub fn dequantize(&self) -> Mlp {
+        self.dequantize_from(&self.bytes)
+    }
+}
+
+/// Train a blob classifier with the given layer dimensions.
+#[must_use]
+pub fn train_blob_classifier_with(
+    dims: &[usize],
+    seed: u64,
+) -> (Mlp, Vec<(Vec<f64>, usize)>) {
+    let train = two_blobs(400, seed);
+    let test = two_blobs(400, seed.wrapping_add(1));
+    let mut mlp = Mlp::new(dims, seed);
+    for _ in 0..120 {
+        mlp.train_epoch(&train, 0.03);
+    }
+    (mlp, test)
+}
+
+/// Train the standard ablation model: a `[2, 16, 2]` MLP on two blobs.
+#[must_use]
+pub fn train_blob_classifier(seed: u64) -> (Mlp, Vec<(Vec<f64>, usize)>) {
+    train_blob_classifier_with(&[2, 16, 2], seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let (mlp, test) = train_blob_classifier(7);
+        let acc = mlp.accuracy(&test);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let data = two_blobs(200, 1);
+        let mut mlp = Mlp::new(&[2, 8, 2], 1);
+        let first = mlp.train_epoch(&data, 0.03);
+        for _ in 0..50 {
+            mlp.train_epoch(&data, 0.03);
+        }
+        let last = mlp.train_epoch(&data, 0.03);
+        assert!(last < first * 0.5, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn quantization_preserves_accuracy() {
+        let (mlp, test) = train_blob_classifier(11);
+        let q = QuantizedMlp::quantize(&mlp);
+        let deq = q.dequantize();
+        let drop = mlp.accuracy(&test) - deq.accuracy(&test);
+        assert!(drop.abs() < 0.03, "quantization cost {drop}");
+    }
+
+    #[test]
+    fn corrupted_bytes_degrade_gracefully() {
+        // The §III-C resilience claim: a few flipped bits should not
+        // destroy the model.
+        let (mlp, test) = train_blob_classifier(13);
+        let q = QuantizedMlp::quantize(&mlp);
+        let mut bytes = q.bytes.clone();
+        // Flip one low-order bit in 2 % of the bytes.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let flips = (bytes.len() / 50).max(1);
+        for _ in 0..flips {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] ^= 0x01;
+        }
+        let corrupted = q.dequantize_from(&bytes);
+        let acc = corrupted.accuracy(&test);
+        assert!(acc > 0.85, "accuracy after small corruption {acc}");
+    }
+
+    #[test]
+    fn heavy_corruption_destroys_accuracy() {
+        let (mlp, test) = train_blob_classifier(17);
+        let q = QuantizedMlp::quantize(&mlp);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let bytes: Vec<u8> = q.bytes.iter().map(|_| rng.gen_range(0..=255)).collect();
+        let destroyed = q.dequantize_from(&bytes);
+        let acc = destroyed.accuracy(&test);
+        assert!(acc < 0.8, "random weights should not classify well: {acc}");
+        let _ = mlp;
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mlp = Mlp::new(&[2, 16, 2], 0);
+        // 2·16 + 16 biases + 16·2 + 2 biases = 82.
+        assert_eq!(mlp.parameter_count(), 82);
+        assert_eq!(QuantizedMlp::quantize(&mlp).byte_len(), 82);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mlp = Mlp::new(&[3, 5, 4], 0);
+        assert_eq!(mlp.forward(&[0.0, 1.0, 2.0]).len(), 4);
+        assert_eq!(mlp.layer_count(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Mlp::new(&[2, 4, 2], 9);
+        let b = Mlp::new(&[2, 4, 2], 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "input and output dimensions")]
+    fn dims_validated() {
+        let _ = Mlp::new(&[2], 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! End-to-end Smart Mirror pipeline cost model.
+//!
+//! The paper's baseline: object, gesture and face detection "previously
+//! met on a high-end workstation with two NVIDIA GTX 1080 GPGPUs.
+//! Currently, the performance … is about 21 FPS at 400 W. Further
+//! optimizations … including the use of specialized target architectures
+//! like FPGAs or GPU SoCs aim for a power consumption of 50 W at 10 FPS"
+//! (§VI). Fig. 9's edge server hosts three self-sustained microservers in
+//! h2h PCIe, e.g. `1×CPU + 2×GPU` or `1×CPU + 1×GPU + 1×FPGA`.
+//!
+//! This module maps the detector stages onto a device set (longest-
+//! processing-time-first), derives FPS from the bottleneck device, and
+//! integrates power with per-device duty cycles plus a wall-power factor
+//! for PSU/display/peripheral losses.
+
+use legato_core::units::{Joule, Seconds, Watt};
+use legato_hw::device::{DeviceKind, DeviceSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::error::MirrorError;
+
+/// One recognition stage of the mirror (a neural network evaluated per
+/// frame).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorStage {
+    /// Stage name.
+    pub name: String,
+    /// Cost of one evaluation in GFLOPs.
+    pub gflops: f64,
+}
+
+impl DetectorStage {
+    /// A stage with the given per-frame cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gflops` is not positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, gflops: f64) -> Self {
+        assert!(gflops > 0.0, "stage cost must be positive");
+        DetectorStage {
+            name: name.into(),
+            gflops,
+        }
+    }
+}
+
+/// The full-size workstation stages: YOLOv3 object detection (65.9 GFLOPs
+/// at 416×416) plus face and gesture networks.
+#[must_use]
+pub fn workstation_stages() -> Vec<DetectorStage> {
+    vec![
+        DetectorStage::new("object-yolov3", 65.9),
+        DetectorStage::new("face", 12.0),
+        DetectorStage::new("gesture", 20.0),
+    ]
+}
+
+/// Edge-optimized stages: the paper's "optimizations on the implementation
+/// and algorithmic level" shrink the auxiliary networks.
+#[must_use]
+pub fn edge_stages() -> Vec<DetectorStage> {
+    vec![
+        DetectorStage::new("object-yolov3", 65.9),
+        DetectorStage::new("face-lite", 8.0),
+        DetectorStage::new("gesture-lite", 12.0),
+    ]
+}
+
+/// Achievable fraction of peak FLOPs for CNN inference on each device
+/// class. GPUs reach a modest fraction of peak on YOLO-class layer mixes;
+/// FPGA/DFE dataflow implementations pipeline much closer to their
+/// (lower) peak.
+#[must_use]
+pub fn inference_utilization(kind: DeviceKind) -> f64 {
+    match kind {
+        DeviceKind::Gpu => 0.17,
+        DeviceKind::Fpga => 0.45,
+        DeviceKind::Dfe => 0.50,
+        DeviceKind::Soc => 0.30,
+        DeviceKind::CpuX86 => 0.08,
+        DeviceKind::CpuArm => 0.06,
+        _ => 0.10,
+    }
+}
+
+/// Time for one evaluation of `stage` on `device`.
+#[must_use]
+pub fn stage_time(stage: &DetectorStage, device: &DeviceSpec) -> Seconds {
+    let eff = device.kind.efficiency(legato_core::task::TaskKind::Inference);
+    let util = inference_utilization(device.kind);
+    Seconds(stage.gflops * 1e9 / (device.peak_flops * eff * util))
+}
+
+/// Fig. 9 edge-server microserver compositions ("the modular approach
+/// allows to quickly evaluate different microserver compositions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeConfig {
+    /// 1× ARM CPU + 2× GPU SoC (Jetson-class).
+    CpuTwoGpuSoc,
+    /// 1× ARM CPU + 1× GPU SoC + 1× FPGA SoC.
+    CpuGpuSocFpga,
+    /// 1× ARM CPU + 2× FPGA SoC.
+    CpuTwoFpga,
+}
+
+impl EdgeConfig {
+    /// All Fig. 9 compositions.
+    pub const ALL: [EdgeConfig; 3] = [
+        EdgeConfig::CpuTwoGpuSoc,
+        EdgeConfig::CpuGpuSocFpga,
+        EdgeConfig::CpuTwoFpga,
+    ];
+
+    /// The three microserver modules of this composition.
+    #[must_use]
+    pub fn devices(self) -> Vec<DeviceSpec> {
+        match self {
+            EdgeConfig::CpuTwoGpuSoc => vec![
+                DeviceSpec::arm64(),
+                DeviceSpec::jetson_soc(),
+                DeviceSpec::jetson_soc(),
+            ],
+            EdgeConfig::CpuGpuSocFpga => vec![
+                DeviceSpec::arm64(),
+                DeviceSpec::jetson_soc(),
+                DeviceSpec::fpga_kintex(),
+            ],
+            EdgeConfig::CpuTwoFpga => vec![
+                DeviceSpec::arm64(),
+                DeviceSpec::fpga_kintex(),
+                DeviceSpec::fpga_kintex(),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EdgeConfig::CpuTwoGpuSoc => "CPU + 2x GPU-SoC",
+            EdgeConfig::CpuGpuSocFpga => "CPU + GPU-SoC + FPGA",
+            EdgeConfig::CpuTwoFpga => "CPU + 2x FPGA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Performance/power figures of one pipeline evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MirrorPerf {
+    /// Sustained frames per second (bottleneck-device bound).
+    pub fps: f64,
+    /// Per-frame latency.
+    pub frame_time: Seconds,
+    /// Wall power while running.
+    pub power: Watt,
+    /// Energy per processed frame.
+    pub energy_per_frame: Joule,
+    /// `(stage name, device name)` assignments.
+    pub assignments: Vec<(String, String)>,
+}
+
+/// A mirror pipeline: recognition stages over a device set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MirrorPipeline {
+    /// Compute devices available (microserver modules or GPUs).
+    pub devices: Vec<DeviceSpec>,
+    /// Recognition stages run on every frame.
+    pub stages: Vec<DetectorStage>,
+    /// CPU-side tracking/overlay cost per frame (Kalman + Hungarian +
+    /// rendering).
+    pub tracker_time: Seconds,
+    /// Wall-power multiplier for PSU losses and peripherals.
+    pub wall_factor: f64,
+    /// Constant extra draw (display electronics, camera).
+    pub base_power: Watt,
+}
+
+impl MirrorPipeline {
+    /// The paper's baseline: a workstation with two GTX 1080s and a
+    /// desktop CPU, full-size networks.
+    #[must_use]
+    pub fn workstation() -> Self {
+        MirrorPipeline {
+            devices: vec![
+                DeviceSpec::gtx1080(),
+                DeviceSpec::gtx1080(),
+                DeviceSpec::xeon_x86(),
+            ],
+            stages: workstation_stages(),
+            tracker_time: Seconds::from_millis(2.0),
+            wall_factor: 1.25,
+            base_power: Watt(12.0),
+        }
+    }
+
+    /// A Fig. 9 edge server in the given composition, with edge-optimized
+    /// networks.
+    #[must_use]
+    pub fn edge_server(config: EdgeConfig) -> Self {
+        MirrorPipeline {
+            devices: config.devices(),
+            stages: edge_stages(),
+            tracker_time: Seconds::from_millis(4.0),
+            wall_factor: 1.15,
+            base_power: Watt(8.0),
+        }
+    }
+
+    /// Evaluate the pipeline: assign stages to devices (longest stage
+    /// first onto the least-loaded capable device), bottleneck gives the
+    /// frame time, duty cycles give power.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::NoDevices`] when no devices are configured.
+    pub fn evaluate(&self) -> Result<MirrorPerf, MirrorError> {
+        if self.devices.is_empty() {
+            return Err(MirrorError::NoDevices);
+        }
+        // Longest-processing-time-first greedy assignment.
+        let mut order: Vec<usize> = (0..self.stages.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.stages[b]
+                .gflops
+                .partial_cmp(&self.stages[a].gflops)
+                .expect("finite")
+        });
+        let mut load = vec![Seconds::ZERO; self.devices.len()];
+        let mut assignments = Vec::new();
+        for si in order {
+            let stage = &self.stages[si];
+            let best = (0..self.devices.len())
+                .min_by(|&a, &b| {
+                    let fa = load[a] + stage_time(stage, &self.devices[a]);
+                    let fb = load[b] + stage_time(stage, &self.devices[b]);
+                    fa.partial_cmp(&fb).expect("finite")
+                })
+                .expect("devices non-empty");
+            load[best] += stage_time(stage, &self.devices[best]);
+            assignments.push((stage.name.clone(), self.devices[best].name.clone()));
+        }
+        // Tracking runs on the most CPU-like device, concurrent with the
+        // accelerators.
+        let cpu = self
+            .devices
+            .iter()
+            .position(|d| matches!(d.kind, DeviceKind::CpuX86 | DeviceKind::CpuArm))
+            .unwrap_or(0);
+        load[cpu] += self.tracker_time;
+        assignments.push(("tracking".into(), self.devices[cpu].name.clone()));
+
+        let frame_time = load
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max)
+            .max(Seconds(1e-9));
+        // Per-device duty cycle and power.
+        let mut device_power = Watt::ZERO;
+        for (d, l) in self.devices.iter().zip(&load) {
+            let duty = (l.0 / frame_time.0).clamp(0.0, 1.0);
+            device_power += d.idle_power + (d.busy_power - d.idle_power) * duty;
+        }
+        let power = device_power * self.wall_factor + self.base_power;
+        Ok(MirrorPerf {
+            fps: 1.0 / frame_time.0,
+            frame_time,
+            power,
+            energy_per_frame: power * frame_time,
+            assignments,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workstation_matches_paper_baseline() {
+        let perf = MirrorPipeline::workstation().evaluate().unwrap();
+        // Paper: "about 21 FPS at 400 W".
+        assert!(
+            (18.0..26.0).contains(&perf.fps),
+            "fps {:.1} should be ≈21",
+            perf.fps
+        );
+        assert!(
+            (330.0..470.0).contains(&perf.power.0),
+            "power {} should be ≈400 W",
+            perf.power
+        );
+    }
+
+    #[test]
+    fn edge_server_hits_target_envelope() {
+        // Paper target: ≥10 FPS at ≈50 W.
+        let perf = MirrorPipeline::edge_server(EdgeConfig::CpuGpuSocFpga)
+            .evaluate()
+            .unwrap();
+        assert!(perf.fps >= 10.0, "fps {:.1}", perf.fps);
+        assert!(perf.power.0 <= 70.0, "power {}", perf.power);
+    }
+
+    #[test]
+    fn edge_cuts_power_by_large_factor() {
+        let ws = MirrorPipeline::workstation().evaluate().unwrap();
+        let best = EdgeConfig::ALL
+            .iter()
+            .map(|&c| MirrorPipeline::edge_server(c).evaluate().unwrap())
+            .min_by(|a, b| a.power.partial_cmp(&b.power).expect("finite"))
+            .unwrap();
+        let factor = ws.power / best.power;
+        assert!(factor > 5.0, "power reduction {factor:.1}x");
+    }
+
+    #[test]
+    fn heavy_stage_lands_on_strongest_accelerator() {
+        let perf = MirrorPipeline::edge_server(EdgeConfig::CpuGpuSocFpga)
+            .evaluate()
+            .unwrap();
+        let yolo = perf
+            .assignments
+            .iter()
+            .find(|(s, _)| s == "object-yolov3")
+            .unwrap();
+        assert_eq!(yolo.1, "Kintex FPGA");
+    }
+
+    #[test]
+    fn tracking_runs_on_cpu() {
+        let perf = MirrorPipeline::workstation().evaluate().unwrap();
+        let tracking = perf
+            .assignments
+            .iter()
+            .find(|(s, _)| s == "tracking")
+            .unwrap();
+        assert!(tracking.1.contains("Xeon"));
+    }
+
+    #[test]
+    fn energy_per_frame_consistent() {
+        let perf = MirrorPipeline::workstation().evaluate().unwrap();
+        let expect = perf.power.0 * perf.frame_time.0;
+        assert!((perf.energy_per_frame.0 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_edge_configs_evaluate() {
+        for c in EdgeConfig::ALL {
+            let p = MirrorPipeline::edge_server(c).evaluate().unwrap();
+            assert!(p.fps > 1.0, "{c}: {:.1} fps", p.fps);
+            assert!(p.power.0 < 100.0, "{c}: {}", p.power);
+        }
+    }
+
+    #[test]
+    fn no_devices_rejected() {
+        let p = MirrorPipeline {
+            devices: vec![],
+            stages: edge_stages(),
+            tracker_time: Seconds::ZERO,
+            wall_factor: 1.0,
+            base_power: Watt::ZERO,
+        };
+        assert_eq!(p.evaluate(), Err(MirrorError::NoDevices));
+    }
+
+    #[test]
+    #[should_panic(expected = "stage cost must be positive")]
+    fn stage_validation() {
+        let _ = DetectorStage::new("bad", 0.0);
+    }
+}

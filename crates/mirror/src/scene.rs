@@ -1,0 +1,278 @@
+//! Synthetic living-room scenes with ground truth.
+//!
+//! Stands in for the Smart Mirror's RGBD camera feed: a configurable
+//! number of actors (people) move through the frame with constant
+//! velocity plus jitter, bouncing off the walls. Each frame yields the
+//! ground-truth boxes and a degraded detection list — misses, false
+//! positives, and pixel noise — which is what a YOLO-class detector would
+//! hand the tracker.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::BBox;
+
+/// Scene parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Frame width in pixels.
+    pub width: f64,
+    /// Frame height in pixels.
+    pub height: f64,
+    /// Number of actors.
+    pub actors: usize,
+    /// Probability a present actor is missed by the detector.
+    pub miss_rate: f64,
+    /// Expected false positives per frame.
+    pub false_positives: f64,
+    /// Detection center noise (standard-deviation-like half-width, px).
+    pub noise_px: f64,
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        SceneConfig {
+            width: 1920.0,
+            height: 1080.0,
+            actors: 4,
+            miss_rate: 0.05,
+            false_positives: 0.1,
+            noise_px: 3.0,
+        }
+    }
+}
+
+/// A ground-truth actor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Actor {
+    id: usize,
+    x: f64,
+    y: f64,
+    vx: f64,
+    vy: f64,
+    w: f64,
+    h: f64,
+}
+
+/// One frame: ground truth and detections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Frame index.
+    pub index: u64,
+    /// Ground-truth `(actor id, box)` pairs.
+    pub ground_truth: Vec<(usize, BBox)>,
+    /// Noisy detections (unordered, unlabeled).
+    pub detections: Vec<BBox>,
+}
+
+/// The scene generator.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    config: SceneConfig,
+    actors: Vec<Actor>,
+    rng: SmallRng,
+    frame: u64,
+}
+
+impl Scene {
+    /// Create a scene with deterministic actor placement per `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions or rates outside `[0, 1]`.
+    #[must_use]
+    pub fn new(config: SceneConfig, seed: u64) -> Self {
+        assert!(
+            config.width > 0.0 && config.height > 0.0,
+            "frame must have positive size"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.miss_rate),
+            "miss rate must be in [0, 1]"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let actors = (0..config.actors)
+            .map(|id| {
+                let w = rng.gen_range(60.0..140.0);
+                let h = rng.gen_range(180.0..320.0);
+                Actor {
+                    id,
+                    x: rng.gen_range(w..config.width - w),
+                    y: rng.gen_range(h..config.height - h).min(config.height - h),
+                    vx: rng.gen_range(-6.0..6.0),
+                    vy: rng.gen_range(-2.0..2.0),
+                    w,
+                    h,
+                }
+            })
+            .collect();
+        Scene {
+            config,
+            actors,
+            rng,
+            frame: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// Advance one frame and return it.
+    pub fn step(&mut self) -> Frame {
+        // Move actors; bounce at walls.
+        for a in &mut self.actors {
+            a.x += a.vx;
+            a.y += a.vy;
+            let half_w = a.w / 2.0;
+            let half_h = a.h / 2.0;
+            if a.x < half_w || a.x > self.config.width - half_w {
+                a.vx = -a.vx;
+                a.x = a.x.clamp(half_w, self.config.width - half_w);
+            }
+            if a.y < half_h || a.y > self.config.height - half_h {
+                a.vy = -a.vy;
+                a.y = a.y.clamp(half_h, self.config.height - half_h);
+            }
+        }
+        let ground_truth: Vec<(usize, BBox)> = self
+            .actors
+            .iter()
+            .map(|a| (a.id, BBox::new(a.x, a.y, a.w, a.h)))
+            .collect();
+
+        // Degrade into detections.
+        let mut detections = Vec::new();
+        for (_, gt) in &ground_truth {
+            if self.rng.gen_range(0.0..1.0) < self.config.miss_rate {
+                continue;
+            }
+            let n = self.config.noise_px;
+            detections.push(BBox::new(
+                gt.cx + self.rng.gen_range(-n..=n),
+                gt.cy + self.rng.gen_range(-n..=n),
+                (gt.w + self.rng.gen_range(-n..=n)).max(4.0),
+                (gt.h + self.rng.gen_range(-n..=n)).max(4.0),
+            ));
+        }
+        // Poisson-ish false positives (Bernoulli per expected count unit).
+        let mut fp_budget = self.config.false_positives;
+        while fp_budget > 0.0 {
+            let p = fp_budget.min(1.0);
+            if self.rng.gen_range(0.0..1.0) < p {
+                detections.push(BBox::new(
+                    self.rng.gen_range(0.0..self.config.width),
+                    self.rng.gen_range(0.0..self.config.height),
+                    self.rng.gen_range(40.0..120.0),
+                    self.rng.gen_range(80.0..240.0),
+                ));
+            }
+            fp_budget -= 1.0;
+        }
+
+        self.frame += 1;
+        Frame {
+            index: self.frame,
+            ground_truth,
+            detections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> SceneConfig {
+        SceneConfig {
+            miss_rate: 0.0,
+            false_positives: 0.0,
+            noise_px: 0.0,
+            ..SceneConfig::default()
+        }
+    }
+
+    #[test]
+    fn perfect_detector_sees_every_actor() {
+        let mut s = Scene::new(quiet_config(), 1);
+        for _ in 0..100 {
+            let f = s.step();
+            assert_eq!(f.detections.len(), f.ground_truth.len());
+        }
+    }
+
+    #[test]
+    fn actors_stay_in_frame() {
+        let mut s = Scene::new(quiet_config(), 2);
+        for _ in 0..1000 {
+            let f = s.step();
+            for (_, b) in &f.ground_truth {
+                assert!(b.x1() >= -1.0 && b.x2() <= 1921.0, "box {b:?} escaped");
+                assert!(b.y1() >= -1.0 && b.y2() <= 1081.0, "box {b:?} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn actors_actually_move() {
+        let mut s = Scene::new(quiet_config(), 3);
+        let first = s.step();
+        for _ in 0..20 {
+            s.step();
+        }
+        let later = s.step();
+        let moved = first
+            .ground_truth
+            .iter()
+            .zip(&later.ground_truth)
+            .any(|((_, a), (_, b))| (a.cx - b.cx).abs() > 5.0 || (a.cy - b.cy).abs() > 5.0);
+        assert!(moved, "no actor moved in 20 frames");
+    }
+
+    #[test]
+    fn misses_reduce_detection_count() {
+        let cfg = SceneConfig {
+            miss_rate: 0.5,
+            false_positives: 0.0,
+            ..quiet_config()
+        };
+        let mut s = Scene::new(cfg, 4);
+        let total: usize = (0..200).map(|_| s.step().detections.len()).sum();
+        // 4 actors × 200 frames × ~50 % ≈ 400.
+        assert!((300..500).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn false_positives_add_detections() {
+        let cfg = SceneConfig {
+            false_positives: 2.0,
+            ..quiet_config()
+        };
+        let mut s = Scene::new(cfg, 5);
+        let total: usize = (0..200).map(|_| s.step().detections.len()).sum();
+        // 4 real + ~2 fake per frame.
+        assert!(total > 4 * 200 + 200, "total {total}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = Scene::new(SceneConfig::default(), seed);
+            (0..50).map(|_| s.step()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn bad_dimensions_rejected() {
+        let cfg = SceneConfig {
+            width: 0.0,
+            ..SceneConfig::default()
+        };
+        let _ = Scene::new(cfg, 0);
+    }
+}

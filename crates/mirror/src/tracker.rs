@@ -1,0 +1,350 @@
+//! Multi-object tracking: Kalman prediction + Hungarian association.
+//!
+//! A SORT-style tracker: every confirmed track carries a [`BoxKalman`];
+//! each frame, tracks predict forward, the Hungarian algorithm matches
+//! predictions to detections under a `1 − IoU` cost with gating, matched
+//! tracks update their filters, unmatched detections open tentative
+//! tracks, and tracks missing too long are dropped.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::BBox;
+use crate::hungarian::assign;
+use crate::kalman::BoxKalman;
+
+/// Tracker parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Minimum IoU for a match to be admissible (gating).
+    pub iou_gate: f64,
+    /// Consecutive hits before a tentative track is confirmed.
+    pub min_hits: u32,
+    /// Consecutive misses before a track is dropped.
+    pub max_age: u32,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            iou_gate: 0.2,
+            min_hits: 3,
+            max_age: 5,
+        }
+    }
+}
+
+/// Lifecycle state of a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackState {
+    /// Newly opened; not yet reported.
+    Tentative,
+    /// Confirmed and reported.
+    Confirmed,
+}
+
+/// One track.
+#[derive(Debug, Clone)]
+pub struct Track {
+    /// Stable identity.
+    pub id: u64,
+    /// Current filter state.
+    pub kalman: BoxKalman,
+    /// Lifecycle state.
+    pub state: TrackState,
+    /// Consecutive frames with a matched detection.
+    pub hits: u32,
+    /// Consecutive frames without a match.
+    pub misses: u32,
+    /// Last predicted box (for association in the current frame).
+    pub predicted: BBox,
+}
+
+/// The multi-object tracker.
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+    frames: u64,
+}
+
+impl Tracker {
+    /// A tracker with the given configuration.
+    #[must_use]
+    pub fn new(config: TrackerConfig) -> Self {
+        Tracker {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+            frames: 0,
+        }
+    }
+
+    /// Frames processed.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// All live tracks.
+    #[must_use]
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Confirmed tracks only (what the mirror overlay displays).
+    #[must_use]
+    pub fn confirmed_tracks(&self) -> Vec<&Track> {
+        self.tracks
+            .iter()
+            .filter(|t| t.state == TrackState::Confirmed)
+            .collect()
+    }
+
+    /// Total identities ever created (monotone; used to measure identity
+    /// churn).
+    #[must_use]
+    pub fn identities_created(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Process one frame of detections. Returns the ids of confirmed
+    /// tracks matched in this frame, paired with their updated boxes.
+    pub fn update(&mut self, detections: &[BBox]) -> Vec<(u64, BBox)> {
+        self.frames += 1;
+        // 1. Predict every track forward.
+        for t in &mut self.tracks {
+            t.predicted = t.kalman.predict().unwrap_or_else(|_| t.kalman.current());
+        }
+
+        // 2. Associate: rows = tracks, cols = detections, cost = 1 − IoU
+        //    with gating.
+        let matched_pairs: Vec<(usize, usize)> = if self.tracks.is_empty()
+            || detections.is_empty()
+        {
+            Vec::new()
+        } else {
+            let cost: Vec<Vec<f64>> = self
+                .tracks
+                .iter()
+                .map(|t| {
+                    detections
+                        .iter()
+                        .map(|d| {
+                            let iou = t.predicted.iou(d);
+                            if iou < self.config.iou_gate {
+                                f64::INFINITY
+                            } else {
+                                1.0 - iou
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            assign(&cost)
+                .into_iter()
+                .enumerate()
+                .filter_map(|(t, d)| d.map(|d| (t, d)))
+                .collect()
+        };
+
+        // 3. Update matched tracks.
+        let mut det_used = vec![false; detections.len()];
+        let mut track_matched = vec![false; self.tracks.len()];
+        let mut reported = Vec::new();
+        for (ti, di) in matched_pairs {
+            det_used[di] = true;
+            track_matched[ti] = true;
+            let track = &mut self.tracks[ti];
+            let _ = track.kalman.update(&detections[di]);
+            track.hits += 1;
+            track.misses = 0;
+            if track.state == TrackState::Tentative && track.hits >= self.config.min_hits {
+                track.state = TrackState::Confirmed;
+            }
+            if track.state == TrackState::Confirmed {
+                reported.push((track.id, track.kalman.current()));
+            }
+        }
+
+        // 4. Age unmatched tracks.
+        for (ti, matched) in track_matched.iter().enumerate() {
+            if !matched {
+                let track = &mut self.tracks[ti];
+                track.misses += 1;
+                track.hits = 0;
+            }
+        }
+        let max_age = self.config.max_age;
+        self.tracks.retain(|t| t.misses <= max_age);
+
+        // 5. Open tentative tracks for unmatched detections.
+        for (di, used) in det_used.iter().enumerate() {
+            if !used {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.tracks.push(Track {
+                    id,
+                    kalman: BoxKalman::new(&detections[di]),
+                    state: TrackState::Tentative,
+                    hits: 1,
+                    misses: 0,
+                    predicted: detections[di],
+                });
+            }
+        }
+        reported
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Scene, SceneConfig};
+
+    fn clean_scene(actors: usize, seed: u64) -> Scene {
+        Scene::new(
+            SceneConfig {
+                actors,
+                miss_rate: 0.0,
+                false_positives: 0.0,
+                noise_px: 1.0,
+                ..SceneConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn single_object_gets_one_stable_id() {
+        let mut scene = clean_scene(1, 1);
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let mut seen_ids = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let f = scene.step();
+            for (id, _) in tracker.update(&f.detections) {
+                seen_ids.insert(id);
+            }
+        }
+        assert_eq!(seen_ids.len(), 1, "ids {seen_ids:?}");
+        assert_eq!(tracker.identities_created(), 1);
+    }
+
+    #[test]
+    fn tentative_tracks_need_min_hits() {
+        let mut tracker = Tracker::new(TrackerConfig {
+            min_hits: 3,
+            ..TrackerConfig::default()
+        });
+        let det = vec![BBox::new(100.0, 100.0, 50.0, 100.0)];
+        assert!(tracker.update(&det).is_empty()); // hit 1: tentative
+        assert!(tracker.update(&det).is_empty()); // hit 2: tentative
+        assert_eq!(tracker.update(&det).len(), 1); // hit 3: confirmed
+    }
+
+    #[test]
+    fn track_dropped_after_max_age() {
+        let mut tracker = Tracker::new(TrackerConfig {
+            min_hits: 1,
+            max_age: 2,
+            ..TrackerConfig::default()
+        });
+        let det = vec![BBox::new(100.0, 100.0, 50.0, 100.0)];
+        tracker.update(&det);
+        assert_eq!(tracker.tracks().len(), 1);
+        for _ in 0..3 {
+            tracker.update(&[]);
+        }
+        assert!(tracker.tracks().is_empty());
+    }
+
+    #[test]
+    fn multiple_objects_keep_distinct_ids() {
+        let mut scene = clean_scene(4, 7);
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let mut last = Vec::new();
+        for _ in 0..60 {
+            let f = scene.step();
+            last = tracker.update(&f.detections);
+        }
+        assert_eq!(last.len(), 4, "all four actors tracked");
+        let ids: std::collections::HashSet<u64> = last.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 4, "ids must be distinct");
+        // No identity churn in a clean scene.
+        assert_eq!(tracker.identities_created(), 4);
+    }
+
+    #[test]
+    fn survives_short_occlusion_without_id_switch() {
+        let mut scene = clean_scene(1, 3);
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let mut ids = std::collections::HashSet::new();
+        for frame in 0..80 {
+            let f = scene.step();
+            // Occlude frames 40-42: the Kalman prediction must bridge it.
+            let dets = if (40..43).contains(&frame) {
+                Vec::new()
+            } else {
+                f.detections
+            };
+            for (id, _) in tracker.update(&dets) {
+                ids.insert(id);
+            }
+        }
+        assert_eq!(ids.len(), 1, "occlusion must not change identity: {ids:?}");
+    }
+
+    #[test]
+    fn false_positives_do_not_become_confirmed_tracks() {
+        // A single one-frame false positive: never reaches min_hits.
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let real = BBox::new(500.0, 500.0, 80.0, 200.0);
+        for frame in 0..30 {
+            let mut dets = vec![BBox::new(
+                500.0 + f64::from(frame),
+                500.0,
+                80.0,
+                200.0,
+            )];
+            if frame == 10 {
+                dets.push(BBox::new(1500.0, 200.0, 60.0, 120.0)); // blip
+            }
+            tracker.update(&dets);
+        }
+        assert_eq!(tracker.confirmed_tracks().len(), 1);
+        let _ = real;
+    }
+
+    #[test]
+    fn tracker_follows_noisy_scene_accurately() {
+        let mut scene = Scene::new(
+            SceneConfig {
+                actors: 3,
+                miss_rate: 0.05,
+                false_positives: 0.2,
+                noise_px: 4.0,
+                ..SceneConfig::default()
+            },
+            11,
+        );
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let mut matched_frames = 0;
+        let mut total_frames = 0;
+        for _ in 0..150 {
+            let f = scene.step();
+            let reported = tracker.update(&f.detections);
+            if f.index > 10 {
+                total_frames += 1;
+                // Every reported box should sit on top of some GT box.
+                let all_on_gt = reported.iter().all(|(_, b)| {
+                    f.ground_truth.iter().any(|(_, gt)| gt.iou(b) > 0.3)
+                });
+                if all_on_gt && reported.len() >= 2 {
+                    matched_frames += 1;
+                }
+            }
+        }
+        let quality = f64::from(matched_frames) / f64::from(total_frames);
+        assert!(quality > 0.8, "tracking quality {quality}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the Smart Mirror's algorithmic kernels.
+
+use legato_mirror::geometry::BBox;
+use legato_mirror::hungarian::{assign, assignment_cost};
+use legato_mirror::matrix::Matrix;
+use proptest::prelude::*;
+
+fn small_box() -> impl Strategy<Value = BBox> {
+    (0.0..100.0f64, 0.0..100.0f64, 1.0..50.0f64, 1.0..50.0f64)
+        .prop_map(|(cx, cy, w, h)| BBox::new(cx, cy, w, h))
+}
+
+proptest! {
+    /// IoU is symmetric, bounded to [0, 1], and 1 exactly on self.
+    #[test]
+    fn iou_properties(a in small_box(), b in small_box()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Intersection area never exceeds either box's own area.
+    #[test]
+    fn intersection_bounded(a in small_box(), b in small_box()) {
+        let inter = a.intersection(&b);
+        prop_assert!(inter <= a.area() + 1e-9);
+        prop_assert!(inter <= b.area() + 1e-9);
+        prop_assert!(inter >= 0.0);
+    }
+
+    /// The Hungarian algorithm's result is a valid injection (no column
+    /// used twice) and never beats brute force (checked on small cases).
+    #[test]
+    fn hungarian_is_optimal_injection(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        cells in prop::collection::vec(0u8..100, 25),
+    ) {
+        prop_assume!(rows <= cols);
+        let cost: Vec<Vec<f64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| f64::from(cells[r * 5 + c])).collect())
+            .collect();
+        let a = assign(&cost);
+        // Injection: assigned columns distinct.
+        let mut used = std::collections::HashSet::new();
+        for col in a.iter().flatten() {
+            prop_assert!(used.insert(*col), "column {col} assigned twice");
+        }
+        // Optimality vs brute force.
+        let total = assignment_cost(&cost, &a);
+        let best = brute_force(&cost);
+        prop_assert!((total - best).abs() < 1e-9, "{total} vs brute {best}");
+    }
+
+    /// A random diagonally-dominant matrix is invertible and
+    /// `A · A⁻¹ ≈ I`.
+    #[test]
+    fn inverse_round_trip(
+        n in 1usize..6,
+        cells in prop::collection::vec(-10.0..10.0f64, 36),
+    ) {
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..n {
+                if r != c {
+                    let v = cells[r * 6 + c];
+                    m.set(r, c, v);
+                    row_sum += v.abs();
+                }
+            }
+            // Diagonal dominance guarantees invertibility.
+            m.set(r, r, row_sum + 1.0 + cells[r * 6 + r].abs());
+        }
+        let inv = m.inverse().expect("diagonally dominant");
+        let prod = m.mul(&inv).expect("square");
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-8);
+    }
+
+    /// Transpose distributes over products: `(AB)ᵀ = BᵀAᵀ`.
+    #[test]
+    fn transpose_of_product(
+        cells in prop::collection::vec(-5.0..5.0f64, 12),
+    ) {
+        let a = Matrix::from_rows(&[&cells[0..3], &cells[3..6]]);
+        let b = Matrix::from_rows(&[&cells[6..8], &cells[8..10], &cells[10..12]]);
+        let left = a.mul(&b).expect("2x3 · 3x2").transpose();
+        let right = b.transpose().mul(&a.transpose()).expect("2x3 · 3x2");
+        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+}
+
+fn brute_force(cost: &[Vec<f64>]) -> f64 {
+    let rows = cost.len();
+    let cols = cost[0].len();
+    let mut perm: Vec<usize> = (0..cols).collect();
+    let mut best = f64::INFINITY;
+    permute(&mut perm, 0, &mut |p| {
+        let total: f64 = (0..rows.min(cols)).map(|r| cost[r][p[r]]).sum();
+        if total < best {
+            best = total;
+        }
+    });
+    best
+}
+
+fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}

@@ -1,0 +1,255 @@
+//! XiTAO-style elastic task placement.
+//!
+//! XiTAO "generalizes the concept of a task into a parallel computation
+//! with arbitrary (elastic) resources. By matching task requirements with
+//! hardware resources (cores, memory, etc) at runtime, XiTAO targets high
+//! parallelism and provides constructive sharing and interference freedom"
+//! (paper §II-C). The model here: a task declares a width range, its
+//! runtime scales with width under Amdahl's law, and the pool assigns it
+//! an *exclusive* set of cores (interference freedom) whose width is
+//! chosen to minimize the task's finish time given current core
+//! availability.
+
+use legato_core::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Execution time of a task with sequential time `seq`, parallel fraction
+/// `f` and width `w` under Amdahl's law.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `f` outside `[0, 1]`.
+///
+/// ```
+/// use legato_runtime::elastic::amdahl_time;
+/// use legato_core::units::Seconds;
+///
+/// let t = amdahl_time(Seconds(10.0), 0.9, 4);
+/// assert!((t.0 - (1.0 + 9.0 / 4.0)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn amdahl_time(seq: Seconds, parallel_fraction: f64, width: usize) -> Seconds {
+    assert!(width >= 1, "width must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&parallel_fraction),
+        "parallel fraction must be in [0, 1]"
+    );
+    Seconds(seq.0 * ((1.0 - parallel_fraction) + parallel_fraction / width as f64))
+}
+
+/// A placement decision of the elastic pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticPlacement {
+    /// Cores assigned (exclusive for the task's duration).
+    pub cores: Vec<usize>,
+    /// Chosen width (`cores.len()`).
+    pub width: usize,
+    /// Start time.
+    pub start: Seconds,
+    /// Finish time.
+    pub finish: Seconds,
+}
+
+/// A pool of cores with per-core availability, placing elastic tasks at
+/// the width that minimizes their finish time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticPool {
+    busy_until: Vec<Seconds>,
+}
+
+impl ElasticPool {
+    /// A pool of `cores` idle cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        assert!(cores >= 1, "pool needs at least one core");
+        ElasticPool {
+            busy_until: vec![Seconds::ZERO; cores],
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Earliest time all cores are free.
+    #[must_use]
+    pub fn drained_at(&self) -> Seconds {
+        self.busy_until
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Place a task that becomes ready at `ready`, has sequential time
+    /// `seq`, parallel fraction `f`, and may use `min_w..=max_w` cores.
+    /// Tries every admissible width on the least-busy cores and commits
+    /// the one with the earliest finish; ties break toward the *narrower*
+    /// width (leaving resources for other tasks — constructive sharing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_w == 0`, `min_w > max_w`, or `min_w` exceeds the
+    /// pool size.
+    pub fn place(
+        &mut self,
+        ready: Seconds,
+        seq: Seconds,
+        parallel_fraction: f64,
+        min_w: usize,
+        max_w: usize,
+    ) -> ElasticPlacement {
+        assert!(min_w >= 1 && min_w <= max_w, "invalid width range");
+        assert!(
+            min_w <= self.cores(),
+            "task needs {min_w} cores, pool has {}",
+            self.cores()
+        );
+        let max_w = max_w.min(self.cores());
+        // Cores sorted by availability (least busy first), stable by index.
+        let mut order: Vec<usize> = (0..self.cores()).collect();
+        order.sort_by(|&a, &b| {
+            self.busy_until[a]
+                .partial_cmp(&self.busy_until[b])
+                .expect("finite times")
+                .then(a.cmp(&b))
+        });
+
+        let mut best: Option<ElasticPlacement> = None;
+        for w in min_w..=max_w {
+            let cores: Vec<usize> = order[..w].to_vec();
+            let avail = cores
+                .iter()
+                .map(|&c| self.busy_until[c])
+                .fold(Seconds::ZERO, Seconds::max);
+            let start = ready.max(avail);
+            let finish = start + amdahl_time(seq, parallel_fraction, w);
+            let better = match &best {
+                None => true,
+                Some(b) => finish < b.finish,
+            };
+            if better {
+                best = Some(ElasticPlacement {
+                    cores,
+                    width: w,
+                    start,
+                    finish,
+                });
+            }
+        }
+        let placement = best.expect("width range is non-empty");
+        for &c in &placement.cores {
+            self.busy_until[c] = placement.finish;
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        let seq = Seconds(10.0);
+        assert_eq!(amdahl_time(seq, 0.0, 8), seq); // fully serial
+        assert_eq!(amdahl_time(seq, 1.0, 10), Seconds(1.0)); // fully parallel
+        // Monotone in width.
+        let mut last = f64::INFINITY;
+        for w in 1..=16 {
+            let t = amdahl_time(seq, 0.9, w).0;
+            assert!(t <= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 1")]
+    fn amdahl_zero_width() {
+        let _ = amdahl_time(Seconds(1.0), 0.5, 0);
+    }
+
+    #[test]
+    fn idle_pool_gives_max_useful_width() {
+        let mut pool = ElasticPool::new(8);
+        let p = pool.place(Seconds::ZERO, Seconds(10.0), 0.95, 1, 8);
+        assert_eq!(p.width, 8, "idle pool: widest placement wins");
+        assert_eq!(p.start, Seconds::ZERO);
+    }
+
+    #[test]
+    fn serial_task_stays_narrow() {
+        let mut pool = ElasticPool::new(8);
+        let p = pool.place(Seconds::ZERO, Seconds(10.0), 0.0, 1, 8);
+        assert_eq!(p.width, 1, "serial task gains nothing from width");
+    }
+
+    #[test]
+    fn contended_pool_prefers_fewer_free_cores() {
+        let mut pool = ElasticPool::new(4);
+        // Occupy 3 cores until t=100.
+        for _ in 0..3 {
+            pool.place(Seconds::ZERO, Seconds(100.0), 0.0, 1, 1);
+        }
+        // An elastic task now finishes sooner on the single free core than
+        // waiting for width 4 (1 + free + 3 busy).
+        let p = pool.place(Seconds::ZERO, Seconds(10.0), 0.9, 1, 4);
+        assert_eq!(p.width, 1);
+        assert_eq!(p.start, Seconds::ZERO);
+        assert!((p.finish.0 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusive_cores_no_interference() {
+        let mut pool = ElasticPool::new(4);
+        let a = pool.place(Seconds::ZERO, Seconds(8.0), 0.9, 2, 2);
+        let b = pool.place(Seconds::ZERO, Seconds(8.0), 0.9, 2, 2);
+        // Disjoint core sets.
+        for c in &a.cores {
+            assert!(!b.cores.contains(c), "cores shared between tasks");
+        }
+        // Both start immediately: constructive sharing of the pool.
+        assert_eq!(a.start, Seconds::ZERO);
+        assert_eq!(b.start, Seconds::ZERO);
+    }
+
+    #[test]
+    fn placement_respects_min_width() {
+        let mut pool = ElasticPool::new(8);
+        let p = pool.place(Seconds::ZERO, Seconds(5.0), 0.0, 4, 8);
+        assert!(p.width >= 4);
+    }
+
+    #[test]
+    fn ready_time_respected() {
+        let mut pool = ElasticPool::new(2);
+        let p = pool.place(Seconds(5.0), Seconds(1.0), 0.5, 1, 2);
+        assert_eq!(p.start, Seconds(5.0));
+    }
+
+    #[test]
+    fn drained_at_tracks_latest() {
+        let mut pool = ElasticPool::new(2);
+        pool.place(Seconds::ZERO, Seconds(4.0), 0.0, 1, 1);
+        pool.place(Seconds::ZERO, Seconds(7.0), 0.0, 1, 1);
+        assert_eq!(pool.drained_at(), Seconds(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pool needs at least one core")]
+    fn empty_pool_rejected() {
+        let _ = ElasticPool::new(0);
+    }
+
+    #[test]
+    fn width_capped_by_pool() {
+        let mut pool = ElasticPool::new(2);
+        let p = pool.place(Seconds::ZERO, Seconds(10.0), 1.0, 1, 64);
+        assert_eq!(p.width, 2);
+    }
+}

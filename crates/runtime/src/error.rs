@@ -1,0 +1,64 @@
+//! Error type for the runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use legato_core::task::TaskId;
+
+/// Errors produced by the task runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The runtime has no devices to schedule on.
+    NoDevices,
+    /// A task could not produce a correct result within the retry budget.
+    UnmaskedFailure {
+        /// The failing task.
+        task: TaskId,
+        /// Retries attempted.
+        retries: u32,
+    },
+    /// The task graph reported an inconsistency.
+    Graph(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoDevices => write!(f, "runtime has no devices"),
+            RuntimeError::UnmaskedFailure { task, retries } => {
+                write!(f, "task {task} failed after {retries} retries")
+            }
+            RuntimeError::Graph(msg) => write!(f, "task graph error: {msg}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+impl From<legato_core::CoreError> for RuntimeError {
+    fn from(e: legato_core::CoreError) -> Self {
+        RuntimeError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(RuntimeError::NoDevices.to_string(), "runtime has no devices");
+        let e = RuntimeError::UnmaskedFailure {
+            task: TaskId(3),
+            retries: 2,
+        };
+        assert!(e.to_string().contains("T3"));
+    }
+
+    #[test]
+    fn from_core() {
+        let e: RuntimeError = legato_core::CoreError::EmptyGraph.into();
+        assert!(matches!(e, RuntimeError::Graph(_)));
+    }
+}

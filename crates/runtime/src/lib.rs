@@ -1,0 +1,70 @@
+//! # legato-runtime
+//!
+//! Task-based runtime for heterogeneous hardware, combining the two
+//! runtime systems LEGaTO builds on (paper §II-C):
+//!
+//! * **OmpSs-style dataflow execution** — tasks are submitted with
+//!   `in`/`out`/`inout` annotations, dependences are inferred, and ready
+//!   tasks are scheduled onto the most appropriate device
+//!   ([`runtime::Runtime`]);
+//! * **XiTAO-style elastic tasks** — a task is "a parallel computation
+//!   with arbitrary (elastic) resources"; the [`elastic`] module picks the
+//!   resource width that minimizes finish time under Amdahl scaling with
+//!   exclusive core assignment (constructive sharing, interference
+//!   freedom).
+//!
+//! On top of scheduling, the runtime implements the fault-tolerance
+//! mechanisms §I assigns to the task model:
+//!
+//! * **selective replication** ([`replication`]) — only
+//!   reliability-critical tasks are replicated, on *diverse* processing
+//!   elements when possible, with majority voting for `Critical` tasks;
+//! * **task-level checkpoint volume** ([`ckpt`]) — only the data declared
+//!   at task entry is checkpointed, which this module quantifies against
+//!   full-memory checkpoints.
+//!
+//! ## Example
+//!
+//! ```
+//! use legato_core::task::{AccessMode, TaskDescriptor, TaskKind, Work};
+//! use legato_hw::device::DeviceSpec;
+//! use legato_runtime::{Policy, Runtime};
+//!
+//! # fn main() -> Result<(), legato_runtime::RuntimeError> {
+//! let mut rt = Runtime::new(
+//!     vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080(), DeviceSpec::fpga_kintex()],
+//!     Policy::Weighted(0.5),
+//!     7,
+//! );
+//! let frame = rt.submit(
+//!     TaskDescriptor::named("detect")
+//!         .with_kind(TaskKind::Inference)
+//!         .with_work(Work::flops(66.0e9)),
+//!     [(0u64, AccessMode::Out)],
+//! );
+//! let _track = rt.submit(
+//!     TaskDescriptor::named("track").with_work(Work::flops(1.0e9)),
+//!     [(0u64, AccessMode::In), (1u64, AccessMode::Out)],
+//! );
+//! let report = rt.run()?;
+//! assert_eq!(report.placements.len(), 2);
+//! assert!(report.makespan.0 > 0.0);
+//! # let _ = frame;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ckpt;
+pub mod elastic;
+pub mod error;
+pub mod lowvolt;
+pub mod replication;
+pub mod runtime;
+pub mod scheduler;
+
+pub use error::RuntimeError;
+pub use runtime::{RunReport, Runtime, TaskOutcome};
+pub use scheduler::Policy;

@@ -1,0 +1,489 @@
+//! The OmpSs-style dataflow runtime over simulated heterogeneous devices.
+
+use legato_core::graph::{TaskGraph, TaskState};
+use legato_core::task::{AccessMode, RegionId, TaskDescriptor, TaskId};
+use legato_core::units::{Joule, Seconds};
+use legato_hw::device::{Device, DeviceId, DeviceSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::RuntimeError;
+use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
+use crate::scheduler::Policy;
+
+/// Outcome of one task's (possibly replicated) execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskOutcome {
+    /// The task.
+    pub task: TaskId,
+    /// Devices the final (accepted) attempt ran on; the first entry is
+    /// the primary replica.
+    pub devices: Vec<usize>,
+    /// Start of the accepted attempt.
+    pub start: Seconds,
+    /// Finish of the accepted attempt (all replicas joined).
+    pub finish: Seconds,
+    /// Whether the accepted value equals the golden value.
+    pub correct: bool,
+}
+
+/// Result of a full run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Completion time of the last task.
+    pub makespan: Seconds,
+    /// Energy spent executing tasks (busy power).
+    pub busy_energy: Joule,
+    /// Busy energy plus idle draw of every device over the makespan.
+    pub total_energy: Joule,
+    /// Per-task outcomes in submission order (skipped/poisoned tasks are
+    /// absent).
+    pub placements: Vec<TaskOutcome>,
+    /// Replication statistics.
+    pub stats: ReplicationStats,
+    /// Tasks that exhausted their retry budget (their dependents were
+    /// poisoned and skipped).
+    pub failed: Vec<TaskId>,
+}
+
+impl RunReport {
+    /// Whether every executed task finished with the correct value and
+    /// nothing failed.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.failed.is_empty() && self.stats.is_correct()
+    }
+}
+
+/// The task runtime: a device set, a policy, a dataflow graph and a fault
+/// model.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    devices: Vec<Device>,
+    fault_probs: Vec<f64>,
+    graph: TaskGraph,
+    policy: Policy,
+    max_retries: u32,
+    rng: SmallRng,
+}
+
+impl Runtime {
+    /// Create a runtime over `specs` with a scheduling `policy` and a
+    /// deterministic `seed` for the fault model.
+    #[must_use]
+    pub fn new(specs: Vec<DeviceSpec>, policy: Policy, seed: u64) -> Self {
+        let devices = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Device::new(DeviceId(i as u64), s))
+            .collect::<Vec<_>>();
+        Runtime {
+            fault_probs: vec![0.0; devices.len()],
+            devices,
+            graph: TaskGraph::new(),
+            policy,
+            max_retries: 3,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The scheduling policy in force.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Change the scheduling policy (affects tasks not yet run).
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+    }
+
+    /// Set the per-execution fault probability of device `idx` (silent
+    /// data corruption model, e.g. an FPGA run below `Vmin`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `p` not in `[0, 1]`.
+    pub fn set_fault_prob(&mut self, idx: usize, p: f64) {
+        assert!(idx < self.devices.len(), "device {idx} out of range");
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.fault_probs[idx] = p;
+    }
+
+    /// Maximum re-executions after detected faults (default 3).
+    pub fn set_max_retries(&mut self, retries: u32) {
+        self.max_retries = retries;
+    }
+
+    /// Submit a task with data-access annotations; returns its id.
+    pub fn submit<I, R>(&mut self, descriptor: TaskDescriptor, accesses: I) -> TaskId
+    where
+        I: IntoIterator<Item = (R, AccessMode)>,
+        R: Into<RegionId>,
+    {
+        self.graph.add_task(descriptor, accesses)
+    }
+
+    /// The underlying dataflow graph.
+    #[must_use]
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The devices, with their accumulated energy meters.
+    #[must_use]
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Execute every submitted task and return the report.
+    ///
+    /// Tasks run in dependence order; each task's replica count follows
+    /// its [`Criticality`](legato_core::requirements::Criticality), and
+    /// replicas are placed on distinct devices in policy-preference order.
+    /// A task whose faults cannot be masked within the retry budget is
+    /// failed; its dependents are poisoned and skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoDevices`] when the runtime has no devices.
+    pub fn run(&mut self) -> Result<RunReport, RuntimeError> {
+        if self.devices.is_empty() {
+            return Err(RuntimeError::NoDevices);
+        }
+        let n = self.graph.len();
+        let mut finish_at = vec![Seconds::ZERO; n];
+        let mut placements = Vec::new();
+        let mut stats = ReplicationStats::default();
+        let mut failed = Vec::new();
+
+        for task in self.graph.topological_order() {
+            match self.graph.state(task)? {
+                TaskState::Poisoned | TaskState::Failed | TaskState::Completed => continue,
+                _ => {}
+            }
+            let desc = self.graph.descriptor(task)?.clone();
+            let ready = self
+                .graph
+                .predecessors(task)?
+                .iter()
+                .map(|p| finish_at[p.index()])
+                .fold(Seconds::ZERO, Seconds::max);
+
+            let replicas = desc
+                .requirements
+                .criticality
+                .replica_count()
+                .min(self.devices.len());
+            if replicas == 1 {
+                stats.unreplicated += 1;
+            } else {
+                stats.replica_executions += (replicas - 1) as u64;
+            }
+            let golden = golden_value(task);
+
+            let mut attempt_start = ready;
+            let mut accepted: Option<(Vec<usize>, Seconds, Seconds, bool)> = None;
+            for attempt in 0..=self.max_retries {
+                let ranking =
+                    self.policy
+                        .rank(&self.devices, desc.work, desc.kind, attempt_start);
+                let chosen: Vec<usize> = ranking.into_iter().take(replicas).collect();
+                let mut results = Vec::with_capacity(chosen.len());
+                let mut start = Seconds(f64::INFINITY);
+                let mut finish = Seconds::ZERO;
+                for &d in &chosen {
+                    let (s, f) = self.devices[d].execute(attempt_start, desc.work, desc.kind);
+                    start = start.min(s);
+                    finish = finish.max(f);
+                    let faulty = self.rng.gen_range(0.0..1.0) < self.fault_probs[d];
+                    let value = if faulty {
+                        // Corrupt deterministically per draw but never equal
+                        // to golden.
+                        ReplicaResult(golden ^ (1 + self.rng.gen_range(0..u64::MAX - 1)))
+                    } else {
+                        ReplicaResult(golden)
+                    };
+                    results.push(value);
+                }
+                match vote(&results) {
+                    Verdict::Accept(v) => {
+                        let correct = v.0 == golden;
+                        if !correct {
+                            stats.silent_corruptions += 1;
+                        }
+                        accepted = Some((chosen, start, finish, correct));
+                        break;
+                    }
+                    Verdict::Masked(v) => {
+                        stats.masked += 1;
+                        accepted = Some((chosen, start, finish, v.0 == golden));
+                        break;
+                    }
+                    Verdict::Retry => {
+                        stats.detected += 1;
+                        if attempt < self.max_retries {
+                            stats.retries += 1;
+                            attempt_start = finish;
+                        }
+                    }
+                }
+            }
+
+            match accepted {
+                Some((devices, start, finish, correct)) => {
+                    finish_at[task.index()] = finish;
+                    self.graph.complete(task)?;
+                    placements.push(TaskOutcome {
+                        task,
+                        devices,
+                        start,
+                        finish,
+                        correct,
+                    });
+                }
+                None => {
+                    failed.push(task);
+                    self.graph.fail(task)?;
+                }
+            }
+        }
+
+        let makespan = finish_at
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max);
+        let busy_energy: Joule = self.devices.iter().map(|d| d.meter().total()).sum();
+        let idle_energy: Joule = self
+            .devices
+            .iter()
+            .map(|d| {
+                let idle_time = (makespan - d.meter().elapsed()).max(Seconds::ZERO);
+                d.spec.idle_power * idle_time
+            })
+            .sum();
+        Ok(RunReport {
+            makespan,
+            busy_energy,
+            total_energy: busy_energy + idle_energy,
+            placements,
+            stats,
+            failed,
+        })
+    }
+
+    /// Reset device availability and meters (keeps the graph).
+    pub fn reset_devices(&mut self) {
+        for d in &mut self.devices {
+            d.reset();
+        }
+    }
+}
+
+/// The golden (fault-free) result value of a task: a SplitMix64 hash of
+/// its id, so replicas agree exactly unless corrupted.
+fn golden_value(task: TaskId) -> u64 {
+    let mut z = task.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_core::requirements::{Criticality, Requirements};
+    use legato_core::task::{TaskKind, Work};
+
+    fn specs() -> Vec<DeviceSpec> {
+        vec![
+            DeviceSpec::xeon_x86(),
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+        ]
+    }
+
+    fn chain(rt: &mut Runtime, n: usize, crit: Criticality) -> Vec<TaskId> {
+        (0..n)
+            .map(|_| {
+                rt.submit(
+                    TaskDescriptor::named("t")
+                        .with_kind(TaskKind::Compute)
+                        .with_work(Work::flops(1e9))
+                        .with_requirements(Requirements::new().with_criticality(crit)),
+                    [(0u64, AccessMode::InOut)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_runtime_runs_empty_report() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        let rep = rt.run().unwrap();
+        assert_eq!(rep.makespan, Seconds::ZERO);
+        assert!(rep.placements.is_empty());
+        assert!(rep.is_correct());
+    }
+
+    #[test]
+    fn no_devices_is_an_error() {
+        let mut rt = Runtime::new(vec![], Policy::Performance, 1);
+        assert_eq!(rt.run(), Err(RuntimeError::NoDevices));
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        chain(&mut rt, 5, Criticality::Normal);
+        let rep = rt.run().unwrap();
+        assert_eq!(rep.placements.len(), 5);
+        for w in rep.placements.windows(2) {
+            assert!(w[1].start >= w[0].finish);
+        }
+        assert!(rep.is_correct());
+    }
+
+    #[test]
+    fn independent_tasks_spread_across_devices() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        for i in 0..6u64 {
+            rt.submit(
+                TaskDescriptor::named("p")
+                    .with_work(Work::flops(5e10)),
+                [(i, AccessMode::Out)],
+            );
+        }
+        let rep = rt.run().unwrap();
+        let used: std::collections::HashSet<usize> = rep
+            .placements
+            .iter()
+            .map(|p| p.devices[0])
+            .collect();
+        assert!(used.len() > 1, "work should spread, used {used:?}");
+    }
+
+    #[test]
+    fn energy_policy_cuts_energy_vs_performance_policy() {
+        let build = |policy| {
+            let mut rt = Runtime::new(specs(), policy, 1);
+            for i in 0..12u64 {
+                rt.submit(
+                    TaskDescriptor::named("nn")
+                        .with_kind(TaskKind::Inference)
+                        .with_work(Work::flops(66e9)),
+                    [(i, AccessMode::Out)],
+                );
+            }
+            rt.run().unwrap()
+        };
+        let perf = build(Policy::Performance);
+        let green = build(Policy::Energy);
+        assert!(
+            green.busy_energy.0 < perf.busy_energy.0,
+            "energy policy: {} vs {}",
+            green.busy_energy,
+            perf.busy_energy
+        );
+        assert!(green.makespan >= perf.makespan);
+    }
+
+    #[test]
+    fn critical_tasks_replicate_on_distinct_devices() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        rt.submit(
+            TaskDescriptor::named("crit")
+                .with_work(Work::flops(1e9))
+                .with_requirements(Requirements::new().with_criticality(Criticality::Critical)),
+            [(0u64, AccessMode::Out)],
+        );
+        let rep = rt.run().unwrap();
+        let devices = &rep.placements[0].devices;
+        assert_eq!(devices.len(), 3);
+        let unique: std::collections::HashSet<_> = devices.iter().collect();
+        assert_eq!(unique.len(), 3, "replicas must use distinct devices");
+        assert_eq!(rep.stats.replica_executions, 2);
+    }
+
+    #[test]
+    fn faults_without_replication_are_silent() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 42);
+        rt.set_fault_prob(0, 1.0);
+        rt.set_fault_prob(1, 1.0);
+        rt.set_fault_prob(2, 1.0);
+        chain(&mut rt, 4, Criticality::Normal);
+        let rep = rt.run().unwrap();
+        assert_eq!(rep.stats.silent_corruptions, 4);
+        assert!(!rep.is_correct());
+        assert!(rep.failed.is_empty(), "silent faults do not fail tasks");
+    }
+
+    #[test]
+    fn triple_replication_masks_single_device_faults() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 42);
+        // Only the GPU is flaky; majority vote should mask it every time.
+        rt.set_fault_prob(1, 1.0);
+        chain(&mut rt, 6, Criticality::Critical);
+        let rep = rt.run().unwrap();
+        assert!(rep.is_correct(), "stats: {:?}", rep.stats);
+        assert_eq!(rep.stats.masked, 6);
+        assert_eq!(rep.stats.silent_corruptions, 0);
+    }
+
+    #[test]
+    fn dual_replication_detects_and_retries() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 7);
+        // Moderate fault rate on the GPU — the fastest device for this
+        // work, so it is always in the replica set: mismatches occur but
+        // retries eventually succeed.
+        rt.set_fault_prob(1, 0.5);
+        chain(&mut rt, 8, Criticality::High);
+        let rep = rt.run().unwrap();
+        assert!(rep.stats.detected > 0, "stats {:?}", rep.stats);
+        assert_eq!(rep.stats.silent_corruptions, 0);
+    }
+
+    #[test]
+    fn unmaskable_faults_fail_and_poison() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 3);
+        // Every device always faults: dual replication can never agree.
+        for i in 0..3 {
+            rt.set_fault_prob(i, 1.0);
+        }
+        let ids = chain(&mut rt, 3, Criticality::High);
+        let rep = rt.run().unwrap();
+        assert_eq!(rep.failed, vec![ids[0]]);
+        // Dependents were poisoned, not executed.
+        assert_eq!(rep.placements.len(), 0);
+        assert!(!rep.is_correct());
+    }
+
+    #[test]
+    fn total_energy_includes_idle() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        chain(&mut rt, 3, Criticality::Normal);
+        let rep = rt.run().unwrap();
+        assert!(rep.total_energy.0 > rep.busy_energy.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut rt = Runtime::new(specs(), Policy::Weighted(0.5), seed);
+            rt.set_fault_prob(0, 0.3);
+            chain(&mut rt, 10, Criticality::High);
+            rt.run().unwrap()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn reset_devices_clears_meters() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        chain(&mut rt, 2, Criticality::Normal);
+        rt.run().unwrap();
+        rt.reset_devices();
+        assert!(rt.devices().iter().all(|d| d.meter().total() == Joule::ZERO));
+    }
+}

@@ -1,0 +1,266 @@
+//! Device-selection policies.
+//!
+//! "The runtime systems will reduce the energy \[consumption\] of the
+//! application by scheduling the computations to the most energy-efficient
+//! device of the heterogeneous hardware architecture" (paper §II). The
+//! [`Policy`] encodes what "most efficient" means for a given customer:
+//! pure performance, pure energy, energy-delay product, or the weighted
+//! trade-off HEATS exposes as a knob.
+
+use legato_core::task::{TaskKind, Work};
+use legato_core::units::Seconds;
+use legato_hw::device::{Device, DeviceSpec};
+use serde::{Deserialize, Serialize};
+
+/// What a scheduler optimizes when placing a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Minimize finish time.
+    Performance,
+    /// Minimize energy.
+    Energy,
+    /// Minimize energy-delay product.
+    Edp,
+    /// Minimize `w · energy + (1 − w) · time` after min-max normalization
+    /// over the candidate devices; `w = 1` is pure energy, `w = 0` pure
+    /// performance.
+    Weighted(f64),
+}
+
+impl Policy {
+    /// Pick the best device index for `work` given each device's earliest
+    /// availability. Returns `None` for an empty device list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Policy::Weighted`] weight is outside `[0, 1]`.
+    #[must_use]
+    pub fn choose(
+        self,
+        devices: &[Device],
+        work: Work,
+        kind: TaskKind,
+        ready_at: Seconds,
+    ) -> Option<usize> {
+        if devices.is_empty() {
+            return None;
+        }
+        if let Policy::Weighted(w) = self {
+            assert!(
+                (0.0..=1.0).contains(&w),
+                "trade-off weight must be in [0, 1], got {w}"
+            );
+        }
+        let metrics: Vec<(f64, f64)> = devices
+            .iter()
+            .map(|d| {
+                let start = ready_at.max(d.busy_until());
+                let finish = start + d.spec.time_for(work, kind);
+                let energy = d.spec.energy_for(work, kind);
+                (finish.0, energy.0)
+            })
+            .collect();
+        let idx = match self {
+            Policy::Performance => argmin(metrics.iter().map(|m| m.0)),
+            Policy::Energy => argmin(metrics.iter().map(|m| m.1)),
+            Policy::Edp => argmin(metrics.iter().map(|m| m.0 * m.1)),
+            Policy::Weighted(w) => {
+                let (tmin, tmax) = min_max(metrics.iter().map(|m| m.0));
+                let (emin, emax) = min_max(metrics.iter().map(|m| m.1));
+                argmin(metrics.iter().map(|m| {
+                    let t_norm = normalize(m.0, tmin, tmax);
+                    let e_norm = normalize(m.1, emin, emax);
+                    w * e_norm + (1.0 - w) * t_norm
+                }))
+            }
+        };
+        Some(idx)
+    }
+
+    /// Rank device indices from best to worst under this policy (used by
+    /// replication to pick diverse placements).
+    #[must_use]
+    pub fn rank(
+        self,
+        devices: &[Device],
+        work: Work,
+        kind: TaskKind,
+        ready_at: Seconds,
+    ) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..devices.len()).collect();
+        let score = |i: usize| -> f64 {
+            let d = &devices[i];
+            let start = ready_at.max(d.busy_until());
+            let finish = (start + d.spec.time_for(work, kind)).0;
+            let energy = d.spec.energy_for(work, kind).0;
+            match self {
+                Policy::Performance => finish,
+                Policy::Energy => energy,
+                Policy::Edp => finish * energy,
+                Policy::Weighted(w) => w * energy + (1.0 - w) * finish,
+            }
+        };
+        order.sort_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite scores"));
+        order
+    }
+}
+
+/// Static (spec-only) choice, ignoring availability — used when comparing
+/// hardware configurations rather than scheduling live work.
+#[must_use]
+pub fn best_spec_for(specs: &[DeviceSpec], work: Work, kind: TaskKind, policy: Policy) -> Option<usize> {
+    if specs.is_empty() {
+        return None;
+    }
+    let metrics: Vec<(f64, f64)> = specs
+        .iter()
+        .map(|s| (s.time_for(work, kind).0, s.energy_for(work, kind).0))
+        .collect();
+    Some(match policy {
+        Policy::Performance => argmin(metrics.iter().map(|m| m.0)),
+        Policy::Energy => argmin(metrics.iter().map(|m| m.1)),
+        Policy::Edp => argmin(metrics.iter().map(|m| m.0 * m.1)),
+        Policy::Weighted(w) => {
+            let (tmin, tmax) = min_max(metrics.iter().map(|m| m.0));
+            let (emin, emax) = min_max(metrics.iter().map(|m| m.1));
+            argmin(metrics.iter().map(|m| {
+                w * normalize(m.1, emin, emax) + (1.0 - w) * normalize(m.0, tmin, tmax)
+            }))
+        }
+    })
+}
+
+fn argmin(values: impl Iterator<Item = f64>) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, v) in values.enumerate() {
+        if v < best.1 {
+            best = (i, v);
+        }
+    }
+    best.0
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn normalize(v: f64, lo: f64, hi: f64) -> f64 {
+    if (hi - lo).abs() < 1e-12 {
+        0.0
+    } else {
+        (v - lo) / (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_hw::device::DeviceId;
+
+    fn devices() -> Vec<Device> {
+        vec![
+            Device::new(DeviceId(0), DeviceSpec::xeon_x86()),
+            Device::new(DeviceId(1), DeviceSpec::gtx1080()),
+            Device::new(DeviceId(2), DeviceSpec::fpga_kintex()),
+            Device::new(DeviceId(3), DeviceSpec::arm64()),
+        ]
+    }
+
+    #[test]
+    fn performance_picks_gpu_for_inference() {
+        let d = devices();
+        let w = Work::flops(66e9);
+        let idx = Policy::Performance
+            .choose(&d, w, TaskKind::Inference, Seconds::ZERO)
+            .unwrap();
+        assert_eq!(idx, 1, "GPU should win on speed");
+    }
+
+    #[test]
+    fn energy_picks_fpga_for_inference() {
+        let d = devices();
+        let w = Work::flops(66e9);
+        let idx = Policy::Energy
+            .choose(&d, w, TaskKind::Inference, Seconds::ZERO)
+            .unwrap();
+        assert_eq!(idx, 2, "FPGA should win on energy");
+    }
+
+    #[test]
+    fn weighted_interpolates() {
+        let d = devices();
+        let w = Work::flops(66e9);
+        let perf = Policy::Weighted(0.0)
+            .choose(&d, w, TaskKind::Inference, Seconds::ZERO)
+            .unwrap();
+        let energy = Policy::Weighted(1.0)
+            .choose(&d, w, TaskKind::Inference, Seconds::ZERO)
+            .unwrap();
+        assert_eq!(perf, 1);
+        assert_eq!(energy, 2);
+    }
+
+    #[test]
+    fn busy_device_loses_performance_race() {
+        let mut d = devices();
+        // Keep the GPU busy for a long time.
+        let (_s, _f) = d[1].execute(Seconds::ZERO, Work::flops(1e14), TaskKind::Inference);
+        let idx = Policy::Performance
+            .choose(&d, Work::flops(66e9), TaskKind::Inference, Seconds::ZERO)
+            .unwrap();
+        assert_ne!(idx, 1, "busy GPU should be skipped");
+    }
+
+    #[test]
+    fn rank_orders_all_devices() {
+        let d = devices();
+        let order = Policy::Energy.rank(&d, Work::flops(66e9), TaskKind::Inference, Seconds::ZERO);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 2);
+        // Every index appears exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_devices_gives_none() {
+        assert!(Policy::Performance
+            .choose(&[], Work::flops(1.0), TaskKind::Compute, Seconds::ZERO)
+            .is_none());
+        assert!(best_spec_for(&[], Work::flops(1.0), TaskKind::Compute, Policy::Energy).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "trade-off weight")]
+    fn weighted_validates() {
+        let d = devices();
+        let _ = Policy::Weighted(1.5).choose(&d, Work::flops(1.0), TaskKind::Compute, Seconds::ZERO);
+    }
+
+    #[test]
+    fn best_spec_static_choice() {
+        let specs = vec![DeviceSpec::xeon_x86(), DeviceSpec::fpga_kintex()];
+        let idx = best_spec_for(
+            &specs,
+            Work::flops(66e9),
+            TaskKind::Inference,
+            Policy::Energy,
+        )
+        .unwrap();
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn edp_balances() {
+        let d = devices();
+        let idx = Policy::Edp
+            .choose(&d, Work::flops(66e9), TaskKind::Inference, Seconds::ZERO)
+            .unwrap();
+        // EDP squares the delay advantage: the GPU's 4× speed edge beats
+        // the FPGA's 2× energy edge.
+        assert_eq!(idx, 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Enclave lifecycle, measurement and local attestation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SecureError;
+use crate::seal::{seal, unseal, SealedBlob};
+
+/// Identifier of an enclave on one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EnclaveId(pub u64);
+
+impl std::fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// A local attestation quote: binds an enclave measurement to a
+/// verifier-chosen nonce under the platform key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quote {
+    /// The attested enclave's measurement.
+    pub measurement: u64,
+    /// The verifier's nonce.
+    pub nonce: u64,
+    /// Signature-equivalent binding (keyed hash under the platform key).
+    pub binding: u64,
+}
+
+#[derive(Debug, Clone)]
+struct EnclaveState {
+    measurement: u64,
+    sealing_key: u64,
+}
+
+/// A platform (one machine's TEE support): creates enclaves, seals data,
+/// issues and verifies quotes.
+///
+/// `hardware_crypto` marks SGX/TrustZone-class instruction support; it
+/// changes none of the security semantics, only the cost model in
+/// [`crate::task`].
+#[derive(Debug, Clone)]
+pub struct Platform {
+    platform_key: u64,
+    /// Whether crypto is hardware-accelerated (AES-NI/SGX class).
+    pub hardware_crypto: bool,
+    enclaves: HashMap<u64, EnclaveState>,
+    next_id: u64,
+}
+
+impl Platform {
+    /// A platform with a device-unique key.
+    #[must_use]
+    pub fn new(platform_key: u64, hardware_crypto: bool) -> Self {
+        Platform {
+            platform_key,
+            hardware_crypto,
+            enclaves: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of live enclaves.
+    #[must_use]
+    pub fn enclave_count(&self) -> usize {
+        self.enclaves.len()
+    }
+
+    /// Create an enclave from its code image; the measurement is a hash
+    /// of the image, and the sealing key is derived from platform key and
+    /// measurement (so the same code on the same platform can unseal its
+    /// own data, as in SGX's `MRENCLAVE` sealing policy).
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::Platform`] when the 64-enclave limit is reached.
+    pub fn create_enclave(&mut self, code: &[u8]) -> Result<EnclaveId, SecureError> {
+        if self.enclaves.len() >= 64 {
+            return Err(SecureError::Platform("enclave limit (64) reached".into()));
+        }
+        let measurement = measure(code);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.enclaves.insert(
+            id,
+            EnclaveState {
+                measurement,
+                sealing_key: derive_key(self.platform_key, measurement),
+            },
+        );
+        Ok(EnclaveId(id))
+    }
+
+    /// Destroy an enclave.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::UnknownEnclave`] if it does not exist.
+    pub fn destroy_enclave(&mut self, id: EnclaveId) -> Result<(), SecureError> {
+        self.enclaves
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(SecureError::UnknownEnclave(id.0))
+    }
+
+    /// The measurement (code hash) of an enclave.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::UnknownEnclave`] if it does not exist.
+    pub fn measurement(&self, id: EnclaveId) -> Result<u64, SecureError> {
+        self.state(id).map(|s| s.measurement)
+    }
+
+    /// Seal data under an enclave's sealing key.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::UnknownEnclave`] if it does not exist.
+    pub fn seal(&self, id: EnclaveId, data: &[u8]) -> Result<SealedBlob, SecureError> {
+        Ok(seal(self.state(id)?.sealing_key, data))
+    }
+
+    /// Unseal data previously sealed by the *same enclave code* on the
+    /// *same platform*.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::UnknownEnclave`] for a missing enclave;
+    /// [`SecureError::IntegrityViolation`] on tamper or key mismatch.
+    pub fn unseal(&self, id: EnclaveId, blob: &SealedBlob) -> Result<Vec<u8>, SecureError> {
+        unseal(self.state(id)?.sealing_key, blob)
+    }
+
+    /// Produce a local attestation quote for `id` over a verifier nonce.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::UnknownEnclave`] if it does not exist.
+    pub fn attest(&self, id: EnclaveId, nonce: u64) -> Result<Quote, SecureError> {
+        let m = self.state(id)?.measurement;
+        Ok(Quote {
+            measurement: m,
+            nonce,
+            binding: bind(self.platform_key, m, nonce),
+        })
+    }
+
+    /// Verify a quote allegedly produced by *this* platform against the
+    /// expected measurement and the nonce the verifier chose.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::BadQuote`] when the binding, measurement or nonce
+    /// disagree.
+    pub fn verify_quote(
+        &self,
+        quote: &Quote,
+        expected_measurement: u64,
+        nonce: u64,
+    ) -> Result<(), SecureError> {
+        if quote.measurement != expected_measurement
+            || quote.nonce != nonce
+            || quote.binding != bind(self.platform_key, quote.measurement, nonce)
+        {
+            return Err(SecureError::BadQuote);
+        }
+        Ok(())
+    }
+
+    fn state(&self, id: EnclaveId) -> Result<&EnclaveState, SecureError> {
+        self.enclaves
+            .get(&id.0)
+            .ok_or(SecureError::UnknownEnclave(id.0))
+    }
+}
+
+/// Measure a code image (FNV-1a + finalization).
+#[must_use]
+pub fn measure(code: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in code {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    mix(hash)
+}
+
+fn derive_key(platform_key: u64, measurement: u64) -> u64 {
+    mix(platform_key ^ measurement.rotate_left(17))
+}
+
+fn bind(platform_key: u64, measurement: u64, nonce: u64) -> u64 {
+    mix(platform_key ^ measurement ^ nonce.rotate_left(31))
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_code_same_measurement() {
+        let mut p = Platform::new(1, false);
+        let a = p.create_enclave(b"module").unwrap();
+        let b = p.create_enclave(b"module").unwrap();
+        assert_eq!(p.measurement(a).unwrap(), p.measurement(b).unwrap());
+        let c = p.create_enclave(b"other").unwrap();
+        assert_ne!(p.measurement(a).unwrap(), p.measurement(c).unwrap());
+    }
+
+    #[test]
+    fn seal_unseal_same_enclave_code() {
+        let mut p = Platform::new(7, true);
+        let a = p.create_enclave(b"module").unwrap();
+        let blob = p.seal(a, b"weights").unwrap();
+        // A second instance of the same code can unseal (MRENCLAVE policy).
+        let b = p.create_enclave(b"module").unwrap();
+        assert_eq!(p.unseal(b, &blob).unwrap(), b"weights");
+    }
+
+    #[test]
+    fn different_code_cannot_unseal() {
+        let mut p = Platform::new(7, true);
+        let a = p.create_enclave(b"module").unwrap();
+        let blob = p.seal(a, b"weights").unwrap();
+        let evil = p.create_enclave(b"malware").unwrap();
+        assert_eq!(
+            p.unseal(evil, &blob),
+            Err(SecureError::IntegrityViolation)
+        );
+    }
+
+    #[test]
+    fn different_platform_cannot_unseal() {
+        let mut p1 = Platform::new(1, true);
+        let mut p2 = Platform::new(2, true);
+        let a = p1.create_enclave(b"module").unwrap();
+        let blob = p1.seal(a, b"weights").unwrap();
+        let b = p2.create_enclave(b"module").unwrap();
+        assert_eq!(p2.unseal(b, &blob), Err(SecureError::IntegrityViolation));
+    }
+
+    #[test]
+    fn attestation_round_trip() {
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"module").unwrap();
+        let m = p.measurement(e).unwrap();
+        let quote = p.attest(e, 0xDEAD).unwrap();
+        p.verify_quote(&quote, m, 0xDEAD).unwrap();
+    }
+
+    #[test]
+    fn replayed_quote_rejected() {
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"module").unwrap();
+        let m = p.measurement(e).unwrap();
+        let quote = p.attest(e, 0xDEAD).unwrap();
+        // Verifier uses a fresh nonce: the old quote must not verify.
+        assert_eq!(p.verify_quote(&quote, m, 0xBEEF), Err(SecureError::BadQuote));
+    }
+
+    #[test]
+    fn forged_measurement_rejected() {
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"module").unwrap();
+        let mut quote = p.attest(e, 1).unwrap();
+        quote.measurement ^= 1;
+        assert_eq!(
+            p.verify_quote(&quote, quote.measurement, 1),
+            Err(SecureError::BadQuote)
+        );
+    }
+
+    #[test]
+    fn destroy_then_use_errors() {
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"m").unwrap();
+        p.destroy_enclave(e).unwrap();
+        assert_eq!(p.seal(e, b"x"), Err(SecureError::UnknownEnclave(e.0)));
+        assert_eq!(p.enclave_count(), 0);
+    }
+
+    #[test]
+    fn enclave_limit_enforced() {
+        let mut p = Platform::new(5, false);
+        for i in 0..64 {
+            p.create_enclave(format!("m{i}").as_bytes()).unwrap();
+        }
+        assert!(matches!(
+            p.create_enclave(b"one too many"),
+            Err(SecureError::Platform(_))
+        ));
+    }
+}

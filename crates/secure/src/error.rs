@@ -1,0 +1,50 @@
+//! Error type for the secure layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated trusted-execution layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SecureError {
+    /// An enclave id was not found on this platform.
+    UnknownEnclave(u64),
+    /// A sealed blob failed its integrity check (tampered or wrong key).
+    IntegrityViolation,
+    /// An attestation quote did not verify.
+    BadQuote,
+    /// The platform refused an operation (e.g. enclave limit reached).
+    Platform(String),
+}
+
+impl fmt::Display for SecureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecureError::UnknownEnclave(id) => write!(f, "unknown enclave {id}"),
+            SecureError::IntegrityViolation => {
+                write!(f, "sealed data failed integrity verification")
+            }
+            SecureError::BadQuote => write!(f, "attestation quote did not verify"),
+            SecureError::Platform(msg) => write!(f, "platform error: {msg}"),
+        }
+    }
+}
+
+impl Error for SecureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SecureError::IntegrityViolation.to_string().contains("integrity"));
+        assert!(SecureError::UnknownEnclave(4).to_string().contains("4"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SecureError>();
+    }
+}

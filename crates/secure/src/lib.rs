@@ -1,0 +1,50 @@
+//! # legato-secure
+//!
+//! Software simulation of the trusted-execution layer LEGaTO builds on
+//! SGX (x86) and TrustZone (ARM): "for security, we will develop
+//! energy-efficient security-by-design by leveraging instruction-level
+//! hardware support for security … to accelerate software-based security
+//! implementations" (paper §I).
+//!
+//! The simulation preserves the *behavioural* contract of a TEE without
+//! claiming cryptographic strength (the cipher is a keyed stream XOR with
+//! a hash MAC — a stand-in that exercises the same code paths):
+//!
+//! * [`seal`] — data sealed by an enclave is unreadable without the
+//!   enclave key and tamper-evident;
+//! * [`enclave`] — enclaves have a *measurement* (code hash), local
+//!   attestation produces verifiable quotes bound to a nonce, and
+//!   entering/leaving an enclave costs time and energy;
+//! * [`task`] — wrapping a task in an enclave adds transition and
+//!   crypto costs that depend on whether the platform has hardware
+//!   crypto acceleration — the knob behind the project's "10× security
+//!   at low overhead" ambition.
+//!
+//! ## Example
+//!
+//! ```
+//! use legato_secure::enclave::Platform;
+//!
+//! # fn main() -> Result<(), legato_secure::SecureError> {
+//! let mut platform = Platform::new(2024, true); // hardware-assisted
+//! let enclave = platform.create_enclave(b"detector-v1")?;
+//! let sealed = platform.seal(enclave, b"model weights")?;
+//! assert_ne!(&sealed.ciphertext, b"model weights");
+//! let opened = platform.unseal(enclave, &sealed)?;
+//! assert_eq!(opened, b"model weights");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enclave;
+pub mod error;
+pub mod seal;
+pub mod task;
+
+pub use enclave::{EnclaveId, Platform, Quote};
+pub use error::SecureError;
+pub use seal::SealedBlob;
+pub use task::{secure_task_cost, ExecutionMode, SecureCost};

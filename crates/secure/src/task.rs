@@ -1,0 +1,182 @@
+//! Cost model of secure task execution.
+//!
+//! Running a task inside an enclave costs, beyond the task itself:
+//! world transitions (ecall/ocall pairs), and encryption/decryption of the
+//! data crossing the enclave boundary. Hardware crypto support
+//! (SGX/TrustZone-class instructions) raises the crypto throughput by
+//! roughly an order of magnitude — which is exactly the lever the paper's
+//! "energy-efficient security-by-design" pulls.
+
+use legato_core::units::{Bytes, BytesPerSec, Joule, Seconds, Watt};
+use serde::{Deserialize, Serialize};
+
+/// How a task executes with respect to the TEE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// No security: raw task cost.
+    Plain,
+    /// Enclave execution with software-only crypto.
+    SecureSoftware,
+    /// Enclave execution with hardware-accelerated crypto.
+    SecureHardware,
+}
+
+impl ExecutionMode {
+    /// Crypto throughput of the boundary encryption in this mode
+    /// (`None` for [`ExecutionMode::Plain`]).
+    #[must_use]
+    pub fn crypto_bandwidth(self) -> Option<BytesPerSec> {
+        match self {
+            ExecutionMode::Plain => None,
+            ExecutionMode::SecureSoftware => Some(BytesPerSec::mib_per_sec(180.0)),
+            ExecutionMode::SecureHardware => Some(BytesPerSec::gib_per_sec(2.2)),
+        }
+    }
+}
+
+/// Per-transition cost of entering/leaving the enclave (TLB and cache
+/// flushes dominate; ~8 µs is the measured SGX order of magnitude).
+pub const TRANSITION_TIME: Seconds = Seconds(8.0e-6);
+
+/// Cost breakdown of one secure task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SecureCost {
+    /// The raw (unprotected) task time.
+    pub base_time: Seconds,
+    /// Time spent in world transitions.
+    pub transition_time: Seconds,
+    /// Time spent encrypting/decrypting boundary data.
+    pub crypto_time: Seconds,
+    /// Total wall time.
+    pub total_time: Seconds,
+    /// Total energy at the given power draw.
+    pub energy: Joule,
+    /// Relative overhead versus plain execution (`total/base − 1`).
+    pub overhead: f64,
+}
+
+/// Compute the cost of executing a task of `base_time` at `power`, moving
+/// `boundary_bytes` across the enclave boundary, with `transitions`
+/// ecall/ocall pairs, in the given mode.
+///
+/// # Panics
+///
+/// Panics if `base_time` is non-positive.
+#[must_use]
+pub fn secure_task_cost(
+    base_time: Seconds,
+    power: Watt,
+    boundary_bytes: Bytes,
+    transitions: u32,
+    mode: ExecutionMode,
+) -> SecureCost {
+    assert!(base_time.0 > 0.0, "task time must be positive");
+    let transition_time = TRANSITION_TIME * (2.0 * f64::from(transitions));
+    let crypto_time = match mode.crypto_bandwidth() {
+        None => Seconds::ZERO,
+        Some(bw) => {
+            if boundary_bytes == Bytes::ZERO {
+                Seconds::ZERO
+            } else {
+                boundary_bytes.time_at(bw)
+            }
+        }
+    };
+    let (transition_time, crypto_time) = if mode == ExecutionMode::Plain {
+        (Seconds::ZERO, Seconds::ZERO)
+    } else {
+        (transition_time, crypto_time)
+    };
+    let total_time = base_time + transition_time + crypto_time;
+    SecureCost {
+        base_time,
+        transition_time,
+        crypto_time,
+        total_time,
+        energy: power * total_time,
+        overhead: total_time / base_time - 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRAME: Bytes = Bytes(1920 * 1080 * 3); // one RGB frame ≈ 5.9 MiB
+
+    #[test]
+    fn plain_has_no_overhead() {
+        let c = secure_task_cost(Seconds(0.05), Watt(50.0), FRAME, 4, ExecutionMode::Plain);
+        assert_eq!(c.total_time, c.base_time);
+        assert_eq!(c.overhead, 0.0);
+    }
+
+    #[test]
+    fn software_crypto_dominates_overhead() {
+        let c = secure_task_cost(
+            Seconds(0.05),
+            Watt(50.0),
+            FRAME,
+            4,
+            ExecutionMode::SecureSoftware,
+        );
+        assert!(c.crypto_time > c.transition_time);
+        assert!(c.overhead > 0.3, "sw overhead {}", c.overhead);
+    }
+
+    #[test]
+    fn hardware_crypto_cuts_overhead_by_order_of_magnitude() {
+        let sw = secure_task_cost(
+            Seconds(0.05),
+            Watt(50.0),
+            FRAME,
+            4,
+            ExecutionMode::SecureSoftware,
+        );
+        let hw = secure_task_cost(
+            Seconds(0.05),
+            Watt(50.0),
+            FRAME,
+            4,
+            ExecutionMode::SecureHardware,
+        );
+        let ratio = sw.overhead / hw.overhead;
+        assert!(
+            ratio > 8.0,
+            "expected ≥8x overhead reduction, got {ratio:.1} ({} vs {})",
+            sw.overhead,
+            hw.overhead
+        );
+    }
+
+    #[test]
+    fn energy_follows_time() {
+        let c = secure_task_cost(
+            Seconds(0.1),
+            Watt(100.0),
+            Bytes::mib(1),
+            2,
+            ExecutionMode::SecureHardware,
+        );
+        assert!((c.energy.0 - 100.0 * c.total_time.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_boundary_bytes_costs_only_transitions() {
+        let c = secure_task_cost(
+            Seconds(0.1),
+            Watt(10.0),
+            Bytes::ZERO,
+            8,
+            ExecutionMode::SecureHardware,
+        );
+        assert_eq!(c.crypto_time, Seconds::ZERO);
+        assert!((c.transition_time.0 - 16.0 * 8.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "task time must be positive")]
+    fn base_time_validated() {
+        let _ = secure_task_cost(Seconds::ZERO, Watt(1.0), Bytes::ZERO, 0, ExecutionMode::Plain);
+    }
+}

@@ -1,0 +1,82 @@
+//! Drive the HEATS scheduler: submit tasks with different
+//! energy/performance weights, watch placements, then free a better node
+//! and watch the migration (Fig. 7's placement/migration loop).
+//!
+//! Run with: `cargo run --example heats_cluster`
+
+use legato::core::task::{TaskKind, Work};
+use legato::core::units::{Bytes, Seconds};
+use legato::heats::{Heats, TaskRequest};
+use legato::hw::cluster::NodeSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut heats = Heats::new(
+        vec![
+            NodeSpec::high_perf_x86("x86-0"),
+            NodeSpec::low_power_arm("arm-0"),
+            NodeSpec::low_power_arm("arm-1"),
+            NodeSpec::gpu_node("gpu-0"),
+        ],
+        7,
+    );
+
+    // The same job under three customer trade-offs.
+    for weight in [0.0, 0.5, 1.0] {
+        heats.submit(
+            TaskRequest::new(
+                format!("batch-w{weight}"),
+                2,
+                Bytes::gib(2),
+                Work::flops(4e11),
+                TaskKind::Compute,
+            )
+            .with_weight(weight),
+        );
+    }
+    let placed = heats.schedule(Seconds::ZERO)?;
+    println!("placements by customer weight:");
+    for p in &placed {
+        println!(
+            "  {:<12} -> {:<6} (finish {:>7.2} s, predicted {:>6.1} J)",
+            p.name,
+            heats.node_name(p.node),
+            p.finish.0,
+            p.predicted_energy.0
+        );
+    }
+
+    // Migration: an inference task lands off the GPU because the GPU node
+    // is full, then migrates once the filler finishes.
+    let mut heats = Heats::new(
+        vec![NodeSpec::gpu_node("gpu-0"), NodeSpec::high_perf_x86("x86-0")],
+        7,
+    );
+    heats.submit(
+        TaskRequest::new("filler", 8, Bytes::gib(24), Work::flops(4e12), TaskKind::Inference)
+            .with_weight(0.0),
+    );
+    let filler = heats.schedule(Seconds::ZERO)?;
+    heats.submit(
+        TaskRequest::new("nn-service", 2, Bytes::gib(4), Work::flops(9e13), TaskKind::Inference)
+            .with_weight(0.0),
+    );
+    let placed = heats.schedule(Seconds(0.001))?;
+    println!(
+        "\nnn-service initially on {} (GPU node full)",
+        heats.node_name(placed[0].node)
+    );
+    let t = filler[0].finish;
+    heats.reap(t);
+    let migrations = heats.reschedule(t);
+    for m in &migrations {
+        println!(
+            "at {:.2} s: migrated task {} {} -> {} (new finish {:.2} s)",
+            m.at.0,
+            m.task_id,
+            heats.node_name(m.from),
+            heats.node_name(m.to),
+            m.new_finish.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Security-by-design: seal model weights into an enclave, attest it, and
+//! compare the cost of plain vs. software-crypto vs. hardware-accelerated
+//! secure execution of a detection stage.
+//!
+//! Run with: `cargo run --example secure_pipeline`
+
+use legato::core::units::{Bytes, Seconds, Watt};
+use legato::secure::enclave::Platform;
+use legato::secure::task::{secure_task_cost, ExecutionMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Provision the detector enclave and seal its weights.
+    let mut platform = Platform::new(0xC0FFEE, true);
+    let enclave = platform.create_enclave(b"yolo-detector-v3")?;
+    let weights = vec![0x42u8; 64 * 1024];
+    let sealed = platform.seal(enclave, &weights)?;
+    println!(
+        "sealed {} of weights; ciphertext differs from plaintext: {}",
+        Bytes(weights.len() as u64),
+        sealed.ciphertext != weights
+    );
+
+    // 2. A verifier attests the enclave before handing it camera frames.
+    let nonce = 0x5EED;
+    let quote = platform.attest(enclave, nonce)?;
+    platform.verify_quote(&quote, platform.measurement(enclave)?, nonce)?;
+    println!("attestation verified (measurement {:#018x})", quote.measurement);
+
+    // 3. Tampering is detected.
+    let mut tampered = sealed.clone();
+    tampered.ciphertext[100] ^= 0xFF;
+    assert!(platform.unseal(enclave, &tampered).is_err());
+    println!("tampered blob rejected\n");
+
+    // 4. What does security cost per frame?
+    println!("per-frame cost of a 44 ms detection stage (full-HD frame in/out):");
+    for mode in [
+        ExecutionMode::Plain,
+        ExecutionMode::SecureSoftware,
+        ExecutionMode::SecureHardware,
+    ] {
+        let c = secure_task_cost(
+            Seconds(0.044),
+            Watt(180.0),
+            Bytes(1920 * 1080 * 3),
+            4,
+            mode,
+        );
+        println!(
+            "  {mode:?}: {:>6.1} ms/frame ({:>5.1}% overhead, {:.2} J)",
+            c.total_time.0 * 1e3,
+            c.overhead * 100.0,
+            c.energy.0
+        );
+    }
+    println!("\nhardware crypto keeps security overhead near-free — the paper's 'energy-efficient security-by-design'.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Undervolt an FPGA's BRAM rail step by step and watch the three voltage
+//! regions of Fig. 5 appear: guardband, critical (bit-flips), crash.
+//!
+//! Run with: `cargo run --example undervolt_sweep`
+
+use legato::core::units::{Seconds, Volt};
+use legato::fpga::{FpgaPlatform, UndervoltFpga, VoltageRegion};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = FpgaPlatform::vc707();
+    println!(
+        "platform {} ({}): Vnom {:.2} V, Vmin {:.2} V, Vcrash {:.2} V\n",
+        platform.name, platform.family, platform.v_nominal.0, platform.v_min.0, platform.v_crash.0
+    );
+
+    let mut fpga = UndervoltFpga::new(platform, 2024);
+    fpga.brams_mut().fill(0xAA);
+    let golden = fpga.brams().snapshot();
+
+    let mut v = 1.0;
+    loop {
+        match fpga.set_vccbram(Volt(v)) {
+            Ok(VoltageRegion::Crash) => {
+                println!("{v:.3} V  crash      DONE pin unset — board must be reprogrammed");
+                break;
+            }
+            Ok(region) => {
+                fpga.tick(Seconds(1.0));
+                let errors = fpga.brams().count_bit_errors(&golden);
+                println!(
+                    "{v:.3} V  {:<10} power {:>6.3} W (saving {:>4.1}%)  bit errors {errors}",
+                    region.to_string(),
+                    fpga.power().0,
+                    fpga.platform().power_saving_at(Volt(v)) * 100.0,
+                );
+                // Restore the pattern for the next step's fresh exposure.
+                fpga.reprogram(Volt(1.0))?;
+                fpga.brams_mut().fill(0xAA);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        v -= 0.02;
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the LEGaTO layers working together.
+
+use legato::core::requirements::{Criticality, Requirements};
+use legato::core::task::{AccessMode, TaskDescriptor, TaskKind, Work};
+use legato::core::units::{Bytes, Seconds, Volt};
+use legato::fpga::{FpgaPlatform, UndervoltFpga, VoltageRegion};
+use legato::fti::fti::Strategy;
+use legato::fti::{CheckpointLevel, Fti, FtiConfig};
+use legato::hw::device::DeviceSpec;
+use legato::hw::memory::{AddrSpace, MemoryManager};
+use legato::hw::recs::RecsBox;
+use legato::hw::storage::{StorageDevice, StorageTier};
+use legato::runtime::{Policy, Runtime};
+
+/// An undervolted FPGA corrupts BRAM-resident data; the task runtime's
+/// triple replication masks the resulting wrong answers. Hardware layer →
+/// runtime layer, end to end.
+#[test]
+fn undervolted_fpga_faults_are_masked_by_replication() {
+    // Characterize the fault probability of a deeply undervolted VC707.
+    let mut fpga = UndervoltFpga::new(FpgaPlatform::vc707(), 5);
+    fpga.brams_mut().fill(0xAA);
+    let golden = fpga.brams().snapshot();
+    fpga.set_vccbram(Volt(0.55)).expect("valid voltage");
+    assert_eq!(fpga.region(), VoltageRegion::Critical);
+    fpga.tick(Seconds(1.0));
+    let errors = fpga.brams().count_bit_errors(&golden);
+    assert!(errors > 0, "deep critical region must corrupt data");
+
+    // Translate the observed corruption into a per-task fault probability
+    // and let the runtime replicate over it.
+    let fault_prob = 0.3;
+    let mut rt = Runtime::new(
+        vec![
+            DeviceSpec::xeon_x86(),
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+        ],
+        Policy::Performance,
+        9,
+    );
+    rt.set_fault_prob(2, fault_prob); // the undervolted FPGA
+    for i in 0..10u64 {
+        rt.submit(
+            TaskDescriptor::named(format!("critical-{i}"))
+                .with_kind(TaskKind::Inference)
+                .with_work(Work::flops(1e10))
+                .with_requirements(Requirements::new().with_criticality(Criticality::Critical)),
+            [(i, AccessMode::Out)],
+        );
+    }
+    let report = rt.run().expect("devices present");
+    assert!(report.is_correct(), "replication must mask FPGA faults: {:?}", report.stats);
+}
+
+/// Checkpoint data that physically lives in simulated GPU memory, crash,
+/// and restore it bit-exact: memory substrate → FTI → recovery.
+#[test]
+fn gpu_checkpoint_round_trip_through_real_bytes() {
+    let mut mm = MemoryManager::new();
+    let device_region = mm
+        .alloc(AddrSpace::Device(legato::hw::DeviceId(0)), Bytes::mib(2))
+        .expect("alloc");
+    let payload: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    mm.write(device_region, 0, &payload).expect("fits");
+
+    let mut fti = Fti::new(FtiConfig::default(), 0);
+    fti.protect(0, device_region, &mm).expect("unique id");
+    let mut nvme = StorageDevice::new(StorageTier::local_nvme());
+    let ckpt = fti
+        .checkpoint(&mut mm, &mut nvme, CheckpointLevel::L1, Strategy::Async, Seconds::ZERO)
+        .expect("checkpoint");
+
+    // The async strategy must beat the initial one on the same state.
+    let t_initial = fti.checkpoint_duration(&mm, &nvme.tier, Strategy::Initial);
+    let t_async = fti.checkpoint_duration(&mm, &nvme.tier, Strategy::Async);
+    assert!(t_initial > t_async);
+
+    // Clobber device memory and recover.
+    mm.write(device_region, 0, &vec![0u8; 4096]).expect("fits");
+    fti.recover(&mut mm, &mut nvme, Strategy::Async, ckpt.finish)
+        .expect("recover");
+    let (restored, _) = mm.read_for_host(device_region).expect("alive");
+    assert_eq!(&restored[..4096], payload.as_slice());
+}
+
+/// Build a realistic RECS|BOX, hand its modules to the runtime, and check
+/// the energy-aware policy exploits the low-power modules.
+#[test]
+fn recs_box_modules_feed_the_runtime() {
+    let recs = RecsBox::builder("integration")
+        .high_performance_carrier(vec![DeviceSpec::xeon_x86(); 2])
+        .low_power_carrier(vec![DeviceSpec::arm64(); 4])
+        .pcie_expansion(DeviceSpec::gtx1080())
+        .build()
+        .expect("valid topology");
+    assert_eq!(recs.module_count(), 7);
+
+    // Compare policies across the CPU microservers, where the energy/
+    // performance trade-off is real (x86 fast but hungry, ARM slow but
+    // frugal). The GPU wins both metrics for dense compute under the
+    // full-utilization device model, which would mask the comparison.
+    let specs: Vec<DeviceSpec> = recs
+        .microservers()
+        .into_iter()
+        .filter(|m| {
+            matches!(
+                m.device.kind,
+                legato::hw::DeviceKind::CpuX86 | legato::hw::DeviceKind::CpuArm
+            )
+        })
+        .map(|m| m.device.clone())
+        .collect();
+    assert_eq!(specs.len(), 6);
+
+    let run = |policy| {
+        let mut rt = Runtime::new(specs.clone(), policy, 3);
+        for i in 0..12u64 {
+            rt.submit(
+                TaskDescriptor::named("job").with_work(Work::flops(2e9)),
+                [(i, AccessMode::Out)],
+            );
+        }
+        rt.run().expect("devices present")
+    };
+    let perf = run(Policy::Performance);
+    let green = run(Policy::Energy);
+    assert!(green.busy_energy.0 < perf.busy_energy.0);
+}
+
+/// The graph's error propagation marks downstream tasks of a failure, and
+/// root-cause analysis walks back to the failed ancestor.
+#[test]
+fn error_propagation_and_root_cause_across_pipeline() {
+    use legato::core::graph::{TaskGraph, TaskState};
+
+    let mut g = TaskGraph::new();
+    let load = g.add_task(TaskDescriptor::named("load"), [(0u64, AccessMode::Out)]);
+    let detect = g.add_task(
+        TaskDescriptor::named("detect"),
+        [(0u64, AccessMode::In), (1u64, AccessMode::Out)],
+    );
+    let track = g.add_task(
+        TaskDescriptor::named("track"),
+        [(1u64, AccessMode::In), (2u64, AccessMode::Out)],
+    );
+    let render = g.add_task(TaskDescriptor::named("render"), [(2u64, AccessMode::In)]);
+
+    g.complete(load).expect("ready");
+    let poisoned = g.fail(detect).expect("running order");
+    assert_eq!(poisoned, vec![track, render]);
+    assert_eq!(g.state(render).expect("exists"), TaskState::Poisoned);
+    assert_eq!(g.root_cause(render).expect("exists"), vec![detect]);
+}
