@@ -48,12 +48,7 @@ fn bench_reed_solomon(c: &mut Criterion) {
     g.bench_function("reconstruct_2_of_10", |b| {
         let rs = ReedSolomon::new(8, 2).expect("geometry");
         let parity = rs.encode(&data).expect("encode");
-        let all: Vec<Option<Vec<u8>>> = data
-            .iter()
-            .cloned()
-            .chain(parity)
-            .map(Some)
-            .collect();
+        let all: Vec<Option<Vec<u8>>> = data.iter().cloned().chain(parity).map(Some).collect();
         b.iter(|| {
             let mut shards = all.clone();
             shards[0] = None;

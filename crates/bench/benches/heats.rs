@@ -35,5 +35,10 @@ fn bench_full_tradeoff_point(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_schedule, bench_model_learning, bench_full_tradeoff_point);
+criterion_group!(
+    benches,
+    bench_schedule,
+    bench_model_learning,
+    bench_full_tradeoff_point
+);
 criterion_main!(benches);

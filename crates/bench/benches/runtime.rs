@@ -38,15 +38,20 @@ fn bench_runtime_run(c: &mut Criterion) {
 fn bench_critical_path(c: &mut Criterion) {
     let mut g = TaskGraph::new();
     for i in 0..500u64 {
-        g.add_task(
-            TaskDescriptor::named("t"),
-            [(i % 8, AccessMode::InOut)],
-        );
+        g.add_task(TaskDescriptor::named("t"), [(i % 8, AccessMode::InOut)]);
     }
     c.bench_function("runtime/critical_path_500", |b| {
-        b.iter(|| g.critical_path(|id, _| 1.0 + (id.0 % 7) as f64).expect("non-empty"))
+        b.iter(|| {
+            g.critical_path(|id, _| 1.0 + (id.0 % 7) as f64)
+                .expect("non-empty")
+        })
     });
 }
 
-criterion_group!(benches, bench_graph_build, bench_runtime_run, bench_critical_path);
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_runtime_run,
+    bench_critical_path
+);
 criterion_main!(benches);

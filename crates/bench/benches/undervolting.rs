@@ -40,5 +40,10 @@ fn bench_full_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fault_model, bench_fault_injection, bench_full_sweep);
+criterion_group!(
+    benches,
+    bench_fault_model,
+    bench_fault_injection,
+    bench_full_sweep
+);
 criterion_main!(benches);

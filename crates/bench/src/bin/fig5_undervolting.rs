@@ -10,7 +10,12 @@ fn main() {
 
     // Per-platform landmark table (the §III-B comparison).
     let mut summary = Table::new(vec![
-        "platform", "family", "Vnom", "Vmin", "Vcrash", "faults/Mbit@crash",
+        "platform",
+        "family",
+        "Vnom",
+        "Vmin",
+        "Vcrash",
+        "faults/Mbit@crash",
         "power saving@crash",
     ]);
     for s in &sweeps {
@@ -30,7 +35,11 @@ fn main() {
     let vc707 = &sweeps[0];
     println!("VC707 series (power + observed fault rate vs voltage):\n");
     let mut series = Table::new(vec![
-        "VCCBRAM", "region", "power", "saving", "faults/Mbit (observed)",
+        "VCCBRAM",
+        "region",
+        "power",
+        "saving",
+        "faults/Mbit (observed)",
         "faults/Mbit (model)",
     ]);
     for p in fig5::series(vc707, 4) {

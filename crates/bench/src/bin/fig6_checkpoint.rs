@@ -11,13 +11,18 @@ fn main() {
     let micro_only = std::env::args().any(|a| a == "--micro");
     if !micro_only {
         println!("== Fig. 6: Heat2D checkpoint/restart, weak scaling ==\n");
-        for (label, per_process) in
-            [("16 Gb/process", Bytes::gib(2)), ("32 Gb/process", Bytes::gib(4))]
-        {
+        for (label, per_process) in [
+            ("16 Gb/process", Bytes::gib(2)),
+            ("32 Gb/process", Bytes::gib(4)),
+        ] {
             println!("panel: {label} (4 processes/node, node-local NVMe)\n");
             let rows = fig6::run(&[1, 4, 8, 16], per_process);
             let mut t = Table::new(vec![
-                "nodes", "total data", "ckpt initial", "ckpt async", "recover initial",
+                "nodes",
+                "total data",
+                "ckpt initial",
+                "ckpt async",
+                "recover initial",
                 "recover async",
             ]);
             for nodes in [1usize, 4, 8, 16] {

@@ -12,8 +12,12 @@ fn main() {
     );
     let points = heats::tradeoff_sweep(&[0.0, 0.25, 0.5, 0.75, 1.0], 24, 2024);
     let mut t = Table::new(vec![
-        "weight (energy)", "mean completion", "makespan", "total energy",
-        "low-power share", "migrations",
+        "weight (energy)",
+        "mean completion",
+        "makespan",
+        "total energy",
+        "low-power share",
+        "migrations",
     ]);
     for p in &points {
         t.row(vec![

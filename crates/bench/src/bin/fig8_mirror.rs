@@ -8,7 +8,11 @@ fn main() {
     println!("== §VI / E6: Smart Mirror — workstation vs edge server ==\n");
     let rows = mirror::run(2024);
     let mut t = Table::new(vec![
-        "configuration", "FPS", "power", "energy/frame", "tracking quality",
+        "configuration",
+        "FPS",
+        "power",
+        "energy/frame",
+        "tracking quality",
         "identities (4 actors)",
     ]);
     for r in &rows {

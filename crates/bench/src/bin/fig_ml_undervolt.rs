@@ -11,7 +11,11 @@ fn main() {
     let voltages = ml::standard_voltages(&platform);
     let points = ml::run(platform, &voltages, ml::standard_exposure(), 2024);
     let mut t = Table::new(vec![
-        "VCCBRAM", "region", "power saving", "weight bit errors", "accuracy",
+        "VCCBRAM",
+        "region",
+        "power saving",
+        "weight bit errors",
+        "accuracy",
     ]);
     for p in &points {
         t.row(vec![

@@ -10,7 +10,13 @@ fn main() {
     println!("== E9: secure task execution cost (YOLO stage, full-HD frame) ==\n");
     let rows = secure::run(Seconds(0.044), Watt(180.0));
     let mut t = Table::new(vec![
-        "mode", "total time", "crypto time", "transitions", "FPS", "energy", "overhead",
+        "mode",
+        "total time",
+        "crypto time",
+        "transitions",
+        "FPS",
+        "energy",
+        "overhead",
     ]);
     for r in &rows {
         t.row(vec![

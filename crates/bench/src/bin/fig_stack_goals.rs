@@ -20,12 +20,20 @@ fn main() {
     }
     println!("{t}");
     let saving = 1.0 - rows.last().expect("rows").energy.0 / rows[0].energy.0;
-    println!("energy policy saves {:.0}% busy energy vs performance policy\n", saving * 100.0);
+    println!(
+        "energy policy saves {:.0}% busy energy vs performance policy\n",
+        saving * 100.0
+    );
 
-    println!("(b) selective replication under GPU silent-data-corruption (p=0.08/exec, 40 trials):\n");
+    println!(
+        "(b) selective replication under GPU silent-data-corruption (p=0.08/exec, 40 trials):\n"
+    );
     let rows = goals::reliability_comparison(0.08, 40);
     let mut t = Table::new(vec![
-        "strategy", "critical tasks correct", "all tasks correct", "mean energy",
+        "strategy",
+        "critical tasks correct",
+        "all tasks correct",
+        "mean energy",
         "mean makespan",
     ]);
     for r in &rows {
@@ -52,7 +60,10 @@ fn main() {
     let v = goals::ckpt_volume();
     let mut t = Table::new(vec!["checkpointer", "volume"]);
     t.row(vec!["full memory".to_string(), v.full.to_string()]);
-    t.row(vec!["task-declared (live set)".to_string(), v.declared.to_string()]);
+    t.row(vec![
+        "task-declared (live set)".to_string(),
+        v.declared.to_string(),
+    ]);
     println!("{t}");
     println!("volume reduction: {:.1}x", v.factor);
 
@@ -71,8 +82,13 @@ fn main() {
     ];
     let rows = undervolt_ablation(&platform, &voltages, 6, 25);
     let mut t = Table::new(vec![
-        "VCCBRAM", "region", "fpga power saving", "task fault prob",
-        "correct (no repl.)", "correct (triplicated)", "repl. energy factor",
+        "VCCBRAM",
+        "region",
+        "fpga power saving",
+        "task fault prob",
+        "correct (no repl.)",
+        "correct (triplicated)",
+        "repl. energy factor",
     ]);
     for r in &rows {
         t.row(vec![

@@ -54,10 +54,7 @@ pub fn series(sweep: &PlatformSweep, stride: usize) -> Vec<&SweepPoint> {
 /// and EXPERIMENTS.md): returns `(saving_at_crash, rate_at_crash)`.
 #[must_use]
 pub fn headline(sweep: &PlatformSweep) -> (f64, f64) {
-    (
-        sweep.summary.saving_at_crash,
-        sweep.summary.rate_at_crash.0,
-    )
+    (sweep.summary.saving_at_crash, sweep.summary.rate_at_crash.0)
 }
 
 /// Voltage distance between measured and calibrated `Vmin` (model sanity).

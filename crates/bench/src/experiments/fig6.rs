@@ -138,12 +138,21 @@ mod tests {
     #[test]
     fn initial_to_async_gap_matches_paper_shape() {
         let rows = run(&[1], Bytes::gib(2));
-        let initial = rows.iter().find(|r| r.strategy == Strategy::Initial).unwrap();
+        let initial = rows
+            .iter()
+            .find(|r| r.strategy == Strategy::Initial)
+            .unwrap();
         let fast = rows.iter().find(|r| r.strategy == Strategy::Async).unwrap();
         let ckpt_ratio = initial.ckpt / fast.ckpt;
         let rec_ratio = initial.recover / fast.recover;
-        assert!((8.0..16.0).contains(&ckpt_ratio), "ckpt ratio {ckpt_ratio:.2}");
-        assert!((3.0..8.0).contains(&rec_ratio), "recover ratio {rec_ratio:.2}");
+        assert!(
+            (8.0..16.0).contains(&ckpt_ratio),
+            "ckpt ratio {ckpt_ratio:.2}"
+        );
+        assert!(
+            (3.0..8.0).contains(&rec_ratio),
+            "recover ratio {rec_ratio:.2}"
+        );
     }
 
     #[test]

@@ -143,7 +143,8 @@ pub fn reliability_comparison(fault_prob: f64, trials: u64) -> Vec<ReliabilityRo
         let mut makespan = 0.0;
         for seed in 0..trials {
             let mut rt = Runtime::new(reference_devices(), Policy::Performance, seed);
-            rt.set_fault_prob(1, fault_prob); // the GPU is flaky
+            // The GPU is flaky.
+            rt.set_fault_prob(1, fault_prob);
             // Designate critical tasks deterministically per seed, then
             // map to the strategy's effective criticality.
             let mut rng = SmallRng::seed_from_u64(seed ^ 0xC417);
@@ -244,10 +245,7 @@ pub struct CkptVolumeRow {
 pub fn ckpt_volume() -> CkptVolumeRow {
     use legato_core::graph::TaskGraph;
     let mut g = TaskGraph::new();
-    let producer = g.add_task(
-        TaskDescriptor::named("load"),
-        [(0u64, AccessMode::Out)],
-    );
+    let producer = g.add_task(TaskDescriptor::named("load"), [(0u64, AccessMode::Out)]);
     let mut workers = Vec::new();
     let mut sizes: HashMap<RegionId, Bytes> = HashMap::new();
     sizes.insert(RegionId(0), Bytes::gib(4)); // the raw input
@@ -265,8 +263,7 @@ pub fn ckpt_volume() -> CkptVolumeRow {
             ],
         ));
     }
-    let reduce_in: Vec<(u64, AccessMode)> =
-        (0..16u64).map(|i| (200 + i, AccessMode::In)).collect();
+    let reduce_in: Vec<(u64, AccessMode)> = (0..16u64).map(|i| (200 + i, AccessMode::In)).collect();
     let _reduce = g.add_task(TaskDescriptor::named("reduce"), reduce_in);
     // Execute up to the post-worker frontier.
     g.complete(producer).expect("ready");

@@ -103,9 +103,7 @@ pub fn run_weight(weight: f64, n_tasks: usize, seed: u64) -> TradeoffPoint {
         // The periodic rescheduling phase: migrate misplaced tasks to
         // nodes freed by the completions.
         heats.reschedule(now);
-        if heats.pending_count() == 0
-            && heats.nodes().iter().all(|n| n.running().is_empty())
-        {
+        if heats.pending_count() == 0 && heats.nodes().iter().all(|n| n.running().is_empty()) {
             break;
         }
     }

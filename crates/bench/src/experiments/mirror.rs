@@ -101,12 +101,14 @@ mod tests {
         let rows = run(3);
         let ws = &rows[0];
         assert!((18.0..26.0).contains(&ws.fps), "workstation fps {}", ws.fps);
-        assert!((330.0..470.0).contains(&ws.power.0), "workstation {}", ws.power);
+        assert!(
+            (330.0..470.0).contains(&ws.power.0),
+            "workstation {}",
+            ws.power
+        );
         // At least one edge config meets the ≥10 FPS, ≤70 W envelope.
         assert!(
-            rows[1..]
-                .iter()
-                .any(|r| r.fps >= 10.0 && r.power.0 <= 70.0),
+            rows[1..].iter().any(|r| r.fps >= 10.0 && r.power.0 <= 70.0),
             "no edge config hits target: {rows:?}"
         );
     }

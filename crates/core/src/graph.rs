@@ -129,10 +129,8 @@ impl TaskGraph {
         R: Into<RegionId>,
     {
         let id = TaskId(self.nodes.len() as u64);
-        let accesses: Vec<(RegionId, AccessMode)> = accesses
-            .into_iter()
-            .map(|(r, m)| (r.into(), m))
-            .collect();
+        let accesses: Vec<(RegionId, AccessMode)> =
+            accesses.into_iter().map(|(r, m)| (r.into(), m)).collect();
 
         let mut preds: Vec<TaskId> = Vec::new();
         for &(region, mode) in &accesses {
@@ -398,9 +396,9 @@ impl TaskGraph {
             dist[i] = incoming + c;
         }
         let (mut at, mut total) = (TaskId(0), dist[0]);
-        for i in 1..n {
-            if dist[i] > total {
-                total = dist[i];
+        for (i, &d) in dist.iter().enumerate().skip(1) {
+            if d > total {
+                total = d;
                 at = TaskId(i as u64);
             }
         }
@@ -445,9 +443,7 @@ impl TaskGraph {
     }
 
     fn node(&self, id: TaskId) -> Result<&Node, CoreError> {
-        self.nodes
-            .get(id.index())
-            .ok_or(CoreError::UnknownTask(id))
+        self.nodes.get(id.index()).ok_or(CoreError::UnknownTask(id))
     }
 
     fn node_mut(&mut self, id: TaskId) -> Result<&mut Node, CoreError> {
@@ -588,7 +584,11 @@ mod tests {
         let b = g.add_task(desc("b"), [(1u64, AccessMode::Out)]);
         let c = g.add_task(
             desc("c"),
-            [(0u64, AccessMode::In), (1u64, AccessMode::In), (2u64, AccessMode::Out)],
+            [
+                (0u64, AccessMode::In),
+                (1u64, AccessMode::In),
+                (2u64, AccessMode::Out),
+            ],
         );
         let d = g.add_task(desc("d"), [(2u64, AccessMode::In)]);
         g.fail(a).unwrap();
@@ -650,7 +650,10 @@ mod tests {
     #[test]
     fn duplicate_region_access_deduplicates_edges() {
         let mut g = TaskGraph::new();
-        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out), (1u64, AccessMode::Out)]);
+        let a = g.add_task(
+            desc("a"),
+            [(0u64, AccessMode::Out), (1u64, AccessMode::Out)],
+        );
         let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::In)]);
         // Two shared regions but only one edge a→b.
         assert_eq!(g.predecessors(b).unwrap(), &[a]);

@@ -11,11 +11,14 @@ use proptest::prelude::*;
 
 /// A random access declaration: small region space to force conflicts.
 fn access_strategy() -> impl Strategy<Value = (u64, AccessMode)> {
-    (0u64..6, prop_oneof![
-        Just(AccessMode::In),
-        Just(AccessMode::Out),
-        Just(AccessMode::InOut)
-    ])
+    (
+        0u64..6,
+        prop_oneof![
+            Just(AccessMode::In),
+            Just(AccessMode::Out),
+            Just(AccessMode::InOut)
+        ],
+    )
 }
 
 fn accesses_strategy() -> impl Strategy<Value = Vec<(u64, AccessMode)>> {
@@ -148,10 +151,7 @@ proptest! {
     }
 }
 
-fn reachable_set(
-    g: &TaskGraph,
-    from: TaskId,
-) -> std::collections::HashSet<TaskId> {
+fn reachable_set(g: &TaskGraph, from: TaskId) -> std::collections::HashSet<TaskId> {
     let mut seen = std::collections::HashSet::new();
     let mut stack = vec![from];
     while let Some(t) = stack.pop() {

@@ -39,7 +39,10 @@ impl fmt::Display for FpgaError {
                 write!(f, "invalid rail voltage {requested}")
             }
             FpgaError::AddressOutOfRange { offset, capacity } => {
-                write!(f, "bram offset {offset} out of range (capacity {capacity} bytes)")
+                write!(
+                    f,
+                    "bram offset {offset} out of range (capacity {capacity} bytes)"
+                )
             }
         }
     }
@@ -55,9 +58,11 @@ mod tests {
     fn display() {
         let e = FpgaError::Crashed { at: Volt(0.5) };
         assert!(e.to_string().contains("DONE pin"));
-        assert!(FpgaError::InvalidVoltage { requested: Volt(-1.0) }
-            .to_string()
-            .contains("invalid"));
+        assert!(FpgaError::InvalidVoltage {
+            requested: Volt(-1.0)
+        }
+        .to_string()
+        .contains("invalid"));
     }
 
     #[test]

@@ -232,7 +232,10 @@ mod tests {
         assert_eq!(region, VoltageRegion::Crash);
         assert!(!f.done_pin());
         assert!(matches!(f.read_bram(0, 1), Err(FpgaError::Crashed { .. })));
-        assert!(matches!(f.write_bram(0, &[1]), Err(FpgaError::Crashed { .. })));
+        assert!(matches!(
+            f.write_bram(0, &[1]),
+            Err(FpgaError::Crashed { .. })
+        ));
     }
 
     #[test]

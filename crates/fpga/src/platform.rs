@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn published_crash_fault_rates() {
         assert_eq!(FpgaPlatform::vc707().faults_at_crash, FaultsPerMbit(652.0));
-        assert_eq!(FpgaPlatform::kc705_a().faults_at_crash, FaultsPerMbit(254.0));
+        assert_eq!(
+            FpgaPlatform::kc705_a().faults_at_crash,
+            FaultsPerMbit(254.0)
+        );
         assert_eq!(FpgaPlatform::kc705_b().faults_at_crash, FaultsPerMbit(60.0));
         assert_eq!(FpgaPlatform::zc702().faults_at_crash, FaultsPerMbit(153.0));
     }
@@ -234,7 +237,10 @@ mod tests {
         let p = FpgaPlatform::vc707();
         assert_eq!(p.region_at(Volt(1.0)), VoltageRegion::Guardband);
         assert_eq!(p.region_at(p.v_min), VoltageRegion::Guardband);
-        assert_eq!(p.region_at(Volt(p.v_min.0 - 0.001)), VoltageRegion::Critical);
+        assert_eq!(
+            p.region_at(Volt(p.v_min.0 - 0.001)),
+            VoltageRegion::Critical
+        );
         assert_eq!(p.region_at(p.v_crash), VoltageRegion::Crash);
         assert_eq!(p.region_at(Volt(0.3)), VoltageRegion::Crash);
     }
@@ -272,7 +278,12 @@ mod tests {
             let just_above = Volt(p.v_crash.0 + 1e-9);
             let rate = p.fault_rate_at(just_above);
             let rel = (rate.0 - p.faults_at_crash.0).abs() / p.faults_at_crash.0;
-            assert!(rel < 0.01, "{}: rate {rate} vs {}", p.name, p.faults_at_crash);
+            assert!(
+                rel < 0.01,
+                "{}: rate {rate} vs {}",
+                p.name,
+                p.faults_at_crash
+            );
         }
     }
 

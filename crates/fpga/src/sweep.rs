@@ -136,8 +136,7 @@ impl SweepSummary {
             .expect("sweep must reach the crash region");
         let last_usable = points
             .iter()
-            .filter(|p| p.region != VoltageRegion::Crash)
-            .next_back()
+            .rfind(|p| p.region != VoltageRegion::Crash)
             .expect("sweep has usable points");
         SweepSummary {
             platform: platform.name.clone(),
@@ -163,7 +162,9 @@ mod tests {
         // Ends exactly at the first crash point.
         assert_eq!(pts.last().unwrap().region, VoltageRegion::Crash);
         assert_eq!(
-            pts.iter().filter(|p| p.region == VoltageRegion::Crash).count(),
+            pts.iter()
+                .filter(|p| p.region == VoltageRegion::Crash)
+                .count(),
             1
         );
     }
@@ -203,12 +204,16 @@ mod tests {
         let pts = undervolt_sweep(FpgaPlatform::vc707(), 5.0, 5);
         let last_usable = pts
             .iter()
-            .filter(|p| p.region == VoltageRegion::Critical)
-            .next_back()
+            .rfind(|p| p.region == VoltageRegion::Critical)
             .unwrap();
         let rel = (last_usable.observed_rate.0 - last_usable.expected_rate.0).abs()
             / last_usable.expected_rate.0;
-        assert!(rel < 0.25, "observed {} vs model {}", last_usable.observed_rate, last_usable.expected_rate);
+        assert!(
+            rel < 0.25,
+            "observed {} vs model {}",
+            last_usable.observed_rate,
+            last_usable.expected_rate
+        );
     }
 
     #[test]

@@ -219,7 +219,8 @@ impl Fti {
         if self.protected.contains_key(&id) {
             return Err(FtiError::DuplicateId(id));
         }
-        self.protected.insert(id, Protected::Phantom { space, size });
+        self.protected
+            .insert(id, Protected::Phantom { space, size });
         Ok(())
     }
 
@@ -258,13 +259,13 @@ impl Fti {
     ) -> Result<Option<CheckpointReport>, FtiError> {
         self.snapshot_counter += 1;
         let c = self.snapshot_counter;
-        let level = if c % self.config.l4_every == 0 {
+        let level = if c.is_multiple_of(self.config.l4_every) {
             Some(CheckpointLevel::L4)
-        } else if c % self.config.l3_every == 0 {
+        } else if c.is_multiple_of(self.config.l3_every) {
             Some(CheckpointLevel::L3)
-        } else if c % self.config.l2_every == 0 {
+        } else if c.is_multiple_of(self.config.l2_every) {
             Some(CheckpointLevel::L2)
-        } else if c % self.config.l1_every == 0 {
+        } else if c.is_multiple_of(self.config.l1_every) {
             Some(CheckpointLevel::L1)
         } else {
             None
@@ -607,8 +608,14 @@ mod tests {
             / fti.checkpoint_duration(&mm, &storage.tier, Strategy::Async);
         let rc = fti.recover_duration(&mm, &storage.tier, Strategy::Initial)
             / fti.recover_duration(&mm, &storage.tier, Strategy::Async);
-        assert!(rc < ck, "recover ratio {rc:.2} should be below ckpt ratio {ck:.2}");
-        assert!(rc > 2.0, "recover ratio {rc:.2} should still be substantial");
+        assert!(
+            rc < ck,
+            "recover ratio {rc:.2} should be below ckpt ratio {ck:.2}"
+        );
+        assert!(
+            rc > 2.0,
+            "recover ratio {rc:.2} should still be substantial"
+        );
     }
 
     #[test]
@@ -638,7 +645,12 @@ mod tests {
 
     #[test]
     fn snapshot_skips_when_not_due() {
-        let cfg = FtiConfig::builder().l1_every(3).l2_every(100).l3_every(100).l4_every(100).build();
+        let cfg = FtiConfig::builder()
+            .l1_every(3)
+            .l2_every(100)
+            .l3_every(100)
+            .l4_every(100)
+            .build();
         let mut fti = Fti::new(cfg, 0);
         let mut mm = MemoryManager::new();
         let h = mm.alloc(AddrSpace::Host, Bytes::kib(1)).unwrap();
@@ -714,10 +726,22 @@ mod tests {
             .protect_phantom(0, AddrSpace::Host, Bytes::mib(512))
             .unwrap();
         let a = fti_a
-            .checkpoint(&mut mm, &mut storage, CheckpointLevel::L1, Strategy::Async, Seconds::ZERO)
+            .checkpoint(
+                &mut mm,
+                &mut storage,
+                CheckpointLevel::L1,
+                Strategy::Async,
+                Seconds::ZERO,
+            )
             .unwrap();
         let b = fti_b
-            .checkpoint(&mut mm, &mut storage, CheckpointLevel::L1, Strategy::Async, Seconds::ZERO)
+            .checkpoint(
+                &mut mm,
+                &mut storage,
+                CheckpointLevel::L1,
+                Strategy::Async,
+                Seconds::ZERO,
+            )
             .unwrap();
         assert_eq!(b.start, a.finish);
     }

@@ -98,7 +98,7 @@ impl FtiGroup {
     pub fn new(config: FtiConfig, n_ranks: usize) -> Self {
         assert!(n_ranks > 0, "need at least one rank");
         assert!(
-            n_ranks % config.procs_per_node == 0,
+            n_ranks.is_multiple_of(config.procs_per_node),
             "ranks must fill whole nodes"
         );
         let n_nodes = n_ranks / config.procs_per_node;
@@ -215,7 +215,7 @@ impl FtiGroup {
             CheckpointLevel::L1 => {}
             CheckpointLevel::L2 => {
                 let network = BytesPerSec(5.0e9); // compute network, 40 GbE
-                for rank in 0..n {
+                for (rank, report) in reports.iter().enumerate() {
                     let ckpt = self.engines[rank]
                         .local_checkpoint()
                         .cloned()
@@ -223,7 +223,7 @@ impl FtiGroup {
                     let host = self.partner_node(self.node_of(rank));
                     let xfer = ckpt.bytes.time_at(network);
                     let (_s, f) = self.partner_storage[host].write(
-                        reports[rank].finish + xfer,
+                        report.finish + xfer,
                         ckpt.bytes,
                         WriteMode::Streaming,
                     );
@@ -235,14 +235,14 @@ impl FtiGroup {
                 finish = finish.max(self.encode_l3(&reports)?);
             }
             CheckpointLevel::L4 => {
-                for rank in 0..n {
+                for (rank, report) in reports.iter().enumerate() {
                     let ckpt = self.engines[rank]
                         .local_checkpoint()
                         .cloned()
                         .ok_or(FtiError::NoCheckpoint)?;
-                    let (_s, f) =
-                        self.pfs
-                            .write(reports[rank].finish, ckpt.bytes, WriteMode::Streaming);
+                    let (_s, f) = self
+                        .pfs
+                        .write(report.finish, ckpt.bytes, WriteMode::Streaming);
                     finish = finish.max(f);
                     self.l4_store[rank] = Some(ckpt);
                 }
@@ -327,8 +327,8 @@ impl FtiGroup {
         }
         // Second pass: perform recoveries and accumulate timing.
         let mut finish = now;
-        for rank in 0..n {
-            let f = match levels[rank] {
+        for (rank, &level) in levels.iter().enumerate() {
+            let f = match level {
                 CheckpointLevel::L1 => {
                     let node = self.node_of(rank);
                     let rep = self.engines[rank].recover(
@@ -350,10 +350,7 @@ impl FtiGroup {
                     self.engines[rank].install_checkpoint(ckpt);
                     f
                 }
-                CheckpointLevel::L3 => {
-                    let f = self.reconstruct_l3(rank, now)?;
-                    f
-                }
+                CheckpointLevel::L3 => self.reconstruct_l3(rank, now)?,
                 CheckpointLevel::L4 => {
                     let ckpt = self.l4_store[rank].clone().expect("checked");
                     let (_s, f) = self.pfs.read(now, ckpt.bytes, WriteMode::Streaming);

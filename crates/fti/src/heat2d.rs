@@ -54,7 +54,7 @@ impl Heat2d {
         assert!(global_rows >= 2 && cols >= 1, "grid too small");
         assert!(size >= 1 && rank < size, "bad rank/size");
         assert!(
-            global_rows % size == 0,
+            global_rows.is_multiple_of(size),
             "global rows must divide evenly across ranks"
         );
         let local_rows = global_rows / size;
@@ -100,7 +100,10 @@ impl Heat2d {
     /// Panics on out-of-range indices.
     #[must_use]
     pub fn at(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.local_rows && col < self.cols, "index out of range");
+        assert!(
+            row < self.local_rows && col < self.cols,
+            "index out of range"
+        );
         self.grid[(row + 1) * self.cols + col]
     }
 
@@ -285,8 +288,7 @@ impl Heat2d {
             return Err(FtiError::LayoutMismatch("halo row size mismatch".into()));
         }
         for (col, chunk) in bytes.chunks_exact(8).enumerate() {
-            self.grid[row * self.cols + col] =
-                f64::from_le_bytes(chunk.try_into().expect("8"));
+            self.grid[row * self.cols + col] = f64::from_le_bytes(chunk.try_into().expect("8"));
         }
         Ok(())
     }
@@ -404,8 +406,8 @@ mod tests {
 
     #[test]
     fn save_load_through_memory_manager() {
-        use legato_hw::memory::AddrSpace;
         use legato_core::units::Bytes;
+        use legato_hw::memory::AddrSpace;
 
         let mut mm = MemoryManager::new();
         let mut h = Heat2d::new(8, 4, 0, 1, 50.0, 0.0);

@@ -46,8 +46,8 @@ impl GfTables {
         let mut log = [0u8; 256];
         let mut exp = [0u8; 512];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -76,8 +76,7 @@ impl GfTables {
         if a == 0 {
             0
         } else {
-            self.exp
-                [self.log[a as usize] as usize + 255 - self.log[b as usize] as usize]
+            self.exp[self.log[a as usize] as usize + 255 - self.log[b as usize] as usize]
         }
     }
 
@@ -245,9 +244,8 @@ impl ReedSolomon {
         // shards, inverted.
         let chosen = &present[..self.data];
         let sub: Vec<Vec<u8>> = chosen.iter().map(|&i| self.matrix[i].clone()).collect();
-        let inv = invert_matrix(&self.gf, &sub).ok_or_else(|| {
-            FtiError::LayoutMismatch("decode matrix is singular".into())
-        })?;
+        let inv = invert_matrix(&self.gf, &sub)
+            .ok_or_else(|| FtiError::LayoutMismatch("decode matrix is singular".into()))?;
 
         // Rebuild the original data shards: data = inv · survivors.
         let mut data_shards: Vec<Vec<u8>> = Vec::with_capacity(self.data);
@@ -324,13 +322,14 @@ fn invert_matrix(gf: &GfTables, m: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
         for x in &mut aug[col] {
             *x = gf.mul(*x, inv);
         }
-        // Eliminate other rows.
-        for r in 0..n {
-            if r != col && aug[r][col] != 0 {
-                let factor = aug[r][col];
-                for c in 0..2 * n {
-                    let v = gf.mul(factor, aug[col][c]);
-                    aug[r][c] ^= v;
+        // Eliminate other rows (pivot row snapshot keeps the borrows
+        // disjoint).
+        let pivot_row = aug[col].clone();
+        for (r, row) in aug.iter_mut().enumerate() {
+            if r != col && row[col] != 0 {
+                let factor = row[col];
+                for (target, &p) in row.iter_mut().zip(&pivot_row) {
+                    *target ^= gf.mul(factor, p);
                 }
             }
         }
@@ -412,8 +411,7 @@ mod tests {
             .map(|i| (0..64).map(|j| (i * 64 + j) as u8).collect())
             .collect();
         let parity = rs.encode(&data).unwrap();
-        let mut all: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().chain(parity).map(Some).collect();
+        let mut all: Vec<Option<Vec<u8>>> = data.iter().cloned().chain(parity).map(Some).collect();
         all[0] = None;
         all[3] = None;
         rs.reconstruct(&mut all).unwrap();
@@ -427,8 +425,12 @@ mod tests {
         let rs = ReedSolomon::new(3, 2).unwrap();
         let data = vec![vec![1u8; 16], vec![2u8; 16], vec![3u8; 16]];
         let parity = rs.encode(&data).unwrap();
-        let mut all: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().chain(parity.clone()).map(Some).collect();
+        let mut all: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity.clone())
+            .map(Some)
+            .collect();
         all[3] = None;
         all[4] = None;
         rs.reconstruct(&mut all).unwrap();
@@ -441,8 +443,7 @@ mod tests {
         let rs = ReedSolomon::new(4, 3).unwrap();
         let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 10; 32]).collect();
         let parity = rs.encode(&data).unwrap();
-        let mut all: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().chain(parity).map(Some).collect();
+        let mut all: Vec<Option<Vec<u8>>> = data.iter().cloned().chain(parity).map(Some).collect();
         // Lose 3 shards (= parity count): 2 data + 1 parity.
         all[1] = None;
         all[2] = None;
@@ -457,13 +458,15 @@ mod tests {
         let rs = ReedSolomon::new(3, 1).unwrap();
         let data = vec![vec![0u8; 8]; 3];
         let parity = rs.encode(&data).unwrap();
-        let mut all: Vec<Option<Vec<u8>>> =
-            data.into_iter().chain(parity).map(Some).collect();
+        let mut all: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
         all[0] = None;
         all[1] = None;
         assert!(matches!(
             rs.reconstruct(&mut all),
-            Err(FtiError::TooManyErasures { present: 2, required: 3 })
+            Err(FtiError::TooManyErasures {
+                present: 2,
+                required: 3
+            })
         ));
     }
 

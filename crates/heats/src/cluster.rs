@@ -129,10 +129,8 @@ impl ClusterNode {
 
     /// Remove and return all instances finished at or before `now`.
     pub fn reap_finished(&mut self, now: Seconds) -> Vec<RunningTask> {
-        let (done, keep): (Vec<_>, Vec<_>) = self
-            .running
-            .drain(..)
-            .partition(|r| r.finishes <= now);
+        let (done, keep): (Vec<_>, Vec<_>) =
+            self.running.drain(..).partition(|r| r.finishes <= now);
         self.running = keep;
         done
     }

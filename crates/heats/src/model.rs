@@ -88,7 +88,13 @@ impl NodeModel {
     ///
     /// Panics if `cores` is zero.
     #[must_use]
-    pub fn predict_time(&self, work: Work, kind: TaskKind, cores: u32, total_cores: u32) -> Seconds {
+    pub fn predict_time(
+        &self,
+        work: Work,
+        kind: TaskKind,
+        cores: u32,
+        total_cores: u32,
+    ) -> Seconds {
         assert!(cores >= 1, "request must reserve at least one core");
         match kind {
             TaskKind::Inference => Seconds(work.flops / self.inference_rate.max(1e-18)),

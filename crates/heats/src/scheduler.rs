@@ -251,8 +251,7 @@ impl Heats {
             .flat_map(|(n, node)| node.running().iter().map(move |r| (n, r.id)))
             .collect();
         for (from, task_id) in running {
-            let Some(instance) = self
-                .nodes[from]
+            let Some(instance) = self.nodes[from]
                 .running()
                 .iter()
                 .find(|r| r.id == task_id)
@@ -275,8 +274,7 @@ impl Heats {
 
             // Score of staying: the current node, with the task's own
             // resources considered available to itself.
-            let Some((stay_score, _t, _e)) =
-                self.score_on(&rem_request, from, Some(task_id))
+            let Some((stay_score, _t, _e)) = self.score_on(&rem_request, from, Some(task_id))
             else {
                 continue;
             };
@@ -287,7 +285,7 @@ impl Heats {
                     continue;
                 }
                 if let Some((score, t, _e)) = self.score_on(&rem_request, cand, None) {
-                    if best.map_or(true, |(_, s, _)| score < s) {
+                    if best.is_none_or(|(_, s, _)| score < s) {
                         best = Some((cand, score, t));
                     }
                 }
@@ -346,11 +344,11 @@ impl Heats {
         let (tmin, tmax) = min_max(preds.iter().map(|p| p.0 .0));
         let (emin, emax) = min_max(preds.iter().map(|p| p.1 .0));
         let mut best: Option<(usize, f64)> = None;
-        for i in 0..candidates.len() {
-            let t_norm = normalize(preds[i].0 .0, tmin, tmax);
-            let e_norm = normalize(preds[i].1 .0, emin, emax);
+        for (i, pred) in preds.iter().enumerate() {
+            let t_norm = normalize(pred.0 .0, tmin, tmax);
+            let e_norm = normalize(pred.1 .0, emin, emax);
             let score = request.weight * e_norm + (1.0 - request.weight) * t_norm;
-            if best.map_or(true, |(_, s)| score < s) {
+            if best.is_none_or(|(_, s)| score < s) {
                 best = Some((i, score));
             }
         }
@@ -386,8 +384,7 @@ impl Heats {
         // normalized batch scoring.
         let t_ref = self.typical_time(request);
         let e_ref = self.typical_energy(request);
-        let score =
-            request.weight * (e.0 / e_ref) + (1.0 - request.weight) * (t.0 / t_ref);
+        let score = request.weight * (e.0 / e_ref) + (1.0 - request.weight) * (t.0 / t_ref);
         Some((score, t, e))
     }
 
@@ -496,8 +493,14 @@ mod tests {
         let mut h = cluster();
         // Fill the ARM node (8 cores).
         h.submit(
-            TaskRequest::new("filler", 8, Bytes::gib(4), Work::flops(1e14), TaskKind::Compute)
-                .with_weight(1.0),
+            TaskRequest::new(
+                "filler",
+                8,
+                Bytes::gib(4),
+                Work::flops(1e14),
+                TaskKind::Compute,
+            )
+            .with_weight(1.0),
         );
         h.schedule(Seconds::ZERO).unwrap();
         // Now an energy-weighted task cannot use ARM.
@@ -553,15 +556,27 @@ mod tests {
         // Fill the GPU node (an inference filler grabs all its cores) so
         // the later inference task lands elsewhere.
         h.submit(
-            TaskRequest::new("filler", 8, Bytes::gib(30), Work::flops(5e12), TaskKind::Inference)
-                .with_weight(0.0),
+            TaskRequest::new(
+                "filler",
+                8,
+                Bytes::gib(30),
+                Work::flops(5e12),
+                TaskKind::Inference,
+            )
+            .with_weight(0.0),
         );
         let f = h.schedule(Seconds::ZERO).unwrap();
         let gpu_idx = f[0].node;
         assert_eq!(h.node_name(gpu_idx), "gpu");
         h.submit(
-            TaskRequest::new("nn", 2, Bytes::gib(2), Work::flops(8e13), TaskKind::Inference)
-                .with_weight(0.0),
+            TaskRequest::new(
+                "nn",
+                2,
+                Bytes::gib(2),
+                Work::flops(8e13),
+                TaskKind::Inference,
+            )
+            .with_weight(0.0),
         );
         let placed = h.schedule(Seconds(0.0)).unwrap();
         let nn_node = placed[0].node;

@@ -282,8 +282,7 @@ mod tests {
         );
         // And it is far faster than the CPU-share path for compute.
         assert!(
-            g.request_time(w, TaskKind::Inference, 1)
-                < g.request_time(w, TaskKind::Compute, 1)
+            g.request_time(w, TaskKind::Inference, 1) < g.request_time(w, TaskKind::Compute, 1)
         );
     }
 

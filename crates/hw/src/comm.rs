@@ -191,9 +191,9 @@ impl Endpoint {
         if self.rank == root {
             let mut all = vec![Vec::new(); self.size];
             all[root] = data;
-            for from in 0..self.size {
+            for (from, slot) in all.iter_mut().enumerate() {
                 if from != root {
-                    all[from] = self.recv(from)?;
+                    *slot = self.recv(from)?;
                 }
             }
             Ok(Some(all))
@@ -262,7 +262,11 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         run_group(3, |ep| {
-            let data = if ep.rank() == 1 { vec![7, 7, 7] } else { vec![] };
+            let data = if ep.rank() == 1 {
+                vec![7, 7, 7]
+            } else {
+                vec![]
+            };
             let got = ep.broadcast(1, data).unwrap();
             assert_eq!(got, vec![7, 7, 7]);
         });

@@ -364,8 +364,14 @@ mod tests {
     #[test]
     fn empty_work_is_free() {
         let dev = DeviceSpec::arm64();
-        assert_eq!(dev.time_for(Work::default(), TaskKind::Compute), Seconds::ZERO);
-        assert_eq!(dev.energy_for(Work::default(), TaskKind::Compute), Joule::ZERO);
+        assert_eq!(
+            dev.time_for(Work::default(), TaskKind::Compute),
+            Seconds::ZERO
+        );
+        assert_eq!(
+            dev.energy_for(Work::default(), TaskKind::Compute),
+            Joule::ZERO
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(HwError::UnknownRegion(3).to_string(), "unknown memory region 3");
+        assert_eq!(
+            HwError::UnknownRegion(3).to_string(),
+            "unknown memory region 3"
+        );
         assert!(HwError::OutOfCapacity {
             what: "device memory",
             requested: 10,

@@ -278,11 +278,7 @@ impl MemoryManager {
     ///
     /// [`HwError::UnknownRegion`] for a stale handle;
     /// [`HwError::OutOfCapacity`] if `bytes` exceeds the region size.
-    pub fn restore_from_host(
-        &mut self,
-        h: RegionHandle,
-        bytes: &[u8],
-    ) -> Result<Seconds, HwError> {
+    pub fn restore_from_host(&mut self, h: RegionHandle, bytes: &[u8]) -> Result<Seconds, HwError> {
         let space = self.space(h)?;
         let size = Bytes(bytes.len() as u64);
         let region = self

@@ -249,7 +249,8 @@ impl RecsBoxBuilder {
     #[must_use]
     pub fn pcie_expansion(mut self, accelerator: DeviceSpec) -> Self {
         let m = Microserver::new(format!("pcie{}", self.carriers.len()), accelerator);
-        self.carriers.push(Carrier::PcieExpansion { accelerator: m });
+        self.carriers
+            .push(Carrier::PcieExpansion { accelerator: m });
         self
     }
 

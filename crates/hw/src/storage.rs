@@ -89,9 +89,7 @@ impl StorageTier {
             WriteMode::ChunkSync { chunk } => {
                 let chunk = chunk.max(Bytes(1));
                 let chunks = size.as_u64().div_ceil(chunk.as_u64());
-                self.setup_latency
-                    + size.time_at(self.write_bw)
-                    + self.sync_latency * chunks as f64
+                self.setup_latency + size.time_at(self.write_bw) + self.sync_latency * chunks as f64
             }
         }
     }
@@ -245,8 +243,14 @@ mod tests {
     #[test]
     fn zero_bytes_is_free() {
         let nvme = StorageTier::local_nvme();
-        assert_eq!(nvme.write_time(Bytes::ZERO, WriteMode::Streaming), Seconds::ZERO);
-        assert_eq!(nvme.read_time(Bytes::ZERO, WriteMode::Streaming), Seconds::ZERO);
+        assert_eq!(
+            nvme.write_time(Bytes::ZERO, WriteMode::Streaming),
+            Seconds::ZERO
+        );
+        assert_eq!(
+            nvme.read_time(Bytes::ZERO, WriteMode::Streaming),
+            Seconds::ZERO
+        );
     }
 
     #[test]

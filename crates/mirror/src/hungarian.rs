@@ -238,7 +238,11 @@ mod tests {
             let rows = rng.gen_range(1..=5);
             let cols = rng.gen_range(rows..=6);
             let cost: Vec<Vec<f64>> = (0..rows)
-                .map(|_| (0..cols).map(|_| f64::from(rng.gen_range(0..100))).collect())
+                .map(|_| {
+                    (0..cols)
+                        .map(|_| f64::from(rng.gen_range(0..100)))
+                        .collect()
+                })
                 .collect();
             let a = assign(&cost);
             let total = assignment_cost(&cost, &a);

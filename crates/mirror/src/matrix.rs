@@ -189,8 +189,8 @@ impl Matrix {
         // Augmented [A | I].
         let mut aug = vec![vec![0.0; 2 * n]; n];
         for (i, row) in aug.iter_mut().enumerate() {
-            for j in 0..n {
-                row[j] = self.get(i, j);
+            for (j, cell) in row.iter_mut().enumerate().take(n) {
+                *cell = self.get(i, j);
             }
             row[n + i] = 1.0;
         }
@@ -212,21 +212,24 @@ impl Matrix {
             for v in &mut aug[col] {
                 *v /= p;
             }
-            for r in 0..n {
+            // Pivot row snapshot keeps the borrows disjoint during
+            // elimination.
+            let pivot_row = aug[col].clone();
+            for (r, row) in aug.iter_mut().enumerate() {
                 if r != col {
-                    let f = aug[r][col];
+                    let f = row[col];
                     if f != 0.0 {
-                        for c in 0..2 * n {
-                            aug[r][c] -= f * aug[col][c];
+                        for (cell, &p) in row.iter_mut().zip(&pivot_row) {
+                            *cell -= f * p;
                         }
                     }
                 }
             }
         }
         let mut out = Matrix::zeros(n, n);
-        for i in 0..n {
+        for (i, row) in aug.iter().enumerate() {
             for j in 0..n {
-                out.set(i, j, aug[i][n + j]);
+                out.set(i, j, row[n + j]);
             }
         }
         Ok(out)
@@ -302,11 +305,7 @@ mod tests {
 
     #[test]
     fn inverse_times_self_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 7.0, 2.0],
-            &[3.0, 6.0, 1.0],
-            &[2.0, 5.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]);
         let inv = a.inverse().unwrap();
         let prod = a.mul(&inv).unwrap();
         assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);

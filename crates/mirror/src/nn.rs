@@ -152,12 +152,12 @@ impl Mlp {
                 }
                 let layer = &mut self.layers[li];
                 let mut next_delta = vec![0.0; layer.in_dim];
-                for o in 0..layer.out_dim {
+                for (o, &d) in delta.iter().enumerate().take(layer.out_dim) {
                     for i in 0..layer.in_dim {
-                        next_delta[i] += layer.w[o * layer.in_dim + i] * delta[o];
-                        layer.w[o * layer.in_dim + i] -= lr * delta[o] * input[i];
+                        next_delta[i] += layer.w[o * layer.in_dim + i] * d;
+                        layer.w[o * layer.in_dim + i] -= lr * d * input[i];
                     }
-                    layer.b[o] -= lr * delta[o];
+                    layer.b[o] -= lr * d;
                 }
                 delta = next_delta;
             }
@@ -171,10 +171,7 @@ impl Mlp {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(x, c)| self.classify(x) == *c)
-            .count();
+        let correct = data.iter().filter(|(x, c)| self.classify(x) == *c).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -225,8 +222,18 @@ impl QuantizedMlp {
         let mut scales = Vec::new();
         let mut bytes = Vec::new();
         for layer in &mlp.layers {
-            let w_scale = layer.w.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-9) / 127.0;
-            let b_scale = layer.b.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-9) / 127.0;
+            let w_scale = layer
+                .w
+                .iter()
+                .fold(0.0_f64, |m, v| m.max(v.abs()))
+                .max(1e-9)
+                / 127.0;
+            let b_scale = layer
+                .b
+                .iter()
+                .fold(0.0_f64, |m, v| m.max(v.abs()))
+                .max(1e-9)
+                / 127.0;
             scales.push((w_scale, b_scale));
             bytes.extend(
                 layer
@@ -297,10 +304,7 @@ impl QuantizedMlp {
 
 /// Train a blob classifier with the given layer dimensions.
 #[must_use]
-pub fn train_blob_classifier_with(
-    dims: &[usize],
-    seed: u64,
-) -> (Mlp, Vec<(Vec<f64>, usize)>) {
+pub fn train_blob_classifier_with(dims: &[usize], seed: u64) -> (Mlp, Vec<(Vec<f64>, usize)>) {
     let train = two_blobs(400, seed);
     let test = two_blobs(400, seed.wrapping_add(1));
     let mut mlp = Mlp::new(dims, seed);

@@ -87,7 +87,9 @@ pub fn inference_utilization(kind: DeviceKind) -> f64 {
 /// Time for one evaluation of `stage` on `device`.
 #[must_use]
 pub fn stage_time(stage: &DetectorStage, device: &DeviceSpec) -> Seconds {
-    let eff = device.kind.efficiency(legato_core::task::TaskKind::Inference);
+    let eff = device
+        .kind
+        .efficiency(legato_core::task::TaskKind::Inference);
     let util = inference_utilization(device.kind);
     Seconds(stage.gflops * 1e9 / (device.peak_flops * eff * util))
 }

@@ -119,8 +119,7 @@ impl Tracker {
 
         // 2. Associate: rows = tracks, cols = detections, cost = 1 − IoU
         //    with gating.
-        let matched_pairs: Vec<(usize, usize)> = if self.tracks.is_empty()
-            || detections.is_empty()
+        let matched_pairs: Vec<(usize, usize)> = if self.tracks.is_empty() || detections.is_empty()
         {
             Vec::new()
         } else {
@@ -300,12 +299,7 @@ mod tests {
         let mut tracker = Tracker::new(TrackerConfig::default());
         let real = BBox::new(500.0, 500.0, 80.0, 200.0);
         for frame in 0..30 {
-            let mut dets = vec![BBox::new(
-                500.0 + f64::from(frame),
-                500.0,
-                80.0,
-                200.0,
-            )];
+            let mut dets = vec![BBox::new(500.0 + f64::from(frame), 500.0, 80.0, 200.0)];
             if frame == 10 {
                 dets.push(BBox::new(1500.0, 200.0, 60.0, 120.0)); // blip
             }
@@ -336,9 +330,9 @@ mod tests {
             if f.index > 10 {
                 total_frames += 1;
                 // Every reported box should sit on top of some GT box.
-                let all_on_gt = reported.iter().all(|(_, b)| {
-                    f.ground_truth.iter().any(|(_, gt)| gt.iou(b) > 0.3)
-                });
+                let all_on_gt = reported
+                    .iter()
+                    .all(|(_, b)| f.ground_truth.iter().any(|(_, gt)| gt.iou(b) > 0.3));
                 if all_on_gt && reported.len() >= 2 {
                     matched_frames += 1;
                 }

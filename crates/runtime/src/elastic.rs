@@ -159,6 +159,7 @@ mod tests {
         let seq = Seconds(10.0);
         assert_eq!(amdahl_time(seq, 0.0, 8), seq); // fully serial
         assert_eq!(amdahl_time(seq, 1.0, 10), Seconds(1.0)); // fully parallel
+
         // Monotone in width.
         let mut last = f64::INFINITY;
         for w in 1..=16 {

@@ -48,7 +48,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(RuntimeError::NoDevices.to_string(), "runtime has no devices");
+        assert_eq!(
+            RuntimeError::NoDevices.to_string(),
+            "runtime has no devices"
+        );
         let e = RuntimeError::UnmaskedFailure {
             task: TaskId(3),
             retries: 2,

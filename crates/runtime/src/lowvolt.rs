@@ -160,9 +160,7 @@ pub fn undervolt_ablation(
                         TaskDescriptor::named(format!("nn-{i}"))
                             .with_kind(TaskKind::Inference)
                             .with_work(Work::flops(2e10))
-                            .with_requirements(
-                                Requirements::new().with_criticality(criticality),
-                            ),
+                            .with_requirements(Requirements::new().with_criticality(criticality)),
                         [(i, AccessMode::Out)],
                     );
                 }
@@ -196,13 +194,7 @@ mod tests {
     #[test]
     fn nominal_point_is_reliable_and_unsaving() {
         let p = FpgaPlatform::vc707();
-        let op = operating_point(
-            &DeviceSpec::fpga_kintex(),
-            &p,
-            Volt(1.0),
-            0.5,
-            Seconds(0.2),
-        );
+        let op = operating_point(&DeviceSpec::fpga_kintex(), &p, Volt(1.0), 0.5, Seconds(0.2));
         assert_eq!(op.region, VoltageRegion::Guardband);
         assert_eq!(op.fault_probability, 0.0);
         assert!(op.power_saving.abs() < 1e-9);
@@ -235,13 +227,7 @@ mod tests {
     #[test]
     fn crash_point_is_unusable() {
         let p = FpgaPlatform::vc707();
-        let op = operating_point(
-            &DeviceSpec::fpga_kintex(),
-            &p,
-            Volt(0.5),
-            0.5,
-            Seconds(0.2),
-        );
+        let op = operating_point(&DeviceSpec::fpga_kintex(), &p, Volt(0.5), 0.5, Seconds(0.2));
         assert_eq!(op.fault_probability, 1.0);
     }
 

@@ -186,9 +186,9 @@ impl Runtime {
             let mut attempt_start = ready;
             let mut accepted: Option<(Vec<usize>, Seconds, Seconds, bool)> = None;
             for attempt in 0..=self.max_retries {
-                let ranking =
-                    self.policy
-                        .rank(&self.devices, desc.work, desc.kind, attempt_start);
+                let ranking = self
+                    .policy
+                    .rank(&self.devices, desc.work, desc.kind, attempt_start);
                 let chosen: Vec<usize> = ranking.into_iter().take(replicas).collect();
                 let mut results = Vec::with_capacity(chosen.len());
                 let mut start = Seconds(f64::INFINITY);
@@ -250,10 +250,7 @@ impl Runtime {
             }
         }
 
-        let makespan = finish_at
-            .iter()
-            .copied()
-            .fold(Seconds::ZERO, Seconds::max);
+        let makespan = finish_at.iter().copied().fold(Seconds::ZERO, Seconds::max);
         let busy_energy: Joule = self.devices.iter().map(|d| d.meter().total()).sum();
         let idle_energy: Joule = self
             .devices
@@ -350,17 +347,13 @@ mod tests {
         let mut rt = Runtime::new(specs(), Policy::Performance, 1);
         for i in 0..6u64 {
             rt.submit(
-                TaskDescriptor::named("p")
-                    .with_work(Work::flops(5e10)),
+                TaskDescriptor::named("p").with_work(Work::flops(5e10)),
                 [(i, AccessMode::Out)],
             );
         }
         let rep = rt.run().unwrap();
-        let used: std::collections::HashSet<usize> = rep
-            .placements
-            .iter()
-            .map(|p| p.devices[0])
-            .collect();
+        let used: std::collections::HashSet<usize> =
+            rep.placements.iter().map(|p| p.devices[0]).collect();
         assert!(used.len() > 1, "work should spread, used {used:?}");
     }
 
@@ -484,6 +477,9 @@ mod tests {
         chain(&mut rt, 2, Criticality::Normal);
         rt.run().unwrap();
         rt.reset_devices();
-        assert!(rt.devices().iter().all(|d| d.meter().total() == Joule::ZERO));
+        assert!(rt
+            .devices()
+            .iter()
+            .all(|d| d.meter().total() == Joule::ZERO));
     }
 }

@@ -108,7 +108,12 @@ impl Policy {
 /// Static (spec-only) choice, ignoring availability — used when comparing
 /// hardware configurations rather than scheduling live work.
 #[must_use]
-pub fn best_spec_for(specs: &[DeviceSpec], work: Work, kind: TaskKind, policy: Policy) -> Option<usize> {
+pub fn best_spec_for(
+    specs: &[DeviceSpec],
+    work: Work,
+    kind: TaskKind,
+    policy: Policy,
+) -> Option<usize> {
     if specs.is_empty() {
         return None;
     }
@@ -123,9 +128,11 @@ pub fn best_spec_for(specs: &[DeviceSpec], work: Work, kind: TaskKind, policy: P
         Policy::Weighted(w) => {
             let (tmin, tmax) = min_max(metrics.iter().map(|m| m.0));
             let (emin, emax) = min_max(metrics.iter().map(|m| m.1));
-            argmin(metrics.iter().map(|m| {
-                w * normalize(m.1, emin, emax) + (1.0 - w) * normalize(m.0, tmin, tmax)
-            }))
+            argmin(
+                metrics.iter().map(|m| {
+                    w * normalize(m.1, emin, emax) + (1.0 - w) * normalize(m.0, tmin, tmax)
+                }),
+            )
         }
     })
 }
@@ -237,7 +244,8 @@ mod tests {
     #[should_panic(expected = "trade-off weight")]
     fn weighted_validates() {
         let d = devices();
-        let _ = Policy::Weighted(1.5).choose(&d, Work::flops(1.0), TaskKind::Compute, Seconds::ZERO);
+        let _ =
+            Policy::Weighted(1.5).choose(&d, Work::flops(1.0), TaskKind::Compute, Seconds::ZERO);
     }
 
     #[test]

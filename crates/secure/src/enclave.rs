@@ -233,10 +233,7 @@ mod tests {
         let a = p.create_enclave(b"module").unwrap();
         let blob = p.seal(a, b"weights").unwrap();
         let evil = p.create_enclave(b"malware").unwrap();
-        assert_eq!(
-            p.unseal(evil, &blob),
-            Err(SecureError::IntegrityViolation)
-        );
+        assert_eq!(p.unseal(evil, &blob), Err(SecureError::IntegrityViolation));
     }
 
     #[test]
@@ -265,7 +262,10 @@ mod tests {
         let m = p.measurement(e).unwrap();
         let quote = p.attest(e, 0xDEAD).unwrap();
         // Verifier uses a fresh nonce: the old quote must not verify.
-        assert_eq!(p.verify_quote(&quote, m, 0xBEEF), Err(SecureError::BadQuote));
+        assert_eq!(
+            p.verify_quote(&quote, m, 0xBEEF),
+            Err(SecureError::BadQuote)
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(SecureError::IntegrityViolation.to_string().contains("integrity"));
+        assert!(SecureError::IntegrityViolation
+            .to_string()
+            .contains("integrity"));
         assert!(SecureError::UnknownEnclave(4).to_string().contains("4"));
     }
 

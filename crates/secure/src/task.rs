@@ -177,6 +177,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "task time must be positive")]
     fn base_time_validated() {
-        let _ = secure_task_cost(Seconds::ZERO, Watt(1.0), Bytes::ZERO, 0, ExecutionMode::Plain);
+        let _ = secure_task_cost(
+            Seconds::ZERO,
+            Watt(1.0),
+            Bytes::ZERO,
+            0,
+            ExecutionMode::Plain,
+        );
     }
 }

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Recovery: ranks 0/1 restore from their partner copies, 2/3 from L1.
     let rec = group.recover_all(Strategy::Async, Seconds(60.0))?;
-    println!("recovered in {:.3} s; levels used: {:?}", rec.wall.0, rec.levels);
+    println!(
+        "recovered in {:.3} s; levels used: {:?}",
+        rec.wall.0, rec.levels
+    );
     for (rank, solver) in solvers.iter_mut().enumerate() {
         solver.load_from(group.memory(rank), regions[rank])?;
         println!(

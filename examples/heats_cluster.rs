@@ -48,17 +48,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Migration: an inference task lands off the GPU because the GPU node
     // is full, then migrates once the filler finishes.
     let mut heats = Heats::new(
-        vec![NodeSpec::gpu_node("gpu-0"), NodeSpec::high_perf_x86("x86-0")],
+        vec![
+            NodeSpec::gpu_node("gpu-0"),
+            NodeSpec::high_perf_x86("x86-0"),
+        ],
         7,
     );
     heats.submit(
-        TaskRequest::new("filler", 8, Bytes::gib(24), Work::flops(4e12), TaskKind::Inference)
-            .with_weight(0.0),
+        TaskRequest::new(
+            "filler",
+            8,
+            Bytes::gib(24),
+            Work::flops(4e12),
+            TaskKind::Inference,
+        )
+        .with_weight(0.0),
     );
     let filler = heats.schedule(Seconds::ZERO)?;
     heats.submit(
-        TaskRequest::new("nn-service", 2, Bytes::gib(4), Work::flops(9e13), TaskKind::Inference)
-            .with_weight(0.0),
+        TaskRequest::new(
+            "nn-service",
+            2,
+            Bytes::gib(4),
+            Work::flops(9e13),
+            TaskKind::Inference,
+        )
+        .with_weight(0.0),
     );
     let placed = heats.schedule(Seconds(0.001))?;
     println!(

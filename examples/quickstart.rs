@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     // 2. The same dataflow app under two scheduling policies.
-    for (label, policy) in [("performance", Policy::Performance), ("energy", Policy::Energy)] {
+    for (label, policy) in [
+        ("performance", Policy::Performance),
+        ("energy", Policy::Energy),
+    ] {
         let mut rt = Runtime::new(devices.clone(), policy, 42);
         // A tiny pipeline: preprocess -> 4x inference -> aggregate,
         // expressed purely through data-access annotations.
@@ -60,7 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fti = Fti::new(FtiConfig::default(), 0);
     fti.protect(0, state, &mm)?;
     let mut nvme = StorageDevice::new(StorageTier::local_nvme());
-    let ckpt = fti.checkpoint(&mut mm, &mut nvme, CheckpointLevel::L1, Strategy::Async, Seconds::ZERO)?;
+    let ckpt = fti.checkpoint(
+        &mut mm,
+        &mut nvme,
+        CheckpointLevel::L1,
+        Strategy::Async,
+        Seconds::ZERO,
+    )?;
     println!(
         "\ncheckpointed {} in {:.3} s (async strategy)",
         ckpt.bytes,

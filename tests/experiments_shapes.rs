@@ -2,9 +2,9 @@
 //! wins, by roughly what factor, where the regions fall. These are the
 //! executable form of EXPERIMENTS.md.
 
-use legato_bench::experiments::{fig5, fig6, goals, heats, mirror, secure};
 use legato::core::units::{Bytes, Seconds, Watt};
 use legato::fti::fti::Strategy;
+use legato_bench::experiments::{fig5, fig6, goals, heats, mirror, secure};
 
 #[test]
 fn e1_e2_fig5_shape() {
@@ -36,22 +36,38 @@ fn e3_fig6_shape() {
     for s in [Strategy::Initial, Strategy::Async] {
         let one = pick(1, s).ckpt;
         let eight = pick(8, s).ckpt;
-        assert!((one.0 - eight.0).abs() / one.0 < 0.02, "{s}: {one} vs {eight}");
+        assert!(
+            (one.0 - eight.0).abs() / one.0 < 0.02,
+            "{s}: {one} vs {eight}"
+        );
     }
     // Async beats initial by roughly the published order (12.05× ckpt,
     // 5.13× recover).
     let ckpt_ratio = pick(1, Strategy::Initial).ckpt / pick(1, Strategy::Async).ckpt;
     let rec_ratio = pick(1, Strategy::Initial).recover / pick(1, Strategy::Async).recover;
-    assert!((8.0..16.0).contains(&ckpt_ratio), "ckpt ratio {ckpt_ratio:.1}");
-    assert!((3.0..8.0).contains(&rec_ratio), "recover ratio {rec_ratio:.1}");
-    assert!(ckpt_ratio > rec_ratio, "ckpt gap exceeds recover gap in the paper");
+    assert!(
+        (8.0..16.0).contains(&ckpt_ratio),
+        "ckpt ratio {ckpt_ratio:.1}"
+    );
+    assert!(
+        (3.0..8.0).contains(&rec_ratio),
+        "recover ratio {rec_ratio:.1}"
+    );
+    assert!(
+        ckpt_ratio > rec_ratio,
+        "ckpt gap exceeds recover gap in the paper"
+    );
 }
 
 #[test]
 fn e4_mtbf_shape() {
     let m = fig6::micro(Bytes::gib(2));
     // Paper: "7 times smaller MTBF" at equal overhead.
-    assert!((4.0..14.0).contains(&m.mtbf_factor), "factor {:.1}", m.mtbf_factor);
+    assert!(
+        (4.0..14.0).contains(&m.mtbf_factor),
+        "factor {:.1}",
+        m.mtbf_factor
+    );
 }
 
 #[test]
@@ -59,12 +75,12 @@ fn e5_heats_tradeoff_shape() {
     let pts = heats::tradeoff_sweep(&[0.0, 0.5, 1.0], 24, 11);
     // Energy falls along the sweep; per-task completion time rises.
     assert!(pts[2].energy.0 < pts[0].energy.0, "{pts:?}");
+    assert!(pts[2].mean_completion > pts[0].mean_completion, "{pts:?}");
+    // The energy-weighted run visibly shifts to low-power nodes.
     assert!(
-        pts[2].mean_completion > pts[0].mean_completion,
+        pts[2].low_power_share > pts[0].low_power_share + 0.2,
         "{pts:?}"
     );
-    // The energy-weighted run visibly shifts to low-power nodes.
-    assert!(pts[2].low_power_share > pts[0].low_power_share + 0.2, "{pts:?}");
 }
 
 #[test]

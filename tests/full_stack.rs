@@ -50,7 +50,11 @@ fn undervolted_fpga_faults_are_masked_by_replication() {
         );
     }
     let report = rt.run().expect("devices present");
-    assert!(report.is_correct(), "replication must mask FPGA faults: {:?}", report.stats);
+    assert!(
+        report.is_correct(),
+        "replication must mask FPGA faults: {:?}",
+        report.stats
+    );
 }
 
 /// Checkpoint data that physically lives in simulated GPU memory, crash,
@@ -68,7 +72,13 @@ fn gpu_checkpoint_round_trip_through_real_bytes() {
     fti.protect(0, device_region, &mm).expect("unique id");
     let mut nvme = StorageDevice::new(StorageTier::local_nvme());
     let ckpt = fti
-        .checkpoint(&mut mm, &mut nvme, CheckpointLevel::L1, Strategy::Async, Seconds::ZERO)
+        .checkpoint(
+            &mut mm,
+            &mut nvme,
+            CheckpointLevel::L1,
+            Strategy::Async,
+            Seconds::ZERO,
+        )
         .expect("checkpoint");
 
     // The async strategy must beat the initial one on the same state.

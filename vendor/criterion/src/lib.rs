@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Implements the subset of the criterion API the `legato-bench` benches
+//! use — `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size` and `throughput`), `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop instead of criterion's full statistical
+//! machinery.
+//!
+//! Two extensions support the repo's perf-tracking workflow:
+//!
+//! - Each measurement prints a single `bench <id> ... ns/iter` line.
+//! - When `CRITERION_SAVE_JSON=<path>` is set, `criterion_main!` writes
+//!   every measurement of the process to `<path>` as a JSON array — this
+//!   is what produces the `BENCH_*.json` baselines recorded in CI.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-process accumulator feeding the optional JSON baseline dump.
+fn results() -> &'static Mutex<Vec<Measurement>> {
+    static RESULTS: OnceLock<Mutex<Vec<Measurement>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// One completed measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id (`group/function` when run in a group).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of timed iterations behind the mean.
+    pub iterations: u64,
+    /// Declared throughput per iteration, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Throughput declaration for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver, one per `criterion_group!`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Run `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, None, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run `f` as a benchmark named `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, sample_size: u64, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        ns_per_iter: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let m = Measurement {
+        id: id.to_string(),
+        ns_per_iter: bencher.ns_per_iter,
+        iterations: bencher.iterations,
+        throughput,
+    };
+    println!(
+        "bench {:<45} {:>14.1} ns/iter (n={})",
+        m.id, m.ns_per_iter, m.iterations
+    );
+    results().lock().expect("results poisoned").push(m);
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: u64,
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, running it repeatedly and recording mean ns/iter.
+    ///
+    /// Runs up to the configured sample size, capped by a per-benchmark
+    /// time budget so `cargo bench` stays fast even for expensive bodies.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        const BUDGET: Duration = Duration::from_millis(500);
+        // Warm-up: one untimed run (fills caches, triggers lazy init).
+        black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < self.sample_size.max(1) {
+            black_box(f());
+            n += 1;
+            if start.elapsed() > BUDGET {
+                break;
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / n as f64;
+        self.iterations = n;
+    }
+}
+
+/// Write all measurements taken so far to `CRITERION_SAVE_JSON`, if set.
+///
+/// Called by `criterion_main!` after every group has run. The output is a
+/// JSON array of `{id, ns_per_iter, iterations, throughput}` objects.
+pub fn save_baseline_from_env() {
+    let Ok(path) = std::env::var("CRITERION_SAVE_JSON") else {
+        return;
+    };
+    let all = results().lock().expect("results poisoned");
+    let mut out = String::from("[\n");
+    for (i, m) in all.iter().enumerate() {
+        let throughput = match m.throughput {
+            Some(Throughput::Bytes(b)) => format!("{{\"bytes_per_iter\": {b}}}"),
+            Some(Throughput::Elements(e)) => format!("{{\"elements_per_iter\": {e}}}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"id\": {:?}, \"ns_per_iter\": {:.1}, \"iterations\": {}, \"throughput\": {}}}{}\n",
+            m.id,
+            m.ns_per_iter,
+            m.iterations,
+            throughput,
+            if i + 1 == all.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {path}: {e}");
+    } else {
+        eprintln!("criterion: baseline saved to {path}");
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running every listed group, then save the baseline.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::save_baseline_from_env();
+        }
+    };
+}

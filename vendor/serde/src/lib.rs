@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespace, so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile exactly as they would with
+//! the real crate. No serialization machinery is implemented — nothing in
+//! the workspace serializes values yet. See `vendor/serde_derive` for the
+//! swap-back-to-registry instructions.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

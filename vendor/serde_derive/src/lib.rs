@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in an environment without registry access, so the
+//! real `serde_derive` cannot be fetched. Nothing in the workspace actually
+//! serializes values yet — types only *derive* the traits so that future
+//! wire formats can be added without touching every struct. These derives
+//! therefore accept the same surface syntax (including `#[serde(...)]`
+//! helper attributes) and expand to nothing.
+//!
+//! Swapping in the real serde is a one-line change in the root
+//! `Cargo.toml` (`[workspace.dependencies]`): replace the `path` entry
+//! with a registry version.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
