@@ -1,0 +1,84 @@
+//! Criterion bench for E8: the event-driven execution engine vs the
+//! legacy topological sweep on wide graphs (≥ 1k tasks, fan-out/fan-in).
+//!
+//! Two things are measured per scenario: how fast each executor *runs*
+//! (simulator overhead — the engine pays for its event heap, the sweep
+//! for its O(n) ready scans), while the printed `makespan` assertions in
+//! `tests/full_stack.rs` cover the *simulated* quality win. A third
+//! group exercises the incremental ready-set maintenance in
+//! `legato-core` on its own.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legato_bench::experiments::engine::{compare, Scenario};
+use legato_bench::experiments::goals;
+use legato_core::graph::TaskGraph;
+use legato_core::task::{AccessMode, TaskDescriptor};
+use legato_runtime::{Policy, Runtime};
+use std::hint::black_box;
+
+fn bench_executors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_engine");
+    g.sample_size(10);
+    for (name, scenario, policy) in [
+        (
+            "wide_graph_1k",
+            Scenario::reference_wide(),
+            Policy::Performance,
+        ),
+        (
+            "straggler_1k",
+            Scenario::reference_straggler(),
+            Policy::Weighted(0.5),
+        ),
+    ] {
+        g.bench_function(&format!("{name}/event_driven"), |b| {
+            b.iter(|| {
+                let mut rt = Runtime::new(goals::reference_devices(), policy, 42);
+                scenario.build(&mut rt, 42);
+                rt.run().expect("devices present")
+            })
+        });
+        g.bench_function(&format!("{name}/sweep"), |b| {
+            b.iter(|| {
+                let mut rt = Runtime::new(goals::reference_devices(), policy, 42);
+                scenario.build(&mut rt, 42);
+                rt.run_sweep().expect("devices present")
+            })
+        });
+        g.bench_function(&format!("{name}/makespan_comparison"), |b| {
+            b.iter(|| black_box(compare(scenario, policy, 42).speedup()))
+        });
+    }
+    g.finish();
+}
+
+/// The incremental ready set: drain a 10k-task graph by completing ready
+/// tasks. With the old O(n)-scan `ready()` this walk was quadratic.
+fn bench_ready_set_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_engine/ready_set");
+    g.sample_size(10);
+    g.bench_function("drain_10k", |b| {
+        b.iter(|| {
+            let mut graph = TaskGraph::new();
+            for i in 0..10_000u64 {
+                graph.add_task(TaskDescriptor::named("t"), [(i % 64, AccessMode::InOut)]);
+            }
+            let mut done = 0usize;
+            loop {
+                let ready = graph.ready();
+                if ready.is_empty() {
+                    break;
+                }
+                for t in ready {
+                    graph.complete(t).expect("ready");
+                    done += 1;
+                }
+            }
+            black_box(done)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_ready_set_drain);
+criterion_main!(benches);

@@ -75,6 +75,9 @@ pub struct TaskGraph {
     regions: HashMap<RegionId, RegionHistory>,
     edge_count: usize,
     completed: usize,
+    /// Tasks currently in [`TaskState::Ready`], kept sorted by id so the
+    /// ready view stays in submission order without scanning all nodes.
+    ready_set: Vec<TaskId>,
 }
 
 impl TaskGraph {
@@ -157,6 +160,7 @@ impl TaskGraph {
             .count();
 
         let state = if unmet == 0 {
+            self.ready_set.push(id); // ids are dense: push keeps the set sorted
             TaskState::Ready
         } else {
             TaskState::Pending
@@ -238,14 +242,21 @@ impl TaskGraph {
     }
 
     /// All tasks currently in [`TaskState::Ready`], in submission order.
+    ///
+    /// The ready set is maintained incrementally by
+    /// [`TaskGraph::add_task`], [`TaskGraph::start`],
+    /// [`TaskGraph::complete`] and [`TaskGraph::fail`], so this is O(ready)
+    /// rather than a scan over every node — the property the event-driven
+    /// runtime relies on for large graphs.
     #[must_use]
     pub fn ready(&self) -> Vec<TaskId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.state == TaskState::Ready)
-            .map(|(i, _)| TaskId(i as u64))
-            .collect()
+        self.ready_set.clone()
+    }
+
+    /// Number of tasks currently ready, without allocating.
+    #[must_use]
+    pub fn ready_count(&self) -> usize {
+        self.ready_set.len()
     }
 
     /// Mark a ready task as running (claimed by a worker).
@@ -263,6 +274,7 @@ impl TaskGraph {
             });
         }
         node.state = TaskState::Running;
+        self.remove_ready(id);
         Ok(())
     }
 
@@ -279,7 +291,13 @@ impl TaskGraph {
         {
             let node = self.node_mut(id)?;
             match node.state {
-                TaskState::Ready | TaskState::Running => node.state = TaskState::Completed,
+                TaskState::Ready | TaskState::Running => {
+                    let was_ready = node.state == TaskState::Ready;
+                    node.state = TaskState::Completed;
+                    if was_ready {
+                        self.remove_ready(id);
+                    }
+                }
                 TaskState::Pending => {
                     return Err(CoreError::InvalidTransition {
                         task: id,
@@ -315,7 +333,11 @@ impl TaskGraph {
                     reason: "task already terminal",
                 });
             }
+            let was_ready = node.state == TaskState::Ready;
             node.state = TaskState::Failed;
+            if was_ready {
+                self.remove_ready(id);
+            }
         }
         let mut poisoned = Vec::new();
         let mut stack: Vec<TaskId> = self.nodes[id.index()].succs.clone();
@@ -324,7 +346,11 @@ impl TaskGraph {
             if node.state == TaskState::Poisoned || node.state == TaskState::Failed {
                 continue;
             }
+            let was_ready = node.state == TaskState::Ready;
             node.state = TaskState::Poisoned;
+            if was_ready {
+                self.remove_ready(next);
+            }
             poisoned.push(next);
             stack.extend(self.nodes[next.index()].succs.iter().copied());
         }
@@ -360,11 +386,48 @@ impl TaskGraph {
         Ok(causes)
     }
 
-    /// A topological order of all tasks (submission order is always one,
-    /// since edges only point forward).
+    /// A topological order of all tasks, computed by indegree counting
+    /// (Kahn's algorithm) with a smallest-id frontier.
+    ///
+    /// Because dependence edges always point from an earlier submission to
+    /// a later one, the result coincides with submission order — but it is
+    /// *derived* from the edges rather than assumed, so it stays correct
+    /// for any acyclic edge set and doubles as a structural self-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge set contains a cycle (impossible through the
+    /// public API, which only creates forward edges).
     #[must_use]
     pub fn topological_order(&self) -> Vec<TaskId> {
-        (0..self.nodes.len() as u64).map(TaskId).collect()
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.nodes.len();
+        let mut indegree: Vec<usize> = vec![0; n];
+        for node in &self.nodes {
+            for s in &node.succs {
+                indegree[s.index()] += 1;
+            }
+        }
+        let mut frontier: BinaryHeap<Reverse<TaskId>> = indegree
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| Reverse(TaskId(i as u64)))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(id)) = frontier.pop() {
+            order.push(id);
+            for &s in &self.nodes[id.index()].succs {
+                indegree[s.index()] -= 1;
+                if indegree[s.index()] == 0 {
+                    frontier.push(Reverse(s));
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "dependence edges must form a DAG");
+        order
     }
 
     /// Critical path under a per-task cost function: returns the total cost
@@ -436,10 +499,25 @@ impl TaskGraph {
             node.unmet -= 1;
             if node.unmet == 0 {
                 node.state = TaskState::Ready;
+                self.insert_ready(s);
                 released.push(s);
             }
         }
         released
+    }
+
+    /// Insert `id` into the sorted ready set (no-op if already present).
+    fn insert_ready(&mut self, id: TaskId) {
+        if let Err(pos) = self.ready_set.binary_search(&id) {
+            self.ready_set.insert(pos, id);
+        }
+    }
+
+    /// Remove `id` from the sorted ready set (no-op if absent).
+    fn remove_ready(&mut self, id: TaskId) {
+        if let Ok(pos) = self.ready_set.binary_search(&id) {
+            self.ready_set.remove(pos);
+        }
     }
 
     fn node(&self, id: TaskId) -> Result<&Node, CoreError> {
@@ -645,6 +723,51 @@ mod tests {
         let b = g.add_task(desc("b"), [(0u64, AccessMode::In)]);
         assert_eq!(g.state(b).unwrap(), TaskState::Ready);
         assert_eq!(g.predecessors(b).unwrap(), &[a]);
+    }
+
+    #[test]
+    fn ready_set_is_maintained_incrementally() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::Out)]);
+        let c = g.add_task(desc("c"), [(2u64, AccessMode::Out)]);
+        assert_eq!(g.ready(), vec![a, c]);
+        assert_eq!(g.ready_count(), 2);
+        g.start(a).unwrap();
+        assert_eq!(g.ready(), vec![c], "running tasks leave the ready set");
+        g.complete(a).unwrap();
+        assert_eq!(g.ready(), vec![b, c], "release inserts in id order");
+        g.complete(c).unwrap();
+        g.fail(b).unwrap();
+        assert!(g.ready().is_empty());
+        assert_eq!(g.ready_count(), 0);
+    }
+
+    #[test]
+    fn failing_a_ready_task_clears_it_from_ready_set() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(1u64, AccessMode::Out)]);
+        g.fail(a).unwrap();
+        assert_eq!(g.ready(), vec![b]);
+    }
+
+    #[test]
+    fn topological_order_matches_submission_order() {
+        let mut g = TaskGraph::new();
+        for i in 0..50u64 {
+            g.add_task(desc("t"), [(i % 7, AccessMode::InOut)]);
+        }
+        let order = g.topological_order();
+        assert_eq!(order, (0..50).map(TaskId).collect::<Vec<_>>());
+        // And it is a genuine topological order: preds before succs.
+        let pos: Vec<usize> = order.iter().map(|t| t.index()).collect();
+        for i in 0..g.len() {
+            let id = TaskId(i as u64);
+            for &p in g.predecessors(id).unwrap() {
+                assert!(pos[p.index()] < pos[id.index()]);
+            }
+        }
     }
 
     #[test]

@@ -5,12 +5,22 @@
 //! by the client. The best fitting node is chosen to deploy the given
 //! task. … When a better fit than the current host of a task is found,
 //! the scheduler performs a migration" (paper §V).
+//!
+//! Placement and migration decisions go through the **shared scheduler
+//! layer** ([`legato_runtime::sched`]): HEATS turns its model-learned
+//! predictions into [`Estimate`]s and lets the same
+//! [`Scheduler`]/[`Policy`] machinery that drives the task runtime's
+//! device placement pick the node — the customer's energy/performance
+//! weight maps onto [`Policy::Weighted`]. Only the *predictor* differs
+//! between the two schedulers.
 
 use std::collections::VecDeque;
 
 use legato_core::task::Work;
 use legato_core::units::{Joule, Seconds};
 use legato_hw::cluster::NodeSpec;
+use legato_runtime::sched::{Estimate, Scheduler, ScoreNorm};
+use legato_runtime::scheduler::Policy;
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::{ClusterNode, RunningTask};
@@ -241,6 +251,11 @@ impl Heats {
     /// The rescheduling phase: re-evaluate every running task; migrate it
     /// when another node scores better by at least the hysteresis
     /// threshold. Returns the migrations performed.
+    ///
+    /// Stay-vs-move scoring goes through [`Scheduler::migrate`], with
+    /// both sides normalized against cluster-typical magnitudes
+    /// ([`ScoreNorm::from_scale`]) so the customer weight behaves like in
+    /// the normalized batch scoring.
     pub fn reschedule(&mut self, now: Seconds) -> Vec<Migration> {
         let mut performed = Vec::new();
         // Snapshot instance ids so node mutation below stays sound.
@@ -272,40 +287,43 @@ impl Heats {
             let mut rem_request = instance.request.clone();
             rem_request.work = remaining;
 
-            // Score of staying: the current node, with the task's own
+            // Estimate of staying: the current node, with the task's own
             // resources considered available to itself.
-            let Some((stay_score, _t, _e)) = self.score_on(&rem_request, from, Some(task_id))
-            else {
+            if !self.fits_ignoring_instance(&rem_request, from, task_id) {
                 continue;
-            };
-            // Best alternative.
-            let mut best: Option<(usize, f64, Seconds)> = None;
+            }
+            let stay = self.estimate(&rem_request, from);
+            // Every other node that fits is an alternative.
+            let mut candidates = Vec::new();
+            let mut alternatives = Vec::new();
             for cand in 0..self.nodes.len() {
-                if cand == from {
+                if cand == from || !self.nodes[cand].fits(&rem_request) {
                     continue;
                 }
-                if let Some((score, t, _e)) = self.score_on(&rem_request, cand, None) {
-                    if best.is_none_or(|(_, s, _)| score < s) {
-                        best = Some((cand, score, t));
-                    }
-                }
+                candidates.push(cand);
+                alternatives.push(self.estimate(&rem_request, cand));
             }
-            if let Some((to, score, t)) = best {
-                if score < stay_score * (1.0 - self.migration_threshold) {
-                    let removed = self.nodes[from].remove(task_id).expect("instance exists");
-                    let new_finish = now + self.migration_overhead + t;
-                    let mut moved = removed;
-                    moved.started = now;
-                    moved.finishes = new_finish;
-                    self.nodes[to].place(moved).expect("scored as fitting");
-                    performed.push(Migration {
-                        task_id,
-                        from,
-                        to,
-                        at: now,
-                        new_finish,
-                    });
-                }
+            let norm = ScoreNorm::from_scale(
+                self.typical_time(&rem_request),
+                self.typical_energy(&rem_request),
+            );
+            let policy = Policy::Weighted(rem_request.weight);
+            if let Some(i) = policy.migrate(&stay, &alternatives, &norm, self.migration_threshold) {
+                let to = candidates[i];
+                let t = alternatives[i].finish;
+                let removed = self.nodes[from].remove(task_id).expect("instance exists");
+                let new_finish = now + self.migration_overhead + t;
+                let mut moved = removed;
+                moved.started = now;
+                moved.finishes = new_finish;
+                self.nodes[to].place(moved).expect("scored as fitting");
+                performed.push(Migration {
+                    task_id,
+                    from,
+                    to,
+                    at: now,
+                    new_finish,
+                });
             }
         }
         self.migrations.extend(performed.clone());
@@ -326,6 +344,10 @@ impl Heats {
 
     /// Best node for `request` among those that fit; returns
     /// `(node, predicted_time, predicted_energy)`.
+    ///
+    /// The model-learned predictions become [`Estimate`]s and the
+    /// customer weight a [`Policy::Weighted`]; placement is the shared
+    /// [`Scheduler::place`] over them.
     fn best_node(
         &self,
         request: &TaskRequest,
@@ -334,58 +356,30 @@ impl Heats {
         let candidates: Vec<usize> = (0..self.nodes.len())
             .filter(|&n| Some(n) != exclude && self.nodes[n].fits(request))
             .collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        let preds: Vec<(Seconds, Joule)> = candidates
+        let estimates: Vec<Estimate> = candidates
             .iter()
-            .map(|&n| self.predict(request, n))
+            .map(|&n| self.estimate(request, n))
             .collect();
-        let (tmin, tmax) = min_max(preds.iter().map(|p| p.0 .0));
-        let (emin, emax) = min_max(preds.iter().map(|p| p.1 .0));
-        let mut best: Option<(usize, f64)> = None;
-        for (i, pred) in preds.iter().enumerate() {
-            let t_norm = normalize(pred.0 .0, tmin, tmax);
-            let e_norm = normalize(pred.1 .0, emin, emax);
-            let score = request.weight * e_norm + (1.0 - request.weight) * t_norm;
-            if best.is_none_or(|(_, s)| score < s) {
-                best = Some((i, score));
-            }
-        }
-        let (i, _) = best.expect("candidates non-empty");
-        Some((candidates[i], preds[i].0, preds[i].1))
+        let i = Policy::Weighted(request.weight).place(&estimates)?;
+        Some((candidates[i], estimates[i].finish, estimates[i].energy))
     }
 
-    /// Absolute (unnormalized) score of `request` on one node, used for
-    /// stay-vs-move comparisons where both sides need the same scale.
-    fn score_on(
-        &self,
-        request: &TaskRequest,
-        node: usize,
-        ignore_instance: Option<usize>,
-    ) -> Option<(f64, Seconds, Joule)> {
+    /// Whether `request` fits on `node` when the resources held by the
+    /// running instance `ignore` are counted as free (a task always fits
+    /// where it already runs).
+    fn fits_ignoring_instance(&self, request: &TaskRequest, node: usize, ignore: usize) -> bool {
         let n = &self.nodes[node];
-        let fits = match ignore_instance {
-            Some(id) => {
-                let own = n.running().iter().find(|r| r.id == id);
-                let own_cores = own.map_or(0, |r| r.request.cores);
-                let own_mem = own.map_or(legato_core::units::Bytes::ZERO, |r| r.request.memory);
-                request.cores <= n.free_cores() + own_cores
-                    && request.memory <= n.free_memory() + own_mem
-            }
-            None => n.fits(request),
-        };
-        if !fits {
-            return None;
-        }
+        let own = n.running().iter().find(|r| r.id == ignore);
+        let own_cores = own.map_or(0, |r| r.request.cores);
+        let own_mem = own.map_or(legato_core::units::Bytes::ZERO, |r| r.request.memory);
+        request.cores <= n.free_cores() + own_cores && request.memory <= n.free_memory() + own_mem
+    }
+
+    /// The learned models' prediction for `request` on `node`, as a
+    /// scheduler-layer [`Estimate`].
+    fn estimate(&self, request: &TaskRequest, node: usize) -> Estimate {
         let (t, e) = self.predict(request, node);
-        // Scale-free combination: seconds and joules normalized by
-        // cluster-typical magnitudes so the weight behaves like in the
-        // normalized batch scoring.
-        let t_ref = self.typical_time(request);
-        let e_ref = self.typical_energy(request);
-        let score = request.weight * (e.0 / e_ref) + (1.0 - request.weight) * (t.0 / t_ref);
-        Some((score, t, e))
+        Estimate::new(t, e)
     }
 
     fn predict(&self, request: &TaskRequest, node: usize) -> (Seconds, Joule) {
@@ -396,34 +390,20 @@ impl Heats {
         (t, e)
     }
 
-    fn typical_time(&self, request: &TaskRequest) -> f64 {
+    fn typical_time(&self, request: &TaskRequest) -> Seconds {
         let mean: f64 = (0..self.nodes.len())
             .map(|n| self.predict(request, n).0 .0)
             .sum::<f64>()
             / self.nodes.len() as f64;
-        mean.max(1e-12)
+        Seconds(mean)
     }
 
-    fn typical_energy(&self, request: &TaskRequest) -> f64 {
+    fn typical_energy(&self, request: &TaskRequest) -> Joule {
         let mean: f64 = (0..self.nodes.len())
             .map(|n| self.predict(request, n).1 .0)
             .sum::<f64>()
             / self.nodes.len() as f64;
-        mean.max(1e-12)
-    }
-}
-
-fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
-    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
-        (lo.min(v), hi.max(v))
-    })
-}
-
-fn normalize(v: f64, lo: f64, hi: f64) -> f64 {
-    if (hi - lo).abs() < 1e-12 {
-        0.0
-    } else {
-        (v - lo) / (hi - lo)
+        Joule(mean)
     }
 }
 

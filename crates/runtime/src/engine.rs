@@ -1,0 +1,366 @@
+//! The event-driven execution engine behind [`Runtime::run`].
+//!
+//! The original executor was a *topological sweep*: it walked the task
+//! graph in submission order and committed every task's placement before
+//! even looking at the next one. On wide graphs that order is a poor
+//! proxy for time — a task submitted early but ready late would reserve a
+//! device window far in the future, and a task ready *now* (submitted
+//! later) could no longer slot in front of it, because simulated devices
+//! only append to their timelines.
+//!
+//! This module replaces the sweep with a discrete-event simulation:
+//!
+//! * a time-ordered event heap carries **task-ready** and
+//!   **replica-finish** events (a device-free moment is exactly the finish
+//!   event of the work occupying it);
+//! * placement decisions are made in *event order*, so independent chains
+//!   interleave on device timelines the way a real ready-queue runtime
+//!   would execute them;
+//! * tasks may be submitted while a run is in progress
+//!   ([`Runtime::submit`] between [`Runtime::step`] calls, or between
+//!   [`Runtime::run`] calls): they join the in-flight schedule at the
+//!   current virtual time;
+//! * the fault model, selective replication, majority voting and the
+//!   retry budget behave exactly as in the sweep — the verdict for each
+//!   attempt is evaluated when its replicas *join* (the finish event),
+//!   and retries restart from that moment.
+//!
+//! Every placement goes through the shared [`Scheduler`] trait
+//! ([`sched`](crate::sched)), the same abstraction HEATS drives its
+//! cluster placements with.
+//!
+//! **Trade-off, stated honestly:** both executors are greedy
+//! earliest-finish placers over append-only device timelines; they
+//! differ only in commitment order. At saturation and on
+//! straggler-tailed workloads event order wins (see the `runtime_engine`
+//! bench). On small, under-loaded chain unions, submission order
+//! doubles as a chain-depth priority and can beat plain readiness
+//! order — a future refinement is a critical-path-aware priority on
+//! ready events.
+//!
+//! [`Scheduler`]: crate::sched::Scheduler
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use legato_core::graph::TaskState;
+use legato_core::task::TaskId;
+use legato_core::units::{Joule, Seconds};
+use rand::Rng;
+
+use crate::error::RuntimeError;
+use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
+use crate::runtime::{golden_value, RunReport, Runtime, TaskOutcome};
+
+/// One scheduled simulation event.
+#[derive(Debug, Clone)]
+struct Event {
+    /// Virtual time at which the event fires.
+    time: Seconds,
+    /// Tie-break: events at equal times fire in creation order, which
+    /// keeps the whole simulation deterministic.
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// A task's dependences are met: place and start it.
+    Ready(TaskId),
+    /// All replicas of one attempt joined: vote on the results.
+    Finish {
+        task: TaskId,
+        /// Devices the attempt ran on (primary first).
+        devices: Vec<usize>,
+        /// Earliest replica start.
+        start: Seconds,
+        /// Per-replica results, aligned with `devices`.
+        results: Vec<ReplicaResult>,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .0
+            .total_cmp(&other.time.0)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+/// Persistent simulation state of the event-driven engine.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineState {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: Seconds,
+    outcomes: Vec<TaskOutcome>,
+    stats: ReplicationStats,
+    failed: Vec<TaskId>,
+}
+
+impl EngineState {
+    fn push(&mut self, time: Seconds, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    pub(crate) fn push_ready(&mut self, task: TaskId) {
+        let at = self.now;
+        self.push(at, EventKind::Ready(task));
+    }
+
+    /// Drop every queued event (used by the legacy sweep, which executes
+    /// the outstanding tasks itself).
+    pub(crate) fn clear_events(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl Runtime {
+    /// Execute every submitted task with the event-driven engine and
+    /// return the cumulative report.
+    ///
+    /// Placement follows event order: whenever a task becomes ready, its
+    /// replicas are placed on the devices the [`Policy`] ranks best *at
+    /// that simulated moment*, so independent chains interleave instead
+    /// of committing device time in submission order. Each task's replica
+    /// count follows its
+    /// [`Criticality`](legato_core::requirements::Criticality); replicas
+    /// are placed on distinct devices in policy-preference order. A task
+    /// whose faults cannot be masked within the retry budget is failed
+    /// and its dependents are poisoned and skipped.
+    ///
+    /// The engine is persistent: tasks submitted after a run joins the
+    /// virtual timeline where it left off, and a subsequent `run` extends
+    /// the same report. For single-stepped streaming execution see
+    /// [`Runtime::step`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoDevices`] when the runtime has no devices;
+    /// [`RuntimeError::InvalidWeight`] for an unusable
+    /// [`Policy::Weighted`] weight (validated up front, never a mid-run
+    /// panic).
+    ///
+    /// [`Policy`]: crate::scheduler::Policy
+    /// [`Policy::Weighted`]: crate::scheduler::Policy::Weighted
+    pub fn run(&mut self) -> Result<RunReport, RuntimeError> {
+        while self.step()?.is_some() {}
+        Ok(self.report())
+    }
+
+    /// Process the next simulation event, returning its virtual time, or
+    /// `None` when the engine is idle (no in-flight work).
+    ///
+    /// This is the streaming interface: callers may interleave
+    /// [`Runtime::submit`] with `step` to feed tasks into a run that is
+    /// already in progress — newly submitted ready tasks are scheduled at
+    /// the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Runtime::run`].
+    pub fn step(&mut self) -> Result<Option<Seconds>, RuntimeError> {
+        if self.devices.is_empty() {
+            return Err(RuntimeError::NoDevices);
+        }
+        self.policy.validate()?;
+        let Some(Reverse(event)) = self.engine.heap.pop() else {
+            return Ok(None);
+        };
+        self.engine.now = self.engine.now.max(event.time);
+        match event.kind {
+            EventKind::Ready(task) => self.handle_ready(task, event.time)?,
+            EventKind::Finish {
+                task,
+                devices,
+                start,
+                results,
+                attempt,
+            } => self.handle_finish(task, devices, start, results, attempt, event.time)?,
+        }
+        Ok(Some(self.engine.now))
+    }
+
+    /// The cumulative run report: every outcome, failure and statistic
+    /// accumulated by the engine so far, plus whole-system energy.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let mut placements = self.engine.outcomes.clone();
+        placements.sort_by_key(|o| o.task);
+        let mut failed = self.engine.failed.clone();
+        failed.sort_unstable();
+        let makespan = placements
+            .iter()
+            .map(|p| p.finish)
+            .fold(Seconds::ZERO, Seconds::max);
+        let busy_energy: Joule = self.devices.iter().map(|d| d.meter().total()).sum();
+        let idle_energy: Joule = self
+            .devices
+            .iter()
+            .map(|d| {
+                let idle_time = (makespan - d.meter().elapsed()).max(Seconds::ZERO);
+                d.spec.idle_power * idle_time
+            })
+            .sum();
+        RunReport {
+            makespan,
+            busy_energy,
+            total_energy: busy_energy + idle_energy,
+            placements,
+            stats: self.engine.stats,
+            failed,
+        }
+    }
+
+    /// Current virtual time of the engine (the time of the last processed
+    /// event).
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.engine.now
+    }
+
+    /// Whether the engine has unprocessed events.
+    #[must_use]
+    pub fn has_pending_events(&self) -> bool {
+        !self.engine.heap.is_empty()
+    }
+
+    fn handle_ready(&mut self, task: TaskId, at: Seconds) -> Result<(), RuntimeError> {
+        // Stale events (task already executed by `run_sweep`, or poisoned
+        // by an upstream failure) are dropped, not errors.
+        if self.graph.state(task)? != TaskState::Ready {
+            return Ok(());
+        }
+        self.graph.start(task)?;
+        let replicas = self
+            .graph
+            .descriptor(task)?
+            .requirements
+            .criticality
+            .replica_count()
+            .min(self.devices.len());
+        if replicas == 1 {
+            self.engine.stats.unreplicated += 1;
+        } else {
+            self.engine.stats.replica_executions += (replicas - 1) as u64;
+        }
+        self.start_attempt(task, replicas, at, 0)
+    }
+
+    /// Place and launch one (possibly replicated) attempt of `task` at
+    /// virtual time `at`, pushing the finish event where its replicas
+    /// join.
+    fn start_attempt(
+        &mut self,
+        task: TaskId,
+        replicas: usize,
+        at: Seconds,
+        attempt: u32,
+    ) -> Result<(), RuntimeError> {
+        let desc = self.graph.descriptor(task)?.clone();
+        let ranking = self.policy.rank(&self.devices, desc.work, desc.kind, at);
+        let chosen: Vec<usize> = ranking.into_iter().take(replicas).collect();
+        let golden = golden_value(task);
+        let mut results = Vec::with_capacity(chosen.len());
+        let mut start = Seconds(f64::INFINITY);
+        let mut finish = Seconds::ZERO;
+        for &d in &chosen {
+            let (s, f) = self.devices[d].execute(at, desc.work, desc.kind);
+            start = start.min(s);
+            finish = finish.max(f);
+            let faulty = self.rng.gen_range(0.0..1.0) < self.fault_probs[d];
+            let value = if faulty {
+                // Corrupt deterministically per draw but never equal to
+                // golden.
+                ReplicaResult(golden ^ (1 + self.rng.gen_range(0..u64::MAX - 1)))
+            } else {
+                ReplicaResult(golden)
+            };
+            results.push(value);
+        }
+        self.engine.push(
+            finish,
+            EventKind::Finish {
+                task,
+                devices: chosen,
+                start,
+                results,
+                attempt,
+            },
+        );
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_finish(
+        &mut self,
+        task: TaskId,
+        devices: Vec<usize>,
+        start: Seconds,
+        results: Vec<ReplicaResult>,
+        attempt: u32,
+        finish: Seconds,
+    ) -> Result<(), RuntimeError> {
+        let golden = golden_value(task);
+        let accepted = match vote(&results) {
+            Verdict::Accept(v) => {
+                let correct = v.0 == golden;
+                if !correct {
+                    self.engine.stats.silent_corruptions += 1;
+                }
+                Some(correct)
+            }
+            Verdict::Masked(v) => {
+                self.engine.stats.masked += 1;
+                Some(v.0 == golden)
+            }
+            Verdict::Retry => {
+                self.engine.stats.detected += 1;
+                None
+            }
+        };
+        match accepted {
+            Some(correct) => {
+                let released = self.graph.complete(task)?;
+                for succ in released {
+                    self.engine.push(finish, EventKind::Ready(succ));
+                }
+                self.engine.outcomes.push(TaskOutcome {
+                    task,
+                    devices,
+                    start,
+                    finish,
+                    correct,
+                });
+            }
+            None if attempt < self.max_retries => {
+                self.engine.stats.retries += 1;
+                self.start_attempt(task, devices.len(), finish, attempt + 1)?;
+            }
+            None => {
+                self.engine.failed.push(task);
+                self.graph.fail(task)?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -20,6 +20,9 @@ pub enum RuntimeError {
     },
     /// The task graph reported an inconsistency.
     Graph(String),
+    /// A [`Policy::Weighted`](crate::scheduler::Policy::Weighted) weight
+    /// was outside `[0, 1]` (or not finite).
+    InvalidWeight(f64),
 }
 
 impl fmt::Display for RuntimeError {
@@ -30,6 +33,12 @@ impl fmt::Display for RuntimeError {
                 write!(f, "task {task} failed after {retries} retries")
             }
             RuntimeError::Graph(msg) => write!(f, "task graph error: {msg}"),
+            RuntimeError::InvalidWeight(w) => {
+                write!(
+                    f,
+                    "trade-off weight must be a finite value in [0, 1], got {w}"
+                )
+            }
         }
     }
 }
@@ -57,6 +66,12 @@ mod tests {
             retries: 2,
         };
         assert!(e.to_string().contains("T3"));
+    }
+
+    #[test]
+    fn display_invalid_weight() {
+        let e = RuntimeError::InvalidWeight(1.5);
+        assert!(e.to_string().contains("1.5"), "{e}");
     }
 
     #[test]

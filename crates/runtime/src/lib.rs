@@ -5,8 +5,9 @@
 //!
 //! * **OmpSs-style dataflow execution** — tasks are submitted with
 //!   `in`/`out`/`inout` annotations, dependences are inferred, and ready
-//!   tasks are scheduled onto the most appropriate device
-//!   ([`runtime::Runtime`]);
+//!   tasks are scheduled onto the most appropriate device by the
+//!   event-driven execution [`engine`] behind [`runtime::Runtime`],
+//!   with streaming submission into a run already in progress;
 //! * **XiTAO-style elastic tasks** — a task is "a parallel computation
 //!   with arbitrary (elastic) resources"; the [`elastic`] module picks the
 //!   resource width that minimizes finish time under Amdahl scaling with
@@ -59,12 +60,15 @@
 
 pub mod ckpt;
 pub mod elastic;
+pub mod engine;
 pub mod error;
 pub mod lowvolt;
 pub mod replication;
 pub mod runtime;
+pub mod sched;
 pub mod scheduler;
 
 pub use error::RuntimeError;
 pub use runtime::{RunReport, Runtime, TaskOutcome};
+pub use sched::{Estimate, Scheduler, ScoreNorm};
 pub use scheduler::Policy;

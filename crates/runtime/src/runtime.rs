@@ -1,4 +1,10 @@
 //! The OmpSs-style dataflow runtime over simulated heterogeneous devices.
+//!
+//! Execution is driven by the event-driven engine in
+//! [`engine`](crate::engine); the legacy topological sweep is kept as
+//! [`Runtime::run_sweep`] so its schedules can be compared against the
+//! engine's (the `runtime_engine` bench and the full-stack tests do
+//! exactly that).
 
 use legato_core::graph::{TaskGraph, TaskState};
 use legato_core::task::{AccessMode, RegionId, TaskDescriptor, TaskId};
@@ -8,6 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::EngineState;
 use crate::error::RuntimeError;
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
 use crate::scheduler::Policy;
@@ -43,7 +50,7 @@ pub struct RunReport {
     /// Replication statistics.
     pub stats: ReplicationStats,
     /// Tasks that exhausted their retry budget (their dependents were
-    /// poisoned and skipped).
+    /// poisoned and skipped), in submission order.
     pub failed: Vec<TaskId>,
 }
 
@@ -56,16 +63,17 @@ impl RunReport {
     }
 }
 
-/// The task runtime: a device set, a policy, a dataflow graph and a fault
-/// model.
+/// The task runtime: a device set, a policy, a dataflow graph, a fault
+/// model, and the persistent state of the event-driven engine.
 #[derive(Debug, Clone)]
 pub struct Runtime {
-    devices: Vec<Device>,
-    fault_probs: Vec<f64>,
-    graph: TaskGraph,
-    policy: Policy,
-    max_retries: u32,
-    rng: SmallRng,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) fault_probs: Vec<f64>,
+    pub(crate) graph: TaskGraph,
+    pub(crate) policy: Policy,
+    pub(crate) max_retries: u32,
+    pub(crate) rng: SmallRng,
+    pub(crate) engine: EngineState,
 }
 
 impl Runtime {
@@ -85,6 +93,7 @@ impl Runtime {
             policy,
             max_retries: 3,
             rng: SmallRng::seed_from_u64(seed),
+            engine: EngineState::default(),
         }
     }
 
@@ -117,12 +126,22 @@ impl Runtime {
     }
 
     /// Submit a task with data-access annotations; returns its id.
+    ///
+    /// Submission can happen at any point, including while a run is in
+    /// progress (between [`Runtime::step`] calls or between
+    /// [`Runtime::run`] calls): a task that is immediately ready joins
+    /// the schedule at the engine's current virtual time, and a pending
+    /// task is scheduled the moment its last dependence completes.
     pub fn submit<I, R>(&mut self, descriptor: TaskDescriptor, accesses: I) -> TaskId
     where
         I: IntoIterator<Item = (R, AccessMode)>,
         R: Into<RegionId>,
     {
-        self.graph.add_task(descriptor, accesses)
+        let id = self.graph.add_task(descriptor, accesses);
+        if self.graph.state(id) == Ok(TaskState::Ready) {
+            self.engine.push_ready(id);
+        }
+        id
     }
 
     /// The underlying dataflow graph.
@@ -137,21 +156,35 @@ impl Runtime {
         &self.devices
     }
 
-    /// Execute every submitted task and return the report.
+    /// Execute every outstanding task with the **legacy topological
+    /// sweep** and return the report.
     ///
-    /// Tasks run in dependence order; each task's replica count follows
-    /// its [`Criticality`](legato_core::requirements::Criticality), and
-    /// replicas are placed on distinct devices in policy-preference order.
-    /// A task whose faults cannot be masked within the retry budget is
-    /// failed; its dependents are poisoned and skipped.
+    /// This is the pre-engine executor, kept as the comparison baseline:
+    /// it walks the graph in topological (submission) order and commits
+    /// every task's placement in that order, so a task that is ready
+    /// early but submitted late cannot slot in front of already-committed
+    /// device time. [`Runtime::run`] (the event-driven engine) schedules
+    /// in event order instead and never does worse on dependency chains —
+    /// the `runtime_engine` bench quantifies the gap on wide graphs.
+    ///
+    /// The sweep bypasses the persistent engine: its report covers
+    /// exactly the tasks it executed, and the engine's queued events for
+    /// those tasks are discarded (the sweep drains the graph, so
+    /// [`Runtime::has_pending_events`] stays honest afterwards).
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::NoDevices`] when the runtime has no devices.
-    pub fn run(&mut self) -> Result<RunReport, RuntimeError> {
+    /// [`RuntimeError::NoDevices`] when the runtime has no devices;
+    /// [`RuntimeError::InvalidWeight`] for an unusable
+    /// [`Policy::Weighted`] weight.
+    pub fn run_sweep(&mut self) -> Result<RunReport, RuntimeError> {
         if self.devices.is_empty() {
             return Err(RuntimeError::NoDevices);
         }
+        self.policy.validate()?;
+        // The sweep executes every outstanding task itself; any ready
+        // events the engine queued for them would be stale no-ops.
+        self.engine.clear_events();
         let n = self.graph.len();
         let mut finish_at = vec![Seconds::ZERO; n];
         let mut placements = Vec::new();
@@ -280,7 +313,7 @@ impl Runtime {
 
 /// The golden (fault-free) result value of a task: a SplitMix64 hash of
 /// its id, so replicas agree exactly unless corrupted.
-fn golden_value(task: TaskId) -> u64 {
+pub(crate) fn golden_value(task: TaskId) -> u64 {
     let mut z = task.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -328,6 +361,18 @@ mod tests {
     fn no_devices_is_an_error() {
         let mut rt = Runtime::new(vec![], Policy::Performance, 1);
         assert_eq!(rt.run(), Err(RuntimeError::NoDevices));
+        let mut rt = Runtime::new(vec![], Policy::Performance, 1);
+        assert_eq!(rt.run_sweep(), Err(RuntimeError::NoDevices));
+    }
+
+    #[test]
+    fn invalid_weight_is_an_error_not_a_panic() {
+        let mut rt = Runtime::new(specs(), Policy::Weighted(2.0), 1);
+        chain(&mut rt, 2, Criticality::Normal);
+        assert_eq!(rt.run(), Err(RuntimeError::InvalidWeight(2.0)));
+        let mut rt = Runtime::new(specs(), Policy::Weighted(-0.5), 1);
+        chain(&mut rt, 2, Criticality::Normal);
+        assert_eq!(rt.run_sweep(), Err(RuntimeError::InvalidWeight(-0.5)));
     }
 
     #[test]
@@ -481,5 +526,112 @@ mod tests {
             .devices()
             .iter()
             .all(|d| d.meter().total() == Joule::ZERO));
+    }
+
+    #[test]
+    fn streaming_submission_joins_run_in_progress() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        let first = chain(&mut rt, 3, Criticality::Normal);
+        // Drive the run partway: two events (first ready + first finish).
+        assert!(rt.step().unwrap().is_some());
+        assert!(rt.step().unwrap().is_some());
+        // Submit more work *while the run is in progress*: one task
+        // extending the existing chain, one independent task.
+        let submitted_at = rt.now();
+        assert!(submitted_at > Seconds::ZERO, "run must be in progress");
+        let late_chain = rt.submit(
+            TaskDescriptor::named("late").with_work(Work::flops(1e9)),
+            [(0u64, AccessMode::InOut)],
+        );
+        let late_free = rt.submit(
+            TaskDescriptor::named("free").with_work(Work::flops(1e9)),
+            [(99u64, AccessMode::Out)],
+        );
+        let rep = rt.run().unwrap();
+        assert_eq!(rep.placements.len(), 5);
+        assert!(rep.is_correct());
+        // The chain extension still ran after its predecessor.
+        let finish_of = |id: TaskId| {
+            rep.placements
+                .iter()
+                .find(|p| p.task == id)
+                .map(|p| p.finish)
+                .unwrap()
+        };
+        let start_of = |id: TaskId| {
+            rep.placements
+                .iter()
+                .find(|p| p.task == id)
+                .map(|p| p.start)
+                .unwrap()
+        };
+        assert!(start_of(late_chain) >= finish_of(first[2]));
+        // The independent latecomer starts no earlier than the virtual
+        // time at which it was submitted.
+        assert!(
+            start_of(late_free) >= submitted_at,
+            "latecomer started {} before its submission time {}",
+            start_of(late_free),
+            submitted_at
+        );
+    }
+
+    #[test]
+    fn repeated_runs_extend_the_same_report() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        chain(&mut rt, 2, Criticality::Normal);
+        let first = rt.run().unwrap();
+        assert_eq!(first.placements.len(), 2);
+        chain(&mut rt, 2, Criticality::Normal);
+        let second = rt.run().unwrap();
+        assert_eq!(second.placements.len(), 4, "report is cumulative");
+        assert!(second.makespan >= first.makespan);
+        assert!(!rt.has_pending_events());
+    }
+
+    #[test]
+    fn step_on_idle_engine_returns_none() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        assert_eq!(rt.step().unwrap(), None);
+        chain(&mut rt, 1, Criticality::Normal);
+        while rt.step().unwrap().is_some() {}
+        assert_eq!(rt.step().unwrap(), None);
+        assert_eq!(rt.now(), rt.report().makespan);
+    }
+
+    #[test]
+    fn sweep_still_executes_everything() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        chain(&mut rt, 5, Criticality::Normal);
+        let rep = rt.run_sweep().unwrap();
+        assert_eq!(rep.placements.len(), 5);
+        assert!(rep.is_correct());
+        assert!(rt.graph().is_complete());
+    }
+
+    #[test]
+    fn sweep_discards_queued_engine_events() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        chain(&mut rt, 3, Criticality::Normal);
+        assert!(rt.has_pending_events());
+        rt.run_sweep().unwrap();
+        assert!(
+            !rt.has_pending_events(),
+            "sweep must not leave phantom events behind"
+        );
+        assert_eq!(rt.step().unwrap(), None);
+    }
+
+    #[test]
+    fn engine_matches_sweep_on_a_single_chain() {
+        let build = |_| {
+            let mut rt = Runtime::new(specs(), Policy::Performance, 9);
+            chain(&mut rt, 12, Criticality::Normal);
+            rt
+        };
+        let sweep = build(()).run_sweep().unwrap();
+        let event = build(()).run().unwrap();
+        assert_eq!(sweep.makespan, event.makespan);
+        assert_eq!(sweep.placements, event.placements);
     }
 }

@@ -1,0 +1,274 @@
+//! The unified scheduler abstraction shared by the runtime and HEATS.
+//!
+//! Both schedulers in the toolset answer the same question — *given a set
+//! of candidate execution sites with predicted finish times and energies,
+//! which one should run this task?* — but historically each answered it
+//! with its own disjoint scoring code: the runtime scored live [`Device`]s
+//! analytically from their specs, while HEATS scored cluster nodes through
+//! its learned `NodeModel`s. This module factors the shared half out:
+//!
+//! * a *predictor* (analytic spec, learned model, …) turns a task and a
+//!   candidate into an [`Estimate`];
+//! * a [`Scheduler`] turns a slice of estimates into a placement, a
+//!   ranking, or a migration decision.
+//!
+//! Because the trait only sees [`Estimate`]s, model-learned scores and
+//! analytic scores are interchangeable: the same [`Policy`] drives the
+//! event-driven execution engine's device placement and HEATS' node
+//! placement and migration phases.
+//!
+//! [`Device`]: legato_hw::device::Device
+//! [`Policy`]: crate::scheduler::Policy
+
+use legato_core::units::{Joule, Seconds};
+
+/// Predicted cost of running a task on one candidate execution site.
+///
+/// `finish` folds in whatever queueing or availability delay the predictor
+/// knows about (the runtime passes absolute finish times over busy device
+/// timelines; HEATS passes predicted durations, which is equivalent under
+/// normalization since all its candidates start together).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Predicted completion time on this candidate.
+    pub finish: Seconds,
+    /// Predicted energy spent on this candidate.
+    pub energy: Joule,
+}
+
+impl Estimate {
+    /// Build an estimate from a finish time and an energy.
+    #[must_use]
+    pub fn new(finish: Seconds, energy: Joule) -> Self {
+        Estimate { finish, energy }
+    }
+}
+
+/// Normalization context for scores that mix time and energy.
+///
+/// Scale-dependent schedulers (the `Weighted` policy, HEATS' trade-off
+/// scoring) need seconds and joules mapped onto a comparable scale before
+/// combining them. The two constructors cover both idioms in the
+/// codebase: min-max over the candidate set (batch placement) and
+/// fixed reference scales (stay-vs-move migration scoring, where both
+/// sides must be measured against the *same* yardstick).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreNorm {
+    t_lo: f64,
+    t_hi: f64,
+    e_lo: f64,
+    e_hi: f64,
+}
+
+impl ScoreNorm {
+    /// Min-max normalization over a candidate set.
+    #[must_use]
+    pub fn from_estimates(estimates: &[Estimate]) -> Self {
+        let (t_lo, t_hi) = min_max(estimates.iter().map(|e| e.finish.0));
+        let (e_lo, e_hi) = min_max(estimates.iter().map(|e| e.energy.0));
+        ScoreNorm {
+            t_lo,
+            t_hi,
+            e_lo,
+            e_hi,
+        }
+    }
+
+    /// Normalization against fixed reference magnitudes: a value `v` maps
+    /// to `v / reference`. Used when scores from different candidate sets
+    /// must stay comparable (e.g. migration hysteresis).
+    #[must_use]
+    pub fn from_scale(typical_time: Seconds, typical_energy: Joule) -> Self {
+        ScoreNorm {
+            t_lo: 0.0,
+            t_hi: typical_time.0.max(1e-12),
+            e_lo: 0.0,
+            e_hi: typical_energy.0.max(1e-12),
+        }
+    }
+
+    /// Normalized time component.
+    #[must_use]
+    pub fn time(&self, v: f64) -> f64 {
+        normalize(v, self.t_lo, self.t_hi)
+    }
+
+    /// Normalized energy component.
+    #[must_use]
+    pub fn energy(&self, v: f64) -> f64 {
+        normalize(v, self.e_lo, self.e_hi)
+    }
+}
+
+/// A placement strategy over scored candidates.
+///
+/// Implementors provide [`Scheduler::score`] (lower is better); the
+/// provided methods derive placement, ranking and migration from it. The
+/// runtime's [`Policy`](crate::scheduler::Policy) implements this trait,
+/// and HEATS drives its placement and rescheduling phases through the
+/// same implementation.
+pub trait Scheduler {
+    /// Scalar cost of one candidate under this strategy; **lower is
+    /// better**. `norm` supplies the time/energy normalization context
+    /// for strategies that mix the two dimensions.
+    fn score(&self, estimate: &Estimate, norm: &ScoreNorm) -> f64;
+
+    /// Index of the best candidate, or `None` for an empty slice. Ties
+    /// break toward the earliest index, deterministically.
+    fn place(&self, estimates: &[Estimate]) -> Option<usize> {
+        let norm = ScoreNorm::from_estimates(estimates);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in estimates.iter().enumerate() {
+            let s = self.score(e, &norm);
+            if best.is_none_or(|(_, bs)| s < bs) {
+                best = Some((i, s));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Candidate indices ordered best to worst (used by replication to
+    /// pick diverse placements). Ties preserve index order.
+    fn rank(&self, estimates: &[Estimate]) -> Vec<usize> {
+        let norm = ScoreNorm::from_estimates(estimates);
+        let scores: Vec<f64> = estimates.iter().map(|e| self.score(e, &norm)).collect();
+        let mut order: Vec<usize> = (0..estimates.len()).collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        order
+    }
+
+    /// Migration decision: given the estimate of *staying* on the current
+    /// site and the estimates of the alternatives, return the index of an
+    /// alternative worth moving to, or `None` to stay put.
+    ///
+    /// The default applies hysteresis: an alternative must beat the stay
+    /// score by the relative margin `hysteresis` (e.g. `0.10` = 10 %
+    /// better) to defend against migration ping-ponging. Both sides are
+    /// scored under the caller-supplied `norm` so they share a yardstick.
+    fn migrate(
+        &self,
+        stay: &Estimate,
+        alternatives: &[Estimate],
+        norm: &ScoreNorm,
+        hysteresis: f64,
+    ) -> Option<usize> {
+        let stay_score = self.score(stay, norm);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in alternatives.iter().enumerate() {
+            let s = self.score(e, norm);
+            if best.is_none_or(|(_, bs)| s < bs) {
+                best = Some((i, s));
+            }
+        }
+        let (idx, score) = best?;
+        (score < stay_score * (1.0 - hysteresis.max(0.0))).then_some(idx)
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn normalize(v: f64, lo: f64, hi: f64) -> f64 {
+    if (hi - lo).abs() < 1e-12 {
+        0.0
+    } else {
+        (v - lo) / (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Policy;
+
+    fn estimates() -> Vec<Estimate> {
+        vec![
+            Estimate::new(Seconds(10.0), Joule(5.0)),  // slow, frugal
+            Estimate::new(Seconds(1.0), Joule(100.0)), // fast, hungry
+            Estimate::new(Seconds(4.0), Joule(20.0)),  // balanced
+        ]
+    }
+
+    #[test]
+    fn place_follows_policy_axis() {
+        let ests = estimates();
+        assert_eq!(Scheduler::place(&Policy::Performance, &ests), Some(1));
+        assert_eq!(Scheduler::place(&Policy::Energy, &ests), Some(0));
+    }
+
+    #[test]
+    fn weighted_endpoints_match_pure_policies() {
+        let ests = estimates();
+        assert_eq!(Scheduler::place(&Policy::Weighted(0.0), &ests), Some(1));
+        assert_eq!(Scheduler::place(&Policy::Weighted(1.0), &ests), Some(0));
+    }
+
+    #[test]
+    fn rank_is_a_permutation_and_best_first() {
+        let ests = estimates();
+        let order = Scheduler::rank(&Policy::Edp, &ests);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(order[0], Scheduler::place(&Policy::Edp, &ests).unwrap());
+    }
+
+    #[test]
+    fn empty_candidates_place_nowhere() {
+        assert_eq!(Scheduler::place(&Policy::Performance, &[]), None);
+        assert!(Scheduler::rank(&Policy::Performance, &[]).is_empty());
+    }
+
+    #[test]
+    fn ties_break_toward_first_index() {
+        let ests = vec![
+            Estimate::new(Seconds(2.0), Joule(4.0)),
+            Estimate::new(Seconds(2.0), Joule(4.0)),
+        ];
+        assert_eq!(Scheduler::place(&Policy::Performance, &ests), Some(0));
+        assert_eq!(Scheduler::rank(&Policy::Energy, &ests), vec![0, 1]);
+    }
+
+    #[test]
+    fn migrate_requires_hysteresis_margin() {
+        let norm = ScoreNorm::from_scale(Seconds(10.0), Joule(10.0));
+        let stay = Estimate::new(Seconds(10.0), Joule(10.0));
+        // 5 % better: below the 10 % threshold — stay.
+        let slightly = vec![Estimate::new(Seconds(9.5), Joule(9.5))];
+        assert_eq!(
+            Policy::Weighted(0.5).migrate(&stay, &slightly, &norm, 0.10),
+            None
+        );
+        // 50 % better: migrate.
+        let much = vec![Estimate::new(Seconds(5.0), Joule(5.0))];
+        assert_eq!(
+            Policy::Weighted(0.5).migrate(&stay, &much, &norm, 0.10),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn migrate_with_no_alternatives_stays() {
+        let norm = ScoreNorm::from_scale(Seconds(1.0), Joule(1.0));
+        let stay = Estimate::new(Seconds(1.0), Joule(1.0));
+        assert_eq!(Policy::Energy.migrate(&stay, &[], &norm, 0.1), None);
+    }
+
+    #[test]
+    fn score_norm_from_scale_divides_by_reference() {
+        let norm = ScoreNorm::from_scale(Seconds(4.0), Joule(8.0));
+        assert!((norm.time(2.0) - 0.5).abs() < 1e-12);
+        assert!((norm.energy(2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_norm_is_zero() {
+        let ests = vec![Estimate::new(Seconds(3.0), Joule(3.0))];
+        let norm = ScoreNorm::from_estimates(&ests);
+        assert_eq!(norm.time(3.0), 0.0);
+        assert_eq!(norm.energy(3.0), 0.0);
+    }
+}

@@ -6,11 +6,19 @@
 //! [`Policy`] encodes what "most efficient" means for a given customer:
 //! pure performance, pure energy, energy-delay product, or the weighted
 //! trade-off HEATS exposes as a knob.
+//!
+//! A [`Policy`] is a [`Scheduler`]: the scoring itself lives in the
+//! shared [`sched`](crate::sched) layer, and the methods here are thin
+//! adapters that turn live [`Device`] state (or bare [`DeviceSpec`]s)
+//! into [`Estimate`]s before delegating to the trait.
 
 use legato_core::task::{TaskKind, Work};
 use legato_core::units::Seconds;
 use legato_hw::device::{Device, DeviceSpec};
 use serde::{Deserialize, Serialize};
+
+use crate::error::RuntimeError;
+use crate::sched::{Estimate, Scheduler, ScoreNorm};
 
 /// What a scheduler optimizes when placing a task.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,19 +29,49 @@ pub enum Policy {
     Energy,
     /// Minimize energy-delay product.
     Edp,
-    /// Minimize `w · energy + (1 − w) · time` after min-max normalization
-    /// over the candidate devices; `w = 1` is pure energy, `w = 0` pure
-    /// performance.
+    /// Minimize `w · energy + (1 − w) · time` after normalization over the
+    /// candidate set; `w = 1` is pure energy, `w = 0` pure performance.
+    ///
+    /// Construct through [`Policy::weighted`] to get the weight validated
+    /// up front; a directly-constructed out-of-range weight is reported as
+    /// [`RuntimeError::InvalidWeight`] when a run starts (never a panic
+    /// mid-run).
     Weighted(f64),
 }
 
 impl Policy {
+    /// Validated constructor for [`Policy::Weighted`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidWeight`] when `w` is not a finite value in
+    /// `[0, 1]`.
+    pub fn weighted(w: f64) -> Result<Self, RuntimeError> {
+        let policy = Policy::Weighted(w);
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Check that the policy's parameters are usable.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidWeight`] for a [`Policy::Weighted`] weight
+    /// outside `[0, 1]` (or non-finite).
+    pub fn validate(self) -> Result<(), RuntimeError> {
+        match self {
+            Policy::Weighted(w) if !(w.is_finite() && (0.0..=1.0).contains(&w)) => {
+                Err(RuntimeError::InvalidWeight(w))
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Pick the best device index for `work` given each device's earliest
     /// availability. Returns `None` for an empty device list.
     ///
-    /// # Panics
-    ///
-    /// Panics if a [`Policy::Weighted`] weight is outside `[0, 1]`.
+    /// An out-of-range `Weighted` weight is clamped into `[0, 1]` here
+    /// (use [`Policy::validate`] to reject it instead).
     #[must_use]
     pub fn choose(
         self,
@@ -42,43 +80,15 @@ impl Policy {
         kind: TaskKind,
         ready_at: Seconds,
     ) -> Option<usize> {
-        if devices.is_empty() {
-            return None;
-        }
-        if let Policy::Weighted(w) = self {
-            assert!(
-                (0.0..=1.0).contains(&w),
-                "trade-off weight must be in [0, 1], got {w}"
-            );
-        }
-        let metrics: Vec<(f64, f64)> = devices
-            .iter()
-            .map(|d| {
-                let start = ready_at.max(d.busy_until());
-                let finish = start + d.spec.time_for(work, kind);
-                let energy = d.spec.energy_for(work, kind);
-                (finish.0, energy.0)
-            })
-            .collect();
-        let idx = match self {
-            Policy::Performance => argmin(metrics.iter().map(|m| m.0)),
-            Policy::Energy => argmin(metrics.iter().map(|m| m.1)),
-            Policy::Edp => argmin(metrics.iter().map(|m| m.0 * m.1)),
-            Policy::Weighted(w) => {
-                let (tmin, tmax) = min_max(metrics.iter().map(|m| m.0));
-                let (emin, emax) = min_max(metrics.iter().map(|m| m.1));
-                argmin(metrics.iter().map(|m| {
-                    let t_norm = normalize(m.0, tmin, tmax);
-                    let e_norm = normalize(m.1, emin, emax);
-                    w * e_norm + (1.0 - w) * t_norm
-                }))
-            }
-        };
-        Some(idx)
+        self.sanitized()
+            .place(&device_estimates(devices, work, kind, ready_at))
     }
 
     /// Rank device indices from best to worst under this policy (used by
     /// replication to pick diverse placements).
+    ///
+    /// An out-of-range `Weighted` weight is clamped into `[0, 1]` here
+    /// (use [`Policy::validate`] to reject it instead).
     #[must_use]
     pub fn rank(
         self,
@@ -87,22 +97,55 @@ impl Policy {
         kind: TaskKind,
         ready_at: Seconds,
     ) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..devices.len()).collect();
-        let score = |i: usize| -> f64 {
-            let d = &devices[i];
-            let start = ready_at.max(d.busy_until());
-            let finish = (start + d.spec.time_for(work, kind)).0;
-            let energy = d.spec.energy_for(work, kind).0;
-            match self {
-                Policy::Performance => finish,
-                Policy::Energy => energy,
-                Policy::Edp => finish * energy,
-                Policy::Weighted(w) => w * energy + (1.0 - w) * finish,
-            }
-        };
-        order.sort_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite scores"));
-        order
+        Scheduler::rank(
+            &self.sanitized(),
+            &device_estimates(devices, work, kind, ready_at),
+        )
     }
+
+    /// A copy of the policy with any `Weighted` weight forced into
+    /// `[0, 1]` (non-finite weights become balanced `0.5`).
+    fn sanitized(self) -> Self {
+        match self {
+            Policy::Weighted(w) if !w.is_finite() => Policy::Weighted(0.5),
+            Policy::Weighted(w) => Policy::Weighted(w.clamp(0.0, 1.0)),
+            other => other,
+        }
+    }
+}
+
+impl Scheduler for Policy {
+    fn score(&self, estimate: &Estimate, norm: &ScoreNorm) -> f64 {
+        let t = estimate.finish.0;
+        let e = estimate.energy.0;
+        match *self {
+            Policy::Performance => t,
+            Policy::Energy => e,
+            Policy::Edp => t * e,
+            Policy::Weighted(w) => w * norm.energy(e) + (1.0 - w) * norm.time(t),
+        }
+    }
+}
+
+/// Predicted completion and energy of `work` on each live device, folding
+/// in the device's current availability.
+#[must_use]
+pub fn device_estimates(
+    devices: &[Device],
+    work: Work,
+    kind: TaskKind,
+    ready_at: Seconds,
+) -> Vec<Estimate> {
+    devices
+        .iter()
+        .map(|d| {
+            let start = ready_at.max(d.busy_until());
+            Estimate::new(
+                start + d.spec.time_for(work, kind),
+                d.spec.energy_for(work, kind),
+            )
+        })
+        .collect()
 }
 
 /// Static (spec-only) choice, ignoring availability — used when comparing
@@ -114,51 +157,11 @@ pub fn best_spec_for(
     kind: TaskKind,
     policy: Policy,
 ) -> Option<usize> {
-    if specs.is_empty() {
-        return None;
-    }
-    let metrics: Vec<(f64, f64)> = specs
+    let estimates: Vec<Estimate> = specs
         .iter()
-        .map(|s| (s.time_for(work, kind).0, s.energy_for(work, kind).0))
+        .map(|s| Estimate::new(s.time_for(work, kind), s.energy_for(work, kind)))
         .collect();
-    Some(match policy {
-        Policy::Performance => argmin(metrics.iter().map(|m| m.0)),
-        Policy::Energy => argmin(metrics.iter().map(|m| m.1)),
-        Policy::Edp => argmin(metrics.iter().map(|m| m.0 * m.1)),
-        Policy::Weighted(w) => {
-            let (tmin, tmax) = min_max(metrics.iter().map(|m| m.0));
-            let (emin, emax) = min_max(metrics.iter().map(|m| m.1));
-            argmin(
-                metrics.iter().map(|m| {
-                    w * normalize(m.1, emin, emax) + (1.0 - w) * normalize(m.0, tmin, tmax)
-                }),
-            )
-        }
-    })
-}
-
-fn argmin(values: impl Iterator<Item = f64>) -> usize {
-    let mut best = (0usize, f64::INFINITY);
-    for (i, v) in values.enumerate() {
-        if v < best.1 {
-            best = (i, v);
-        }
-    }
-    best.0
-}
-
-fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
-    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
-        (lo.min(v), hi.max(v))
-    })
-}
-
-fn normalize(v: f64, lo: f64, hi: f64) -> f64 {
-    if (hi - lo).abs() < 1e-12 {
-        0.0
-    } else {
-        (v - lo) / (hi - lo)
-    }
+    policy.sanitized().place(&estimates)
 }
 
 #[cfg(test)]
@@ -241,11 +244,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "trade-off weight")]
-    fn weighted_validates() {
+    fn weighted_constructor_validates() {
+        assert!(Policy::weighted(0.0).is_ok());
+        assert!(Policy::weighted(1.0).is_ok());
+        assert_eq!(Policy::weighted(1.5), Err(RuntimeError::InvalidWeight(1.5)));
+        assert!(matches!(
+            Policy::weighted(f64::NAN),
+            Err(RuntimeError::InvalidWeight(_))
+        ));
+        assert_eq!(
+            Policy::Weighted(1.5).validate(),
+            Err(RuntimeError::InvalidWeight(1.5))
+        );
+        assert_eq!(Policy::Energy.validate(), Ok(()));
+    }
+
+    #[test]
+    fn out_of_range_weight_no_longer_panics_in_choose() {
         let d = devices();
-        let _ =
-            Policy::Weighted(1.5).choose(&d, Work::flops(1.0), TaskKind::Compute, Seconds::ZERO);
+        // Clamped to pure energy: same pick as Weighted(1.0).
+        let idx = Policy::Weighted(1.5)
+            .choose(&d, Work::flops(66e9), TaskKind::Inference, Seconds::ZERO)
+            .unwrap();
+        assert_eq!(idx, 2);
+        // Non-finite weights degrade to a balanced trade-off, not a panic.
+        let order = Policy::Weighted(f64::NAN).rank(
+            &d,
+            Work::flops(66e9),
+            TaskKind::Inference,
+            Seconds::ZERO,
+        );
+        assert_eq!(order.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property-based tests of the event-driven execution engine.
+//!
+//! Two contracts from the engine refactor:
+//!
+//! * **Determinism** — the same seed and the same graph produce an
+//!   identical [`RunReport`], bit for bit, however the event heap
+//!   interleaves placements (`time, seq` ordering is total).
+//! * **Chain dominance** — on dependency-chain graphs the engine never
+//!   does worse than the legacy topological sweep: on a serial chain its
+//!   makespan never exceeds the sweep's (the executors agree task by
+//!   task), and on unions of chains its busy energy never exceeds the
+//!   sweep's under the energy policy (per-task device choice is
+//!   availability-independent there, so reordering cannot cost joules).
+//!   Makespan on chain *unions* is deliberately not claimed: at low load
+//!   submission order doubles as a chain-depth priority, and greedy
+//!   executors can beat each other in either direction — the wide-graph
+//!   scenarios in `legato-bench` cover the saturated regime where the
+//!   engine wins.
+//!
+//! [`RunReport`]: legato_runtime::RunReport
+
+use legato_core::requirements::{Criticality, Requirements};
+use legato_core::task::{AccessMode, TaskDescriptor, Work};
+use legato_hw::device::DeviceSpec;
+use legato_runtime::{Policy, Runtime};
+use proptest::prelude::*;
+
+/// Chains → tasks → (flops, criticality selector).
+type ChainSpec = Vec<Vec<(f64, u8)>>;
+
+fn chains_strategy() -> impl Strategy<Value = ChainSpec> {
+    prop::collection::vec(prop::collection::vec((1e9f64..8e10, 0u8..3), 1..12), 1..10)
+}
+
+fn devices() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::xeon_x86(),
+        DeviceSpec::gtx1080(),
+        DeviceSpec::fpga_kintex(),
+        DeviceSpec::arm64(),
+    ]
+}
+
+/// Submit every chain; chain `c` serializes on its private region `c`.
+fn build(rt: &mut Runtime, chains: &ChainSpec) {
+    for (c, chain) in chains.iter().enumerate() {
+        for &(flops, crit) in chain {
+            let criticality = match crit {
+                0 => Criticality::Normal,
+                1 => Criticality::High,
+                _ => Criticality::Critical,
+            };
+            rt.submit(
+                TaskDescriptor::named("t")
+                    .with_work(Work::flops(flops))
+                    .with_requirements(Requirements::new().with_criticality(criticality)),
+                [(c as u64, AccessMode::InOut)],
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Same seed + same graph ⇒ identical `RunReport`, with the fault
+    /// model and replication voting active.
+    #[test]
+    fn engine_is_deterministic(chains in chains_strategy(), seed in 0u64..1000) {
+        let run = || {
+            let mut rt = Runtime::new(devices(), Policy::Weighted(0.5), seed);
+            rt.set_fault_prob(1, 0.2);
+            build(&mut rt, &chains);
+            rt.run().expect("devices present")
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// On a dependency chain the engine's makespan never exceeds the
+    /// sweep's under the performance policy (fault-free): with one task
+    /// ready at a time, both executors make the same placement at the
+    /// same simulated moment.
+    #[test]
+    fn engine_makespan_never_exceeds_sweep_on_a_chain(
+        chain in prop::collection::vec((1e9f64..8e10, 0u8..3), 1..24)
+    ) {
+        let chains = vec![chain];
+        let mut engine_rt = Runtime::new(devices(), Policy::Performance, 1);
+        build(&mut engine_rt, &chains);
+        let engine = engine_rt.run().expect("devices present");
+        let mut sweep_rt = Runtime::new(devices(), Policy::Performance, 1);
+        build(&mut sweep_rt, &chains);
+        let sweep = sweep_rt.run_sweep().expect("devices present");
+        prop_assert!(
+            engine.makespan.0 <= sweep.makespan.0 + 1e-9,
+            "engine {} must not exceed sweep {}",
+            engine.makespan,
+            sweep.makespan
+        );
+    }
+
+    /// On dependency-chain graphs the engine's busy energy never exceeds
+    /// the sweep's under the energy policy (fault-free): both pick each
+    /// task's energy-optimal device, so the engine's reordering cannot
+    /// cost joules.
+    #[test]
+    fn engine_energy_never_exceeds_sweep_on_chains(chains in chains_strategy()) {
+        let mut engine_rt = Runtime::new(devices(), Policy::Energy, 1);
+        build(&mut engine_rt, &chains);
+        let engine = engine_rt.run().expect("devices present");
+        let mut sweep_rt = Runtime::new(devices(), Policy::Energy, 1);
+        build(&mut sweep_rt, &chains);
+        let sweep = sweep_rt.run_sweep().expect("devices present");
+        prop_assert!(
+            engine.busy_energy.0 <= sweep.busy_energy.0 + 1e-6,
+            "engine {} J must not exceed sweep {} J",
+            engine.busy_energy,
+            sweep.busy_energy
+        );
+    }
+}

@@ -138,6 +138,65 @@ fn recs_box_modules_feed_the_runtime() {
     assert!(green.busy_energy.0 < perf.busy_energy.0);
 }
 
+/// The event-driven engine strictly beats the legacy topological sweep on
+/// wide graphs (≥ 1k tasks, fan-out/fan-in) under the same policy: on the
+/// saturating scenario the readiness-order tail win, on the straggler
+/// scenario a decisive interleaving win. Core ready-queue → engine →
+/// scheduler trait, end to end.
+#[test]
+fn event_engine_beats_topological_sweep_on_wide_graphs() {
+    use legato_bench::experiments::engine::{compare, Scenario};
+
+    let wide = compare(Scenario::reference_wide(), Policy::Performance, 42);
+    assert!(wide.tasks >= 1000, "wide graph too small: {}", wide.tasks);
+    assert!(
+        wide.engine.makespan < wide.sweep.makespan,
+        "engine must strictly beat the sweep: {} vs {}",
+        wide.engine.makespan,
+        wide.sweep.makespan
+    );
+
+    let straggler = compare(Scenario::reference_straggler(), Policy::Weighted(0.5), 42);
+    assert!(straggler.tasks >= 1000);
+    assert!(
+        straggler.speedup() > 1.3,
+        "straggler interleaving should be a decisive win, got {:.3}",
+        straggler.speedup()
+    );
+}
+
+/// Streaming submission: tasks fed into a run already in progress join
+/// the in-flight schedule and complete with the same guarantees.
+#[test]
+fn streaming_submission_into_inflight_run() {
+    let mut rt = Runtime::new(
+        vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080()],
+        Policy::Performance,
+        5,
+    );
+    for i in 0..4u64 {
+        rt.submit(
+            TaskDescriptor::named(format!("wave0-{i}")).with_work(Work::flops(2e10)),
+            [(i, AccessMode::Out)],
+        );
+    }
+    // Drive the run partway, then stream a second wave that depends on
+    // the first.
+    for _ in 0..3 {
+        rt.step().expect("devices present");
+    }
+    for i in 0..4u64 {
+        rt.submit(
+            TaskDescriptor::named(format!("wave1-{i}")).with_work(Work::flops(2e10)),
+            [(i, AccessMode::In), (100 + i, AccessMode::Out)],
+        );
+    }
+    let report = rt.run().expect("devices present");
+    assert_eq!(report.placements.len(), 8);
+    assert!(report.is_correct());
+    assert!(rt.graph().is_complete());
+}
+
 /// The graph's error propagation marks downstream tasks of a failure, and
 /// root-cause analysis walks back to the failed ancestor.
 #[test]

@@ -3,9 +3,12 @@
 //! Implements the subset of the criterion API the `legato-bench` benches
 //! use — `Criterion::bench_function`, `benchmark_group` (with
 //! `sample_size` and `throughput`), `Bencher::iter`, and the
-//! `criterion_group!`/`criterion_main!` macros — backed by a simple
-//! wall-clock measurement loop instead of criterion's full statistical
-//! machinery.
+//! `criterion_group!`/`criterion_main!` macros — backed by per-iteration
+//! wall-clock samples with a **median-of-samples estimator** instead of
+//! criterion's full statistical machinery. The median is robust against
+//! the one-sided noise that dominates CI runners (scheduler
+//! preemptions, page faults), where a mean is dragged upward by
+//! outliers.
 //!
 //! Two extensions support the repo's perf-tracking workflow:
 //!
@@ -32,9 +35,13 @@ fn results() -> &'static Mutex<Vec<Measurement>> {
 pub struct Measurement {
     /// Benchmark id (`group/function` when run in a group).
     pub id: String,
-    /// Mean wall-clock nanoseconds per iteration.
+    /// Median wall-clock nanoseconds per iteration (robust point
+    /// estimate; see [`Bencher::iter`]).
     pub ns_per_iter: f64,
-    /// Number of timed iterations behind the mean.
+    /// Mean wall-clock nanoseconds per iteration (kept alongside the
+    /// median so outlier skew is visible in the baseline).
+    pub mean_ns_per_iter: f64,
+    /// Number of timed iterations behind the estimates.
     pub iterations: u64,
     /// Declared throughput per iteration, if any.
     pub throughput: Option<Throughput>,
@@ -123,17 +130,19 @@ where
     let mut bencher = Bencher {
         sample_size,
         ns_per_iter: 0.0,
+        mean_ns_per_iter: 0.0,
         iterations: 0,
     };
     f(&mut bencher);
     let m = Measurement {
         id: id.to_string(),
         ns_per_iter: bencher.ns_per_iter,
+        mean_ns_per_iter: bencher.mean_ns_per_iter,
         iterations: bencher.iterations,
         throughput,
     };
     println!(
-        "bench {:<45} {:>14.1} ns/iter (n={})",
+        "bench {:<45} {:>14.1} ns/iter (median, n={})",
         m.id, m.ns_per_iter, m.iterations
     );
     results().lock().expect("results poisoned").push(m);
@@ -143,11 +152,15 @@ where
 pub struct Bencher {
     sample_size: u64,
     ns_per_iter: f64,
+    mean_ns_per_iter: f64,
     iterations: u64,
 }
 
 impl Bencher {
-    /// Measure `f`, running it repeatedly and recording mean ns/iter.
+    /// Measure `f`: each iteration is timed individually and the point
+    /// estimate is the **median of the per-iteration samples** (the mean
+    /// is recorded alongside). The median resists scheduler-noise
+    /// outliers that skew a plain mean on shared hardware.
     ///
     /// Runs up to the configured sample size, capped by a per-benchmark
     /// time budget so `cargo bench` stays fast even for expensive bodies.
@@ -158,24 +171,42 @@ impl Bencher {
         const BUDGET: Duration = Duration::from_millis(500);
         // Warm-up: one untimed run (fills caches, triggers lazy init).
         black_box(f());
-        let start = Instant::now();
-        let mut n = 0u64;
-        while n < self.sample_size.max(1) {
+        let budget_start = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size.max(1) as usize);
+        while (samples.len() as u64) < self.sample_size.max(1) {
+            let t = Instant::now();
             black_box(f());
-            n += 1;
-            if start.elapsed() > BUDGET {
+            samples.push(t.elapsed().as_nanos() as f64);
+            if budget_start.elapsed() > BUDGET {
                 break;
             }
         }
-        self.ns_per_iter = start.elapsed().as_nanos() as f64 / n as f64;
-        self.iterations = n;
+        self.ns_per_iter = median(&mut samples);
+        self.mean_ns_per_iter = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.iterations = samples.len() as u64;
+    }
+}
+
+/// Median of `samples` (average of the middle pair for even counts).
+/// Sorts in place; returns 0 for an empty slice.
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
     }
 }
 
 /// Write all measurements taken so far to `CRITERION_SAVE_JSON`, if set.
 ///
 /// Called by `criterion_main!` after every group has run. The output is a
-/// JSON array of `{id, ns_per_iter, iterations, throughput}` objects.
+/// JSON array of `{id, ns_per_iter (median), mean_ns_per_iter,
+/// iterations, throughput}` objects.
 pub fn save_baseline_from_env() {
     let Ok(path) = std::env::var("CRITERION_SAVE_JSON") else {
         return;
@@ -189,9 +220,10 @@ pub fn save_baseline_from_env() {
             None => "null".to_string(),
         };
         out.push_str(&format!(
-            "  {{\"id\": {:?}, \"ns_per_iter\": {:.1}, \"iterations\": {}, \"throughput\": {}}}{}\n",
+            "  {{\"id\": {:?}, \"ns_per_iter\": {:.1}, \"mean_ns_per_iter\": {:.1}, \"iterations\": {}, \"throughput\": {}}}{}\n",
             m.id,
             m.ns_per_iter,
+            m.mean_ns_per_iter,
             m.iterations,
             throughput,
             if i + 1 == all.len() { "" } else { "," }
