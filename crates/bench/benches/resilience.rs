@@ -1,0 +1,39 @@
+//! Criterion bench for E9: fault injection over the checkpoint/restart
+//! engine — a ≥ 1k-task graph at several MTBFs × {retry-only, Initial,
+//! Async}.
+//!
+//! Each cell measures how fast the simulator executes the scenario (the
+//! resilience machinery's own overhead: checkpoint events, frontier
+//! volume analysis, rollback re-arming), and declares the number of
+//! tasks the run *completed* as its throughput — so the
+//! `BENCH_resilience.json` baseline records the paper-shaped survival
+//! result next to the timings: at the hostile MTBF the retry-only row
+//! completes only a fraction of the graph while both checkpoint rows
+//! complete all of it, and `ckpt-async` does so with less simulated
+//! makespan than `ckpt-initial` (asserted in `tests/full_stack.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use legato_bench::experiments::resilience::{reference_mtbfs, run_scenario, CkptMode, Scenario};
+use std::hint::black_box;
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let scenario = Scenario::reference();
+    let mut g = c.benchmark_group("resilience");
+    g.sample_size(10);
+    for (label, mtbf) in reference_mtbfs(scenario) {
+        for mode in CkptMode::ALL {
+            // Completed-task count is deterministic per (scenario, mtbf,
+            // mode, seed): declare it as the cell's throughput so the
+            // JSON baseline records survival alongside the timing.
+            let row = run_scenario(scenario, mtbf, mode, 42);
+            g.throughput(Throughput::Elements(row.completed as u64));
+            g.bench_function(&format!("{label}/{}", mode.label()), |b| {
+                b.iter(|| black_box(run_scenario(scenario, mtbf, mode, 42).completed))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_injection);
+criterion_main!(benches);

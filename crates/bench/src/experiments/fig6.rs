@@ -99,8 +99,12 @@ pub fn micro(size: Bytes) -> MicroReport {
     let ckpt_async = fti.checkpoint_duration(&mm, &nvme.tier, Strategy::Async);
     let rec_initial = fti.recover_duration(&mm, &nvme.tier, Strategy::Initial);
     let rec_async = fti.recover_duration(&mm, &nvme.tier, Strategy::Async);
-    let m_slow = sustainable_mtbf(ckpt_initial, rec_initial, 0.10).expect("feasible");
-    let m_fast = sustainable_mtbf(ckpt_async, rec_async, 0.10).expect("feasible");
+    let m_slow = sustainable_mtbf(ckpt_initial, rec_initial, 0.10)
+        .expect("valid model parameters")
+        .expect("feasible");
+    let m_fast = sustainable_mtbf(ckpt_async, rec_async, 0.10)
+        .expect("valid model parameters")
+        .expect("feasible");
     MicroReport {
         ckpt_initial,
         ckpt_async,

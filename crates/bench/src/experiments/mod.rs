@@ -9,4 +9,5 @@ pub mod goals;
 pub mod heats;
 pub mod mirror;
 pub mod ml;
+pub mod resilience;
 pub mod secure;

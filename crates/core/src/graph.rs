@@ -359,6 +359,73 @@ impl TaskGraph {
         Ok(poisoned)
     }
 
+    /// Roll the graph back to a checkpointed execution frontier: exactly
+    /// the tasks in `completed` stay [`TaskState::Completed`], and every
+    /// other task — running, completed-since, failed or poisoned — is
+    /// re-armed to [`TaskState::Pending`]/[`TaskState::Ready`] with its
+    /// unmet-dependence count recomputed. Returns the tasks that are ready
+    /// after the rollback, in submission order.
+    ///
+    /// This is the graph half of checkpoint/restart: the runtime records
+    /// the completed set when it takes a checkpoint, and on an
+    /// unrecoverable task failure restores it here instead of poisoning
+    /// the whole downstream cone (`legato-runtime`'s resilience module is
+    /// the caller). Work completed after the checkpoint is *discarded*
+    /// and will be re-executed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] if `completed` names a task outside the
+    /// graph; [`CoreError::InvalidTransition`] if `completed` is not
+    /// closed under dependences (a task is listed but one of its
+    /// predecessors is not — such a frontier could never have been
+    /// reached). On error the graph is unchanged.
+    pub fn rollback(&mut self, completed: &[TaskId]) -> Result<Vec<TaskId>, CoreError> {
+        let mut keep = vec![false; self.nodes.len()];
+        for &id in completed {
+            self.node(id)?;
+            keep[id.index()] = true;
+        }
+        for &id in completed {
+            if self.nodes[id.index()]
+                .preds
+                .iter()
+                .any(|p| !keep[p.index()])
+            {
+                return Err(CoreError::InvalidTransition {
+                    task: id,
+                    reason: "checkpoint frontier is not closed under dependences",
+                });
+            }
+        }
+        self.ready_set.clear();
+        self.completed = 0;
+        let mut ready = Vec::new();
+        for i in 0..self.nodes.len() {
+            if keep[i] {
+                self.nodes[i].state = TaskState::Completed;
+                self.completed += 1;
+                continue;
+            }
+            let unmet = self.nodes[i]
+                .preds
+                .iter()
+                .filter(|p| !keep[p.index()])
+                .count();
+            let node = &mut self.nodes[i];
+            node.unmet = unmet;
+            if unmet == 0 {
+                node.state = TaskState::Ready;
+                let id = TaskId(i as u64);
+                self.ready_set.push(id); // index order keeps the set sorted
+                ready.push(id);
+            } else {
+                node.state = TaskState::Pending;
+            }
+        }
+        Ok(ready)
+    }
+
     /// Walk the dependence edges backwards from `id` and return the set of
     /// [`TaskState::Failed`] ancestors — the root causes of a poisoned task.
     ///
@@ -781,5 +848,79 @@ mod tests {
         // Two shared regions but only one edge a→b.
         assert_eq!(g.predecessors(b).unwrap(), &[a]);
         assert_eq!(g.edge_count(), 1);
+    }
+
+    /// Chain a → b → c: complete all three, roll back to the frontier
+    /// after `a`, and the graph re-arms `b` (ready) and `c` (pending).
+    #[test]
+    fn rollback_rearms_completed_tasks() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::InOut)]);
+        let c = g.add_task(desc("c"), [(0u64, AccessMode::In)]);
+        for t in [a, b, c] {
+            g.complete(t).unwrap();
+        }
+        assert!(g.is_complete());
+        let ready = g.rollback(&[a]).unwrap();
+        assert_eq!(ready, vec![b]);
+        assert_eq!(g.state(a).unwrap(), TaskState::Completed);
+        assert_eq!(g.state(b).unwrap(), TaskState::Ready);
+        assert_eq!(g.state(c).unwrap(), TaskState::Pending);
+        assert_eq!(g.completed_count(), 1);
+        assert_eq!(g.ready(), vec![b]);
+        // Execution proceeds normally after the rollback.
+        assert_eq!(g.complete(b).unwrap(), vec![c]);
+        g.complete(c).unwrap();
+        assert!(g.is_complete());
+    }
+
+    /// Rollback un-fails a failed task and un-poisons its cone.
+    #[test]
+    fn rollback_recovers_failed_and_poisoned_tasks() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::InOut)]);
+        let c = g.add_task(desc("c"), [(0u64, AccessMode::In)]);
+        g.complete(a).unwrap();
+        g.fail(b).unwrap();
+        assert_eq!(g.state(c).unwrap(), TaskState::Poisoned);
+        let ready = g.rollback(&[a]).unwrap();
+        assert_eq!(ready, vec![b]);
+        assert_eq!(g.state(b).unwrap(), TaskState::Ready);
+        assert_eq!(g.state(c).unwrap(), TaskState::Pending);
+    }
+
+    /// Rollback to the empty frontier restarts the whole graph.
+    #[test]
+    fn rollback_to_empty_frontier_restarts_everything() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In)]);
+        g.complete(a).unwrap();
+        g.complete(b).unwrap();
+        let ready = g.rollback(&[]).unwrap();
+        assert_eq!(ready, vec![a]);
+        assert_eq!(g.completed_count(), 0);
+        assert_eq!(g.state(b).unwrap(), TaskState::Pending);
+    }
+
+    /// A frontier that is not closed under dependences is rejected and
+    /// the graph is left untouched.
+    #[test]
+    fn rollback_rejects_unreachable_frontier() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::InOut)]);
+        g.complete(a).unwrap();
+        g.complete(b).unwrap();
+        // b completed without a: impossible frontier.
+        let err = g.rollback(&[b]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidTransition { task, .. } if task == b));
+        assert_eq!(g.completed_count(), 2, "failed rollback must not mutate");
+        assert!(matches!(
+            g.rollback(&[TaskId(99)]),
+            Err(CoreError::UnknownTask(TaskId(99)))
+        ));
     }
 }

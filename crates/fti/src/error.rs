@@ -6,11 +6,28 @@ use std::fmt;
 use crate::level::CheckpointLevel;
 
 /// Errors produced by the FTI-like checkpoint library.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum FtiError {
     /// A protection id was registered twice.
     DuplicateId(u32),
+    /// A model parameter was outside its documented domain (e.g. a
+    /// non-positive checkpoint time handed to the MTBF interval model).
+    /// The engine call-path reports this instead of panicking, mirroring
+    /// the runtime's `InvalidWeight`.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Reed–Solomon shards that must be equal-length were not.
+    ShardLengthMismatch {
+        /// Length of the first shard examined.
+        expected: usize,
+        /// The first disagreeing length.
+        got: usize,
+    },
     /// A recovery was requested but no checkpoint exists at any level.
     NoCheckpoint,
     /// A checkpoint at the given level is missing or incomplete for a rank.
@@ -37,6 +54,13 @@ impl fmt::Display for FtiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FtiError::DuplicateId(id) => write!(f, "protection id {id} already registered"),
+            FtiError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` is outside its domain: {value}")
+            }
+            FtiError::ShardLengthMismatch { expected, got } => write!(
+                f,
+                "shards must have equal length, found both {expected} and {got} bytes"
+            ),
             FtiError::NoCheckpoint => write!(f, "no checkpoint available for recovery"),
             FtiError::MissingCheckpoint { level, rank } => {
                 write!(f, "no {level} checkpoint for rank {rank}")
@@ -66,6 +90,16 @@ mod tests {
     #[test]
     fn display() {
         assert!(FtiError::DuplicateId(3).to_string().contains("3"));
+        let e = FtiError::InvalidParameter {
+            name: "mtbf",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("mtbf") && e.to_string().contains("-1"));
+        let e = FtiError::ShardLengthMismatch {
+            expected: 4,
+            got: 5,
+        };
+        assert!(e.to_string().contains("4") && e.to_string().contains("5"));
         assert!(FtiError::NoCheckpoint.to_string().contains("no checkpoint"));
         assert!(FtiError::TooManyErasures {
             present: 2,

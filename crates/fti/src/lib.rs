@@ -73,7 +73,7 @@ pub mod rs;
 
 pub use config::FtiConfig;
 pub use error::FtiError;
-pub use fti::{CheckpointReport, Fti, RecoverReport, Strategy};
+pub use fti::{checkpoint_cost, restart_cost, CheckpointReport, Fti, RecoverReport, Strategy};
 pub use group::FtiGroup;
 pub use level::CheckpointLevel;
 pub use rs::ReedSolomon;

@@ -171,8 +171,8 @@ impl ReedSolomon {
     ///
     /// # Errors
     ///
-    /// [`FtiError::LayoutMismatch`] on wrong shard count or unequal
-    /// lengths.
+    /// [`FtiError::LayoutMismatch`] on a wrong shard count;
+    /// [`FtiError::ShardLengthMismatch`] on unequal shard lengths.
     pub fn encode<S: AsRef<[u8]>>(&self, shards: &[S]) -> Result<Vec<Vec<u8>>, FtiError> {
         if shards.len() != self.data {
             return Err(FtiError::LayoutMismatch(format!(
@@ -182,10 +182,11 @@ impl ReedSolomon {
             )));
         }
         let len = shards[0].as_ref().len();
-        if shards.iter().any(|s| s.as_ref().len() != len) {
-            return Err(FtiError::LayoutMismatch(
-                "data shards must have equal length".into(),
-            ));
+        if let Some(bad) = shards.iter().find(|s| s.as_ref().len() != len) {
+            return Err(FtiError::ShardLengthMismatch {
+                expected: len,
+                got: bad.as_ref().len(),
+            });
         }
         let mut parity = vec![vec![0u8; len]; self.parity];
         for (p, out) in parity.iter_mut().enumerate() {
@@ -210,8 +211,11 @@ impl ReedSolomon {
     /// # Errors
     ///
     /// [`FtiError::TooManyErasures`] when fewer than `data` shards
-    /// survive; [`FtiError::LayoutMismatch`] on wrong counts or unequal
-    /// lengths.
+    /// survive; [`FtiError::LayoutMismatch`] on a wrong slot count;
+    /// [`FtiError::ShardLengthMismatch`] when the surviving shards do not
+    /// all have the same length (a malformed input — decoding mixed
+    /// lengths would silently produce garbage, so it is rejected up
+    /// front and the shards are left untouched).
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), FtiError> {
         let total = self.data + self.parity;
         if shards.len() != total {
@@ -227,17 +231,13 @@ impl ReedSolomon {
                 required: self.data,
             });
         }
-        if present.iter().all(|&i| i < self.data) && present.len() >= self.data {
-            // All data shards intact: only parity may be missing.
-        }
-        let len = shards[present[0]].as_ref().expect("present").len();
-        if present
-            .iter()
-            .any(|&i| shards[i].as_ref().expect("present").len() != len)
-        {
-            return Err(FtiError::LayoutMismatch(
-                "surviving shards must have equal length".into(),
-            ));
+        let mut lengths = present.iter().filter_map(|&i| shards[i].as_deref());
+        let len = lengths.next().map_or(0, <[u8]>::len);
+        if let Some(bad) = lengths.find(|s| s.len() != len) {
+            return Err(FtiError::ShardLengthMismatch {
+                expected: len,
+                got: bad.len(),
+            });
         }
 
         // Decode matrix: rows of the generator matrix for `data` surviving
@@ -481,8 +481,53 @@ mod tests {
     #[test]
     fn rejects_unequal_shards() {
         let rs = ReedSolomon::new(2, 1).unwrap();
-        assert!(rs.encode(&[vec![0u8; 4], vec![0u8; 5]]).is_err());
+        assert_eq!(
+            rs.encode(&[vec![0u8; 4], vec![0u8; 5]]),
+            Err(FtiError::ShardLengthMismatch {
+                expected: 4,
+                got: 5
+            })
+        );
         assert!(rs.encode(&[vec![0u8; 4]]).is_err());
+    }
+
+    /// Malformed input: present shards of unequal length must be rejected
+    /// with a dedicated error (historically this path `expect()`-panicked
+    /// mid-decode), and the shard array must be left untouched.
+    #[test]
+    fn reconstruct_rejects_unequal_present_shards() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = vec![vec![1u8; 16], vec![2u8; 16], vec![3u8; 16]];
+        let parity = rs.encode(&data).unwrap();
+        let mut all: Vec<Option<Vec<u8>>> = data.iter().cloned().chain(parity).map(Some).collect();
+        all[0] = None; // one genuine erasure
+        all[2] = Some(vec![9u8; 7]); // truncated survivor
+        let before = all.clone();
+        assert_eq!(
+            rs.reconstruct(&mut all),
+            Err(FtiError::ShardLengthMismatch {
+                expected: 16,
+                got: 7
+            })
+        );
+        assert_eq!(all, before, "rejected input must not be modified");
+
+        // A truncated *parity* survivor is caught the same way.
+        let mut all: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(rs.encode(&data).unwrap())
+            .map(Some)
+            .collect();
+        all[1] = None;
+        all[4] = Some(vec![0u8; 3]);
+        assert!(matches!(
+            rs.reconstruct(&mut all),
+            Err(FtiError::ShardLengthMismatch {
+                expected: 16,
+                got: 3
+            })
+        ));
     }
 
     #[test]

@@ -71,6 +71,47 @@ proptest! {
         }
     }
 
+    /// Malformed input: whenever surviving shards have *unequal* lengths,
+    /// `reconstruct` reports `ShardLengthMismatch` — it never panics and
+    /// never silently decodes garbage — and equal-length survivors always
+    /// decode. Lengths here are arbitrary per shard.
+    #[test]
+    fn unequal_survivor_lengths_always_rejected(
+        (k, m) in (1usize..8, 1usize..4),
+        lengths in prop::collection::vec(0usize..64, 12),
+        erased in any::<u16>(),
+    ) {
+        use legato_fti::FtiError;
+
+        let rs = ReedSolomon::new(k, m).expect("valid geometry");
+        let base_len = lengths[0];
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; base_len]).collect();
+        let parity = rs.encode(&data).expect("encode");
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.into_iter().chain(parity).map(Some).collect();
+        shards[erased as usize % (k + m)] = None;
+
+        // Resize each surviving shard to its arbitrary length.
+        for (slot, &len) in shards.iter_mut().zip(&lengths) {
+            if let Some(s) = slot {
+                s.resize(len, 0xA5);
+            }
+        }
+        let distinct: std::collections::HashSet<usize> = shards
+            .iter()
+            .filter_map(|s| s.as_ref().map(Vec::len))
+            .collect();
+        let result = rs.reconstruct(&mut shards);
+        if distinct.len() > 1 {
+            prop_assert!(
+                matches!(result, Err(FtiError::ShardLengthMismatch { .. })),
+                "expected ShardLengthMismatch, got {result:?}"
+            );
+        } else {
+            prop_assert!(result.is_ok(), "uniform lengths must decode: {result:?}");
+        }
+    }
+
     /// Parity is deterministic: encoding the same data twice yields the
     /// same shards (no hidden state).
     #[test]

@@ -188,12 +188,39 @@ impl StorageDevice {
 
     /// Occupy the device for an externally computed duration (used by
     /// clients whose operation interleaves the device with other resources,
-    /// e.g. a copy/write pipeline). Returns `(start, finish)`.
+    /// e.g. a copy/write pipeline). `moved` is counted as written bytes.
+    /// Returns `(start, finish)`.
     ///
     /// # Panics
     ///
     /// Panics if `duration` is negative or not finite.
     pub fn occupy(&mut self, now: Seconds, duration: Seconds, moved: Bytes) -> (Seconds, Seconds) {
+        let window = self.reserve(now, duration);
+        self.bytes_written += moved;
+        window
+    }
+
+    /// The read-side twin of [`StorageDevice::occupy`]: occupy the device
+    /// for an externally computed duration and count `moved` as *read*
+    /// bytes (recovery/restart traffic). Returns `(start, finish)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or not finite.
+    pub fn occupy_read(
+        &mut self,
+        now: Seconds,
+        duration: Seconds,
+        moved: Bytes,
+    ) -> (Seconds, Seconds) {
+        let window = self.reserve(now, duration);
+        self.bytes_read += moved;
+        window
+    }
+
+    /// Shared occupancy rule: serialize behind the device's current
+    /// availability for `duration`.
+    fn reserve(&mut self, now: Seconds, duration: Seconds) -> (Seconds, Seconds) {
         assert!(
             duration.0.is_finite() && duration.0 >= 0.0,
             "duration must be non-negative"
@@ -201,7 +228,6 @@ impl StorageDevice {
         let start = now.max(self.busy_until);
         let finish = start + duration;
         self.busy_until = finish;
-        self.bytes_written += moved;
         (start, finish)
     }
 
@@ -279,6 +305,17 @@ mod tests {
         assert_eq!(d.busy_until(), Seconds::ZERO);
         assert_eq!(d.bytes_written(), Bytes::ZERO);
         assert_eq!(d.bytes_read(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn occupy_read_serializes_and_counts_reads() {
+        let mut d = StorageDevice::new(StorageTier::local_nvme());
+        let (_s1, f1) = d.occupy(Seconds::ZERO, Seconds(2.0), Bytes::gib(1));
+        let (s2, f2) = d.occupy_read(Seconds::ZERO, Seconds(1.0), Bytes::mib(512));
+        assert_eq!(s2, f1, "read must queue behind the write occupation");
+        assert_eq!(f2, f1 + Seconds(1.0));
+        assert_eq!(d.bytes_written(), Bytes::gib(1));
+        assert_eq!(d.bytes_read(), Bytes::mib(512));
     }
 
     #[test]

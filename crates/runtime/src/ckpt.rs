@@ -8,6 +8,12 @@
 //! computes the bytes a task-aware checkpoint must save at a cut of the
 //! graph, versus the full memory footprint a task-oblivious checkpointer
 //! would write.
+//!
+//! These volumes are no longer analysis-only: the engine's
+//! checkpoint/restart mode ([`resilience`](crate::resilience)) charges
+//! [`task_declared_volume`] for every periodic checkpoint event it
+//! emits, so the frontier analysis directly prices the simulated
+//! checkpoint traffic.
 
 use std::collections::{HashMap, HashSet};
 
@@ -75,8 +81,14 @@ pub fn full_memory_volume(graph: &TaskGraph, sizes: &HashMap<RegionId, Bytes>) -
 }
 
 /// Volume reduction factor of task-aware over full-memory checkpointing
-/// at the current frontier (`full / declared`); `None` when the declared
-/// volume is zero (nothing live — infinite win).
+/// at the current frontier (`full / declared`).
+///
+/// Returns `None` whenever the declared frontier volume is zero bytes —
+/// both for an *empty* frontier (nothing live) and for a frontier whose
+/// live regions are all declared (or defaulted) to zero size. A ratio
+/// there would be `inf` (or `NaN` when the full volume is also zero),
+/// which poisons any average it flows into; "no meaningful ratio" is the
+/// honest answer.
 #[must_use]
 pub fn reduction_factor(graph: &TaskGraph, sizes: &HashMap<RegionId, Bytes>) -> Option<f64> {
     let declared = task_declared_volume(graph, sizes);
@@ -141,6 +153,27 @@ mod tests {
         assert!(live_regions(&g).is_empty());
         assert_eq!(task_declared_volume(&g, &s), Bytes::ZERO);
         assert!(reduction_factor(&g, &s).is_none());
+    }
+
+    /// Zero-byte edge: a non-empty frontier whose live regions are all
+    /// zero-sized must yield `None`, never `Some(inf)`/`Some(NaN)`.
+    #[test]
+    fn zero_sized_live_regions_give_no_factor() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(TaskDescriptor::named("a"), [(0u64, AccessMode::Out)]);
+        let _b = g.add_task(TaskDescriptor::named("b"), [(0u64, AccessMode::In)]);
+        g.complete(a).unwrap();
+        assert_eq!(live_regions(&g), HashSet::from([RegionId(0)]));
+
+        // Region 0 is live but declared zero-sized.
+        let s = sizes(&[(0, 0)]);
+        assert_eq!(task_declared_volume(&g, &s), Bytes::ZERO);
+        assert_eq!(reduction_factor(&g, &s), None);
+
+        // Same with the region missing from the size map entirely (it
+        // defaults to zero bytes).
+        let empty = HashMap::new();
+        assert_eq!(reduction_factor(&g, &empty), None);
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //! * the fault model, selective replication, majority voting and the
 //!   retry budget behave exactly as in the sweep — the verdict for each
 //!   attempt is evaluated when its replicas *join* (the finish event),
-//!   and retries restart from that moment.
+//!   and retries restart from that moment;
+//! * with [`resilience`](crate::resilience) enabled, periodic
+//!   **checkpoint** events snapshot the completed frontier (task-aware
+//!   volume, FTI-priced), and a task that exhausts its retry budget
+//!   triggers a **rollback** to the last checkpoint instead of poisoning
+//!   its downstream cone.
 //!
 //! Every placement goes through the shared [`Scheduler`] trait
 //! ([`sched`](crate::sched)), the same abstraction HEATS drives its
@@ -41,15 +46,18 @@
 //! [`Scheduler`]: crate::sched::Scheduler
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use legato_core::graph::TaskState;
 use legato_core::task::TaskId;
-use legato_core::units::{Joule, Seconds};
+use legato_core::units::{Bytes, Joule, Seconds};
+use legato_fti::{checkpoint_cost, restart_cost, Strategy};
 use rand::Rng;
 
+use crate::ckpt;
 use crate::error::RuntimeError;
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
+use crate::resilience::{CheckpointRecord, RollbackEvent};
 use crate::runtime::{golden_value, RunReport, Runtime, TaskOutcome};
 
 /// One scheduled simulation event.
@@ -79,6 +87,9 @@ enum EventKind {
         /// Zero-based attempt number.
         attempt: u32,
     },
+    /// Periodic checkpoint of the completed frontier (resilience mode
+    /// only; at most one is armed at a time).
+    Checkpoint,
 }
 
 impl Ord for Event {
@@ -113,10 +124,16 @@ pub(crate) struct EngineState {
     outcomes: Vec<TaskOutcome>,
     stats: ReplicationStats,
     failed: Vec<TaskId>,
+    /// Whether a [`EventKind::Checkpoint`] event is queued (at most one
+    /// lives in the heap at a time).
+    ckpt_armed: bool,
 }
 
 impl EngineState {
     fn push(&mut self, time: Seconds, kind: EventKind) {
+        if matches!(kind, EventKind::Checkpoint) {
+            self.ckpt_armed = true;
+        }
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Event { time, seq, kind }));
@@ -128,9 +145,10 @@ impl EngineState {
     }
 
     /// Drop every queued event (used by the legacy sweep, which executes
-    /// the outstanding tasks itself).
+    /// the outstanding tasks itself, and by checkpoint rollback).
     pub(crate) fn clear_events(&mut self) {
         self.heap.clear();
+        self.ckpt_armed = false;
     }
 }
 
@@ -183,21 +201,170 @@ impl Runtime {
             return Err(RuntimeError::NoDevices);
         }
         self.policy.validate()?;
-        let Some(Reverse(event)) = self.engine.heap.pop() else {
-            return Ok(None);
-        };
-        self.engine.now = self.engine.now.max(event.time);
-        match event.kind {
-            EventKind::Ready(task) => self.handle_ready(task, event.time)?,
-            EventKind::Finish {
-                task,
-                devices,
-                start,
-                results,
-                attempt,
-            } => self.handle_finish(task, devices, start, results, attempt, event.time)?,
+        self.plan_resilience()?;
+        loop {
+            let Some(Reverse(event)) = self.engine.heap.pop() else {
+                // The engine drained: this run is over. Forget the
+                // planned interval so the next run re-plans it from the
+                // tasks it actually contains (the restore target — the
+                // completed frontier — stays valid across runs).
+                if let Some(res) = &mut self.resilience {
+                    res.interval = None;
+                }
+                return Ok(None);
+            };
+            if matches!(event.kind, EventKind::Checkpoint) {
+                self.engine.ckpt_armed = false;
+                if self.engine.heap.is_empty() {
+                    // Nothing left in flight: the run is draining, so
+                    // the armed checkpoint is dropped without advancing
+                    // time.
+                    continue;
+                }
+            }
+            self.engine.now = self.engine.now.max(event.time);
+            match event.kind {
+                EventKind::Ready(task) => self.handle_ready(task, event.time)?,
+                EventKind::Finish {
+                    task,
+                    devices,
+                    start,
+                    results,
+                    attempt,
+                } => self.handle_finish(task, devices, start, results, attempt, event.time)?,
+                EventKind::Checkpoint => self.handle_checkpoint(event.time),
+            }
+            return Ok(Some(self.engine.now));
         }
-        Ok(Some(self.engine.now))
+    }
+
+    /// Lazily pick this run's checkpoint interval (resilience mode): the
+    /// first step after tasks exist plans Young's interval from the
+    /// configured MTBF and the scheduler's estimates, records the current
+    /// frontier as the restore target, and arms the first checkpoint
+    /// event.
+    fn plan_resilience(&mut self) -> Result<(), RuntimeError> {
+        let Some(res) = &self.resilience else {
+            return Ok(());
+        };
+        if self.graph.is_empty() {
+            return Ok(());
+        }
+        if let Some(interval) = res.interval {
+            // Already planned. Re-arm the checkpoint chain if it ended
+            // with a drained run and new work has arrived since.
+            if !self.engine.ckpt_armed && !self.engine.heap.is_empty() {
+                let at = self.engine.now + interval;
+                self.engine.push(at, EventKind::Checkpoint);
+            }
+            return Ok(());
+        }
+        let (interval, _cost) =
+            crate::resilience::plan_interval(&res.config, &self.devices, self.policy, &self.graph)?;
+        let completed = self.completed_tasks();
+        let now = self.engine.now;
+        let res = self.resilience.as_mut().expect("checked above");
+        res.interval = Some(interval);
+        res.last = Some(CheckpointRecord {
+            time: now,
+            completed,
+            bytes: Bytes::ZERO,
+        });
+        self.engine.push(now + interval, EventKind::Checkpoint);
+        Ok(())
+    }
+
+    /// Tasks currently completed, in submission order.
+    fn completed_tasks(&self) -> Vec<TaskId> {
+        (0..self.graph.len() as u64)
+            .map(TaskId)
+            .filter(|&t| self.graph.state(t) == Ok(TaskState::Completed))
+            .collect()
+    }
+
+    /// Take a periodic checkpoint at virtual time `at`: snapshot the
+    /// completed frontier, charge the task-aware live-region volume to
+    /// the configured storage tier under the configured FTI strategy,
+    /// and re-arm the next checkpoint.
+    fn handle_checkpoint(&mut self, at: Seconds) {
+        let completed = self.completed_tasks();
+        let res = self
+            .resilience
+            .as_mut()
+            .expect("checkpoint events exist only in resilience mode");
+        let bytes = ckpt::task_declared_volume(&self.graph, &res.config.region_sizes);
+        let duration = checkpoint_cost(
+            &res.config.fti,
+            &res.config.tier,
+            res.config.strategy,
+            bytes,
+        );
+        let (start, finish) = res.storage.occupy(at, duration, bytes);
+        res.last = Some(CheckpointRecord {
+            time: finish,
+            completed,
+            bytes,
+        });
+        res.stats.checkpoints += 1;
+        res.stats.checkpoint_bytes += bytes;
+        // Initial: the synchronous write stalls new placements until it
+        // completes. Async: only the setup latency stalls — the staging
+        // pipeline overlaps with execution (the Fig. 6 distinction).
+        res.blackout_until = match res.config.strategy {
+            Strategy::Initial => finish,
+            Strategy::Async => start + res.config.tier.setup_latency,
+        };
+        let interval = res.interval.expect("checkpoints are armed after planning");
+        self.engine.push(finish + interval, EventKind::Checkpoint);
+    }
+
+    /// Restore the last checkpointed frontier after `task` exhausted its
+    /// retry budget at time `at`: discard post-checkpoint work (counted
+    /// as wasted), pay the restart cost, and re-enqueue the re-armed
+    /// ready set as engine events.
+    fn rollback_to_checkpoint(&mut self, task: TaskId, at: Seconds) -> Result<(), RuntimeError> {
+        let res = self
+            .resilience
+            .as_mut()
+            .expect("rollback only in resilience mode");
+        let record = res.last.clone().expect("planning seeds the first record");
+        let keep: HashSet<TaskId> = record.completed.iter().copied().collect();
+        let mut wasted = Seconds::ZERO;
+        self.engine.outcomes.retain(|o| {
+            if keep.contains(&o.task) {
+                true
+            } else {
+                wasted += o.finish - o.start;
+                false
+            }
+        });
+        let restart = restart_cost(
+            &res.config.fti,
+            &res.config.tier,
+            res.config.strategy,
+            record.bytes,
+        );
+        let (_start, resume) = res.storage.occupy_read(at, restart, record.bytes);
+        // Every queued event is stale after the rollback: in-flight
+        // attempts are aborted (their device-time and energy stay spent)
+        // and the armed checkpoint is re-based on the restart.
+        self.engine.clear_events();
+        let ready = self.graph.rollback(&record.completed)?;
+        for t in ready {
+            self.engine.push(resume, EventKind::Ready(t));
+        }
+        let interval = res.interval.expect("rollback only after planning");
+        res.blackout_until = resume;
+        res.stats.rollbacks += 1;
+        res.stats.wasted_work += wasted;
+        res.trace.push(RollbackEvent {
+            task,
+            at,
+            resumed_at: resume,
+            wasted,
+        });
+        self.engine.push(resume + interval, EventKind::Checkpoint);
+        Ok(())
     }
 
     /// The cumulative run report: every outcome, failure and statistic
@@ -228,6 +395,11 @@ impl Runtime {
             placements,
             stats: self.engine.stats,
             failed,
+            resilience: self
+                .resilience
+                .as_ref()
+                .map(|r| r.stats)
+                .unwrap_or_default(),
         }
     }
 
@@ -276,6 +448,12 @@ impl Runtime {
         at: Seconds,
         attempt: u32,
     ) -> Result<(), RuntimeError> {
+        // A synchronous checkpoint or an in-progress restart stalls new
+        // placements (resilience mode).
+        let at = match &self.resilience {
+            Some(res) => at.max(res.blackout_until),
+            None => at,
+        };
         let desc = self.graph.descriptor(task)?.clone();
         let ranking = self.policy.rank(&self.devices, desc.work, desc.kind, at);
         let chosen: Vec<usize> = ranking.into_iter().take(replicas).collect();
@@ -357,8 +535,20 @@ impl Runtime {
                 self.start_attempt(task, devices.len(), finish, attempt + 1)?;
             }
             None => {
-                self.engine.failed.push(task);
-                self.graph.fail(task)?;
+                // Retry budget exhausted. With checkpoint/restart enabled
+                // the engine restores the last checkpointed frontier and
+                // re-executes (the task gets a fresh budget); without it —
+                // or once the rollback budget is spent — the task fails
+                // and its downstream cone is poisoned.
+                let can_roll = self.resilience.as_ref().is_some_and(|r| {
+                    r.interval.is_some() && r.stats.rollbacks < u64::from(r.config.max_rollbacks)
+                });
+                if can_roll {
+                    self.rollback_to_checkpoint(task, finish)?;
+                } else {
+                    self.engine.failed.push(task);
+                    self.graph.fail(task)?;
+                }
             }
         }
         Ok(())

@@ -23,6 +23,9 @@ pub enum RuntimeError {
     /// A [`Policy::Weighted`](crate::scheduler::Policy::Weighted) weight
     /// was outside `[0, 1]` (or not finite).
     InvalidWeight(f64),
+    /// The checkpoint/restart configuration was unusable (e.g. a
+    /// non-positive MTBF handed to the interval model).
+    Resilience(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -38,6 +41,9 @@ impl fmt::Display for RuntimeError {
                     f,
                     "trade-off weight must be a finite value in [0, 1], got {w}"
                 )
+            }
+            RuntimeError::Resilience(msg) => {
+                write!(f, "checkpoint/restart configuration error: {msg}")
             }
         }
     }

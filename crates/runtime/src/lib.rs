@@ -22,7 +22,12 @@
 //!   elements when possible, with majority voting for `Critical` tasks;
 //! * **task-level checkpoint volume** ([`ckpt`]) — only the data declared
 //!   at task entry is checkpointed, which this module quantifies against
-//!   full-memory checkpoints.
+//!   full-memory checkpoints;
+//! * **checkpoint/restart** ([`resilience`]) — the engine periodically
+//!   checkpoints the completed frontier at the Young-optimal interval
+//!   (FTI-priced against simulated storage) and rolls back to it when a
+//!   task exhausts its retry budget, instead of failing the downstream
+//!   cone.
 //!
 //! ## Example
 //!
@@ -64,11 +69,13 @@ pub mod engine;
 pub mod error;
 pub mod lowvolt;
 pub mod replication;
+pub mod resilience;
 pub mod runtime;
 pub mod sched;
 pub mod scheduler;
 
 pub use error::RuntimeError;
+pub use resilience::{ResilienceConfig, ResilienceStats, RollbackEvent};
 pub use runtime::{RunReport, Runtime, TaskOutcome};
 pub use sched::{Estimate, Scheduler, ScoreNorm};
 pub use scheduler::Policy;

@@ -1,0 +1,337 @@
+//! Checkpoint/restart execution mode for the event-driven engine.
+//!
+//! This is the layer that turns `legato-fti` from an island into the
+//! engine's third fault-tolerance mechanism (after selective replication
+//! and the retry budget), the paper's §IV resilience pillar plumbed into
+//! §II's runtime:
+//!
+//! * **Interval model** — once per run the engine picks a checkpoint
+//!   interval from Young's formula ([`legato_fti::mtbf`]): the checkpoint
+//!   cost `δ` is estimated from the expected frontier volume and the
+//!   configured storage tier/strategy, the MTBF is configuration, and the
+//!   interval is floored at the mean task duration predicted by the
+//!   scheduler layer's [`Estimate`]s (checkpointing more often than tasks
+//!   complete cannot help).
+//! * **Checkpoint events** — at each interval the engine emits a
+//!   checkpoint event that snapshots the *completed frontier only* (the
+//!   restore target is the set of tasks completed at snapshot time):
+//!   the bytes are the live-region volume from [`ckpt`](crate::ckpt)
+//!   (task-aware, not full-memory — dead and reproducible regions are
+//!   not written), and the time is [`legato_fti::checkpoint_cost`] on
+//!   the configured [`StorageTier`]. Under [`Strategy::Initial`] the
+//!   checkpoint stalls new task placements until it completes; under
+//!   [`Strategy::Async`] only the setup latency stalls (the copy/write
+//!   pipeline overlaps with execution) — the Fig. 6 gap, now visible as
+//!   end-to-end makespan overhead.
+//! * **Rollback** — when a task exhausts its retry budget, the engine
+//!   restores the last checkpointed frontier
+//!   ([`TaskGraph::rollback`](legato_core::graph::TaskGraph::rollback))
+//!   and re-enqueues the re-armed work as engine events after the
+//!   restart cost, instead of failing the whole downstream cone. Work
+//!   completed since the checkpoint is counted as wasted (its energy
+//!   stays on the device meters — it really was burned).
+//!
+//! [`Estimate`]: crate::sched::Estimate
+//! [`Strategy::Initial`]: legato_fti::Strategy::Initial
+//! [`Strategy::Async`]: legato_fti::Strategy::Async
+//! [`StorageTier`]: legato_hw::storage::StorageTier
+
+use std::collections::HashMap;
+
+use legato_core::graph::TaskGraph;
+use legato_core::task::{RegionId, TaskId};
+use legato_core::units::{Bytes, Seconds};
+use legato_fti::mtbf::young_interval;
+use legato_fti::{checkpoint_cost, FtiConfig, Strategy};
+use legato_hw::device::Device;
+use legato_hw::storage::{StorageDevice, StorageTier};
+use serde::{Deserialize, Serialize};
+
+use crate::error::RuntimeError;
+use crate::sched::{Estimate, Scheduler};
+use crate::scheduler::Policy;
+
+/// Configuration of the engine's checkpoint/restart mode
+/// ([`Runtime::enable_resilience`](crate::runtime::Runtime::enable_resilience)).
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Assumed system MTBF driving the Young-interval choice. Must be
+    /// positive (validated when the run plans its interval).
+    pub mtbf: Seconds,
+    /// Checkpoint write strategy (the Fig. 6 Initial/Async comparison).
+    pub strategy: Strategy,
+    /// Storage tier checkpoints are written to and restarts read from.
+    pub tier: StorageTier,
+    /// Chunk sizes and cadence knobs forwarded to the FTI cost model.
+    pub fti: FtiConfig,
+    /// Declared size of each data region, used to price the live-region
+    /// frontier volume at every checkpoint. Regions absent from the map
+    /// count as zero bytes.
+    pub region_sizes: HashMap<RegionId, Bytes>,
+    /// Total rollbacks permitted across the whole run before the engine
+    /// stops recovering and falls back to fail-and-poison (a run-global
+    /// budget guarding against a fault so hot that restarting can never
+    /// make progress). Size it to the workload: large graphs under
+    /// hostile fault rates legitimately roll back many times.
+    pub max_rollbacks: u32,
+}
+
+impl ResilienceConfig {
+    /// Checkpoint/restart against node-local NVMe with the async
+    /// strategy — the paper's recommended configuration.
+    #[must_use]
+    pub fn new(mtbf: Seconds) -> Self {
+        ResilienceConfig {
+            mtbf,
+            strategy: Strategy::Async,
+            tier: StorageTier::local_nvme(),
+            fti: FtiConfig::default(),
+            region_sizes: HashMap::new(),
+            max_rollbacks: 1024,
+        }
+    }
+
+    /// Use the given checkpoint write strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Write checkpoints to the given storage tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: StorageTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Declare region sizes for frontier-volume accounting.
+    #[must_use]
+    pub fn with_region_sizes(mut self, sizes: HashMap<RegionId, Bytes>) -> Self {
+        self.region_sizes = sizes;
+        self
+    }
+
+    /// Cap the number of rollbacks before falling back to fail/poison.
+    #[must_use]
+    pub fn with_max_rollbacks(mut self, n: u32) -> Self {
+        self.max_rollbacks = n;
+        self
+    }
+}
+
+/// Checkpoint/restart counters reported in
+/// [`RunReport`](crate::runtime::RunReport).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Rollbacks performed (tasks that exhausted their retry budget and
+    /// were recovered from a checkpoint instead of failed).
+    pub rollbacks: u64,
+    /// Completed work discarded by rollbacks (sum of the discarded
+    /// outcomes' durations). The energy of that work stays in the run's
+    /// energy totals — it really was spent.
+    pub wasted_work: Seconds,
+    /// Total bytes written by all checkpoints (task-aware frontier
+    /// volumes, not full-memory images).
+    pub checkpoint_bytes: Bytes,
+}
+
+/// One rollback, as recorded in the engine's deterministic trace
+/// ([`Runtime::rollback_trace`](crate::runtime::Runtime::rollback_trace)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollbackEvent {
+    /// The task whose retry budget was exhausted.
+    pub task: TaskId,
+    /// Virtual time at which the failure was detected.
+    pub at: Seconds,
+    /// Virtual time execution resumed from the restored frontier (after
+    /// the restart cost).
+    pub resumed_at: Seconds,
+    /// Completed work discarded by this rollback.
+    pub wasted: Seconds,
+}
+
+/// The frontier captured by the most recent checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct CheckpointRecord {
+    /// Completion time of the checkpoint write.
+    pub time: Seconds,
+    /// Tasks completed at snapshot time (the restore target).
+    pub completed: Vec<TaskId>,
+    /// Task-aware bytes the checkpoint wrote.
+    pub bytes: Bytes,
+}
+
+/// Live checkpoint/restart state carried by the
+/// [`Runtime`](crate::runtime::Runtime) alongside the engine.
+#[derive(Debug, Clone)]
+pub(crate) struct ResilienceState {
+    pub config: ResilienceConfig,
+    /// The storage device checkpoints serialize on.
+    pub storage: StorageDevice,
+    /// Checkpoint interval for this run; `None` until the first step
+    /// plans it from the submitted tasks.
+    pub interval: Option<Seconds>,
+    /// The last committed checkpoint (set when the interval is planned:
+    /// the initial record is the frontier at that moment).
+    pub last: Option<CheckpointRecord>,
+    /// New placements may not start before this time (checkpoint stall /
+    /// restart barrier).
+    pub blackout_until: Seconds,
+    pub stats: ResilienceStats,
+    pub trace: Vec<RollbackEvent>,
+}
+
+impl ResilienceState {
+    pub(crate) fn new(config: ResilienceConfig) -> Self {
+        let storage = StorageDevice::new(config.tier.clone());
+        ResilienceState {
+            config,
+            storage,
+            interval: None,
+            last: None,
+            blackout_until: Seconds::ZERO,
+            stats: ResilienceStats::default(),
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// Plan the checkpoint interval for a run: Young's optimal interval for
+/// the estimated checkpoint cost and configured MTBF, floored at the mean
+/// task duration the scheduler layer predicts under `policy`.
+///
+/// Returns `(interval, estimated checkpoint cost)`.
+pub(crate) fn plan_interval(
+    config: &ResilienceConfig,
+    devices: &[Device],
+    policy: Policy,
+    graph: &TaskGraph,
+) -> Result<(Seconds, Seconds), RuntimeError> {
+    let n = graph.len();
+    let mut duration_total = Seconds::ZERO;
+    let mut placed = 0u64;
+    let mut write_bytes = Bytes::ZERO;
+    for i in 0..n {
+        let id = TaskId(i as u64);
+        let desc = graph.descriptor(id)?;
+        // Spec-only estimates (availability-free): what the scheduler
+        // layer predicts a fresh placement of this task costs.
+        let estimates: Vec<Estimate> = devices
+            .iter()
+            .map(|d| {
+                Estimate::new(
+                    d.spec.time_for(desc.work, desc.kind),
+                    d.spec.energy_for(desc.work, desc.kind),
+                )
+            })
+            .collect();
+        if let Some(best) = policy.place(&estimates) {
+            duration_total += estimates[best].finish;
+            placed += 1;
+        }
+        for (region, mode) in graph.accesses(id)? {
+            if mode.writes() {
+                write_bytes += config
+                    .region_sizes
+                    .get(region)
+                    .copied()
+                    .unwrap_or(Bytes::ZERO);
+            }
+        }
+    }
+    let mean_task = if placed > 0 {
+        duration_total / placed as f64
+    } else {
+        Seconds::ZERO
+    };
+    // Expected frontier volume: the mean per-task write volume times the
+    // device count (≈ how many outputs are live at once on a saturated
+    // node). A crude but monotone proxy — the actual charge at each
+    // checkpoint uses the exact live-region volume.
+    let est_bytes = Bytes((write_bytes.as_u64() / n.max(1) as u64) * devices.len() as u64);
+    let mut delta = checkpoint_cost(&config.fti, &config.tier, config.strategy, est_bytes);
+    if delta <= Seconds::ZERO {
+        // Empty frontier estimate: even a metadata-only checkpoint pays
+        // the tier's setup latency.
+        delta = config.tier.setup_latency.max(Seconds::from_millis(1.0));
+    }
+    let young =
+        young_interval(delta, config.mtbf).map_err(|e| RuntimeError::Resilience(e.to_string()))?;
+    Ok((young.max(mean_task), delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_core::task::{AccessMode, TaskDescriptor, Work};
+    use legato_hw::device::{DeviceId, DeviceSpec};
+
+    fn devices() -> Vec<Device> {
+        vec![
+            Device::new(DeviceId(0), DeviceSpec::xeon_x86()),
+            Device::new(DeviceId(1), DeviceSpec::gtx1080()),
+        ]
+    }
+
+    fn graph_with_sizes() -> (TaskGraph, HashMap<RegionId, Bytes>) {
+        let mut g = TaskGraph::new();
+        for i in 0..8u64 {
+            g.add_task(
+                TaskDescriptor::named("t").with_work(Work::flops(1e10)),
+                [(i, AccessMode::Out)],
+            );
+        }
+        let sizes = (0..8u64).map(|i| (RegionId(i), Bytes::mib(32))).collect();
+        (g, sizes)
+    }
+
+    #[test]
+    fn interval_shrinks_with_mtbf() {
+        let (g, sizes) = graph_with_sizes();
+        let plan = |mtbf| {
+            let cfg = ResilienceConfig::new(mtbf).with_region_sizes(sizes.clone());
+            plan_interval(&cfg, &devices(), Policy::Performance, &g).unwrap()
+        };
+        let (long, _) = plan(Seconds(100_000.0));
+        let (short, _) = plan(Seconds(1_000.0));
+        assert!(short < long, "{short} vs {long}");
+    }
+
+    #[test]
+    fn interval_floored_at_mean_task_duration() {
+        let (g, sizes) = graph_with_sizes();
+        // Absurdly small MTBF: Young's interval would be sub-task-length.
+        let cfg = ResilienceConfig::new(Seconds(0.05)).with_region_sizes(sizes);
+        let (interval, _) = plan_interval(&cfg, &devices(), Policy::Performance, &g).unwrap();
+        // Under the performance policy every task lands on the fastest
+        // device, so the mean predicted duration is that device's time.
+        let mean = devices()
+            .iter()
+            .map(|d| {
+                d.spec
+                    .time_for(Work::flops(1e10), legato_core::task::TaskKind::Compute)
+            })
+            .fold(Seconds(f64::INFINITY), Seconds::min);
+        assert!(interval >= mean * 0.99, "{interval} vs mean {mean}");
+    }
+
+    #[test]
+    fn non_positive_mtbf_is_an_error_not_a_panic() {
+        let (g, sizes) = graph_with_sizes();
+        let cfg = ResilienceConfig::new(Seconds::ZERO).with_region_sizes(sizes);
+        let err = plan_interval(&cfg, &devices(), Policy::Performance, &g).unwrap_err();
+        assert!(matches!(err, RuntimeError::Resilience(_)), "{err:?}");
+    }
+
+    #[test]
+    fn zero_sized_regions_still_plan_a_positive_interval() {
+        let (g, _) = graph_with_sizes();
+        let cfg = ResilienceConfig::new(Seconds(1_000.0)); // no sizes declared
+        let (interval, delta) = plan_interval(&cfg, &devices(), Policy::Energy, &g).unwrap();
+        assert!(delta > Seconds::ZERO);
+        assert!(interval > Seconds::ZERO);
+    }
+}

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::EngineState;
 use crate::error::RuntimeError;
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
+use crate::resilience::{ResilienceConfig, ResilienceState, ResilienceStats, RollbackEvent};
 use crate::scheduler::Policy;
 
 /// Outcome of one task's (possibly replicated) execution.
@@ -52,6 +53,9 @@ pub struct RunReport {
     /// Tasks that exhausted their retry budget (their dependents were
     /// poisoned and skipped), in submission order.
     pub failed: Vec<TaskId>,
+    /// Checkpoint/restart counters (all zero unless
+    /// [`Runtime::enable_resilience`] was called).
+    pub resilience: ResilienceStats,
 }
 
 impl RunReport {
@@ -74,6 +78,7 @@ pub struct Runtime {
     pub(crate) max_retries: u32,
     pub(crate) rng: SmallRng,
     pub(crate) engine: EngineState,
+    pub(crate) resilience: Option<ResilienceState>,
 }
 
 impl Runtime {
@@ -94,7 +99,47 @@ impl Runtime {
             max_retries: 3,
             rng: SmallRng::seed_from_u64(seed),
             engine: EngineState::default(),
+            resilience: None,
         }
+    }
+
+    /// Switch the engine into checkpoint/restart mode: periodic
+    /// checkpoints of the completed frontier (interval from Young's
+    /// formula over the configured MTBF, volume from the task-declared
+    /// live regions, cost from the FTI strategy and storage tier), and
+    /// rollback to the last checkpoint — instead of fail-and-poison —
+    /// when a task exhausts its retry budget.
+    ///
+    /// The interval is planned lazily at the next [`Runtime::step`], so
+    /// tasks submitted before the run starts inform the estimate. The
+    /// legacy [`Runtime::run_sweep`] ignores resilience mode entirely.
+    pub fn enable_resilience(&mut self, config: ResilienceConfig) {
+        self.resilience = Some(ResilienceState::new(config));
+    }
+
+    /// Whether checkpoint/restart mode is enabled.
+    #[must_use]
+    pub fn resilience_enabled(&self) -> bool {
+        self.resilience.is_some()
+    }
+
+    /// The rollbacks performed so far, in order — a deterministic trace:
+    /// the same seed and submissions produce the identical sequence.
+    /// Empty when resilience is disabled.
+    #[must_use]
+    pub fn rollback_trace(&self) -> &[RollbackEvent] {
+        self.resilience.as_ref().map_or(&[], |r| r.trace.as_slice())
+    }
+
+    /// Virtual time at which the last checkpoint (the current restore
+    /// target) was committed; `None` before the first run plans its
+    /// interval or when resilience is disabled.
+    #[must_use]
+    pub fn last_checkpoint_time(&self) -> Option<Seconds> {
+        self.resilience
+            .as_ref()
+            .and_then(|r| r.last.as_ref())
+            .map(|c| c.time)
     }
 
     /// The scheduling policy in force.
@@ -300,6 +345,7 @@ impl Runtime {
             placements,
             stats,
             failed,
+            resilience: ResilienceStats::default(),
         })
     }
 
@@ -620,6 +666,143 @@ mod tests {
             "sweep must not leave phantom events behind"
         );
         assert_eq!(rt.step().unwrap(), None);
+    }
+
+    fn resilient_config(mtbf: f64) -> crate::resilience::ResilienceConfig {
+        use legato_core::units::Bytes;
+        let sizes = (0..64u64)
+            .map(|r| (legato_core::task::RegionId(r), Bytes::mib(16)))
+            .collect();
+        crate::resilience::ResilienceConfig::new(Seconds(mtbf)).with_region_sizes(sizes)
+    }
+
+    /// A serial chain of seconds-scale tasks (the resilience tests need
+    /// virtual times comparable to checkpoint intervals and MTBFs).
+    fn heavy_chain(rt: &mut Runtime, n: usize, crit: Criticality) -> Vec<TaskId> {
+        (0..n)
+            .map(|_| {
+                rt.submit(
+                    TaskDescriptor::named("t")
+                        .with_kind(TaskKind::Compute)
+                        .with_work(Work::flops(2e12))
+                        .with_requirements(Requirements::new().with_criticality(crit)),
+                    [(0u64, AccessMode::InOut)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_resilient_run_checkpoints_without_rollbacks() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        rt.enable_resilience(resilient_config(5.0));
+        heavy_chain(&mut rt, 40, Criticality::Normal);
+        let rep = rt.run().unwrap();
+        assert!(rep.is_correct());
+        assert_eq!(rep.placements.len(), 40);
+        assert_eq!(rep.resilience.rollbacks, 0);
+        assert!(
+            rep.resilience.checkpoints > 0,
+            "long chain must cross several intervals: {:?}",
+            rep.resilience
+        );
+        assert!(rep.resilience.checkpoint_bytes > legato_core::units::Bytes::ZERO);
+        assert!(rt.last_checkpoint_time().is_some());
+        assert!(rt.rollback_trace().is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_roll_back_and_complete_instead_of_poisoning() {
+        let build = |resilient: bool| {
+            let mut rt = Runtime::new(specs(), Policy::Performance, 11);
+            // The GPU is the fastest device and always in the replica
+            // set; a high fault rate with a tight retry budget exhausts
+            // retries on some tasks.
+            rt.set_fault_prob(1, 0.85);
+            rt.set_max_retries(1);
+            if resilient {
+                rt.enable_resilience(resilient_config(5.0).with_max_rollbacks(500));
+            }
+            heavy_chain(&mut rt, 12, Criticality::High);
+            rt
+        };
+        let mut plain = build(false);
+        let baseline = plain.run().unwrap();
+        assert!(
+            !baseline.failed.is_empty(),
+            "fault rate must exhaust the retry budget somewhere: {:?}",
+            baseline.stats
+        );
+        assert!(baseline.placements.len() < 12, "cone must be poisoned");
+
+        let mut resilient = build(true);
+        let rep = resilient.run().unwrap();
+        assert!(rep.failed.is_empty(), "rollback must recover: {rep:?}");
+        assert_eq!(rep.placements.len(), 12);
+        assert!(resilient.graph().is_complete());
+        assert!(rep.resilience.rollbacks > 0);
+        assert_eq!(
+            rep.resilience.rollbacks as usize,
+            resilient.rollback_trace().len()
+        );
+        // Rolled-back work is accounted and the makespan pays for it.
+        assert!(rep.resilience.wasted_work >= Seconds::ZERO);
+        assert!(rep.makespan > baseline.makespan);
+    }
+
+    #[test]
+    fn rollback_budget_falls_back_to_fail_and_poison() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 3);
+        // Every device always faults: dual replication can never agree,
+        // so every rollback replays the same doomed task.
+        for i in 0..3 {
+            rt.set_fault_prob(i, 1.0);
+        }
+        rt.enable_resilience(resilient_config(5.0).with_max_rollbacks(4));
+        let ids = heavy_chain(&mut rt, 3, Criticality::High);
+        let rep = rt.run().unwrap();
+        assert_eq!(rep.resilience.rollbacks, 4, "budget must bound rollbacks");
+        assert_eq!(rep.failed, vec![ids[0]]);
+        assert_eq!(rep.placements.len(), 0);
+    }
+
+    #[test]
+    fn resilient_run_is_deterministic() {
+        let run = |seed| {
+            let mut rt = Runtime::new(specs(), Policy::Weighted(0.5), seed);
+            rt.set_fault_prob(1, 0.7);
+            rt.set_max_retries(1);
+            rt.enable_resilience(resilient_config(5.0));
+            heavy_chain(&mut rt, 15, Criticality::High);
+            let rep = rt.run().unwrap();
+            (rep, rt.rollback_trace().to_vec())
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn invalid_mtbf_is_an_error_not_a_panic() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        rt.enable_resilience(crate::resilience::ResilienceConfig::new(Seconds(-5.0)));
+        chain(&mut rt, 2, Criticality::Normal);
+        assert!(matches!(rt.run(), Err(RuntimeError::Resilience(_))));
+    }
+
+    #[test]
+    fn checkpoint_chain_survives_a_second_run() {
+        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        rt.enable_resilience(resilient_config(5.0));
+        heavy_chain(&mut rt, 30, Criticality::Normal);
+        let first = rt.run().unwrap();
+        assert!(first.resilience.checkpoints > 0);
+        heavy_chain(&mut rt, 30, Criticality::Normal);
+        let second = rt.run().unwrap();
+        assert!(
+            second.resilience.checkpoints > first.resilience.checkpoints,
+            "a later run must keep checkpointing: {:?} then {:?}",
+            first.resilience,
+            second.resilience
+        );
     }
 
     #[test]
