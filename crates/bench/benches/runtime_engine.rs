@@ -2,13 +2,18 @@
 //! legacy topological sweep on wide graphs (≥ 1k tasks, fan-out/fan-in).
 //!
 //! Two things are measured per scenario: how fast each executor *runs*
-//! (simulator overhead — the engine pays for its event heap, the sweep
-//! for its O(n) ready scans), while the printed `makespan` assertions in
-//! `tests/full_stack.rs` cover the *simulated* quality win. A third
+//! (simulator overhead — the engine pays for its event queues, the sweep
+//! for its per-task allocations), while the printed `makespan` assertions
+//! in `tests/full_stack.rs` cover the *simulated* quality win. A third
 //! group exercises the incremental ready-set maintenance in
 //! `legato-core` on its own.
+//!
+//! Every row declares the scenario's task count as its throughput, so
+//! `BENCH_runtime.json` rows carry `throughput.elements_per_iter` exactly
+//! like the `BENCH_resilience.json` rows do and per-task trajectories
+//! stay comparable across PRs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use legato_bench::experiments::engine::{compare, Scenario};
 use legato_bench::experiments::goals;
 use legato_core::graph::TaskGraph;
@@ -31,6 +36,11 @@ fn bench_executors(c: &mut Criterion) {
             Policy::Weighted(0.5),
         ),
     ] {
+        let tasks = {
+            let mut rt = Runtime::new(goals::reference_devices(), policy, 42);
+            scenario.build(&mut rt, 42) as u64
+        };
+        g.throughput(Throughput::Elements(tasks));
         g.bench_function(&format!("{name}/event_driven"), |b| {
             b.iter(|| {
                 let mut rt = Runtime::new(goals::reference_devices(), policy, 42);
@@ -53,14 +63,17 @@ fn bench_executors(c: &mut Criterion) {
 }
 
 /// The incremental ready set: drain a 10k-task graph by completing ready
-/// tasks. With the old O(n)-scan `ready()` this walk was quadratic.
+/// tasks. With the old O(n)-scan `ready()` this walk was quadratic; with
+/// the bitmap representation, completion order no longer matters either.
 fn bench_ready_set_drain(c: &mut Criterion) {
+    const TASKS: u64 = 10_000;
     let mut g = c.benchmark_group("runtime_engine/ready_set");
     g.sample_size(10);
+    g.throughput(Throughput::Elements(TASKS));
     g.bench_function("drain_10k", |b| {
         b.iter(|| {
             let mut graph = TaskGraph::new();
-            for i in 0..10_000u64 {
+            for i in 0..TASKS {
                 graph.add_task(TaskDescriptor::named("t"), [(i % 64, AccessMode::InOut)]);
             }
             let mut done = 0usize;

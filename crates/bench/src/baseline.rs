@@ -1,0 +1,233 @@
+//! Reading and diffing `BENCH_*.json` perf baselines.
+//!
+//! The vendored criterion stand-in writes one row per line:
+//!
+//! ```json
+//! {"id": "group/case", "ns_per_iter": 123.0, "mean_ns_per_iter": 130.1,
+//!  "iterations": 10, "throughput": {"elements_per_iter": 1026}}
+//! ```
+//!
+//! The `bench_compare` binary (used by the `bench-baseline` CI job)
+//! parses freshly produced baselines and the committed ones with the
+//! line-oriented extractor here — deliberately *not* a general JSON
+//! parser: the workspace has no `serde_json` (offline vendor policy,
+//! DESIGN.md §4), and this format is produced by our own criterion stub,
+//! so matching its exact shape is the honest scope. Rows are matched by
+//! `id` and reported as per-row percentage deltas, most-regressed first.
+
+use std::fmt::Write as _;
+
+/// One measurement row from a `BENCH_*.json` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Criterion bench id (`group/case`).
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Extract the string value of `"key": "…"` from a JSON row line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract the numeric value of `"key": …` from a JSON row line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parse every measurement row out of a baseline file's contents.
+/// Lines without both an `id` and an `ns_per_iter` are skipped, so the
+/// surrounding `[`/`]` and any future fields are tolerated.
+#[must_use]
+pub fn parse_baseline(contents: &str) -> Vec<BaselineRow> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            Some(BaselineRow {
+                id: string_field(line, "id")?,
+                ns_per_iter: number_field(line, "ns_per_iter")?,
+            })
+        })
+        .collect()
+}
+
+/// One row of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaRow {
+    /// Present in both files: `(id, baseline ns, current ns, delta %)`.
+    Changed(String, f64, f64, f64),
+    /// Only in the current file (new bench case).
+    Added(String, f64),
+    /// Only in the baseline file (bench case removed).
+    Removed(String, f64),
+}
+
+/// Diff `current` against `baseline`, matching rows by id. Changed rows
+/// come first, sorted most-regressed first (largest positive delta);
+/// added and removed rows follow in file order.
+#[must_use]
+pub fn diff_baselines(baseline: &[BaselineRow], current: &[BaselineRow]) -> Vec<DeltaRow> {
+    let mut changed = Vec::new();
+    let mut added = Vec::new();
+    for cur in current {
+        match baseline.iter().find(|b| b.id == cur.id) {
+            Some(base) => {
+                let delta = if base.ns_per_iter > 0.0 {
+                    (cur.ns_per_iter - base.ns_per_iter) / base.ns_per_iter * 100.0
+                } else {
+                    0.0
+                };
+                changed.push(DeltaRow::Changed(
+                    cur.id.clone(),
+                    base.ns_per_iter,
+                    cur.ns_per_iter,
+                    delta,
+                ));
+            }
+            None => added.push(DeltaRow::Added(cur.id.clone(), cur.ns_per_iter)),
+        }
+    }
+    let removed = baseline
+        .iter()
+        .filter(|b| !current.iter().any(|c| c.id == b.id))
+        .map(|b| DeltaRow::Removed(b.id.clone(), b.ns_per_iter));
+    changed.sort_by(|a, b| match (a, b) {
+        (DeltaRow::Changed(_, _, _, da), DeltaRow::Changed(_, _, _, db)) => db.total_cmp(da),
+        _ => std::cmp::Ordering::Equal,
+    });
+    changed.extend(added);
+    changed.extend(removed);
+    changed
+}
+
+/// Render a comparison as a GitHub-flavored markdown table (what the CI
+/// job appends to its step summary). Negative deltas are improvements.
+#[must_use]
+pub fn render_markdown(title: &str, rows: &[DeltaRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    if rows.is_empty() {
+        let _ = writeln!(out, "_no rows found_");
+        return out;
+    }
+    let _ = writeln!(out, "| bench | baseline ns/iter | current ns/iter | Δ |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    for row in rows {
+        match row {
+            DeltaRow::Changed(id, base, cur, delta) => {
+                let _ = writeln!(out, "| `{id}` | {base:.1} | {cur:.1} | {delta:+.1}% |");
+            }
+            DeltaRow::Added(id, cur) => {
+                let _ = writeln!(out, "| `{id}` | — | {cur:.1} | new |");
+            }
+            DeltaRow::Removed(id, base) => {
+                let _ = writeln!(out, "| `{id}` | {base:.1} | — | removed |");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"id": "g/a", "ns_per_iter": 100.0, "mean_ns_per_iter": 110.0, "iterations": 10, "throughput": null},
+  {"id": "g/b", "ns_per_iter": 250.5, "mean_ns_per_iter": 251.0, "iterations": 10, "throughput": {"elements_per_iter": 1026}}
+]"#;
+
+    #[test]
+    fn parses_stub_format() {
+        let rows = parse_baseline(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "g/a");
+        assert!((rows[0].ns_per_iter - 100.0).abs() < 1e-9);
+        assert_eq!(rows[1].id, "g/b");
+        assert!((rows[1].ns_per_iter - 250.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_garbage_lines() {
+        let rows = parse_baseline("[\nnot json\n{\"id\": \"x\"}\n]");
+        assert!(rows.is_empty(), "rows need both id and ns_per_iter");
+    }
+
+    #[test]
+    fn diff_reports_regressions_first_then_added_and_removed() {
+        let base = parse_baseline(SAMPLE);
+        let current = vec![
+            BaselineRow {
+                id: "g/a".into(),
+                ns_per_iter: 150.0, // +50 % regression
+            },
+            BaselineRow {
+                id: "g/new".into(),
+                ns_per_iter: 10.0,
+            },
+        ];
+        let delta = diff_baselines(&base, &current);
+        assert_eq!(delta.len(), 3);
+        match &delta[0] {
+            DeltaRow::Changed(id, base_ns, cur_ns, pct) => {
+                assert_eq!(id, "g/a");
+                assert!((base_ns - 100.0).abs() < 1e-9);
+                assert!((cur_ns - 150.0).abs() < 1e-9);
+                assert!((pct - 50.0).abs() < 1e-9);
+            }
+            other => panic!("expected Changed first, got {other:?}"),
+        }
+        assert!(matches!(&delta[1], DeltaRow::Added(id, _) if id == "g/new"));
+        assert!(matches!(&delta[2], DeltaRow::Removed(id, _) if id == "g/b"));
+    }
+
+    #[test]
+    fn changed_rows_sorted_most_regressed_first() {
+        let base = vec![
+            BaselineRow {
+                id: "a".into(),
+                ns_per_iter: 100.0,
+            },
+            BaselineRow {
+                id: "b".into(),
+                ns_per_iter: 100.0,
+            },
+        ];
+        let current = vec![
+            BaselineRow {
+                id: "a".into(),
+                ns_per_iter: 50.0, // -50 % improvement
+            },
+            BaselineRow {
+                id: "b".into(),
+                ns_per_iter: 200.0, // +100 % regression
+            },
+        ];
+        let delta = diff_baselines(&base, &current);
+        assert!(matches!(&delta[0], DeltaRow::Changed(id, _, _, _) if id == "b"));
+        assert!(matches!(&delta[1], DeltaRow::Changed(id, _, _, _) if id == "a"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let base = parse_baseline(SAMPLE);
+        let md = render_markdown("test", &diff_baselines(&base, &base));
+        assert!(md.starts_with("### test"));
+        assert!(md.contains("| `g/a` | 100.0 | 100.0 | +0.0% |"));
+        assert!(md.lines().filter(|l| l.starts_with("| `")).count() == 2);
+    }
+
+    #[test]
+    fn empty_comparison_renders_placeholder() {
+        let md = render_markdown("empty", &[]);
+        assert!(md.contains("_no rows found_"));
+    }
+}

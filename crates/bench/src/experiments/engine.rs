@@ -112,8 +112,11 @@ impl Scenario {
                 if d == 0 {
                     accesses.push((SCATTER_REGION, AccessMode::In));
                 }
+                // A static task-type label: chain tasks are instances of
+                // one type, and a per-instance `format!` name would put a
+                // String allocation in every submission the bench times.
                 rt.submit(
-                    TaskDescriptor::named(format!("c{c}d{d}"))
+                    TaskDescriptor::named("chain")
                         .with_kind(kind)
                         .with_work(Work::flops(rng.gen_range(lo..hi)))
                         .with_requirements(

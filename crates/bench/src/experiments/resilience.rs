@@ -135,8 +135,10 @@ impl Scenario {
                 if d == 0 {
                     accesses.push((SCATTER_REGION, AccessMode::In));
                 }
+                // Static task-type label (see the engine scenario): no
+                // per-instance name allocation inside the timed build.
                 rt.submit(
-                    TaskDescriptor::named(format!("c{c}d{d}"))
+                    TaskDescriptor::named("chain")
                         .with_kind(TaskKind::Compute)
                         .with_work(self.work)
                         .with_requirements(Requirements::new().with_criticality(Criticality::High)),

@@ -14,7 +14,7 @@
 //!   dependence edges backwards from a poisoned task to the failed
 //!   ancestors that explain it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -50,13 +50,17 @@ impl TaskState {
     }
 }
 
+/// Cold per-task data: looked up once per lifecycle phase. The *hot*
+/// per-task fields the executors touch on every event — lifecycle state
+/// and unmet-dependence count — live in dense parallel arrays on
+/// [`TaskGraph`] (`states`, `unmet`), so the engine's readiness-order
+/// (i.e. random-order) walks stay cache-resident instead of dragging a
+/// full node struct through the cache per touch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Node {
     descriptor: TaskDescriptor,
-    state: TaskState,
     preds: Vec<TaskId>,
     succs: Vec<TaskId>,
-    unmet: usize,
     accesses: Vec<(RegionId, AccessMode)>,
 }
 
@@ -66,18 +70,62 @@ struct RegionHistory {
     readers_since_write: Vec<TaskId>,
 }
 
+/// Per-region liveness counters, maintained incrementally on every task
+/// state transition. A region is *live* — must be checkpointed at the
+/// current frontier — iff `writers_done ≥ 1` (a completed task produced
+/// it) and `readers_outstanding ≥ 1` (an unfinished task still needs it).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct RegionLiveness {
+    /// Completed tasks (access declarations) that write the region.
+    writers_done: usize,
+    /// Read declarations by tasks in `Pending`/`Ready`/`Running` state.
+    readers_outstanding: usize,
+}
+
+impl RegionLiveness {
+    fn is_live(self) -> bool {
+        self.writers_done >= 1 && self.readers_outstanding >= 1
+    }
+}
+
 /// A dynamic dataflow DAG over [`TaskDescriptor`]s.
 ///
 /// See the [crate-level example](crate) for typical use.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TaskGraph {
     nodes: Vec<Node>,
+    /// Lifecycle state per task (parallel to `nodes`) — the hottest
+    /// field in the graph, touched 3–5 times per task per run.
+    states: Vec<TaskState>,
+    /// Outstanding-dependence count per task (parallel to `nodes`).
+    unmet: Vec<usize>,
     regions: HashMap<RegionId, RegionHistory>,
     edge_count: usize,
-    completed: usize,
-    /// Tasks currently in [`TaskState::Ready`], kept sorted by id so the
-    /// ready view stays in submission order without scanning all nodes.
-    ready_set: Vec<TaskId>,
+    /// Bitmap over task ids of tasks currently in
+    /// [`TaskState::Completed`]. O(1) per transition — crucially,
+    /// *independent of completion order*: the event engine completes
+    /// tasks in readiness order, where any sorted-list representation
+    /// degenerates to an O(n) shift per completion. The checkpoint path
+    /// materializes the sorted view from the bitmap in O(n/64 + completed)
+    /// only when it snapshots.
+    completed_bits: Vec<u64>,
+    /// Number of set bits in `completed_bits`.
+    completed_count: usize,
+    /// Bitmap over task ids of tasks currently in [`TaskState::Ready`]
+    /// (one bit per task, word-packed). O(1) insert/remove — the former
+    /// sorted-`Vec` representation paid an O(ready) memmove on both
+    /// sides of every task lifecycle, which the event engine crosses
+    /// once per task.
+    ready_bits: Vec<u64>,
+    /// Number of set bits in `ready_bits`.
+    ready_count: usize,
+    /// Per-region liveness refcounts (see [`RegionLiveness`]), updated on
+    /// every state transition.
+    liveness: HashMap<RegionId, RegionLiveness>,
+    /// Regions whose counters currently satisfy [`RegionLiveness::is_live`]
+    /// — the incremental mirror of the frontier-liveness analysis, so
+    /// checkpoint volume queries are O(live) instead of O(V + E).
+    live_set: HashSet<RegionId>,
 }
 
 impl TaskGraph {
@@ -108,13 +156,48 @@ impl TaskGraph {
     /// Number of tasks in [`TaskState::Completed`].
     #[must_use]
     pub fn completed_count(&self) -> usize {
-        self.completed
+        self.completed_count
     }
 
     /// Whether every task completed successfully.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.completed == self.nodes.len()
+        self.completed_count == self.nodes.len()
+    }
+
+    /// All tasks currently in [`TaskState::Completed`], in submission
+    /// order.
+    ///
+    /// Maintained incrementally as a bitmap by [`TaskGraph::complete`]
+    /// and [`TaskGraph::rollback`] (O(1) per transition, regardless of
+    /// completion order); materializing the sorted view walks the bitmap
+    /// words — O(n/64 + completed), paid only by snapshotters (the
+    /// engine's checkpoint path, once per checkpoint), never per event.
+    #[must_use]
+    pub fn completed(&self) -> Vec<TaskId> {
+        collect_bits(&self.completed_bits, self.completed_count)
+    }
+
+    /// Regions live at the current execution frontier: written by a
+    /// completed task and still read by at least one unfinished
+    /// (pending/ready/running) task. Only these need checkpointing —
+    /// everything else is either dead or reproducible by re-running
+    /// unfinished tasks.
+    ///
+    /// Maintained incrementally per state transition (O(accesses) per
+    /// transition), so iterating here is O(live) — the property the
+    /// engine's per-checkpoint volume pricing relies on. Iteration order
+    /// is unspecified; callers that need determinism must aggregate
+    /// order-independently (sums, set building).
+    pub fn live_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.live_set.iter().copied()
+    }
+
+    /// Number of regions currently live at the frontier, without
+    /// iterating.
+    #[must_use]
+    pub fn live_region_count(&self) -> usize {
+        self.live_set.len()
     }
 
     /// Submit a task with its data-access declarations, returning its id.
@@ -156,11 +239,16 @@ impl TaskGraph {
         // Only count predecessors that are still outstanding.
         let unmet = preds
             .iter()
-            .filter(|p| !self.nodes[p.index()].state.is_terminal())
+            .filter(|p| !self.states[p.index()].is_terminal())
             .count();
 
+        if id.index() / 64 == self.ready_bits.len() {
+            // One new word per 64 tasks, for both per-task bitmaps.
+            self.ready_bits.push(0);
+            self.completed_bits.push(0);
+        }
         let state = if unmet == 0 {
-            self.ready_set.push(id); // ids are dense: push keeps the set sorted
+            self.insert_ready(id);
             TaskState::Ready
         } else {
             TaskState::Pending
@@ -181,13 +269,19 @@ impl TaskGraph {
                 hist.readers_since_write.push(id);
             }
         }
+        // The new task is pending or ready: its reads are outstanding.
+        for &(region, mode) in &accesses {
+            if mode.reads() {
+                self.update_liveness(region, |l| l.readers_outstanding += 1);
+            }
+        }
 
+        self.states.push(state);
+        self.unmet.push(unmet);
         self.nodes.push(Node {
             descriptor,
-            state,
             preds,
             succs: Vec::new(),
-            unmet,
             accesses,
         });
         id
@@ -198,6 +292,7 @@ impl TaskGraph {
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    #[inline]
     pub fn descriptor(&self, id: TaskId) -> Result<&TaskDescriptor, CoreError> {
         self.node(id).map(|n| &n.descriptor)
     }
@@ -207,8 +302,12 @@ impl TaskGraph {
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    #[inline]
     pub fn state(&self, id: TaskId) -> Result<TaskState, CoreError> {
-        self.node(id).map(|n| n.state)
+        self.states
+            .get(id.index())
+            .copied()
+            .ok_or(CoreError::UnknownTask(id))
     }
 
     /// Direct predecessors (dependences) of a task.
@@ -237,26 +336,28 @@ impl TaskGraph {
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
+    #[inline]
     pub fn accesses(&self, id: TaskId) -> Result<&[(RegionId, AccessMode)], CoreError> {
         self.node(id).map(|n| n.accesses.as_slice())
     }
 
     /// All tasks currently in [`TaskState::Ready`], in submission order.
     ///
-    /// The ready set is maintained incrementally by
+    /// The ready set is maintained incrementally as a bitmap by
     /// [`TaskGraph::add_task`], [`TaskGraph::start`],
-    /// [`TaskGraph::complete`] and [`TaskGraph::fail`], so this is O(ready)
-    /// rather than a scan over every node — the property the event-driven
-    /// runtime relies on for large graphs.
+    /// [`TaskGraph::complete`] and [`TaskGraph::fail`] — O(1) per
+    /// transition. Materializing the view walks the bitmap words,
+    /// O(n/64 + ready), which only view callers pay; the engine's hot
+    /// path never does.
     #[must_use]
     pub fn ready(&self) -> Vec<TaskId> {
-        self.ready_set.clone()
+        collect_bits(&self.ready_bits, self.ready_count)
     }
 
     /// Number of tasks currently ready, without allocating.
     #[must_use]
     pub fn ready_count(&self) -> usize {
-        self.ready_set.len()
+        self.ready_count
     }
 
     /// Mark a ready task as running (claimed by a worker).
@@ -266,16 +367,39 @@ impl TaskGraph {
     /// [`CoreError::UnknownTask`] for a bad id;
     /// [`CoreError::InvalidTransition`] if the task is not ready.
     pub fn start(&mut self, id: TaskId) -> Result<(), CoreError> {
-        let node = self.node_mut(id)?;
-        if node.state != TaskState::Ready {
-            return Err(CoreError::InvalidTransition {
+        if self.try_claim(id)?.is_some() {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidTransition {
                 task: id,
                 reason: "task is not ready",
-            });
+            })
         }
-        node.state = TaskState::Running;
+    }
+
+    /// Claim a task for execution if (and only if) it is ready: one node
+    /// lookup answering "is this ready?", performing the
+    /// `Ready → Running` transition, and handing back the descriptor the
+    /// claimer is about to place — all in a single node access. Returns
+    /// `None` for a task in any other state — the event engine uses this
+    /// to drop stale ready events (task already executed, or poisoned
+    /// upstream) without a second state probe.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for an id outside the graph.
+    #[inline]
+    pub fn try_claim(&mut self, id: TaskId) -> Result<Option<&TaskDescriptor>, CoreError> {
+        let state = self
+            .states
+            .get_mut(id.index())
+            .ok_or(CoreError::UnknownTask(id))?;
+        if *state != TaskState::Ready {
+            return Ok(None);
+        }
+        *state = TaskState::Running;
         self.remove_ready(id);
-        Ok(())
+        Ok(Some(&self.nodes[id.index()].descriptor))
     }
 
     /// Complete a task, returning the tasks that became ready.
@@ -288,12 +412,35 @@ impl TaskGraph {
     /// [`CoreError::UnknownTask`] for a bad id;
     /// [`CoreError::InvalidTransition`] if the task is pending or terminal.
     pub fn complete(&mut self, id: TaskId) -> Result<Vec<TaskId>, CoreError> {
+        let mut released = Vec::new();
+        self.complete_into(id, &mut released)?;
+        Ok(released)
+    }
+
+    /// Allocation-free variant of [`TaskGraph::complete`]: the tasks that
+    /// became ready are *appended* to `released` (not cleared first), so a
+    /// caller-owned scratch buffer can be reused across completions — the
+    /// event engine drives every task completion through here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TaskGraph::complete`]; on error `released` is
+    /// untouched.
+    #[inline]
+    pub fn complete_into(
+        &mut self,
+        id: TaskId,
+        released: &mut Vec<TaskId>,
+    ) -> Result<(), CoreError> {
         {
-            let node = self.node_mut(id)?;
-            match node.state {
+            let state = self
+                .states
+                .get_mut(id.index())
+                .ok_or(CoreError::UnknownTask(id))?;
+            match *state {
                 TaskState::Ready | TaskState::Running => {
-                    let was_ready = node.state == TaskState::Ready;
-                    node.state = TaskState::Completed;
+                    let was_ready = *state == TaskState::Ready;
+                    *state = TaskState::Completed;
                     if was_ready {
                         self.remove_ready(id);
                     }
@@ -312,8 +459,22 @@ impl TaskGraph {
                 }
             }
         }
-        self.completed += 1;
-        Ok(self.release_successors(id))
+        self.insert_completed(id);
+        // The task's reads are settled; its writes are now produced by a
+        // completed task. Both can flip region liveness.
+        for a in 0..self.nodes[id.index()].accesses.len() {
+            let (region, mode) = self.nodes[id.index()].accesses[a];
+            self.update_liveness(region, |l| {
+                if mode.reads() {
+                    l.readers_outstanding -= 1;
+                }
+                if mode.writes() {
+                    l.writers_done += 1;
+                }
+            });
+        }
+        self.release_successors(id, released);
+        Ok(())
     }
 
     /// Fail a task and poison all transitive successors whose inputs are now
@@ -326,37 +487,82 @@ impl TaskGraph {
     /// [`CoreError::InvalidTransition`] if the task already terminal.
     pub fn fail(&mut self, id: TaskId) -> Result<Vec<TaskId>, CoreError> {
         {
-            let node = self.node_mut(id)?;
-            if node.state.is_terminal() {
+            let state = self
+                .states
+                .get_mut(id.index())
+                .ok_or(CoreError::UnknownTask(id))?;
+            if state.is_terminal() {
                 return Err(CoreError::InvalidTransition {
                     task: id,
                     reason: "task already terminal",
                 });
             }
-            let was_ready = node.state == TaskState::Ready;
-            node.state = TaskState::Failed;
+            let was_ready = *state == TaskState::Ready;
+            *state = TaskState::Failed;
             if was_ready {
                 self.remove_ready(id);
             }
         }
+        self.retire_reads(id);
         let mut poisoned = Vec::new();
         let mut stack: Vec<TaskId> = self.nodes[id.index()].succs.clone();
         while let Some(next) = stack.pop() {
-            let node = &mut self.nodes[next.index()];
-            if node.state == TaskState::Poisoned || node.state == TaskState::Failed {
+            let state = &mut self.states[next.index()];
+            if *state == TaskState::Poisoned || *state == TaskState::Failed {
                 continue;
             }
-            let was_ready = node.state == TaskState::Ready;
-            node.state = TaskState::Poisoned;
+            let was_ready = *state == TaskState::Ready;
+            *state = TaskState::Poisoned;
             if was_ready {
                 self.remove_ready(next);
             }
+            self.retire_reads(next);
             poisoned.push(next);
             stack.extend(self.nodes[next.index()].succs.iter().copied());
         }
         poisoned.sort_unstable();
         poisoned.dedup();
         Ok(poisoned)
+    }
+
+    /// A task left the pending/ready/running population without
+    /// completing (failed or poisoned): its reads are no longer
+    /// outstanding.
+    fn retire_reads(&mut self, id: TaskId) {
+        for a in 0..self.nodes[id.index()].accesses.len() {
+            let (region, mode) = self.nodes[id.index()].accesses[a];
+            if mode.reads() {
+                self.update_liveness(region, |l| l.readers_outstanding -= 1);
+            }
+        }
+    }
+
+    /// Apply `mutate` to a region's liveness counters and maintain the
+    /// live set on liveness *transitions* only — one hash lookup per
+    /// access in steady state (a region goes live once and dies once, so
+    /// the set update is amortized away on the completion hot path).
+    fn update_liveness(&mut self, region: RegionId, mutate: impl FnOnce(&mut RegionLiveness)) {
+        let counters = self.liveness.entry(region).or_default();
+        let was_live = counters.is_live();
+        mutate(counters);
+        let is_live = counters.is_live();
+        if was_live != is_live {
+            if is_live {
+                self.live_set.insert(region);
+            } else {
+                self.live_set.remove(&region);
+            }
+        }
+    }
+
+    /// Set `id`'s completed bit (no-op if already set).
+    fn insert_completed(&mut self, id: TaskId) {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.completed_bits[w] & mask == 0 {
+            self.completed_bits[w] |= mask;
+            self.completed_count += 1;
+        }
     }
 
     /// Roll the graph back to a checkpointed execution frontier: exactly
@@ -398,13 +604,17 @@ impl TaskGraph {
                 });
             }
         }
-        self.ready_set.clear();
-        self.completed = 0;
+        self.ready_bits.iter_mut().for_each(|w| *w = 0);
+        self.ready_count = 0;
+        self.completed_bits.iter_mut().for_each(|w| *w = 0);
+        self.completed_count = 0;
+        self.liveness.clear();
+        self.live_set.clear();
         let mut ready = Vec::new();
         for i in 0..self.nodes.len() {
             if keep[i] {
-                self.nodes[i].state = TaskState::Completed;
-                self.completed += 1;
+                self.states[i] = TaskState::Completed;
+                self.insert_completed(TaskId(i as u64));
                 continue;
             }
             let unmet = self.nodes[i]
@@ -412,17 +622,37 @@ impl TaskGraph {
                 .iter()
                 .filter(|p| !keep[p.index()])
                 .count();
-            let node = &mut self.nodes[i];
-            node.unmet = unmet;
+            self.unmet[i] = unmet;
             if unmet == 0 {
-                node.state = TaskState::Ready;
+                self.states[i] = TaskState::Ready;
                 let id = TaskId(i as u64);
-                self.ready_set.push(id); // index order keeps the set sorted
+                self.insert_ready(id);
                 ready.push(id);
             } else {
-                node.state = TaskState::Pending;
+                self.states[i] = TaskState::Pending;
             }
         }
+        // Rebuild the region-liveness counters wholesale: the rollback is
+        // O(n) regardless, and every task is now either completed
+        // (writes count) or pending/ready (reads outstanding).
+        for (node, &completed) in self.nodes.iter().zip(&keep) {
+            for &(region, mode) in &node.accesses {
+                let live = self.liveness.entry(region).or_default();
+                if completed && mode.writes() {
+                    live.writers_done += 1;
+                }
+                if !completed && mode.reads() {
+                    live.readers_outstanding += 1;
+                }
+            }
+        }
+        let live_now: Vec<RegionId> = self
+            .liveness
+            .iter()
+            .filter(|(_, l)| l.is_live())
+            .map(|(&r, _)| r)
+            .collect();
+        self.live_set.extend(live_now);
         Ok(ready)
     }
 
@@ -442,7 +672,7 @@ impl TaskGraph {
             for &p in &self.nodes[next.index()].preds {
                 if !visited[p.index()] {
                     visited[p.index()] = true;
-                    if self.nodes[p.index()].state == TaskState::Failed {
+                    if self.states[p.index()] == TaskState::Failed {
                         causes.push(p);
                     }
                     stack.push(p);
@@ -555,47 +785,61 @@ impl TaskGraph {
             .sum()
     }
 
-    fn release_successors(&mut self, id: TaskId) -> Vec<TaskId> {
-        let succs = self.nodes[id.index()].succs.clone();
-        let mut released = Vec::new();
-        for s in succs {
-            let node = &mut self.nodes[s.index()];
-            if node.state != TaskState::Pending {
+    fn release_successors(&mut self, id: TaskId, released: &mut Vec<TaskId>) {
+        // Index iteration instead of cloning the successor list: this runs
+        // once per completed task, on the engine's hottest path.
+        for i in 0..self.nodes[id.index()].succs.len() {
+            let s = self.nodes[id.index()].succs[i];
+            if self.states[s.index()] != TaskState::Pending {
                 continue;
             }
-            node.unmet -= 1;
-            if node.unmet == 0 {
-                node.state = TaskState::Ready;
+            self.unmet[s.index()] -= 1;
+            if self.unmet[s.index()] == 0 {
+                self.states[s.index()] = TaskState::Ready;
                 self.insert_ready(s);
                 released.push(s);
             }
         }
-        released
     }
 
-    /// Insert `id` into the sorted ready set (no-op if already present).
+    /// Set `id`'s ready bit (no-op if already set).
     fn insert_ready(&mut self, id: TaskId) {
-        if let Err(pos) = self.ready_set.binary_search(&id) {
-            self.ready_set.insert(pos, id);
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.ready_bits[w] & mask == 0 {
+            self.ready_bits[w] |= mask;
+            self.ready_count += 1;
         }
     }
 
-    /// Remove `id` from the sorted ready set (no-op if absent).
+    /// Clear `id`'s ready bit (no-op if absent).
     fn remove_ready(&mut self, id: TaskId) {
-        if let Ok(pos) = self.ready_set.binary_search(&id) {
-            self.ready_set.remove(pos);
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.ready_bits[w] & mask != 0 {
+            self.ready_bits[w] &= !mask;
+            self.ready_count -= 1;
         }
     }
 
     fn node(&self, id: TaskId) -> Result<&Node, CoreError> {
         self.nodes.get(id.index()).ok_or(CoreError::UnknownTask(id))
     }
+}
 
-    fn node_mut(&mut self, id: TaskId) -> Result<&mut Node, CoreError> {
-        self.nodes
-            .get_mut(id.index())
-            .ok_or(CoreError::UnknownTask(id))
+/// Materialize a per-task bitmap as a sorted `TaskId` list (`count` =
+/// number of set bits, used to pre-size the output).
+fn collect_bits(words: &[u64], count: usize) -> Vec<TaskId> {
+    let mut out = Vec::with_capacity(count);
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as u64;
+            out.push(TaskId((w as u64) * 64 + b));
+            bits &= bits - 1;
+        }
     }
+    out
 }
 
 #[cfg(test)]
@@ -603,7 +847,7 @@ mod tests {
     use super::*;
     use crate::task::TaskDescriptor;
 
-    fn desc(name: &str) -> TaskDescriptor {
+    fn desc(name: &'static str) -> TaskDescriptor {
         TaskDescriptor::named(name)
     }
 
@@ -903,6 +1147,128 @@ mod tests {
         assert_eq!(ready, vec![a]);
         assert_eq!(g.completed_count(), 0);
         assert_eq!(g.state(b).unwrap(), TaskState::Pending);
+    }
+
+    /// Naive recomputation of the live-region set (the pre-incremental
+    /// definition): regions written by a completed task and read by at
+    /// least one pending/ready/running task. The incremental counters
+    /// must agree with this after every transition.
+    fn naive_live(g: &TaskGraph) -> HashSet<RegionId> {
+        let mut written_by_done: HashSet<RegionId> = HashSet::new();
+        let mut read_by_pending: HashSet<RegionId> = HashSet::new();
+        for i in 0..g.len() {
+            let id = TaskId(i as u64);
+            let state = g.state(id).unwrap();
+            for &(r, m) in g.accesses(id).unwrap() {
+                match state {
+                    TaskState::Completed => {
+                        if m.writes() {
+                            written_by_done.insert(r);
+                        }
+                    }
+                    TaskState::Failed | TaskState::Poisoned => {}
+                    _ => {
+                        if m.reads() {
+                            read_by_pending.insert(r);
+                        }
+                    }
+                }
+            }
+        }
+        written_by_done
+            .intersection(&read_by_pending)
+            .copied()
+            .collect()
+    }
+
+    fn incremental_live(g: &TaskGraph) -> HashSet<RegionId> {
+        g.live_regions().collect()
+    }
+
+    #[test]
+    fn live_regions_match_naive_recompute_through_lifecycle() {
+        let mut g = TaskGraph::new();
+        // Pipeline a →(r0)→ b →(r1)→ c, plus a diamond d/e over r2 and an
+        // independent chain f →(r3)→ h that will fail mid-way.
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::Out)]);
+        let _c = g.add_task(desc("c"), [(1u64, AccessMode::In)]);
+        let d = g.add_task(desc("d"), [(2u64, AccessMode::InOut)]);
+        let _e = g.add_task(desc("e"), [(2u64, AccessMode::InOut)]);
+        let f = g.add_task(desc("f"), [(3u64, AccessMode::Out)]);
+        let _h = g.add_task(desc("h"), [(3u64, AccessMode::In)]);
+        assert_eq!(incremental_live(&g), naive_live(&g));
+
+        g.complete(a).unwrap();
+        assert_eq!(incremental_live(&g), naive_live(&g));
+        assert_eq!(incremental_live(&g), HashSet::from([RegionId(0)]));
+
+        g.start(b).unwrap();
+        assert_eq!(incremental_live(&g), naive_live(&g));
+        g.complete(b).unwrap();
+        // r0 is dead (no reader left), r1 is live.
+        assert_eq!(incremental_live(&g), HashSet::from([RegionId(1)]));
+        assert_eq!(incremental_live(&g), naive_live(&g));
+
+        g.complete(d).unwrap();
+        assert_eq!(incremental_live(&g), naive_live(&g));
+
+        // Failing f poisons h: region 3 never becomes live, and the
+        // poisoned reader must not count as outstanding.
+        g.fail(f).unwrap();
+        assert_eq!(incremental_live(&g), naive_live(&g));
+        assert_eq!(g.live_region_count(), incremental_live(&g).len());
+    }
+
+    #[test]
+    fn live_regions_rebuilt_by_rollback() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::Out)]);
+        let c = g.add_task(desc("c"), [(1u64, AccessMode::In)]);
+        for t in [a, b, c] {
+            g.complete(t).unwrap();
+        }
+        assert_eq!(incremental_live(&g), naive_live(&g));
+        g.rollback(&[a]).unwrap();
+        assert_eq!(incremental_live(&g), HashSet::from([RegionId(0)]));
+        assert_eq!(incremental_live(&g), naive_live(&g));
+        // And after re-execution the structures stay consistent.
+        g.complete(b).unwrap();
+        g.complete(c).unwrap();
+        assert_eq!(incremental_live(&g), naive_live(&g));
+        assert!(incremental_live(&g).is_empty());
+    }
+
+    #[test]
+    fn completed_accessor_is_incremental_and_sorted() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(1u64, AccessMode::Out)]);
+        let c = g.add_task(desc("c"), [(2u64, AccessMode::Out)]);
+        assert!(g.completed().is_empty());
+        // Complete out of id order: the view stays sorted by id.
+        g.complete(c).unwrap();
+        g.complete(a).unwrap();
+        assert_eq!(g.completed(), &[a, c]);
+        g.complete(b).unwrap();
+        assert_eq!(g.completed(), &[a, b, c]);
+        assert_eq!(g.completed_count(), 3);
+        // Rollback resets the list to the restored frontier.
+        g.rollback(&[a]).unwrap();
+        assert_eq!(g.completed(), &[a]);
+    }
+
+    #[test]
+    fn complete_into_appends_to_caller_buffer() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In)]);
+        let mut buf = vec![TaskId(99)];
+        g.complete_into(a, &mut buf).unwrap();
+        assert_eq!(buf, vec![TaskId(99), b], "appends, never clears");
+        assert!(g.complete_into(a, &mut buf).is_err());
+        assert_eq!(buf.len(), 2, "error leaves the buffer untouched");
     }
 
     /// A frontier that is not closed under dependences is rejected and

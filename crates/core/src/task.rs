@@ -169,8 +169,11 @@ impl Work {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskDescriptor {
-    /// Human-readable task (type) name.
-    pub name: String,
+    /// Human-readable task (type) name. A `Cow` so the overwhelmingly
+    /// common case — a static task-type label shared by thousands of
+    /// submitted instances — costs no allocation per task; dynamic names
+    /// still work through the same constructor.
+    pub name: std::borrow::Cow<'static, str>,
     /// Workload classification.
     pub kind: TaskKind,
     /// Workload size.
@@ -185,9 +188,10 @@ pub struct TaskDescriptor {
 
 impl TaskDescriptor {
     /// A descriptor with the given name and neutral defaults: `Compute`
-    /// kind, empty work, width 1, default requirements.
+    /// kind, empty work, width 1, default requirements. A `&'static str`
+    /// name is borrowed, not allocated.
     #[must_use]
-    pub fn named(name: impl Into<String>) -> Self {
+    pub fn named(name: impl Into<std::borrow::Cow<'static, str>>) -> Self {
         TaskDescriptor {
             name: name.into(),
             kind: TaskKind::default(),

@@ -214,6 +214,7 @@ impl DeviceSpec {
     ///
     /// Returns [`Seconds::ZERO`] for empty work.
     #[must_use]
+    #[inline]
     pub fn time_for(&self, work: Work, task: TaskKind) -> Seconds {
         let eff = self.kind.efficiency(task);
         let compute = if work.flops > 0.0 {
@@ -270,6 +271,7 @@ impl Device {
 
     /// Earliest simulated time at which the device is free.
     #[must_use]
+    #[inline]
     pub fn busy_until(&self) -> Seconds {
         self.busy_until
     }
@@ -282,8 +284,25 @@ impl Device {
     pub fn execute(&mut self, now: Seconds, work: Work, task: TaskKind) -> (Seconds, Seconds) {
         let start = now.max(self.busy_until);
         let dur = self.spec.time_for(work, task);
-        let finish = start + dur;
-        self.meter.record(self.spec.busy_power, dur);
+        self.execute_planned(start, dur)
+    }
+
+    /// Commit an execution whose `(start, duration)` a scheduler already
+    /// computed while estimating candidates, so the roofline model is
+    /// not re-evaluated on the placement hot path. Bit-identical to
+    /// [`Device::execute`] when `start = max(now, busy_until)` and
+    /// `duration = spec.time_for(work, kind)` — which the caller must
+    /// guarantee is still current (no intervening `execute` on this
+    /// device since the plan was made).
+    #[inline]
+    pub fn execute_planned(&mut self, start: Seconds, duration: Seconds) -> (Seconds, Seconds) {
+        debug_assert!(
+            start >= self.busy_until,
+            "planned start {start} predates device availability {}",
+            self.busy_until
+        );
+        let finish = start + duration;
+        self.meter.record(self.spec.busy_power, duration);
         self.busy_until = finish;
         (start, finish)
     }

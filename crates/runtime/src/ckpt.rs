@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use legato_core::graph::{TaskGraph, TaskState};
+use legato_core::graph::TaskGraph;
 use legato_core::task::RegionId;
 use legato_core::units::Bytes;
 
@@ -25,42 +25,26 @@ use legato_core::units::Bytes;
 /// regions last written by a completed task and still to be read by at
 /// least one unfinished task. Only these need checkpointing — everything
 /// else is either dead or reproducible by re-running unfinished tasks.
+///
+/// The graph maintains this set incrementally per state transition
+/// ([`TaskGraph::live_regions`]), so materializing it here is O(live) —
+/// the former implementation re-derived it from a full topological walk
+/// (O(V + E) plus a Kahn pass) on every call, which dominated checkpoint
+/// cost on large graphs.
 #[must_use]
 pub fn live_regions(graph: &TaskGraph) -> HashSet<RegionId> {
-    let mut written_by_done: HashSet<RegionId> = HashSet::new();
-    let mut read_by_pending: HashSet<RegionId> = HashSet::new();
-    for id in graph.topological_order() {
-        let state = graph.state(id).expect("id from graph");
-        let accesses = graph.accesses(id).expect("id from graph");
-        match state {
-            TaskState::Completed => {
-                for &(r, m) in accesses {
-                    if m.writes() {
-                        written_by_done.insert(r);
-                    }
-                }
-            }
-            TaskState::Failed | TaskState::Poisoned => {}
-            _ => {
-                for &(r, m) in accesses {
-                    if m.reads() {
-                        read_by_pending.insert(r);
-                    }
-                }
-            }
-        }
-    }
-    written_by_done
-        .intersection(&read_by_pending)
-        .copied()
-        .collect()
+    graph.live_regions().collect()
 }
 
 /// Bytes a task-aware checkpoint writes at the current frontier.
+///
+/// O(live regions): iterates the graph's incremental live set directly —
+/// this is what the engine charges at every periodic checkpoint event,
+/// so it must not scan the graph.
 #[must_use]
 pub fn task_declared_volume(graph: &TaskGraph, sizes: &HashMap<RegionId, Bytes>) -> Bytes {
-    live_regions(graph)
-        .into_iter()
+    graph
+        .live_regions()
         .map(|r| sizes.get(&r).copied().unwrap_or(Bytes::ZERO))
         .sum()
 }
@@ -69,9 +53,15 @@ pub fn task_declared_volume(graph: &TaskGraph, sizes: &HashMap<RegionId, Bytes>)
 /// region ever touched.
 #[must_use]
 pub fn full_memory_volume(graph: &TaskGraph, sizes: &HashMap<RegionId, Bytes>) -> Bytes {
+    // Task ids are dense, so a direct index walk enumerates every task —
+    // no need for the Kahn `topological_order()` (O(V+E) plus an
+    // allocation) the original implementation built just to list ids.
     let mut seen: HashSet<RegionId> = HashSet::new();
-    for id in graph.topological_order() {
-        for &(r, _) in graph.accesses(id).expect("id from graph") {
+    for id in 0..graph.len() {
+        for &(r, _) in graph
+            .accesses(legato_core::task::TaskId(id as u64))
+            .expect("id in range")
+        {
             seen.insert(r);
         }
     }

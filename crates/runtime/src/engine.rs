@@ -10,9 +10,9 @@
 //!
 //! This module replaces the sweep with a discrete-event simulation:
 //!
-//! * a time-ordered event heap carries **task-ready** and
-//!   **replica-finish** events (a device-free moment is exactly the finish
-//!   event of the work occupying it);
+//! * `(time, seq)`-ordered **task-ready** and **replica-finish** events
+//!   drive execution (a device-free moment is exactly the finish event
+//!   of the work occupying it);
 //! * placement decisions are made in *event order*, so independent chains
 //!   interleave on device timelines the way a real ready-queue runtime
 //!   would execute them;
@@ -34,10 +34,21 @@
 //! ([`sched`](crate::sched)), the same abstraction HEATS drives its
 //! cluster placements with.
 //!
+//! The per-event path is engineered to be allocation-free and to touch
+//! as little memory as the simulation semantics allow — event-class
+//! queues exploiting per-class monotonicity, inline replica sets with a
+//! payload slab, per-runtime scratch buffers, single-evaluation
+//! placement plans, and inline dispatch of provably-next ready events.
+//! DESIGN.md §8 ("Hot path and allocation discipline") catalogues what
+//! is allowed to allocate where, and the invariants the equivalence
+//! proptests pin.
+//!
 //! **Trade-off, stated honestly:** both executors are greedy
 //! earliest-finish placers over append-only device timelines; they
 //! differ only in commitment order. At saturation and on
-//! straggler-tailed workloads event order wins (see the `runtime_engine`
+//! straggler-tailed workloads event order wins the *simulated* makespan
+//! decisively, and since the allocation-discipline work the engine also
+//! runs at or below the sweep's own wall-clock (see the `runtime_engine`
 //! bench). On small, under-loaded chain unions, submission order
 //! doubles as a chain-depth priority and can beat plain readiness
 //! order — a future refinement is a critical-path-aware priority on
@@ -46,22 +57,44 @@
 //! [`Scheduler`]: crate::sched::Scheduler
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
-use legato_core::graph::TaskState;
-use legato_core::task::TaskId;
+use legato_core::task::{TaskId, TaskKind, Work};
 use legato_core::units::{Bytes, Joule, Seconds};
 use legato_fti::{checkpoint_cost, restart_cost, Strategy};
 use rand::Rng;
 
 use crate::ckpt;
 use crate::error::RuntimeError;
-use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
+use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict, MAX_REPLICAS};
 use crate::resilience::{CheckpointRecord, RollbackEvent};
 use crate::runtime::{golden_value, RunReport, Runtime, TaskOutcome};
+use crate::sched::Estimate;
 
-/// One scheduled simulation event.
-#[derive(Debug, Clone)]
+/// The devices and per-replica results of one (possibly replicated)
+/// attempt, stored inline in the finish event. `len` is the live prefix
+/// of both arrays; the primary replica is first.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaSet {
+    devices: [usize; MAX_REPLICAS],
+    results: [ReplicaResult; MAX_REPLICAS],
+    len: u8,
+}
+
+impl ReplicaSet {
+    fn results(&self) -> &[ReplicaResult] {
+        &self.results[..self.len as usize]
+    }
+}
+
+/// One scheduled simulation event. `Copy`, free of owned heap data, and
+/// deliberately *small* (32 bytes): every heap push/pop sifts entries
+/// through O(log n) levels, so entry size is sift bandwidth. The bulky
+/// finish payload (inline replica set, start time, attempt counter)
+/// lives in a slab on the side ([`EngineState::finish_slab`]) and the
+/// event carries only its slot index.
+#[derive(Debug, Clone, Copy)]
 struct Event {
     /// Virtual time at which the event fires.
     time: Seconds,
@@ -71,25 +104,39 @@ struct Event {
     kind: EventKind,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
     /// A task's dependences are met: place and start it.
     Ready(TaskId),
-    /// All replicas of one attempt joined: vote on the results.
+    /// All replicas of one attempt joined: vote on the results. The
+    /// payload is `finish_slab[slot]`, reclaimed when the event fires.
     Finish {
-        task: TaskId,
-        /// Devices the attempt ran on (primary first).
-        devices: Vec<usize>,
-        /// Earliest replica start.
-        start: Seconds,
-        /// Per-replica results, aligned with `devices`.
-        results: Vec<ReplicaResult>,
-        /// Zero-based attempt number.
-        attempt: u32,
+        /// Slab slot holding the [`FinishPayload`].
+        slot: u32,
     },
     /// Periodic checkpoint of the completed frontier (resilience mode
     /// only; at most one is armed at a time).
     Checkpoint,
+}
+
+/// Out-of-heap payload of one finish event. Carries the task facts the
+/// retry path needs (`work`, `kind`, `golden`) so neither the finish
+/// handler nor a retry touches the graph node again.
+#[derive(Debug, Clone, Copy)]
+struct FinishPayload {
+    task: TaskId,
+    /// Devices and results of the attempt, inline (primary first).
+    replicas: ReplicaSet,
+    /// Earliest replica start.
+    start: Seconds,
+    /// Zero-based attempt number.
+    attempt: u32,
+    /// The task's work, read once when it was claimed.
+    work: Work,
+    /// The task's kind, read once when it was claimed.
+    kind: TaskKind,
+    /// The task's golden value, computed once when it was claimed.
+    golden: u64,
 }
 
 impl Ord for Event {
@@ -116,39 +163,234 @@ impl PartialEq for Event {
 impl Eq for Event {}
 
 /// Persistent simulation state of the event-driven engine.
+///
+/// Events are split across two queues sharing one `(time, seq)` total
+/// order: *ready* events always fire at the virtual time they are pushed
+/// (task release and streaming submission both happen "now"), so their
+/// push order is already sorted and a FIFO holds them with O(1) ops;
+/// *finish* and *checkpoint* events carry future times and live in the
+/// heap. [`Runtime::next_event`] merges the two fronts, which preserves
+/// the exact firing order of a single heap while halving its traffic —
+/// and the entries that do take the heap are 32-byte keys (payloads live
+/// in `finish_slab`), so the remaining sift traffic is cheap.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct EngineState {
     heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
-    now: Seconds,
-    outcomes: Vec<TaskOutcome>,
-    stats: ReplicationStats,
-    failed: Vec<TaskId>,
+    /// Ready events in push order — non-decreasing `(time, seq)` (see
+    /// [`EngineState::push_ready_at`]).
+    ready_queue: VecDeque<Event>,
+    /// Single-replica finish events deferred per device. Device
+    /// timelines are append-only, so these are non-decreasing per
+    /// device, and only each device's *earliest* pending finish can ever
+    /// be the global minimum — so only that head lives in the heap
+    /// (`head_in_heap`), and firing it promotes the next. This bounds
+    /// the heap population to roughly the device count (plus replicated
+    /// attempts and the checkpoint), keeping sift depth trivial however
+    /// many tasks are in flight.
+    deferred_finishes: Vec<VecDeque<Event>>,
+    /// Whether device `d` currently has its head finish in the heap.
+    head_in_heap: Vec<bool>,
+    /// Total events parked in `deferred_finishes` (for `is_idle`).
+    deferred: usize,
     /// Whether a [`EventKind::Checkpoint`] event is queued (at most one
     /// lives in the heap at a time).
     ckpt_armed: bool,
+    seq: u64,
+    now: Seconds,
+    /// Accepted outcomes indexed by task id — always sorted by
+    /// construction, so building a report is a sequential scan with no
+    /// sort (tasks have at most one accepted outcome; `None` = not
+    /// executed, or discarded by a rollback).
+    outcomes: Vec<Option<TaskOutcome>>,
+    stats: ReplicationStats,
+    failed: Vec<TaskId>,
+    /// Payloads of in-flight finish events, indexed by
+    /// [`EventKind::Finish::slot`]; slots recycle through `free_slots`,
+    /// so steady state allocates nothing here either.
+    finish_slab: Vec<FinishPayload>,
+    free_slots: Vec<u32>,
+    /// Reusable scratch buffers: after warm-up, the per-event path
+    /// allocates nothing through these.
+    scratch: Scratch,
+}
+
+/// Per-runtime scratch buffers for the hot path. Contents are dead
+/// between events; only the capacity is carried.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Placement estimates, one per device (`start_attempt`).
+    estimates: Vec<Estimate>,
+    /// Per-device `(start, duration)` plans paired with `estimates`, so
+    /// committing a chosen placement re-evaluates nothing.
+    plans: Vec<(Seconds, Seconds)>,
+    /// Tasks released by a completion (`handle_finish`).
+    released: Vec<TaskId>,
 }
 
 impl EngineState {
-    fn push(&mut self, time: Seconds, kind: EventKind) {
-        if matches!(kind, EventKind::Checkpoint) {
-            self.ckpt_armed = true;
-        }
+    fn next_seq(&mut self) -> u64 {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+        seq
+    }
+
+    /// Arm the periodic checkpoint (at most one exists at a time).
+    fn push_checkpoint(&mut self, time: Seconds) {
+        debug_assert!(!self.ckpt_armed, "at most one armed checkpoint");
+        self.ckpt_armed = true;
+        let seq = self.next_seq();
+        self.heap.push(Reverse(Event {
+            time,
+            seq,
+            kind: EventKind::Checkpoint,
+        }));
+    }
+
+    /// Park a finish payload in the slab, reusing a free slot when one
+    /// exists, and queue its event.
+    ///
+    /// Single-replica attempts defer behind their device's earlier
+    /// pending finishes (append-only timelines make those non-decreasing
+    /// per device, so a non-head entry can never be the global minimum);
+    /// replicated attempts — whose finish is a max over several
+    /// timelines — go straight to the heap.
+    fn push_finish(&mut self, time: Seconds, payload: FinishPayload) {
+        let device = (payload.replicas.len == 1).then(|| payload.replicas.devices[0]);
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.finish_slab[slot as usize] = payload;
+                slot
+            }
+            None => {
+                self.finish_slab.push(payload);
+                (self.finish_slab.len() - 1) as u32
+            }
+        };
+        let seq = self.next_seq();
+        let event = Event {
+            time,
+            seq,
+            kind: EventKind::Finish { slot },
+        };
+        if let Some(d) = device {
+            if self.deferred_finishes.len() <= d {
+                self.deferred_finishes.resize_with(d + 1, VecDeque::new);
+                self.head_in_heap.resize(d + 1, false);
+            }
+            if self.head_in_heap[d] {
+                debug_assert!(
+                    self.deferred_finishes[d]
+                        .back()
+                        .is_none_or(|b| b.time.0 <= time.0),
+                    "single-replica finishes per device must be non-decreasing"
+                );
+                self.deferred_finishes[d].push_back(event);
+                self.deferred += 1;
+                return;
+            }
+            self.head_in_heap[d] = true;
+        }
+        self.heap.push(Reverse(event));
+    }
+
+    /// Reclaim a fired finish event's payload, promoting the device's
+    /// next deferred finish (now its earliest pending one) into the
+    /// heap.
+    fn take_finish(&mut self, slot: u32) -> FinishPayload {
+        self.free_slots.push(slot);
+        let payload = self.finish_slab[slot as usize];
+        if payload.replicas.len == 1 {
+            let d = payload.replicas.devices[0];
+            match self.deferred_finishes[d].pop_front() {
+                Some(next) => {
+                    self.deferred -= 1;
+                    self.heap.push(Reverse(next));
+                }
+                None => self.head_in_heap[d] = false,
+            }
+        }
+        payload
     }
 
     pub(crate) fn push_ready(&mut self, task: TaskId) {
         let at = self.now;
-        self.push(at, EventKind::Ready(task));
+        self.push_ready_at(at, task);
+    }
+
+    /// Enqueue a ready event at `time`. Callers pass the current virtual
+    /// time (ready tasks are placed "now", whether released by a
+    /// completion or submitted mid-run) or a rollback's resume time, and
+    /// virtual time never rewinds, so in steady state the FIFO stays
+    /// `(time, seq)` sorted without heap routing. The one exception — a
+    /// streaming submission while re-armed rollback work sits at a
+    /// *future* resume time — routes through the overflow heap, which
+    /// accepts any time, so the merged order stays exact.
+    fn push_ready_at(&mut self, time: Seconds, task: TaskId) {
+        let seq = self.next_seq();
+        let event = Event {
+            time,
+            seq,
+            kind: EventKind::Ready(task),
+        };
+        if self
+            .ready_queue
+            .back()
+            .is_some_and(|back| back.time.0 > time.0)
+        {
+            self.heap.push(Reverse(event));
+        } else {
+            self.ready_queue.push_back(event);
+        }
     }
 
     /// Drop every queued event (used by the legacy sweep, which executes
     /// the outstanding tasks itself, and by checkpoint rollback).
     pub(crate) fn clear_events(&mut self) {
         self.heap.clear();
+        self.ready_queue.clear();
+        for fifo in &mut self.deferred_finishes {
+            fifo.clear();
+        }
+        self.head_in_heap.iter_mut().for_each(|h| *h = false);
+        self.deferred = 0;
         self.ckpt_armed = false;
+        self.finish_slab.clear();
+        self.free_slots.clear();
+    }
+
+    /// Whether any event (any queue) is outstanding.
+    fn is_idle(&self) -> bool {
+        self.heap.is_empty() && self.ready_queue.is_empty() && self.deferred == 0
+    }
+
+    /// Pop the `(time, seq)` minimum across the ready FIFO's front and
+    /// the heap's top, or `None` when both are empty.
+    fn pop_min(&mut self) -> Option<Event> {
+        let take_ready = match (self.ready_queue.front(), self.heap.peek()) {
+            (Some(r), Some(Reverse(h))) => r.cmp(h) == Ordering::Less,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let event = if take_ready {
+            self.ready_queue.pop_front().expect("front checked above")
+        } else {
+            let Reverse(event) = self.heap.pop().expect("peeked above");
+            event
+        };
+        if matches!(event.kind, EventKind::Checkpoint) {
+            self.ckpt_armed = false;
+        }
+        Some(event)
+    }
+
+    /// Record an accepted outcome under its task id.
+    fn record_outcome(&mut self, outcome: TaskOutcome) {
+        let idx = outcome.task.index();
+        if idx >= self.outcomes.len() {
+            self.outcomes.resize(idx + 1, None);
+        }
+        self.outcomes[idx] = Some(outcome);
     }
 }
 
@@ -181,7 +423,20 @@ impl Runtime {
     /// [`Policy`]: crate::scheduler::Policy
     /// [`Policy::Weighted`]: crate::scheduler::Policy::Weighted
     pub fn run(&mut self) -> Result<RunReport, RuntimeError> {
-        while self.step()?.is_some() {}
+        // Same semantics as `while self.step()?.is_some() {}`, with the
+        // per-event entry checks (empty device list, policy weight,
+        // resilience planning) hoisted out of the loop: they are
+        // invariant while the loop owns the runtime, and the loop runs
+        // 2–3 events per simulated task.
+        if self.devices.is_empty() {
+            return Err(RuntimeError::NoDevices);
+        }
+        self.policy.validate()?;
+        self.plan_resilience()?;
+        while let Some(event) = self.next_event() {
+            self.dispatch(event)?;
+        }
+        self.drained();
         Ok(self.report())
     }
 
@@ -202,39 +457,55 @@ impl Runtime {
         }
         self.policy.validate()?;
         self.plan_resilience()?;
+        match self.next_event() {
+            Some(event) => {
+                self.dispatch(event)?;
+                Ok(Some(self.engine.now))
+            }
+            None => {
+                self.drained();
+                Ok(None)
+            }
+        }
+    }
+
+    /// Pop the next live event — the `(time, seq)` minimum across every
+    /// engine queue — dropping a checkpoint armed on a draining run
+    /// (nothing left in flight), and advance virtual time.
+    fn next_event(&mut self) -> Option<Event> {
         loop {
-            let Some(Reverse(event)) = self.engine.heap.pop() else {
-                // The engine drained: this run is over. Forget the
-                // planned interval so the next run re-plans it from the
-                // tasks it actually contains (the restore target — the
-                // completed frontier — stays valid across runs).
-                if let Some(res) = &mut self.resilience {
-                    res.interval = None;
-                }
-                return Ok(None);
-            };
-            if matches!(event.kind, EventKind::Checkpoint) {
-                self.engine.ckpt_armed = false;
-                if self.engine.heap.is_empty() {
-                    // Nothing left in flight: the run is draining, so
-                    // the armed checkpoint is dropped without advancing
-                    // time.
-                    continue;
-                }
+            let event = self.engine.pop_min()?;
+            if matches!(event.kind, EventKind::Checkpoint) && self.engine.is_idle() {
+                // Nothing left in flight: the run is draining, so the
+                // armed checkpoint is dropped without advancing time.
+                continue;
             }
             self.engine.now = self.engine.now.max(event.time);
-            match event.kind {
-                EventKind::Ready(task) => self.handle_ready(task, event.time)?,
-                EventKind::Finish {
-                    task,
-                    devices,
-                    start,
-                    results,
-                    attempt,
-                } => self.handle_finish(task, devices, start, results, attempt, event.time)?,
-                EventKind::Checkpoint => self.handle_checkpoint(event.time),
+            return Some(event);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) -> Result<(), RuntimeError> {
+        match event.kind {
+            EventKind::Ready(task) => self.handle_ready(task, event.time),
+            EventKind::Finish { slot } => {
+                let payload = self.engine.take_finish(slot);
+                self.handle_finish(payload, event.time)
             }
-            return Ok(Some(self.engine.now));
+            EventKind::Checkpoint => {
+                self.handle_checkpoint(event.time);
+                Ok(())
+            }
+        }
+    }
+
+    /// The engine drained: this run is over. Forget the planned interval
+    /// so the next run re-plans it from the tasks it actually contains
+    /// (the restore target — the completed frontier — stays valid across
+    /// runs).
+    fn drained(&mut self) {
+        if let Some(res) = &mut self.resilience {
+            res.interval = None;
         }
     }
 
@@ -253,15 +524,18 @@ impl Runtime {
         if let Some(interval) = res.interval {
             // Already planned. Re-arm the checkpoint chain if it ended
             // with a drained run and new work has arrived since.
-            if !self.engine.ckpt_armed && !self.engine.heap.is_empty() {
+            if !self.engine.ckpt_armed && !self.engine.is_idle() {
                 let at = self.engine.now + interval;
-                self.engine.push(at, EventKind::Checkpoint);
+                self.engine.push_checkpoint(at);
             }
             return Ok(());
         }
         let (interval, _cost) =
             crate::resilience::plan_interval(&res.config, &self.devices, self.policy, &self.graph)?;
-        let completed = self.completed_tasks();
+        // Copy-on-write snapshot of the incrementally maintained
+        // completed list (sorted by id = submission order): one copy per
+        // checkpoint, shared from then on.
+        let completed: Arc<[TaskId]> = self.graph.completed().into();
         let now = self.engine.now;
         let res = self.resilience.as_mut().expect("checked above");
         res.interval = Some(interval);
@@ -270,24 +544,20 @@ impl Runtime {
             completed,
             bytes: Bytes::ZERO,
         });
-        self.engine.push(now + interval, EventKind::Checkpoint);
+        self.engine.push_checkpoint(now + interval);
         Ok(())
-    }
-
-    /// Tasks currently completed, in submission order.
-    fn completed_tasks(&self) -> Vec<TaskId> {
-        (0..self.graph.len() as u64)
-            .map(TaskId)
-            .filter(|&t| self.graph.state(t) == Ok(TaskState::Completed))
-            .collect()
     }
 
     /// Take a periodic checkpoint at virtual time `at`: snapshot the
     /// completed frontier, charge the task-aware live-region volume to
     /// the configured storage tier under the configured FTI strategy,
     /// and re-arm the next checkpoint.
+    ///
+    /// Cost per checkpoint: O(completed) for the frontier snapshot and
+    /// O(live regions) for the volume — both incremental views maintained
+    /// by the graph, replacing the former full-graph scans.
     fn handle_checkpoint(&mut self, at: Seconds) {
-        let completed = self.completed_tasks();
+        let completed: Arc<[TaskId]> = self.graph.completed().into();
         let res = self
             .resilience
             .as_mut()
@@ -315,7 +585,7 @@ impl Runtime {
             Strategy::Async => start + res.config.tier.setup_latency,
         };
         let interval = res.interval.expect("checkpoints are armed after planning");
-        self.engine.push(finish + interval, EventKind::Checkpoint);
+        self.engine.push_checkpoint(finish + interval);
     }
 
     /// Restore the last checkpointed frontier after `task` exhausted its
@@ -327,17 +597,19 @@ impl Runtime {
             .resilience
             .as_mut()
             .expect("rollback only in resilience mode");
+        // Cheap clone: the frontier snapshot is an `Arc` slice.
         let record = res.last.clone().expect("planning seeds the first record");
-        let keep: HashSet<TaskId> = record.completed.iter().copied().collect();
         let mut wasted = Seconds::ZERO;
-        self.engine.outcomes.retain(|o| {
-            if keep.contains(&o.task) {
-                true
-            } else {
-                wasted += o.finish - o.start;
-                false
+        // The snapshot is sorted by id, so membership is a binary search —
+        // no per-rollback hash set.
+        for slot in &mut self.engine.outcomes {
+            if let Some(o) = slot {
+                if record.completed.binary_search(&o.task).is_err() {
+                    wasted += o.finish - o.start;
+                    *slot = None;
+                }
             }
-        });
+        }
         let restart = restart_cost(
             &res.config.fti,
             &res.config.tier,
@@ -351,7 +623,7 @@ impl Runtime {
         self.engine.clear_events();
         let ready = self.graph.rollback(&record.completed)?;
         for t in ready {
-            self.engine.push(resume, EventKind::Ready(t));
+            self.engine.push_ready_at(resume, t);
         }
         let interval = res.interval.expect("rollback only after planning");
         res.blackout_until = resume;
@@ -363,7 +635,7 @@ impl Runtime {
             resumed_at: resume,
             wasted,
         });
-        self.engine.push(resume + interval, EventKind::Checkpoint);
+        self.engine.push_checkpoint(resume + interval);
         Ok(())
     }
 
@@ -371,8 +643,9 @@ impl Runtime {
     /// accumulated by the engine so far, plus whole-system energy.
     #[must_use]
     pub fn report(&self) -> RunReport {
-        let mut placements = self.engine.outcomes.clone();
-        placements.sort_by_key(|o| o.task);
+        // The outcome log is indexed by task id: the placement list falls
+        // out sorted without sorting.
+        let placements: Vec<TaskOutcome> = self.engine.outcomes.iter().filter_map(|o| *o).collect();
         let mut failed = self.engine.failed.clone();
         failed.sort_unstable();
         let makespan = placements
@@ -413,37 +686,46 @@ impl Runtime {
     /// Whether the engine has unprocessed events.
     #[must_use]
     pub fn has_pending_events(&self) -> bool {
-        !self.engine.heap.is_empty()
+        !self.engine.is_idle()
     }
 
     fn handle_ready(&mut self, task: TaskId, at: Seconds) -> Result<(), RuntimeError> {
         // Stale events (task already executed by `run_sweep`, or poisoned
-        // by an upstream failure) are dropped, not errors.
-        if self.graph.state(task)? != TaskState::Ready {
+        // by an upstream failure) are dropped, not errors; `try_claim`
+        // answers "still ready?", claims, and returns the descriptor in
+        // one node access.
+        let Some(desc) = self.graph.try_claim(task)? else {
             return Ok(());
-        }
-        self.graph.start(task)?;
-        let replicas = self
-            .graph
-            .descriptor(task)?
+        };
+        let replicas = desc
             .requirements
             .criticality
             .replica_count()
             .min(self.devices.len());
+        let (work, kind) = (desc.work, desc.kind);
         if replicas == 1 {
             self.engine.stats.unreplicated += 1;
         } else {
             self.engine.stats.replica_executions += (replicas - 1) as u64;
         }
-        self.start_attempt(task, replicas, at, 0)
+        self.start_attempt(task, work, kind, replicas, at, 0)
     }
 
     /// Place and launch one (possibly replicated) attempt of `task` at
     /// virtual time `at`, pushing the finish event where its replicas
     /// join.
+    ///
+    /// This is the allocation-free half of the hot path: the descriptor
+    /// is read in place (no clone of its name), placement estimates go
+    /// into a per-runtime scratch buffer, and device selection is the
+    /// O(D·k) [`Scheduler::select_k`] into an inline array — no ranking
+    /// vector, no sort.
+    #[allow(clippy::too_many_arguments)]
     fn start_attempt(
         &mut self,
         task: TaskId,
+        work: Work,
+        kind: TaskKind,
         replicas: usize,
         at: Seconds,
         attempt: u32,
@@ -454,52 +736,75 @@ impl Runtime {
             Some(res) => at.max(res.blackout_until),
             None => at,
         };
-        let desc = self.graph.descriptor(task)?.clone();
-        let ranking = self.policy.rank(&self.devices, desc.work, desc.kind, at);
-        let chosen: Vec<usize> = ranking.into_iter().take(replicas).collect();
+        // `rank().take(k)` and `plan_k_devices` are bit-identical
+        // selections (see `sched` / `Policy::plan_k_devices`); the
+        // policy was validated at run/step entry. The selection hands
+        // back each chosen device's `(start, duration)` plan, which is
+        // committed as-is — the roofline model runs once per candidate,
+        // nowhere else.
+        let mut planned = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
+        let k = self.policy.plan_k_devices(
+            &self.devices,
+            work,
+            kind,
+            at,
+            &mut self.engine.scratch.estimates,
+            &mut self.engine.scratch.plans,
+            &mut planned[..replicas.min(MAX_REPLICAS)],
+        );
         let golden = golden_value(task);
-        let mut results = Vec::with_capacity(chosen.len());
+        let mut devices = [0usize; MAX_REPLICAS];
+        let mut results = [ReplicaResult(0); MAX_REPLICAS];
         let mut start = Seconds(f64::INFINITY);
         let mut finish = Seconds::ZERO;
-        for &d in &chosen {
-            let (s, f) = self.devices[d].execute(at, desc.work, desc.kind);
+        for (slot, &(d, plan_start, plan_dur)) in planned[..k].iter().enumerate() {
+            let (s, f) = self.devices[d].execute_planned(plan_start, plan_dur);
+            devices[slot] = d;
             start = start.min(s);
             finish = finish.max(f);
             let faulty = self.rng.gen_range(0.0..1.0) < self.fault_probs[d];
-            let value = if faulty {
+            results[slot] = if faulty {
                 // Corrupt deterministically per draw but never equal to
                 // golden.
                 ReplicaResult(golden ^ (1 + self.rng.gen_range(0..u64::MAX - 1)))
             } else {
                 ReplicaResult(golden)
             };
-            results.push(value);
         }
-        self.engine.push(
+        self.engine.push_finish(
             finish,
-            EventKind::Finish {
+            FinishPayload {
                 task,
-                devices: chosen,
+                replicas: ReplicaSet {
+                    devices,
+                    results,
+                    len: k as u8,
+                },
                 start,
-                results,
                 attempt,
+                work,
+                kind,
+                golden,
             },
         );
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn handle_finish(
         &mut self,
-        task: TaskId,
-        devices: Vec<usize>,
-        start: Seconds,
-        results: Vec<ReplicaResult>,
-        attempt: u32,
+        payload: FinishPayload,
         finish: Seconds,
     ) -> Result<(), RuntimeError> {
-        let golden = golden_value(task);
-        let accepted = match vote(&results) {
+        let FinishPayload {
+            task,
+            replicas,
+            start,
+            attempt,
+            work,
+            kind,
+            golden,
+        } = payload;
+        let accepted = match vote(replicas.results()) {
             Verdict::Accept(v) => {
                 let correct = v.0 == golden;
                 if !correct {
@@ -518,13 +823,47 @@ impl Runtime {
         };
         match accepted {
             Some(correct) => {
-                let released = self.graph.complete(task)?;
-                for succ in released {
-                    self.engine.push(finish, EventKind::Ready(succ));
+                // Complete through the scratch buffer: the only per-task
+                // allocation left on the accept path is the outcome's
+                // device list, built once per *accepted* task (attempts
+                // no longer allocate at all).
+                let mut released = std::mem::take(&mut self.engine.scratch.released);
+                released.clear();
+                self.graph.complete_into(task, &mut released)?;
+                // A sole released successor whose ready event would be
+                // the global minimum — ready FIFO empty, heap top
+                // strictly later — is dispatched inline instead of
+                // round-tripping the queue, skipping one
+                // pop-merge-dispatch cycle per task on chain-structured
+                // workloads. Dispatching the unique minimum immediately
+                // is exactly what the next loop turn would do, so the
+                // event order is unchanged. The fast path deliberately
+                // requires `released.len() == 1`: with several released
+                // siblings, inlining the first could push a finish event
+                // that *ties* at `finish` (a zero-duration task) and
+                // would then fire before the remaining siblings,
+                // reordering events relative to the queued path.
+                let sole_next = released.len() == 1
+                    && self.engine.ready_queue.is_empty()
+                    && self
+                        .engine
+                        .heap
+                        .peek()
+                        .is_none_or(|Reverse(top)| top.time.0 > finish.0);
+                if sole_next {
+                    self.handle_ready(released[0], finish)?;
+                } else {
+                    for &succ in &released {
+                        self.engine.push_ready_at(finish, succ);
+                    }
                 }
-                self.engine.outcomes.push(TaskOutcome {
+                self.engine.scratch.released = released;
+                self.engine.record_outcome(TaskOutcome {
                     task,
-                    devices,
+                    devices: crate::runtime::ReplicaDevices::from_raw(
+                        replicas.devices,
+                        replicas.len,
+                    ),
                     start,
                     finish,
                     correct,
@@ -532,7 +871,7 @@ impl Runtime {
             }
             None if attempt < self.max_retries => {
                 self.engine.stats.retries += 1;
-                self.start_attempt(task, devices.len(), finish, attempt + 1)?;
+                self.start_attempt(task, work, kind, replicas.len as usize, finish, attempt + 1)?;
             }
             None => {
                 // Retry budget exhausted. With checkpoint/restart enabled

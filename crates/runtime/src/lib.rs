@@ -75,7 +75,8 @@ pub mod sched;
 pub mod scheduler;
 
 pub use error::RuntimeError;
+pub use replication::MAX_REPLICAS;
 pub use resilience::{ResilienceConfig, ResilienceStats, RollbackEvent};
-pub use runtime::{RunReport, Runtime, TaskOutcome};
+pub use runtime::{ReplicaDevices, RunReport, Runtime, TaskOutcome};
 pub use sched::{Estimate, Scheduler, ScoreNorm};
 pub use scheduler::Policy;

@@ -16,6 +16,13 @@
 use legato_core::requirements::Criticality;
 use serde::{Deserialize, Serialize};
 
+/// Upper bound on replicas per attempt: [`Criticality::replica_count`]
+/// tops out at 3 (`Critical`). The engine relies on this to store
+/// replica sets inline — in event-heap entries and in
+/// [`TaskOutcome`](crate::runtime::TaskOutcome) device lists — instead
+/// of heap-allocating per attempt.
+pub const MAX_REPLICAS: usize = 3;
+
 /// The checksum a replica produced: the golden value or a corrupted one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ReplicaResult(pub u64);
@@ -46,22 +53,28 @@ pub fn vote(results: &[ReplicaResult]) -> Verdict {
     if results.len() == 1 {
         return Verdict::Accept(results[0]);
     }
-    // Count agreement classes.
-    let mut counts: Vec<(ReplicaResult, usize)> = Vec::new();
-    for &r in results {
-        match counts.iter_mut().find(|(v, _)| *v == r) {
-            Some((_, c)) => *c += 1,
-            None => counts.push((r, 1)),
+    // Count agreement classes in place — this runs once per finish event
+    // on the engine's hot path, and replica sets are tiny (≤ 3), so the
+    // quadratic scan is cheaper than building a count table. `>=` keeps
+    // the old table-max tie behavior (last class wins); ties can never
+    // produce a strict majority, so the verdict is unaffected either way.
+    let mut winner = results[0];
+    let mut votes = 0usize;
+    let mut classes = 0usize;
+    for (i, &r) in results.iter().enumerate() {
+        if results[..i].contains(&r) {
+            continue; // counted when first seen
+        }
+        classes += 1;
+        let count = results.iter().filter(|&&x| x == r).count();
+        if count >= votes {
+            winner = r;
+            votes = count;
         }
     }
-    if counts.len() == 1 {
+    if classes == 1 {
         return Verdict::Accept(results[0]);
     }
-    let (winner, votes) = counts
-        .iter()
-        .copied()
-        .max_by_key(|&(_, c)| c)
-        .expect("non-empty");
     if votes * 2 > results.len() {
         Verdict::Masked(winner)
     } else {

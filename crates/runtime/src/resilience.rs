@@ -37,6 +37,7 @@
 //! [`StorageTier`]: legato_hw::storage::StorageTier
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use legato_core::graph::TaskGraph;
 use legato_core::task::{RegionId, TaskId};
@@ -158,8 +159,11 @@ pub struct RollbackEvent {
 pub(crate) struct CheckpointRecord {
     /// Completion time of the checkpoint write.
     pub time: Seconds,
-    /// Tasks completed at snapshot time (the restore target).
-    pub completed: Vec<TaskId>,
+    /// Tasks completed at snapshot time (the restore target), sorted by
+    /// id. A copy-on-write snapshot of the graph's incremental completed
+    /// list: materialized once per checkpoint, shared by reference
+    /// afterwards — cloning the record (every rollback does) is O(1).
+    pub completed: Arc<[TaskId]>,
     /// Task-aware bytes the checkpoint wrote.
     pub bytes: Bytes,
 }
@@ -214,20 +218,21 @@ pub(crate) fn plan_interval(
     let mut duration_total = Seconds::ZERO;
     let mut placed = 0u64;
     let mut write_bytes = Bytes::ZERO;
+    // One estimate buffer reused across all n tasks (planning is O(n·D)
+    // but runs once per run; no reason to allocate n times).
+    let mut estimates: Vec<Estimate> = Vec::with_capacity(devices.len());
     for i in 0..n {
         let id = TaskId(i as u64);
         let desc = graph.descriptor(id)?;
         // Spec-only estimates (availability-free): what the scheduler
         // layer predicts a fresh placement of this task costs.
-        let estimates: Vec<Estimate> = devices
-            .iter()
-            .map(|d| {
-                Estimate::new(
-                    d.spec.time_for(desc.work, desc.kind),
-                    d.spec.energy_for(desc.work, desc.kind),
-                )
-            })
-            .collect();
+        estimates.clear();
+        estimates.extend(devices.iter().map(|d| {
+            Estimate::new(
+                d.spec.time_for(desc.work, desc.kind),
+                d.spec.energy_for(desc.work, desc.kind),
+            )
+        }));
         if let Some(best) = policy.place(&estimates) {
             duration_total += estimates[best].finish;
             placed += 1;

@@ -20,14 +20,75 @@ use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
 use crate::resilience::{ResilienceConfig, ResilienceState, ResilienceStats, RollbackEvent};
 use crate::scheduler::Policy;
 
+/// Devices one (possibly replicated) attempt ran on, stored inline —
+/// replica sets are bounded by [`MAX_REPLICAS`](crate::replication::MAX_REPLICAS),
+/// so outcome records carry no heap allocation. Dereferences to a slice,
+/// so indexing, `len()` and iteration read like the `Vec` it replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaDevices {
+    devices: [usize; crate::replication::MAX_REPLICAS],
+    len: u8,
+}
+
+impl ReplicaDevices {
+    /// Build from a slice of device indices (primary replica first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` exceeds
+    /// [`MAX_REPLICAS`](crate::replication::MAX_REPLICAS) entries.
+    #[must_use]
+    pub fn from_slice(devices: &[usize]) -> Self {
+        let mut inline = [0usize; crate::replication::MAX_REPLICAS];
+        inline[..devices.len()].copy_from_slice(devices);
+        ReplicaDevices {
+            devices: inline,
+            len: devices.len() as u8,
+        }
+    }
+
+    /// The device indices as a slice (primary replica first).
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.devices[..self.len as usize]
+    }
+
+    /// Engine-internal constructor from an already-inline array whose
+    /// dead slots are zeroed (keeps derived equality honest).
+    pub(crate) fn from_raw(devices: [usize; crate::replication::MAX_REPLICAS], len: u8) -> Self {
+        debug_assert!(devices[len as usize..].iter().all(|&d| d == 0));
+        ReplicaDevices { devices, len }
+    }
+}
+
+impl std::ops::Deref for ReplicaDevices {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a ReplicaDevices {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Outcome of one task's (possibly replicated) execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: with the device list inline, outcome records are plain 64-byte
+/// values, so cloning the placement vector for a report is one `memcpy`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaskOutcome {
     /// The task.
     pub task: TaskId,
     /// Devices the final (accepted) attempt ran on; the first entry is
     /// the primary replica.
-    pub devices: Vec<usize>,
+    pub devices: ReplicaDevices,
     /// Start of the accepted attempt.
     pub start: Seconds,
     /// Finish of the accepted attempt (all replicas joined).
@@ -315,7 +376,7 @@ impl Runtime {
                     self.graph.complete(task)?;
                     placements.push(TaskOutcome {
                         task,
-                        devices,
+                        devices: ReplicaDevices::from_slice(&devices),
                         start,
                         finish,
                         correct,

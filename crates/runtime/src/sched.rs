@@ -61,6 +61,17 @@ pub struct ScoreNorm {
 }
 
 impl ScoreNorm {
+    /// The identity context: `time`/`energy` return their input
+    /// unchanged. Used as the placeholder for scale-free schedulers
+    /// ([`Scheduler::needs_norm`] is `false`), whose `score` never reads
+    /// the context — skipping the min-max scan over the candidates.
+    pub const IDENTITY: ScoreNorm = ScoreNorm {
+        t_lo: 0.0,
+        t_hi: 1.0,
+        e_lo: 0.0,
+        e_hi: 1.0,
+    };
+
     /// Min-max normalization over a candidate set.
     #[must_use]
     pub fn from_estimates(estimates: &[Estimate]) -> Self {
@@ -113,10 +124,30 @@ pub trait Scheduler {
     /// for strategies that mix the two dimensions.
     fn score(&self, estimate: &Estimate, norm: &ScoreNorm) -> f64;
 
+    /// Whether [`Scheduler::score`] reads the normalization context.
+    /// Scale-free strategies (pure time, pure energy, products of the
+    /// two) override this to `false`, and the provided methods skip the
+    /// min-max scan over the candidates — one fewer O(D) pass per
+    /// placement on the engine's hot path.
+    fn needs_norm(&self) -> bool {
+        true
+    }
+
+    /// The context `score` will be called with: min-max over the
+    /// candidates, or the identity when the strategy ignores it.
+    #[doc(hidden)]
+    fn norm_for(&self, estimates: &[Estimate]) -> ScoreNorm {
+        if self.needs_norm() {
+            ScoreNorm::from_estimates(estimates)
+        } else {
+            ScoreNorm::IDENTITY
+        }
+    }
+
     /// Index of the best candidate, or `None` for an empty slice. Ties
     /// break toward the earliest index, deterministically.
     fn place(&self, estimates: &[Estimate]) -> Option<usize> {
-        let norm = ScoreNorm::from_estimates(estimates);
+        let norm = self.norm_for(estimates);
         let mut best: Option<(usize, f64)> = None;
         for (i, e) in estimates.iter().enumerate() {
             let s = self.score(e, &norm);
@@ -130,11 +161,58 @@ pub trait Scheduler {
     /// Candidate indices ordered best to worst (used by replication to
     /// pick diverse placements). Ties preserve index order.
     fn rank(&self, estimates: &[Estimate]) -> Vec<usize> {
-        let norm = ScoreNorm::from_estimates(estimates);
-        let scores: Vec<f64> = estimates.iter().map(|e| self.score(e, &norm)).collect();
-        let mut order: Vec<usize> = (0..estimates.len()).collect();
-        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        let mut order = Vec::with_capacity(estimates.len());
+        self.rank_into(estimates, &mut order);
         order
+    }
+
+    /// Allocation-free twin of [`Scheduler::rank`]: fill `out` (cleared
+    /// first) with the full best-to-worst ordering, reusing the buffer's
+    /// capacity. Ties preserve index order, exactly as `rank`.
+    fn rank_into(&self, estimates: &[Estimate], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..estimates.len());
+        let norm = self.norm_for(estimates);
+        // Stable sort; scores are recomputed in the comparator (they are
+        // pure), trading a scratch allocation for O(log n) extra score
+        // evaluations per element.
+        out.sort_by(|&a, &b| {
+            self.score(&estimates[a], &norm)
+                .total_cmp(&self.score(&estimates[b], &norm))
+        });
+    }
+
+    /// Top-k selection without sorting or allocating: fill `out` with the
+    /// first `out.len()` entries of [`Scheduler::rank`]'s ordering and
+    /// return how many were filled (`min(out.len(), estimates.len())`).
+    ///
+    /// This is the replicated-placement fast path: choosing `k` devices
+    /// out of `D` candidates costs O(D·k) comparisons instead of the
+    /// O(D log D) sort plus two allocations that `rank` pays, and `k` is
+    /// bounded by the replica cap (≤ 3). The result is bit-identical to
+    /// `rank(estimates)[..k]`: repeated minimum selection with strict
+    /// `<` picks the earliest index among score ties, which is exactly
+    /// what the stable sort yields.
+    fn select_k(&self, estimates: &[Estimate], out: &mut [usize]) -> usize {
+        let k = out.len().min(estimates.len());
+        if k == 0 {
+            return 0;
+        }
+        let norm = self.norm_for(estimates);
+        for slot in 0..k {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, e) in estimates.iter().enumerate() {
+                if out[..slot].contains(&i) {
+                    continue;
+                }
+                let s = self.score(e, &norm);
+                if best.is_none_or(|(_, bs)| s < bs) {
+                    best = Some((i, s));
+                }
+            }
+            out[slot] = best.expect("slot < k <= estimates.len()").0;
+        }
+        k
     }
 
     /// Migration decision: given the estimate of *staying* on the current
@@ -230,6 +308,60 @@ mod tests {
         ];
         assert_eq!(Scheduler::place(&Policy::Performance, &ests), Some(0));
         assert_eq!(Scheduler::rank(&Policy::Energy, &ests), vec![0, 1]);
+    }
+
+    #[test]
+    fn select_k_matches_rank_prefix() {
+        let ests = estimates();
+        for policy in [
+            Policy::Performance,
+            Policy::Energy,
+            Policy::Edp,
+            Policy::Weighted(0.3),
+        ] {
+            let full = Scheduler::rank(&policy, &ests);
+            for k in 0..=ests.len() + 1 {
+                let mut out = vec![usize::MAX; k];
+                let filled = policy.select_k(&ests, &mut out);
+                assert_eq!(filled, k.min(ests.len()));
+                assert_eq!(&out[..filled], &full[..filled], "policy {policy:?}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_k_breaks_ties_toward_first_index_like_rank() {
+        let ests = vec![
+            Estimate::new(Seconds(2.0), Joule(4.0)),
+            Estimate::new(Seconds(2.0), Joule(4.0)),
+            Estimate::new(Seconds(1.0), Joule(9.0)),
+            Estimate::new(Seconds(2.0), Joule(4.0)),
+        ];
+        let mut out = [usize::MAX; 3];
+        let filled = Policy::Performance.select_k(&ests, &mut out);
+        assert_eq!(filled, 3);
+        assert_eq!(out, [2, 0, 1]);
+        assert_eq!(&Scheduler::rank(&Policy::Performance, &ests)[..3], &out);
+    }
+
+    #[test]
+    fn rank_into_reuses_buffer_and_matches_rank() {
+        let ests = estimates();
+        let mut buf = vec![7usize; 16]; // stale contents must be discarded
+        Policy::Edp.rank_into(&ests, &mut buf);
+        assert_eq!(buf, Scheduler::rank(&Policy::Edp, &ests));
+        Policy::Edp.rank_into(&[], &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn select_k_on_empty_inputs() {
+        let ests = estimates();
+        let mut empty_out: [usize; 0] = [];
+        assert_eq!(Policy::Energy.select_k(&ests, &mut empty_out), 0);
+        let mut out = [usize::MAX; 2];
+        assert_eq!(Policy::Energy.select_k(&[], &mut out), 0);
+        assert_eq!(out, [usize::MAX; 2], "nothing written for no candidates");
     }
 
     #[test]

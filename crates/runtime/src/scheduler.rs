@@ -103,9 +103,52 @@ impl Policy {
         )
     }
 
+    /// Top-k device selection for the engine's hot path: semantically
+    /// identical to `device_estimates` + [`Scheduler::select_k`], but
+    /// the expensive per-device roofline evaluation (`time_for`, two
+    /// divisions) runs exactly **once** per device: the `(start,
+    /// duration)` plan is computed first, estimates derive from it, and
+    /// the chosen plans are handed back so the caller can commit them
+    /// with [`Device::execute_planned`] — no re-evaluation anywhere.
+    ///
+    /// Fills `out` with `(device index, start, duration)` triples in
+    /// selection order and returns how many slots were filled
+    /// (`min(out.len(), devices.len())`). The plans are valid until the
+    /// next `execute` on the respective device.
+    #[allow(clippy::too_many_arguments)] // two scratch buffers are the point
+    pub(crate) fn plan_k_devices(
+        self,
+        devices: &[Device],
+        work: Work,
+        kind: TaskKind,
+        ready_at: Seconds,
+        estimates: &mut Vec<Estimate>,
+        plans: &mut Vec<(Seconds, Seconds)>,
+        out: &mut [(usize, Seconds, Seconds)],
+    ) -> usize {
+        let policy = self.sanitized();
+        estimates.clear();
+        plans.clear();
+        for d in devices {
+            let start = ready_at.max(d.busy_until());
+            let dur = d.spec.time_for(work, kind);
+            // `busy_power * dur` is `DeviceSpec::energy_for` with the
+            // roofline evaluated once instead of twice.
+            estimates.push(Estimate::new(start + dur, d.spec.busy_power * dur));
+            plans.push((start, dur));
+        }
+        let mut chosen = [0usize; crate::replication::MAX_REPLICAS];
+        let want = out.len().min(chosen.len());
+        let k = policy.select_k(estimates, &mut chosen[..want]);
+        for (slot, &d) in chosen[..k].iter().enumerate() {
+            out[slot] = (d, plans[d].0, plans[d].1);
+        }
+        k
+    }
+
     /// A copy of the policy with any `Weighted` weight forced into
     /// `[0, 1]` (non-finite weights become balanced `0.5`).
-    fn sanitized(self) -> Self {
+    pub(crate) fn sanitized(self) -> Self {
         match self {
             Policy::Weighted(w) if !w.is_finite() => Policy::Weighted(0.5),
             Policy::Weighted(w) => Policy::Weighted(w.clamp(0.0, 1.0)),
@@ -125,6 +168,12 @@ impl Scheduler for Policy {
             Policy::Weighted(w) => w * norm.energy(e) + (1.0 - w) * norm.time(t),
         }
     }
+
+    fn needs_norm(&self) -> bool {
+        // Only the weighted trade-off mixes the two dimensions and needs
+        // them on a common scale; the pure policies are scale-free.
+        matches!(self, Policy::Weighted(_))
+    }
 }
 
 /// Predicted completion and energy of `work` on each live device, folding
@@ -136,16 +185,31 @@ pub fn device_estimates(
     kind: TaskKind,
     ready_at: Seconds,
 ) -> Vec<Estimate> {
-    devices
-        .iter()
-        .map(|d| {
-            let start = ready_at.max(d.busy_until());
-            Estimate::new(
-                start + d.spec.time_for(work, kind),
-                d.spec.energy_for(work, kind),
-            )
-        })
-        .collect()
+    let mut out = Vec::with_capacity(devices.len());
+    device_estimates_into(devices, work, kind, ready_at, &mut out);
+    out
+}
+
+/// Allocation-free twin of [`device_estimates`]: fill `out` (cleared
+/// first), reusing its capacity. The event engine calls this once per
+/// placement with a per-runtime scratch buffer, so steady-state placement
+/// allocates nothing.
+pub fn device_estimates_into(
+    devices: &[Device],
+    work: Work,
+    kind: TaskKind,
+    ready_at: Seconds,
+    out: &mut Vec<Estimate>,
+) {
+    out.clear();
+    out.extend(devices.iter().map(|d| {
+        let start = ready_at.max(d.busy_until());
+        // One roofline evaluation per device: `busy_power * dur` is
+        // exactly `DeviceSpec::energy_for`, which would re-run
+        // `time_for` (two divisions) a second time.
+        let dur = d.spec.time_for(work, kind);
+        Estimate::new(start + dur, d.spec.busy_power * dur)
+    }));
 }
 
 /// Static (spec-only) choice, ignoring availability — used when comparing

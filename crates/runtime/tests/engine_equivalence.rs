@@ -1,0 +1,178 @@
+//! Equivalence properties pinning the allocation-free engine refactor.
+//!
+//! The hot-path rework (inline replica sets, scratch buffers, the
+//! ready-FIFO/heap split, bitmap ready/completed tracking, incremental
+//! live-region volumes) must not change *what* the engine computes, only
+//! how fast. Three contracts pin that:
+//!
+//! * **Streaming ≡ batched** — driving the engine with interleaved
+//!   `submit()`/`step()` waves produces the identical [`RunReport`] and
+//!   rollback trace as `run()` over the same waves, with and without
+//!   resilience enabled (checkpoints, rollbacks and all).
+//! * **Sweep-era semantics on serial chains** — on a single dependency
+//!   chain the engine and the legacy sweep make the same placement at
+//!   the same simulated moment, so their placements agree task by task
+//!   even under an active fault model; this anchors the engine to the
+//!   executor semantics it replaced wherever the two are defined to
+//!   coincide.
+//! * **Report shape** — placements come out sorted by task id with at
+//!   most one outcome per task, whatever order completions happened in
+//!   (the outcome log is indexed, not sorted; this pins the invariant).
+//!
+//! [`RunReport`]: legato_runtime::RunReport
+
+use std::collections::HashMap;
+
+use legato_core::requirements::{Criticality, Requirements};
+use legato_core::task::{AccessMode, RegionId, TaskDescriptor, Work};
+use legato_core::units::{Bytes, Seconds};
+use legato_hw::device::DeviceSpec;
+use legato_runtime::{Policy, ResilienceConfig, RunReport, Runtime};
+use proptest::prelude::*;
+
+/// Chains → tasks → (flops, criticality selector).
+type ChainSpec = Vec<Vec<(f64, u8)>>;
+
+fn chains_strategy() -> impl Strategy<Value = ChainSpec> {
+    prop::collection::vec(prop::collection::vec((5e11f64..4e12, 0u8..3), 1..8), 1..6)
+}
+
+fn devices() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::xeon_x86(),
+        DeviceSpec::gtx1080(),
+        DeviceSpec::fpga_kintex(),
+    ]
+}
+
+fn criticality(sel: u8) -> Criticality {
+    match sel {
+        0 => Criticality::Normal,
+        1 => Criticality::High,
+        _ => Criticality::Critical,
+    }
+}
+
+/// Submit every chain task; chain `c` serializes on its private region.
+fn submit_wave(rt: &mut Runtime, chains: &ChainSpec) {
+    for (c, chain) in chains.iter().enumerate() {
+        for &(flops, crit) in chain {
+            rt.submit(
+                TaskDescriptor::named("t")
+                    .with_work(Work::flops(flops))
+                    .with_requirements(Requirements::new().with_criticality(criticality(crit))),
+                [(c as u64, AccessMode::InOut)],
+            );
+        }
+    }
+}
+
+fn sizes(chains: &ChainSpec) -> HashMap<RegionId, Bytes> {
+    (0..chains.len() as u64)
+        .map(|c| (RegionId(c), Bytes::mib(16)))
+        .collect()
+}
+
+fn runtime(seed: u64, resilient: bool, chains: &ChainSpec) -> Runtime {
+    let mut rt = Runtime::new(devices(), Policy::Weighted(0.5), seed);
+    rt.set_fault_prob(1, 0.4);
+    rt.set_max_retries(1);
+    if resilient {
+        rt.enable_resilience(
+            ResilienceConfig::new(Seconds(5.0))
+                .with_region_sizes(sizes(chains))
+                .with_max_rollbacks(10_000),
+        );
+    }
+    rt
+}
+
+/// Split one chain spec into two submission waves at `split` tasks.
+fn waves(chains: &ChainSpec, split: usize) -> (ChainSpec, ChainSpec) {
+    let mut first: ChainSpec = vec![Vec::new(); chains.len()];
+    let mut second: ChainSpec = vec![Vec::new(); chains.len()];
+    let mut seen = 0usize;
+    for (c, chain) in chains.iter().enumerate() {
+        for &task in chain {
+            if seen < split {
+                first[c].push(task);
+            } else {
+                second[c].push(task);
+            }
+            seen += 1;
+        }
+    }
+    (first, second)
+}
+
+fn assert_report_shape(report: &RunReport) {
+    for pair in report.placements.windows(2) {
+        assert!(
+            pair[0].task < pair[1].task,
+            "placements must be strictly sorted by task id"
+        );
+    }
+}
+
+proptest! {
+    /// Feeding the same two submission waves through `run()` twice or
+    /// through a manual `step()` drain twice yields bit-identical
+    /// reports and rollback traces — the streaming interface is the
+    /// batched interface, resilience included.
+    #[test]
+    fn streaming_equals_batched(
+        chains in chains_strategy(),
+        split_frac in 0.0f64..1.0,
+        seed in 0u64..300,
+        resilient in any::<bool>(),
+    ) {
+        let total: usize = chains.iter().map(Vec::len).sum();
+        let split = ((total as f64) * split_frac) as usize;
+        let (wave1, wave2) = waves(&chains, split);
+
+        let mut batched = runtime(seed, resilient, &chains);
+        submit_wave(&mut batched, &wave1);
+        batched.run().expect("devices present");
+        submit_wave(&mut batched, &wave2);
+        let batched_report = batched.run().expect("devices present");
+
+        let mut streamed = runtime(seed, resilient, &chains);
+        submit_wave(&mut streamed, &wave1);
+        while streamed.step().expect("devices present").is_some() {}
+        submit_wave(&mut streamed, &wave2);
+        while streamed.step().expect("devices present").is_some() {}
+        let streamed_report = streamed.report();
+
+        prop_assert_eq!(&batched_report, &streamed_report);
+        prop_assert_eq!(batched.rollback_trace(), streamed.rollback_trace());
+        assert_report_shape(&batched_report);
+        prop_assert!(batched_report.placements.len() <= batched.graph().len());
+    }
+
+    /// On a single serial chain the event engine reproduces the legacy
+    /// sweep bit for bit — placements, makespan, statistics — even with
+    /// the fault model active: with one task in flight at a time both
+    /// executors make the same placement at the same moment and consume
+    /// the fault stream in the same order. This pins the refactored
+    /// engine to `run_sweep`-era semantics where the two executors are
+    /// defined to coincide.
+    #[test]
+    fn engine_matches_sweep_on_serial_chains(
+        chain in prop::collection::vec((5e11f64..4e12, 0u8..3), 1..16),
+        seed in 0u64..300,
+    ) {
+        let chains = vec![chain];
+        let mut engine_rt = runtime(seed, false, &chains);
+        submit_wave(&mut engine_rt, &chains);
+        let engine = engine_rt.run().expect("devices present");
+
+        let mut sweep_rt = runtime(seed, false, &chains);
+        submit_wave(&mut sweep_rt, &chains);
+        let sweep = sweep_rt.run_sweep().expect("devices present");
+
+        prop_assert_eq!(engine.placements, sweep.placements);
+        prop_assert_eq!(engine.makespan, sweep.makespan);
+        prop_assert_eq!(engine.failed, sweep.failed);
+        prop_assert_eq!(engine.stats, sweep.stats);
+    }
+}
