@@ -1,0 +1,46 @@
+//! Criterion bench for E10: the secure-offload sweep — 0/25/50/100 %
+//! enclave-only chains × software vs hardware crypto, through the full
+//! enclave-aware engine (placement restriction, estimate-priced
+//! security costs, attestation cache, sealing).
+//!
+//! Each cell measures how fast the simulator executes the scenario (the
+//! security machinery's own overhead: plan preparation, quote cache,
+//! producer tracking), and declares the *simulated makespan overhead vs
+//! the all-public baseline in per-mille* as its throughput — so
+//! `BENCH_secure.json` carries the paper-shaped claim next to the
+//! timings: overhead grows with the confidential fraction, and the `hw`
+//! rows pay measurably less than the `sw` rows at every non-zero
+//! fraction (asserted in `tests/full_stack.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use legato_bench::experiments::secure_offload::{
+    run_cell, sweep, CryptoClass, Scenario, REFERENCE_PERCENTS,
+};
+use std::hint::black_box;
+
+fn bench_secure_offload(c: &mut Criterion) {
+    let scenario = Scenario::reference();
+    let rows = sweep(scenario, 42);
+    let mut g = c.benchmark_group("secure_offload");
+    g.sample_size(10);
+    for crypto in CryptoClass::ALL {
+        for percent in REFERENCE_PERCENTS {
+            let row = rows
+                .iter()
+                .find(|r| r.percent == percent && r.crypto == crypto.label())
+                .expect("sweep covers the grid");
+            // Overhead in per-mille (‰) vs the all-public baseline:
+            // deterministic per (scenario, percent, crypto, seed), and
+            // the quantity the security claim is about.
+            let overhead_permille = (row.overhead * 1000.0).round().max(0.0) as u64;
+            g.throughput(Throughput::Elements(overhead_permille));
+            g.bench_function(&format!("conf_{percent:03}/{}", crypto.label()), |b| {
+                b.iter(|| black_box(run_cell(scenario, percent, crypto, 42).makespan))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_secure_offload);
+criterion_main!(benches);

@@ -11,3 +11,4 @@ pub mod mirror;
 pub mod ml;
 pub mod resilience;
 pub mod secure;
+pub mod secure_offload;

@@ -51,6 +51,6 @@ pub mod units;
 
 pub use error::CoreError;
 pub use graph::TaskGraph;
-pub use requirements::{Criticality, Requirements, SecurityLevel};
+pub use requirements::{Confidentiality, Criticality, Requirements, SecurityLevel};
 pub use task::{AccessMode, TaskDescriptor, TaskId, TaskKind};
 pub use units::{Bytes, Joule, Seconds, Volt, Watt};

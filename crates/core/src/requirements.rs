@@ -50,25 +50,46 @@ impl Criticality {
     }
 }
 
-/// Confidentiality class of the data a task touches.
+/// Confidentiality class of the data a task touches — the scheduling
+/// dimension behind the paper's security pillar. The runtime interprets
+/// it end to end: `Enclave` tasks are *only* placed on TEE-capable
+/// devices (attested once per (enclave, device) pair), and regions
+/// written at `Confidential` or above are sealed at rest, so any traffic
+/// that crosses a device boundary — or enters a checkpoint — pays
+/// seal/unseal costs.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 pub enum SecurityLevel {
-    /// No confidentiality requirement.
+    /// No confidentiality requirement ("public").
     #[default]
     Public,
-    /// Data must be sealed at rest; execution may run outside an enclave.
+    /// Sealed I/O: the task's written regions are sealed at rest and on
+    /// any cross-device hop; execution may run outside an enclave.
     Confidential,
-    /// Execution must happen inside a (simulated) enclave with attestation.
+    /// Enclave-only: execution must happen inside a (simulated) enclave
+    /// with attestation, on a TEE-capable device.
     Enclave,
 }
+
+/// Alias naming the requirement after what it declares — the
+/// confidentiality class (public / sealed-io / enclave-only); identical
+/// to [`SecurityLevel`].
+pub type Confidentiality = SecurityLevel;
 
 impl SecurityLevel {
     /// Whether this level forces enclave execution.
     #[must_use]
     pub fn requires_enclave(self) -> bool {
         matches!(self, SecurityLevel::Enclave)
+    }
+
+    /// Whether regions written by a task at this level are sealed at
+    /// rest (and therefore seal/unseal on every cross-device hop and
+    /// checkpoint write).
+    #[must_use]
+    pub fn seals_at_rest(self) -> bool {
+        !matches!(self, SecurityLevel::Public)
     }
 }
 
@@ -195,6 +216,16 @@ mod tests {
         assert!(!SecurityLevel::Public.requires_enclave());
         assert!(!SecurityLevel::Confidential.requires_enclave());
         assert!(SecurityLevel::Enclave.requires_enclave());
+    }
+
+    #[test]
+    fn sealing_levels() {
+        assert!(!SecurityLevel::Public.seals_at_rest());
+        assert!(SecurityLevel::Confidential.seals_at_rest());
+        assert!(SecurityLevel::Enclave.seals_at_rest());
+        // The confidentiality alias names the same type.
+        let c: Confidentiality = SecurityLevel::Enclave;
+        assert!(c.seals_at_rest());
     }
 
     #[test]

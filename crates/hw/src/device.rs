@@ -13,6 +13,7 @@
 
 use legato_core::task::{TaskKind, Work};
 use legato_core::units::{Bytes, BytesPerSec, Hertz, Joule, Seconds, Watt};
+use legato_secure::task::{ExecutionMode, TRANSITION_TIME};
 use serde::{Deserialize, Serialize};
 
 use crate::power::EnergyMeter;
@@ -94,6 +95,98 @@ impl DeviceKind {
     }
 }
 
+/// Level of trusted-execution support a device offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TeeSupport {
+    /// No enclave support: the device cannot host confidential
+    /// execution. It can still *software-seal* data it forwards.
+    #[default]
+    None,
+    /// Enclaves are available (TrustZone-class secure world) but
+    /// boundary crypto runs in software.
+    Software,
+    /// Enclaves with instruction-level crypto acceleration
+    /// (SGX/AES-NI class) — the paper's "energy-efficient
+    /// security-by-design" lever.
+    HardwareAssisted,
+}
+
+/// TEE capability descriptor of a device: whether enclaves are
+/// available, and the cost parameters of its security primitives. The
+/// parameters are sourced from the [`legato_secure::task`] cost model so
+/// the hardware description and the security cost model can never
+/// disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TeeCapability {
+    /// Enclave support level.
+    pub support: TeeSupport,
+    /// Cost of one world switch (a single ecall *or* ocall).
+    pub transition_time: Seconds,
+    /// Sealing / enclave-boundary crypto throughput on this device.
+    /// Meaningful for every device — a device without enclaves still
+    /// software-seals region traffic it ships across device boundaries.
+    pub crypto_bandwidth: BytesPerSec,
+}
+
+impl TeeCapability {
+    /// No enclave support; sealing runs at the software crypto rate.
+    #[must_use]
+    pub fn none() -> Self {
+        TeeCapability {
+            support: TeeSupport::None,
+            transition_time: TRANSITION_TIME,
+            crypto_bandwidth: ExecutionMode::SecureSoftware
+                .crypto_bandwidth()
+                .expect("software mode has a crypto bandwidth"),
+        }
+    }
+
+    /// Enclaves with software-only crypto (TrustZone without crypto
+    /// extensions).
+    #[must_use]
+    pub fn software() -> Self {
+        TeeCapability {
+            support: TeeSupport::Software,
+            ..TeeCapability::none()
+        }
+    }
+
+    /// Enclaves with hardware-accelerated crypto (SGX/AES-NI class).
+    #[must_use]
+    pub fn hardware_assisted() -> Self {
+        TeeCapability {
+            support: TeeSupport::HardwareAssisted,
+            transition_time: TRANSITION_TIME,
+            crypto_bandwidth: ExecutionMode::SecureHardware
+                .crypto_bandwidth()
+                .expect("hardware mode has a crypto bandwidth"),
+        }
+    }
+
+    /// Whether enclave-only tasks may be placed on this device.
+    #[must_use]
+    pub fn has_enclave(&self) -> bool {
+        !matches!(self.support, TeeSupport::None)
+    }
+
+    /// The [`legato_secure::task`] execution mode this capability maps
+    /// to for a confidential task (`Plain` when no enclave exists).
+    #[must_use]
+    pub fn execution_mode(&self) -> ExecutionMode {
+        match self.support {
+            TeeSupport::None => ExecutionMode::Plain,
+            TeeSupport::Software => ExecutionMode::SecureSoftware,
+            TeeSupport::HardwareAssisted => ExecutionMode::SecureHardware,
+        }
+    }
+}
+
+impl Default for TeeCapability {
+    fn default() -> Self {
+        TeeCapability::none()
+    }
+}
+
 /// Static description of a device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceSpec {
@@ -113,6 +206,8 @@ pub struct DeviceSpec {
     pub busy_power: Watt,
     /// Core clock (informational; cost model uses `peak_flops`).
     pub clock: Hertz,
+    /// Trusted-execution capability (enclave support and crypto rates).
+    pub tee: TeeCapability,
 }
 
 impl DeviceSpec {
@@ -129,6 +224,7 @@ impl DeviceSpec {
             idle_power: Watt(35.0),
             busy_power: Watt(130.0),
             clock: Hertz::from_ghz(2.4),
+            tee: TeeCapability::hardware_assisted(),
         }
     }
 
@@ -144,6 +240,7 @@ impl DeviceSpec {
             idle_power: Watt(3.0),
             busy_power: Watt(12.0),
             clock: Hertz::from_ghz(1.8),
+            tee: TeeCapability::software(),
         }
     }
 
@@ -160,6 +257,7 @@ impl DeviceSpec {
             idle_power: Watt(8.0),
             busy_power: Watt(180.0),
             clock: Hertz::from_ghz(1.6),
+            tee: TeeCapability::none(),
         }
     }
 
@@ -176,6 +274,7 @@ impl DeviceSpec {
             idle_power: Watt(4.0),
             busy_power: Watt(20.0),
             clock: Hertz::from_mhz(300.0),
+            tee: TeeCapability::none(),
         }
     }
 
@@ -191,6 +290,7 @@ impl DeviceSpec {
             idle_power: Watt(12.0),
             busy_power: Watt(60.0),
             clock: Hertz::from_mhz(200.0),
+            tee: TeeCapability::none(),
         }
     }
 
@@ -206,7 +306,16 @@ impl DeviceSpec {
             idle_power: Watt(2.0),
             busy_power: Watt(15.0),
             clock: Hertz::from_ghz(1.3),
+            tee: TeeCapability::software(),
         }
+    }
+
+    /// Replace the TEE capability (builder-style; the constructors set a
+    /// representative default per hardware class).
+    #[must_use]
+    pub fn with_tee(mut self, tee: TeeCapability) -> Self {
+        self.tee = tee;
+        self
     }
 
     /// Execution time of `work` of kind `task` on this device (roofline:
@@ -428,5 +537,54 @@ mod tests {
     #[test]
     fn display_device_id() {
         assert_eq!(DeviceId(3).to_string(), "D3");
+    }
+
+    #[test]
+    fn tee_defaults_follow_hardware_class() {
+        // CPUs carry TEEs (SGX / TrustZone); accelerators do not.
+        assert_eq!(
+            DeviceSpec::xeon_x86().tee.support,
+            TeeSupport::HardwareAssisted
+        );
+        assert_eq!(DeviceSpec::arm64().tee.support, TeeSupport::Software);
+        assert_eq!(DeviceSpec::jetson_soc().tee.support, TeeSupport::Software);
+        for spec in [
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+            DeviceSpec::maxeler_dfe(),
+        ] {
+            assert!(
+                !spec.tee.has_enclave(),
+                "{} must not host enclaves",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn tee_parameters_match_the_secure_cost_model() {
+        // The capability descriptor is *sourced from* legato-secure's
+        // task cost model — the two must agree exactly.
+        let sw = TeeCapability::software();
+        let hw = TeeCapability::hardware_assisted();
+        assert_eq!(
+            Some(sw.crypto_bandwidth),
+            ExecutionMode::SecureSoftware.crypto_bandwidth()
+        );
+        assert_eq!(
+            Some(hw.crypto_bandwidth),
+            ExecutionMode::SecureHardware.crypto_bandwidth()
+        );
+        assert_eq!(sw.transition_time, TRANSITION_TIME);
+        assert_eq!(sw.execution_mode(), ExecutionMode::SecureSoftware);
+        assert_eq!(hw.execution_mode(), ExecutionMode::SecureHardware);
+        assert_eq!(TeeCapability::none().execution_mode(), ExecutionMode::Plain);
+        assert!(hw.crypto_bandwidth.0 > sw.crypto_bandwidth.0 * 8.0);
+    }
+
+    #[test]
+    fn with_tee_overrides_the_default() {
+        let spec = DeviceSpec::gtx1080().with_tee(TeeCapability::hardware_assisted());
+        assert!(spec.tee.has_enclave());
     }
 }

@@ -8,7 +8,9 @@
 //! bytes and account simulated time and energy deterministically:
 //!
 //! * [`device`] — CPU/GPU/FPGA/DFE device models with roofline-style cost
-//!   and power models;
+//!   and power models, plus per-device TEE capability descriptors
+//!   (enclave support and crypto rates sourced from `legato-secure`'s
+//!   cost model);
 //! * [`power`] — energy metering;
 //! * [`time`] — the simulated clock and an analytic pipeline model used to
 //!   reason about overlapped (async) data movement;
@@ -39,7 +41,7 @@ pub mod time;
 
 pub use cluster::{NodeClass, NodeSpec};
 pub use comm::Group;
-pub use device::{Device, DeviceId, DeviceKind, DeviceSpec};
+pub use device::{Device, DeviceId, DeviceKind, DeviceSpec, TeeCapability, TeeSupport};
 pub use error::HwError;
 pub use memory::{AddrSpace, MemoryManager, RegionHandle};
 pub use power::EnergyMeter;

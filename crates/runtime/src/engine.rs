@@ -60,6 +60,7 @@ use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
+use legato_core::requirements::SecurityLevel;
 use legato_core::task::{TaskId, TaskKind, Work};
 use legato_core::units::{Bytes, Joule, Seconds};
 use legato_fti::{checkpoint_cost, restart_cost, Strategy};
@@ -71,6 +72,7 @@ use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict, MAX_REP
 use crate::resilience::{CheckpointRecord, RollbackEvent};
 use crate::runtime::{golden_value, RunReport, Runtime, TaskOutcome};
 use crate::sched::Estimate;
+use crate::security::SecurityState;
 
 /// The devices and per-replica results of one (possibly replicated)
 /// attempt, stored inline in the finish event. `len` is the live prefix
@@ -137,6 +139,12 @@ struct FinishPayload {
     kind: TaskKind,
     /// The task's golden value, computed once when it was claimed.
     golden: u64,
+    /// The task's confidentiality level, read once when it was claimed
+    /// (drives retry re-planning and output sealing).
+    security: SecurityLevel,
+    /// Enclave code measurement of the task type (meaningful only when
+    /// `security` requires an enclave).
+    measurement: u64,
 }
 
 impl Ord for Event {
@@ -223,6 +231,9 @@ struct Scratch {
     /// Per-device `(start, duration)` plans paired with `estimates`, so
     /// committing a chosen placement re-evaluates nothing.
     plans: Vec<(Seconds, Seconds)>,
+    /// Candidate device index behind each estimate (security-restricted
+    /// tasks skip ineligible devices, so positions ≠ device indices).
+    candidates: Vec<usize>,
     /// Tasks released by a completion (`handle_finish`).
     released: Vec<TaskId>,
 }
@@ -536,6 +547,7 @@ impl Runtime {
         // completed list (sorted by id = submission order): one copy per
         // checkpoint, shared from then on.
         let completed: Arc<[TaskId]> = self.graph.completed().into();
+        let security = self.security.snapshot();
         let now = self.engine.now;
         let res = self.resilience.as_mut().expect("checked above");
         res.interval = Some(interval);
@@ -543,6 +555,7 @@ impl Runtime {
             time: now,
             completed,
             bytes: Bytes::ZERO,
+            security,
         });
         self.engine.push_checkpoint(now + interval);
         Ok(())
@@ -558,22 +571,33 @@ impl Runtime {
     /// by the graph, replacing the former full-graph scans.
     fn handle_checkpoint(&mut self, at: Seconds) {
         let completed: Arc<[TaskId]> = self.graph.completed().into();
+        let security_snapshot = self.security.snapshot();
         let res = self
             .resilience
             .as_mut()
             .expect("checkpoint events exist only in resilience mode");
         let bytes = ckpt::task_declared_volume(&self.graph, &res.config.region_sizes);
-        let duration = checkpoint_cost(
+        let mut duration = checkpoint_cost(
             &res.config.fti,
             &res.config.tier,
             res.config.strategy,
             bytes,
         );
+        // Checkpoints of confidential data route through `seal`: the
+        // sealed share of the live frontier pays host-side crypto on top
+        // of the FTI write cost, so resilience composes with security.
+        if self.security.active {
+            let sealed = self
+                .security
+                .sealed_live_bytes(self.graph.live_regions(), &res.config.region_sizes);
+            duration += self.security.charge_checkpoint_seal(sealed);
+        }
         let (start, finish) = res.storage.occupy(at, duration, bytes);
         res.last = Some(CheckpointRecord {
             time: finish,
             completed,
             bytes,
+            security: security_snapshot,
         });
         res.stats.checkpoints += 1;
         res.stats.checkpoint_bytes += bytes;
@@ -622,6 +646,11 @@ impl Runtime {
         // and the armed checkpoint is re-based on the restart.
         self.engine.clear_events();
         let ready = self.graph.rollback(&record.completed)?;
+        // Region confidentiality rewinds with the frontier: discarded
+        // post-checkpoint writes must not leave stale sealedness or
+        // producer entries behind (the attestation cache stays — those
+        // rounds really happened).
+        self.security.restore(record.security.as_ref());
         for t in ready {
             self.engine.push_ready_at(resume, t);
         }
@@ -673,6 +702,7 @@ impl Runtime {
                 .as_ref()
                 .map(|r| r.stats)
                 .unwrap_or_default(),
+            security: self.security.stats,
         }
     }
 
@@ -697,18 +727,50 @@ impl Runtime {
         let Some(desc) = self.graph.try_claim(task)? else {
             return Ok(());
         };
-        let replicas = desc
+        let mut replicas = desc
             .requirements
             .criticality
             .replica_count()
             .min(self.devices.len());
         let (work, kind) = (desc.work, desc.kind);
+        let security = desc.requirements.security;
+        // Enclave-only tasks are restricted to TEE-capable devices: the
+        // replica budget shrinks to that pool, and an empty pool is a
+        // hard error — the engine never degrades confidentiality. The
+        // enclave setup result is held (not `?`-propagated) so the
+        // error paths below can fail the claimed task first: without
+        // that, the task would be stuck `Running` forever and a
+        // follow-up `run()` would silently drop it and its cone from
+        // both `placements` and `failed`.
+        let enclave_setup = security
+            .requires_enclave()
+            .then(|| self.security.ensure_enclaves(desc.name.as_bytes()));
+        let mut measurement = 0;
+        if let Some(setup) = enclave_setup {
+            let tee = SecurityState::tee_device_count(&self.devices);
+            match setup {
+                Ok(m) if tee > 0 => {
+                    replicas = replicas.min(tee);
+                    measurement = m;
+                }
+                Ok(_) => {
+                    self.engine.failed.push(task);
+                    self.graph.fail(task)?;
+                    return Err(RuntimeError::NoSecurePlacement(task));
+                }
+                Err(e) => {
+                    self.engine.failed.push(task);
+                    self.graph.fail(task)?;
+                    return Err(e);
+                }
+            }
+        }
         if replicas == 1 {
             self.engine.stats.unreplicated += 1;
         } else {
             self.engine.stats.replica_executions += (replicas - 1) as u64;
         }
-        self.start_attempt(task, work, kind, replicas, at, 0)
+        self.start_attempt(task, work, kind, security, measurement, replicas, at, 0)
     }
 
     /// Place and launch one (possibly replicated) attempt of `task` at
@@ -719,13 +781,18 @@ impl Runtime {
     /// is read in place (no clone of its name), placement estimates go
     /// into a per-runtime scratch buffer, and device selection is the
     /// O(D·k) [`Scheduler::select_k`] into an inline array — no ranking
-    /// vector, no sort.
+    /// vector, no sort. Confidential tasks (and tasks reading sealed
+    /// regions) first build a per-device security plan whose costs are
+    /// folded into the estimates, so the policy ranks TEE and crypto
+    /// capability like any other dimension.
     #[allow(clippy::too_many_arguments)]
     fn start_attempt(
         &mut self,
         task: TaskId,
         work: Work,
         kind: TaskKind,
+        security: SecurityLevel,
+        measurement: u64,
         replicas: usize,
         at: Seconds,
         attempt: u32,
@@ -735,6 +802,14 @@ impl Runtime {
         let at = match &self.resilience {
             Some(res) => at.max(res.blackout_until),
             None => at,
+        };
+        // Security plan for this attempt (placement rule + extra costs).
+        // Re-prepared per attempt: retries see the attestation cache the
+        // first attempt already warmed.
+        let needs_sec = self.security.active && {
+            let accesses = self.graph.accesses(task)?;
+            self.security
+                .prepare(&self.devices, accesses, security, measurement)
         };
         // `rank().take(k)` and `plan_k_devices` are bit-identical
         // selections (see `sched` / `Policy::plan_k_devices`); the
@@ -748,10 +823,21 @@ impl Runtime {
             work,
             kind,
             at,
+            needs_sec.then_some(&self.security.plan),
             &mut self.engine.scratch.estimates,
             &mut self.engine.scratch.plans,
+            &mut self.engine.scratch.candidates,
             &mut planned[..replicas.min(MAX_REPLICAS)],
         );
+        if k == 0 {
+            // Only reachable for an enclave-only task whose eligible set
+            // is empty — `handle_ready` guards the no-TEE case, so this
+            // is a defensive backstop. Fail the claimed task first so
+            // the graph stays consistent for follow-up runs.
+            self.engine.failed.push(task);
+            self.graph.fail(task)?;
+            return Err(RuntimeError::NoSecurePlacement(task));
+        }
         let golden = golden_value(task);
         let mut devices = [0usize; MAX_REPLICAS];
         let mut results = [ReplicaResult(0); MAX_REPLICAS];
@@ -771,6 +857,14 @@ impl Runtime {
                 ReplicaResult(golden)
             };
         }
+        if needs_sec {
+            // Commit the security side of each replica placement: stats
+            // for the costs the plan already priced into the committed
+            // durations, and the attestation round on a cache miss.
+            for &(d, _, _) in &planned[..k] {
+                self.security.commit(d)?;
+            }
+        }
         self.engine.push_finish(
             finish,
             FinishPayload {
@@ -785,6 +879,8 @@ impl Runtime {
                 work,
                 kind,
                 golden,
+                security,
+                measurement,
             },
         );
         Ok(())
@@ -803,6 +899,8 @@ impl Runtime {
             work,
             kind,
             golden,
+            security,
+            measurement,
         } = payload;
         let accepted = match vote(replicas.results()) {
             Verdict::Accept(v) => {
@@ -823,6 +921,16 @@ impl Runtime {
         };
         match accepted {
             Some(correct) => {
+                // Seal-on-cross-device bookkeeping: the task's written
+                // regions now live on the primary replica's device, and
+                // are sealed at rest iff the task was confidential. Must
+                // happen before successors dispatch (the inline fast
+                // path below runs them immediately).
+                if self.security.active {
+                    let accesses = self.graph.accesses(task)?;
+                    self.security
+                        .record_outputs(accesses, replicas.devices[0], security);
+                }
                 // Complete through the scratch buffer: the only per-task
                 // allocation left on the accept path is the outcome's
                 // device list, built once per *accepted* task (attempts
@@ -871,7 +979,16 @@ impl Runtime {
             }
             None if attempt < self.max_retries => {
                 self.engine.stats.retries += 1;
-                self.start_attempt(task, work, kind, replicas.len as usize, finish, attempt + 1)?;
+                self.start_attempt(
+                    task,
+                    work,
+                    kind,
+                    security,
+                    measurement,
+                    replicas.len as usize,
+                    finish,
+                    attempt + 1,
+                )?;
             }
             None => {
                 // Retry budget exhausted. With checkpoint/restart enabled

@@ -26,6 +26,15 @@ pub enum RuntimeError {
     /// The checkpoint/restart configuration was unusable (e.g. a
     /// non-positive MTBF handed to the interval model).
     Resilience(String),
+    /// An enclave-only task became ready but no device in the runtime
+    /// offers a TEE: confidentiality cannot be honoured, and the engine
+    /// refuses to degrade it silently. The task is failed and its
+    /// downstream cone poisoned before the error is returned, so a
+    /// follow-up run reports it in `failed` rather than losing it.
+    NoSecurePlacement(TaskId),
+    /// The simulated secure layer refused an operation (enclave limit
+    /// reached, attestation failure).
+    Security(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -45,6 +54,13 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Resilience(msg) => {
                 write!(f, "checkpoint/restart configuration error: {msg}")
             }
+            RuntimeError::NoSecurePlacement(task) => {
+                write!(
+                    f,
+                    "enclave-only task {task} has no TEE-capable device to run on"
+                )
+            }
+            RuntimeError::Security(msg) => write!(f, "secure layer error: {msg}"),
         }
     }
 }
@@ -78,6 +94,14 @@ mod tests {
     fn display_invalid_weight() {
         let e = RuntimeError::InvalidWeight(1.5);
         assert!(e.to_string().contains("1.5"), "{e}");
+    }
+
+    #[test]
+    fn display_security_errors() {
+        let e = RuntimeError::NoSecurePlacement(TaskId(7));
+        assert!(e.to_string().contains("T7"), "{e}");
+        let e = RuntimeError::Security("enclave limit (64) reached".into());
+        assert!(e.to_string().contains("enclave limit"), "{e}");
     }
 
     #[test]

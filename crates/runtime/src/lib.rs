@@ -29,6 +29,13 @@
 //!   task exhausts its retry budget, instead of failing the downstream
 //!   cone.
 //!
+//! The paper's third pillar, security, is wired into the same engine
+//! ([`security`]): confidentiality is a scheduling dimension —
+//! enclave-only tasks are restricted to TEE-capable devices, security
+//! costs (world transitions, boundary crypto, sealing, attestation) are
+//! folded into the scheduler's estimates, and checkpoints of
+//! confidential data route through `seal`.
+//!
 //! ## Example
 //!
 //! ```
@@ -73,6 +80,7 @@ pub mod resilience;
 pub mod runtime;
 pub mod sched;
 pub mod scheduler;
+pub mod security;
 
 pub use error::RuntimeError;
 pub use replication::MAX_REPLICAS;
@@ -80,3 +88,4 @@ pub use resilience::{ResilienceConfig, ResilienceStats, RollbackEvent};
 pub use runtime::{ReplicaDevices, RunReport, Runtime, TaskOutcome};
 pub use sched::{Estimate, Scheduler, ScoreNorm};
 pub use scheduler::Policy;
+pub use security::{SecurityConfig, SecurityStats};

@@ -166,6 +166,10 @@ pub(crate) struct CheckpointRecord {
     pub completed: Arc<[TaskId]>,
     /// Task-aware bytes the checkpoint wrote.
     pub bytes: Bytes,
+    /// Region-confidentiality state at snapshot time (sealed regions and
+    /// producers), restored on rollback so security composes with
+    /// resilience. `None` when the security layer was inactive.
+    pub security: Option<Arc<crate::security::SecuritySnapshot>>,
 }
 
 /// Live checkpoint/restart state carried by the

@@ -19,6 +19,7 @@ use crate::error::RuntimeError;
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
 use crate::resilience::{ResilienceConfig, ResilienceState, ResilienceStats, RollbackEvent};
 use crate::scheduler::Policy;
+use crate::security::{SecurityConfig, SecurityState, SecurityStats};
 
 /// Devices one (possibly replicated) attempt ran on, stored inline —
 /// replica sets are bounded by [`MAX_REPLICAS`](crate::replication::MAX_REPLICAS),
@@ -117,6 +118,9 @@ pub struct RunReport {
     /// Checkpoint/restart counters (all zero unless
     /// [`Runtime::enable_resilience`] was called).
     pub resilience: ResilienceStats,
+    /// Security counters (all zero unless the run executed confidential
+    /// tasks — the security layer is pay-for-what-you-use).
+    pub security: SecurityStats,
 }
 
 impl RunReport {
@@ -140,6 +144,7 @@ pub struct Runtime {
     pub(crate) rng: SmallRng,
     pub(crate) engine: EngineState,
     pub(crate) resilience: Option<ResilienceState>,
+    pub(crate) security: SecurityState,
 }
 
 impl Runtime {
@@ -161,6 +166,7 @@ impl Runtime {
             rng: SmallRng::seed_from_u64(seed),
             engine: EngineState::default(),
             resilience: None,
+            security: SecurityState::default(),
         }
     }
 
@@ -182,6 +188,26 @@ impl Runtime {
     #[must_use]
     pub fn resilience_enabled(&self) -> bool {
         self.resilience.is_some()
+    }
+
+    /// Tune the security layer's cost model (declared region sizes for
+    /// crypto traffic, transitions per enclave task, checkpoint sealing
+    /// rate).
+    ///
+    /// The layer itself needs no enabling: it activates when the first
+    /// task with a non-public
+    /// [`SecurityLevel`](legato_core::requirements::SecurityLevel) is
+    /// submitted, and an all-public run is bit-identical to one on a
+    /// runtime that never heard of security (proptest-pinned).
+    pub fn configure_security(&mut self, config: SecurityConfig) {
+        self.security.config = config;
+    }
+
+    /// Security counters accumulated by the engine so far (also part of
+    /// [`RunReport`]).
+    #[must_use]
+    pub fn security_stats(&self) -> SecurityStats {
+        self.security.stats
     }
 
     /// The rollbacks performed so far, in order — a deterministic trace:
@@ -243,6 +269,12 @@ impl Runtime {
         I: IntoIterator<Item = (R, AccessMode)>,
         R: Into<RegionId>,
     {
+        // The first non-public task activates the security layer
+        // (platforms on TEE devices, producer tracking). All-public runs
+        // never reach any security code path.
+        if descriptor.requirements.security.seals_at_rest() {
+            self.security.activate(&self.devices);
+        }
         let id = self.graph.add_task(descriptor, accesses);
         if self.graph.state(id) == Ok(TaskState::Ready) {
             self.engine.push_ready(id);
@@ -276,18 +308,31 @@ impl Runtime {
     /// The sweep bypasses the persistent engine: its report covers
     /// exactly the tasks it executed, and the engine's queued events for
     /// those tasks are discarded (the sweep drains the graph, so
-    /// [`Runtime::has_pending_events`] stays honest afterwards).
+    /// [`Runtime::has_pending_events`] stays honest afterwards). The
+    /// security layer is engine-only: rather than silently skipping
+    /// enclave placement and seal accounting, the sweep refuses to run
+    /// once any confidential task has been submitted — use
+    /// [`Runtime::run`] for confidential workloads.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::NoDevices`] when the runtime has no devices;
     /// [`RuntimeError::InvalidWeight`] for an unusable
-    /// [`Policy::Weighted`] weight.
+    /// [`Policy::Weighted`] weight; [`RuntimeError::Security`] when a
+    /// confidential task has been submitted (the sweep cannot honour
+    /// confidentiality and will not pretend to).
     pub fn run_sweep(&mut self) -> Result<RunReport, RuntimeError> {
         if self.devices.is_empty() {
             return Err(RuntimeError::NoDevices);
         }
         self.policy.validate()?;
+        if self.security.active {
+            return Err(RuntimeError::Security(
+                "the topological sweep is security-unaware; use run() for workloads \
+                 with confidential tasks"
+                    .into(),
+            ));
+        }
         // The sweep executes every outstanding task itself; any ready
         // events the engine queued for them would be stale no-ops.
         self.engine.clear_events();
@@ -407,6 +452,7 @@ impl Runtime {
             stats,
             failed,
             resilience: ResilienceStats::default(),
+            security: SecurityStats::default(),
         })
     }
 
@@ -864,6 +910,238 @@ mod tests {
             first.resilience,
             second.resilience
         );
+    }
+
+    mod security {
+        use super::*;
+        use crate::security::SecurityConfig;
+        use legato_core::requirements::SecurityLevel;
+        use legato_core::units::Bytes;
+        use legato_hw::device::TeeCapability;
+        use std::collections::HashMap;
+
+        /// xeon (TEE, hw crypto) + gtx1080 (no TEE) + arm64 (TEE, sw
+        /// crypto) — the same mix the module tests use.
+        fn specs() -> Vec<DeviceSpec> {
+            vec![
+                DeviceSpec::xeon_x86(),
+                DeviceSpec::gtx1080(),
+                DeviceSpec::arm64(),
+            ]
+        }
+
+        fn sizes() -> HashMap<RegionId, Bytes> {
+            (0..32u64).map(|r| (RegionId(r), Bytes::mib(32))).collect()
+        }
+
+        fn secure_rt(seed: u64) -> Runtime {
+            let mut rt = Runtime::new(specs(), Policy::Performance, seed);
+            rt.configure_security(SecurityConfig::new().with_region_sizes(sizes()));
+            rt
+        }
+
+        fn submit_leveled(rt: &mut Runtime, region: u64, level: SecurityLevel, kind: TaskKind) {
+            rt.submit(
+                TaskDescriptor::named("sec")
+                    .with_kind(kind)
+                    .with_work(Work::flops(66e9))
+                    .with_requirements(Requirements::new().with_security(level)),
+                [(region, AccessMode::InOut)],
+            );
+        }
+
+        #[test]
+        fn enclave_tasks_never_land_on_non_tee_devices() {
+            let mut rt = secure_rt(1);
+            // Inference work: the GPU would win every placement if
+            // confidentiality did not restrict it.
+            for i in 0..12u64 {
+                submit_leveled(&mut rt, i, SecurityLevel::Enclave, TaskKind::Inference);
+            }
+            let rep = rt.run().expect("devices present");
+            assert_eq!(rep.placements.len(), 12);
+            let tee: Vec<usize> = rt
+                .devices()
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.spec.tee.has_enclave())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(tee, vec![0, 2]);
+            for p in &rep.placements {
+                for &d in &p.devices {
+                    assert!(
+                        tee.contains(&d),
+                        "enclave task {} placed on non-TEE device {d}",
+                        p.task
+                    );
+                }
+            }
+            assert_eq!(rep.security.enclave_tasks, 12);
+            assert!(rep.security.enclave_time > Seconds::ZERO);
+        }
+
+        #[test]
+        fn no_tee_device_is_a_hard_error() {
+            let mut rt = Runtime::new(
+                vec![DeviceSpec::gtx1080(), DeviceSpec::fpga_kintex()],
+                Policy::Performance,
+                1,
+            );
+            submit_leveled(&mut rt, 0, SecurityLevel::Enclave, TaskKind::Inference);
+            assert!(matches!(rt.run(), Err(RuntimeError::NoSecurePlacement(_))));
+            // The unplaceable task was failed, not lost: a follow-up run
+            // drains cleanly and reports it.
+            let rep = rt.run().expect("graph stays consistent after the error");
+            assert_eq!(rep.failed.len(), 1);
+            assert!(rep.placements.is_empty());
+        }
+
+        #[test]
+        fn sweep_refuses_confidential_workloads() {
+            let mut rt = secure_rt(1);
+            submit_leveled(&mut rt, 0, SecurityLevel::Confidential, TaskKind::Compute);
+            assert!(
+                matches!(rt.run_sweep(), Err(RuntimeError::Security(_))),
+                "the security-unaware sweep must refuse, not silently degrade"
+            );
+        }
+
+        #[test]
+        fn attestation_charged_once_per_enclave_device_pair() {
+            let mut rt = secure_rt(3);
+            // 8 instances of the same task type on one region → a serial
+            // chain on the TEE devices.
+            for _ in 0..8 {
+                submit_leveled(&mut rt, 0, SecurityLevel::Enclave, TaskKind::Compute);
+            }
+            let rep = rt.run().expect("devices present");
+            assert_eq!(rep.placements.len(), 8);
+            // One code image, at most two TEE devices: the quote cache
+            // bounds attestations by the (enclave, device) pairs touched,
+            // not by the 8 executions.
+            assert!(
+                (1..=2).contains(&rep.security.attestations),
+                "attestations {}",
+                rep.security.attestations
+            );
+        }
+
+        #[test]
+        fn sealed_region_crossing_devices_pays_seal_costs() {
+            let mut rt = secure_rt(5);
+            // A confidential producer (lands on a TEE CPU) feeding a
+            // GPU-favoured public consumer: the region must cross.
+            rt.submit(
+                TaskDescriptor::named("producer")
+                    .with_kind(TaskKind::Compute)
+                    .with_work(Work::flops(1e9))
+                    .with_requirements(Requirements::new().with_security(SecurityLevel::Enclave)),
+                [(0u64, AccessMode::Out)],
+            );
+            rt.submit(
+                TaskDescriptor::named("consumer")
+                    .with_kind(TaskKind::Inference)
+                    .with_work(Work::flops(66e9)),
+                [(0u64, AccessMode::In), (1u64, AccessMode::Out)],
+            );
+            let rep = rt.run().expect("devices present");
+            assert_eq!(rep.placements.len(), 2);
+            let producer_dev = rep.placements[0].devices[0];
+            let consumer_dev = rep.placements[1].devices[0];
+            assert_ne!(producer_dev, consumer_dev, "the region must cross");
+            assert_eq!(rep.security.sealed_bytes, Bytes::mib(32));
+            assert!(rep.security.seal_time > Seconds::ZERO);
+        }
+
+        #[test]
+        fn all_public_run_keeps_security_stats_zero() {
+            let mut rt = secure_rt(7);
+            for i in 0..6u64 {
+                submit_leveled(&mut rt, i, SecurityLevel::Public, TaskKind::Compute);
+            }
+            let rep = rt.run().expect("devices present");
+            assert_eq!(rep.security, crate::security::SecurityStats::default());
+            assert!(rep.is_correct());
+        }
+
+        #[test]
+        fn confidential_checkpoints_route_through_seal() {
+            let run = |confidential: bool| {
+                let mut rt = secure_rt(9);
+                rt.enable_resilience(
+                    ResilienceConfig::new(Seconds(5.0)).with_region_sizes(sizes()),
+                );
+                let level = if confidential {
+                    SecurityLevel::Confidential
+                } else {
+                    SecurityLevel::Public
+                };
+                for _ in 0..30 {
+                    rt.submit(
+                        TaskDescriptor::named("t")
+                            .with_work(Work::flops(2e12))
+                            .with_requirements(Requirements::new().with_security(level)),
+                        [(0u64, AccessMode::InOut)],
+                    );
+                }
+                rt.run().expect("devices present")
+            };
+            let plain = run(false);
+            let sealed = run(true);
+            assert!(plain.resilience.checkpoints > 0);
+            assert!(sealed.resilience.checkpoints > 0);
+            // Checkpoints of confidential data pay sealing on top of the
+            // FTI write cost; public data pays nothing.
+            assert_eq!(plain.security.seal_time, Seconds::ZERO);
+            assert!(
+                sealed.security.seal_time > Seconds::ZERO,
+                "sealed ckpt stats: {:?}",
+                sealed.security
+            );
+            assert!(sealed.security.sealed_bytes > Bytes::ZERO);
+            assert!(sealed.makespan >= plain.makespan);
+        }
+
+        #[test]
+        fn hardware_crypto_beats_software_crypto_end_to_end() {
+            let run = |tee: TeeCapability| {
+                let mut rt = Runtime::new(
+                    vec![DeviceSpec::xeon_x86().with_tee(tee), DeviceSpec::gtx1080()],
+                    Policy::Performance,
+                    11,
+                );
+                rt.configure_security(SecurityConfig::new().with_region_sizes(sizes()));
+                for i in 0..8u64 {
+                    submit_leveled(&mut rt, i, SecurityLevel::Enclave, TaskKind::Compute);
+                }
+                rt.run().expect("devices present").makespan
+            };
+            let sw = run(TeeCapability::software());
+            let hw = run(TeeCapability::hardware_assisted());
+            assert!(
+                hw < sw,
+                "hardware crypto must lower the makespan: {hw} vs {sw}"
+            );
+        }
+
+        #[test]
+        fn secure_runs_are_deterministic() {
+            let run = |seed| {
+                let mut rt = secure_rt(seed);
+                rt.set_fault_prob(0, 0.3);
+                for i in 0..10u64 {
+                    let level = match i % 3 {
+                        0 => SecurityLevel::Public,
+                        1 => SecurityLevel::Confidential,
+                        _ => SecurityLevel::Enclave,
+                    };
+                    submit_leveled(&mut rt, i % 4, level, TaskKind::Compute);
+                }
+                rt.run().expect("devices present")
+            };
+            assert_eq!(run(13), run(13));
+        }
     }
 
     #[test]

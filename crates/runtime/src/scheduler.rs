@@ -111,37 +111,58 @@ impl Policy {
     /// the chosen plans are handed back so the caller can commit them
     /// with [`Device::execute_planned`] — no re-evaluation anywhere.
     ///
+    /// `security` carries the per-device security plan of a confidential
+    /// task (or of a task reading sealed regions): an ineligible device
+    /// (enclave-only task, no TEE) is excluded from the candidate set
+    /// entirely, and an eligible device's extra security duration is
+    /// folded into its plan *before* scoring, so the estimate the policy
+    /// ranks is the true cost — transitions, boundary crypto, sealing
+    /// and pending attestation included. `None` (the common case) is the
+    /// exact pre-security arithmetic.
+    ///
     /// Fills `out` with `(device index, start, duration)` triples in
     /// selection order and returns how many slots were filled
-    /// (`min(out.len(), devices.len())`). The plans are valid until the
-    /// next `execute` on the respective device.
-    #[allow(clippy::too_many_arguments)] // two scratch buffers are the point
+    /// (`min(out.len(), eligible devices)`). The plans are valid until
+    /// the next `execute` on the respective device.
+    #[allow(clippy::too_many_arguments)] // three scratch buffers are the point
     pub(crate) fn plan_k_devices(
         self,
         devices: &[Device],
         work: Work,
         kind: TaskKind,
         ready_at: Seconds,
+        security: Option<&crate::security::SecurePlan>,
         estimates: &mut Vec<Estimate>,
         plans: &mut Vec<(Seconds, Seconds)>,
+        candidates: &mut Vec<usize>,
         out: &mut [(usize, Seconds, Seconds)],
     ) -> usize {
         let policy = self.sanitized();
         estimates.clear();
         plans.clear();
-        for d in devices {
+        candidates.clear();
+        for (i, d) in devices.iter().enumerate() {
+            let extra = match security {
+                None => Seconds::ZERO,
+                Some(plan) => match plan.extra(i) {
+                    Some(extra) => extra,
+                    None => continue, // never a candidate
+                },
+            };
             let start = ready_at.max(d.busy_until());
-            let dur = d.spec.time_for(work, kind);
+            let dur = d.spec.time_for(work, kind) + extra;
             // `busy_power * dur` is `DeviceSpec::energy_for` with the
-            // roofline evaluated once instead of twice.
+            // roofline evaluated once instead of twice; the crypto time
+            // burns device power like any other busy time.
             estimates.push(Estimate::new(start + dur, d.spec.busy_power * dur));
             plans.push((start, dur));
+            candidates.push(i);
         }
         let mut chosen = [0usize; crate::replication::MAX_REPLICAS];
         let want = out.len().min(chosen.len());
         let k = policy.select_k(estimates, &mut chosen[..want]);
-        for (slot, &d) in chosen[..k].iter().enumerate() {
-            out[slot] = (d, plans[d].0, plans[d].1);
+        for (slot, &c) in chosen[..k].iter().enumerate() {
+            out[slot] = (candidates[c], plans[c].0, plans[c].1);
         }
         k
     }

@@ -1,0 +1,701 @@
+//! Enclave-aware execution mode: the paper's security pillar wired into
+//! the event engine.
+//!
+//! [`SecurityLevel`] is a first-class scheduling dimension. The engine
+//! enforces and prices it through this module:
+//!
+//! * **Placement rule** — a task at [`SecurityLevel::Enclave`] is only
+//!   ever placed on devices whose
+//!   [`TeeCapability`](legato_hw::device::TeeCapability) offers an
+//!   enclave;
+//!   when no such device exists the run fails with
+//!   [`RuntimeError::NoSecurePlacement`] instead of silently degrading
+//!   confidentiality.
+//! * **Estimate costs** — every candidate device's scheduling
+//!   [`Estimate`](crate::sched::Estimate) for a confidential task folds
+//!   in the security overhead (world transitions, enclave-boundary
+//!   crypto at the device's crypto bandwidth, pending attestation, and
+//!   seal/unseal of sealed inputs produced on *other* devices), so the
+//!   [`Policy`](crate::scheduler::Policy) ranks TEE-capable and
+//!   hardware-crypto devices correctly rather than discovering the cost
+//!   after committing the placement.
+//! * **Attestation cache** — each TEE device runs a simulated
+//!   [`Platform`]; the first placement of each enclave code image
+//!   (measured from the task-type name) on each device performs a real
+//!   attest/verify round through a [`QuoteCache`] and charges
+//!   [`ATTESTATION_TIME`]; later placements of the same (enclave,
+//!   device) pair are cache hits and pay nothing.
+//! * **Seal-on-cross-device** — regions written by a confidential task
+//!   are sealed at rest. When a later task (of *any* level) reads such a
+//!   region on a different device than the one that produced it, the
+//!   crossing pays seal time at the producer's crypto bandwidth plus
+//!   unseal time at the consumer's, charged to the consuming task's
+//!   duration (the transfer cannot complete before both).
+//!   Checkpoints route the same way: the sealed share of the live
+//!   frontier is sealed at [`SecurityConfig::seal_bandwidth`] on top of
+//!   the FTI write cost, so resilience composes with security.
+//!
+//! The whole layer is pay-for-what-you-use: a run that never submits a
+//! non-public task takes none of these paths and produces a bit-identical
+//! [`RunReport`](crate::runtime::RunReport) to a security-unaware run
+//! (pinned by proptest).
+
+use std::collections::{HashMap, HashSet};
+
+use legato_core::requirements::SecurityLevel;
+use legato_core::task::{AccessMode, RegionId};
+use legato_core::units::{Bytes, BytesPerSec, Seconds};
+use legato_hw::device::Device;
+use legato_secure::enclave::{measure, Platform, QuoteCache};
+use legato_secure::task::{ExecutionMode, ATTESTATION_TIME};
+use legato_secure::EnclaveId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::RuntimeError;
+
+/// Configuration of the security layer
+/// ([`Runtime::configure_security`](crate::runtime::Runtime::configure_security)).
+///
+/// The layer itself activates automatically when the first non-public
+/// task is submitted; the configuration only tunes its cost model.
+#[derive(Debug, Clone)]
+pub struct SecurityConfig {
+    /// Declared size of each data region, used to price enclave-boundary
+    /// crypto and cross-device seal traffic. Regions absent from the map
+    /// count as zero bytes (no crypto cost, but placement rules still
+    /// apply).
+    ///
+    /// Checkpoint sealing is the one security cost **not** priced from
+    /// this map: a checkpoint seals the bytes it actually writes, and
+    /// those come from the resilience layer's own declaration
+    /// ([`ResilienceConfig::region_sizes`](crate::resilience::ResilienceConfig)).
+    /// Declare the same sizes in both configs for a resilient
+    /// confidential run — a region declared only here is written (and
+    /// therefore sealed) as zero bytes by checkpoints, consistently with
+    /// the FTI write cost.
+    pub region_sizes: HashMap<RegionId, Bytes>,
+    /// ecall/ocall pairs per enclave task execution (each pair is two
+    /// world switches).
+    pub transitions: u32,
+    /// Crypto throughput used when sealing checkpoint data (host-side,
+    /// not tied to any one device). Defaults to the software rate.
+    pub seal_bandwidth: BytesPerSec,
+}
+
+impl SecurityConfig {
+    /// Defaults: no declared region sizes, one ecall/ocall pair in and
+    /// one out, software-rate checkpoint sealing.
+    #[must_use]
+    pub fn new() -> Self {
+        SecurityConfig {
+            region_sizes: HashMap::new(),
+            transitions: 2,
+            seal_bandwidth: ExecutionMode::SecureSoftware
+                .crypto_bandwidth()
+                .expect("software mode has a crypto bandwidth"),
+        }
+    }
+
+    /// Declare region sizes for crypto-traffic accounting.
+    #[must_use]
+    pub fn with_region_sizes(mut self, sizes: HashMap<RegionId, Bytes>) -> Self {
+        self.region_sizes = sizes;
+        self
+    }
+
+    /// Set the ecall/ocall pairs charged per enclave task.
+    #[must_use]
+    pub fn with_transitions(mut self, pairs: u32) -> Self {
+        self.transitions = pairs;
+        self
+    }
+
+    /// Set the checkpoint sealing throughput.
+    #[must_use]
+    pub fn with_seal_bandwidth(mut self, bw: BytesPerSec) -> Self {
+        self.seal_bandwidth = bw;
+        self
+    }
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        SecurityConfig::new()
+    }
+}
+
+/// Security counters reported in
+/// [`RunReport`](crate::runtime::RunReport). All zero unless the run
+/// executed confidential tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SecurityStats {
+    /// Replica executions of enclave-only tasks.
+    pub enclave_tasks: u64,
+    /// Replica executions of sealed-io (`Confidential`) tasks.
+    pub confidential_tasks: u64,
+    /// Time spent inside enclave machinery: world transitions,
+    /// enclave-boundary crypto, and attestation rounds.
+    pub enclave_time: Seconds,
+    /// Time spent sealing/unsealing region traffic (cross-device hops
+    /// and checkpoint writes).
+    pub seal_time: Seconds,
+    /// Bytes that went through seal/unseal (each crossing and each
+    /// checkpointed sealed region counted once).
+    pub sealed_bytes: Bytes,
+    /// Attestation rounds performed (quote-cache misses; one per
+    /// (enclave, device) pair).
+    pub attestations: u64,
+}
+
+/// Per-device security cost of placing the task being scheduled, plus
+/// the facts needed to commit it (stats breakdown, pending attestation).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DeviceSecCost {
+    /// Whether the task may run on this device at all (`false` only for
+    /// enclave-only tasks on non-TEE devices).
+    eligible: bool,
+    /// Seal/unseal time for sealed inputs produced on other devices.
+    seal: Seconds,
+    /// Transition + boundary-crypto + pending-attestation time
+    /// (enclave-only tasks).
+    enclave: Seconds,
+    /// Bytes crossing a device boundary sealed for this placement.
+    crossed: Bytes,
+    /// Whether committing this placement performs an attestation round.
+    attest: bool,
+}
+
+impl DeviceSecCost {
+    fn total(&self) -> Seconds {
+        self.seal + self.enclave
+    }
+}
+
+/// The security plan for the task currently being placed: one
+/// [`DeviceSecCost`] per device, plus the task-level facts. Rebuilt by
+/// [`SecurityState::prepare`] before each placement attempt; buffers are
+/// reused across tasks so steady-state placement stays allocation-free.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SecurePlan {
+    level: SecurityLevel,
+    measurement: u64,
+    costs: Vec<DeviceSecCost>,
+}
+
+impl SecurePlan {
+    /// Extra execution duration on device `i`, or `None` when the task
+    /// must not be placed there.
+    pub(crate) fn extra(&self, i: usize) -> Option<Seconds> {
+        let c = &self.costs[i];
+        c.eligible.then(|| c.total())
+    }
+}
+
+/// The region-confidentiality state captured by a checkpoint: which
+/// regions are sealed at rest and where each region was produced, at
+/// snapshot time. Restored together with the graph frontier on
+/// rollback, so post-rollback sealing charges and crossing estimates
+/// reflect the *restored* data, not discarded post-checkpoint writes.
+/// (The quote cache and enclave registry are deliberately *not* rolled
+/// back: attestations really happened, like spent energy.)
+#[derive(Debug, Clone)]
+pub(crate) struct SecuritySnapshot {
+    producers: HashMap<RegionId, usize>,
+    sealed_regions: HashSet<RegionId>,
+}
+
+/// Live security state carried by the
+/// [`Runtime`](crate::runtime::Runtime) alongside the engine.
+#[derive(Debug, Clone)]
+pub(crate) struct SecurityState {
+    pub config: SecurityConfig,
+    /// Set when the first non-public task is submitted; every security
+    /// code path is gated on it, so all-public runs never pay.
+    pub active: bool,
+    /// One simulated TEE platform per device (index-aligned; `None` for
+    /// devices without enclave support).
+    platforms: Vec<Option<Platform>>,
+    /// `(device, measurement)` → enclave hosting that code image.
+    enclaves: HashMap<(usize, u64), EnclaveId>,
+    /// Verifier-side attestation cache (one attestation per
+    /// (enclave, device) pair).
+    quotes: QuoteCache,
+    /// Device that produced each region (primary replica of its last
+    /// completed writer). Tracked from activation onward.
+    producers: HashMap<RegionId, usize>,
+    /// Regions whose last completed writer was confidential — sealed at
+    /// rest.
+    sealed_regions: HashSet<RegionId>,
+    /// Scratch: sealed inputs of the task being placed, as
+    /// `(producer device, bytes)`.
+    scratch_inputs: Vec<(usize, Bytes)>,
+    /// The per-device plan for the task being placed.
+    pub(crate) plan: SecurePlan,
+    pub stats: SecurityStats,
+}
+
+impl Default for SecurityState {
+    fn default() -> Self {
+        SecurityState {
+            config: SecurityConfig::new(),
+            active: false,
+            platforms: Vec::new(),
+            enclaves: HashMap::new(),
+            quotes: QuoteCache::new(),
+            producers: HashMap::new(),
+            sealed_regions: HashSet::new(),
+            scratch_inputs: Vec::new(),
+            plan: SecurePlan::default(),
+            stats: SecurityStats::default(),
+        }
+    }
+}
+
+impl SecurityState {
+    /// Activate the layer: instantiate one simulated [`Platform`] per
+    /// TEE-capable device. Called when the first non-public task is
+    /// submitted; idempotent.
+    pub(crate) fn activate(&mut self, devices: &[Device]) {
+        if self.active {
+            return;
+        }
+        self.active = true;
+        self.platforms = devices
+            .iter()
+            .map(|d| {
+                d.spec.tee.has_enclave().then(|| {
+                    Platform::new(
+                        platform_key(d.id.0),
+                        d.spec.tee.execution_mode() == ExecutionMode::SecureHardware,
+                    )
+                })
+            })
+            .collect();
+    }
+
+    /// Number of devices that can host enclave-only tasks.
+    pub(crate) fn tee_device_count(devices: &[Device]) -> usize {
+        devices.iter().filter(|d| d.spec.tee.has_enclave()).count()
+    }
+
+    /// Ensure every TEE device hosts an enclave for `code` (the task-type
+    /// name); returns the code measurement used as the enclave identity.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Security`] when a platform refuses the enclave
+    /// (64-enclave limit).
+    pub(crate) fn ensure_enclaves(&mut self, code: &[u8]) -> Result<u64, RuntimeError> {
+        let m = measure(code);
+        for (d, platform) in self.platforms.iter_mut().enumerate() {
+            let Some(platform) = platform else { continue };
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.enclaves.entry((d, m)) {
+                let id = platform
+                    .create_enclave(code)
+                    .map_err(|e| RuntimeError::Security(e.to_string()))?;
+                slot.insert(id);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build the per-device [`SecurePlan`] for one placement attempt of a
+    /// task at `level` with the given declared `accesses`. Returns
+    /// whether the plan imposes any cost or restriction — when `false`
+    /// the caller skips the security path entirely (the common case for
+    /// public tasks that touch no sealed data).
+    pub(crate) fn prepare(
+        &mut self,
+        devices: &[Device],
+        accesses: &[(RegionId, AccessMode)],
+        level: SecurityLevel,
+        measurement: u64,
+    ) -> bool {
+        // Sealed inputs: read regions whose last writer was confidential
+        // and ran on a known device.
+        self.scratch_inputs.clear();
+        let mut boundary_bytes = Bytes::ZERO;
+        for &(region, mode) in accesses {
+            let bytes = self.region_bytes(region);
+            boundary_bytes += bytes;
+            if mode.reads() && self.sealed_regions.contains(&region) {
+                if let Some(&producer) = self.producers.get(&region) {
+                    if bytes > Bytes::ZERO {
+                        self.scratch_inputs.push((producer, bytes));
+                    }
+                }
+            }
+        }
+        if level == SecurityLevel::Public && self.scratch_inputs.is_empty() {
+            return false;
+        }
+        self.plan.level = level;
+        self.plan.measurement = measurement;
+        self.plan.costs.clear();
+        self.plan
+            .costs
+            .resize(devices.len(), DeviceSecCost::default());
+        for (i, device) in devices.iter().enumerate() {
+            let cap = &device.spec.tee;
+            let mut cost = DeviceSecCost {
+                eligible: true,
+                ..DeviceSecCost::default()
+            };
+            for &(producer, bytes) in &self.scratch_inputs {
+                if producer != i {
+                    // The crossing pays seal at the producer's rate and
+                    // unseal at the consumer's; both gate the task start,
+                    // so both are charged to the consuming placement.
+                    cost.seal += bytes.time_at(devices[producer].spec.tee.crypto_bandwidth)
+                        + bytes.time_at(cap.crypto_bandwidth);
+                    cost.crossed += bytes;
+                }
+            }
+            if level.requires_enclave() {
+                if !cap.has_enclave() {
+                    cost = DeviceSecCost::default(); // ineligible
+                } else {
+                    cost.attest = !self.quotes.is_verified(i as u64, measurement);
+                    cost.enclave = cap.transition_time * (2.0 * f64::from(self.config.transitions))
+                        + boundary_bytes.time_at(cap.crypto_bandwidth)
+                        + if cost.attest {
+                            ATTESTATION_TIME
+                        } else {
+                            Seconds::ZERO
+                        };
+                }
+            }
+            self.plan.costs[i] = cost;
+        }
+        true
+    }
+
+    /// Commit the prepared plan for one replica placed on device `d`:
+    /// accumulate the stats the estimate already priced, and perform the
+    /// attestation round on a quote-cache miss.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Security`] when attestation fails (it cannot for
+    /// enclaves this state created itself, but the error path is kept
+    /// honest).
+    pub(crate) fn commit(&mut self, d: usize) -> Result<(), RuntimeError> {
+        let cost = self.plan.costs[d];
+        debug_assert!(cost.eligible, "committed placement must be eligible");
+        self.stats.seal_time += cost.seal;
+        self.stats.sealed_bytes += cost.crossed;
+        match self.plan.level {
+            SecurityLevel::Enclave => {
+                self.stats.enclave_tasks += 1;
+                self.stats.enclave_time += cost.enclave;
+                if cost.attest {
+                    let platform = self.platforms[d]
+                        .as_ref()
+                        .expect("enclave placement implies a TEE platform");
+                    let enclave = self.enclaves[&(d, self.plan.measurement)];
+                    self.quotes
+                        .attest_once(d as u64, platform, enclave, self.plan.measurement)
+                        .map_err(|e| RuntimeError::Security(e.to_string()))?;
+                    self.stats.attestations += 1;
+                }
+            }
+            SecurityLevel::Confidential => self.stats.confidential_tasks += 1,
+            SecurityLevel::Public => {}
+        }
+        Ok(())
+    }
+
+    /// Capture the region-confidentiality state for a checkpoint record
+    /// (`None` while the layer is inactive — public-only runs snapshot
+    /// nothing).
+    pub(crate) fn snapshot(&self) -> Option<std::sync::Arc<SecuritySnapshot>> {
+        self.active.then(|| {
+            std::sync::Arc::new(SecuritySnapshot {
+                producers: self.producers.clone(),
+                sealed_regions: self.sealed_regions.clone(),
+            })
+        })
+    }
+
+    /// Restore the region-confidentiality state captured by a
+    /// checkpoint (rollback path). A `None` snapshot means the layer
+    /// was inactive at snapshot time: no region had confidential
+    /// contents yet.
+    pub(crate) fn restore(&mut self, snapshot: Option<&std::sync::Arc<SecuritySnapshot>>) {
+        if !self.active {
+            return;
+        }
+        match snapshot {
+            Some(s) => {
+                self.producers.clone_from(&s.producers);
+                self.sealed_regions.clone_from(&s.sealed_regions);
+            }
+            None => {
+                self.producers.clear();
+                self.sealed_regions.clear();
+            }
+        }
+    }
+
+    /// Record that `task`'s written regions were (re)produced on device
+    /// `d` at confidentiality `level` — the basis of the
+    /// seal-on-cross-device rule.
+    pub(crate) fn record_outputs(
+        &mut self,
+        accesses: &[(RegionId, AccessMode)],
+        d: usize,
+        level: SecurityLevel,
+    ) {
+        for &(region, mode) in accesses {
+            if mode.writes() {
+                self.producers.insert(region, d);
+                if level.seals_at_rest() {
+                    self.sealed_regions.insert(region);
+                } else {
+                    self.sealed_regions.remove(&region);
+                }
+            }
+        }
+    }
+
+    /// Bytes of the live frontier that are sealed at rest (must be
+    /// sealed into any checkpoint), given the checkpoint's region sizes.
+    pub(crate) fn sealed_live_bytes(
+        &self,
+        live: impl Iterator<Item = RegionId>,
+        region_sizes: &HashMap<RegionId, Bytes>,
+    ) -> Bytes {
+        live.filter(|r| self.sealed_regions.contains(r))
+            .map(|r| region_sizes.get(&r).copied().unwrap_or(Bytes::ZERO))
+            .sum()
+    }
+
+    /// Charge checkpoint sealing: `bytes` routed through seal at the
+    /// configured host-side bandwidth. Returns the added write time.
+    pub(crate) fn charge_checkpoint_seal(&mut self, bytes: Bytes) -> Seconds {
+        if bytes == Bytes::ZERO {
+            return Seconds::ZERO;
+        }
+        let time = bytes.time_at(self.config.seal_bandwidth);
+        self.stats.seal_time += time;
+        self.stats.sealed_bytes += bytes;
+        time
+    }
+
+    fn region_bytes(&self, region: RegionId) -> Bytes {
+        self.config
+            .region_sizes
+            .get(&region)
+            .copied()
+            .unwrap_or(Bytes::ZERO)
+    }
+}
+
+/// Device-unique platform key (SplitMix64 of the device id), so sealing
+/// keys and quote bindings differ across devices deterministically.
+fn platform_key(device_id: u64) -> u64 {
+    let mut z = device_id.wrapping_add(0xA076_1D64_78BD_642F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_hw::device::{DeviceId, DeviceSpec};
+
+    fn devices() -> Vec<Device> {
+        vec![
+            Device::new(DeviceId(0), DeviceSpec::xeon_x86()), // TEE hw
+            Device::new(DeviceId(1), DeviceSpec::gtx1080()),  // no TEE
+            Device::new(DeviceId(2), DeviceSpec::arm64()),    // TEE sw
+        ]
+    }
+
+    fn sizes() -> HashMap<RegionId, Bytes> {
+        (0..8u64).map(|r| (RegionId(r), Bytes::mib(32))).collect()
+    }
+
+    fn state_with_sizes() -> SecurityState {
+        SecurityState {
+            config: SecurityConfig::new().with_region_sizes(sizes()),
+            ..SecurityState::default()
+        }
+    }
+
+    #[test]
+    fn enclave_tasks_are_ineligible_on_non_tee_devices() {
+        let devices = devices();
+        let mut state = state_with_sizes();
+        state.activate(&devices);
+        let m = state.ensure_enclaves(b"detector").unwrap();
+        let accesses = [(RegionId(0), AccessMode::InOut)];
+        assert!(state.prepare(&devices, &accesses, SecurityLevel::Enclave, m));
+        assert!(state.plan.extra(0).is_some(), "xeon hosts enclaves");
+        assert!(state.plan.extra(1).is_none(), "gpu must be ineligible");
+        assert!(state.plan.extra(2).is_some(), "arm hosts enclaves");
+    }
+
+    #[test]
+    fn hardware_crypto_is_cheaper_than_software() {
+        let devices = devices();
+        let mut state = state_with_sizes();
+        state.activate(&devices);
+        let m = state.ensure_enclaves(b"detector").unwrap();
+        let accesses = [(RegionId(0), AccessMode::InOut)];
+        state.prepare(&devices, &accesses, SecurityLevel::Enclave, m);
+        let hw = state.plan.extra(0).unwrap();
+        let sw = state.plan.extra(2).unwrap();
+        assert!(
+            hw.0 * 4.0 < sw.0,
+            "hardware crypto must be far cheaper: {hw} vs {sw}"
+        );
+    }
+
+    #[test]
+    fn public_task_with_no_sealed_inputs_has_no_plan() {
+        let devices = devices();
+        let mut state = state_with_sizes();
+        state.activate(&devices);
+        let accesses = [
+            (RegionId(0), AccessMode::In),
+            (RegionId(1), AccessMode::Out),
+        ];
+        assert!(!state.prepare(&devices, &accesses, SecurityLevel::Public, 0));
+    }
+
+    #[test]
+    fn sealed_crossing_charged_only_when_devices_differ() {
+        let devices = devices();
+        let mut state = state_with_sizes();
+        state.activate(&devices);
+        // Region 0 was produced by a confidential task on device 0.
+        state.record_outputs(
+            &[(RegionId(0), AccessMode::Out)],
+            0,
+            SecurityLevel::Confidential,
+        );
+        let accesses = [(RegionId(0), AccessMode::In)];
+        assert!(state.prepare(&devices, &accesses, SecurityLevel::Public, 0));
+        assert_eq!(
+            state.plan.extra(0),
+            Some(Seconds::ZERO),
+            "same device: no crossing"
+        );
+        let crossing = state.plan.extra(1).unwrap();
+        assert!(crossing > Seconds::ZERO, "crossing must pay seal/unseal");
+        // Seal at producer (hw rate) + unseal at consumer (sw rate).
+        let bytes = Bytes::mib(32);
+        let expected = bytes.time_at(devices[0].spec.tee.crypto_bandwidth)
+            + bytes.time_at(devices[1].spec.tee.crypto_bandwidth);
+        assert!((crossing.0 - expected.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn public_rewrite_unseals_a_region() {
+        let devices = devices();
+        let mut state = state_with_sizes();
+        state.activate(&devices);
+        state.record_outputs(
+            &[(RegionId(0), AccessMode::Out)],
+            0,
+            SecurityLevel::Confidential,
+        );
+        // A public task overwrites the region: its new contents are not
+        // confidential, so readers stop paying seal costs.
+        state.record_outputs(&[(RegionId(0), AccessMode::Out)], 1, SecurityLevel::Public);
+        let accesses = [(RegionId(0), AccessMode::In)];
+        assert!(!state.prepare(&devices, &accesses, SecurityLevel::Public, 0));
+    }
+
+    #[test]
+    fn commit_counts_attestation_once_per_device() {
+        let devices = devices();
+        let mut state = state_with_sizes();
+        state.activate(&devices);
+        let m = state.ensure_enclaves(b"detector").unwrap();
+        let accesses = [(RegionId(0), AccessMode::InOut)];
+        state.prepare(&devices, &accesses, SecurityLevel::Enclave, m);
+        state.commit(0).unwrap();
+        assert_eq!(state.stats.attestations, 1);
+        // Second placement of the same code on the same device: cache hit.
+        state.prepare(&devices, &accesses, SecurityLevel::Enclave, m);
+        assert!(!state.plan.costs[0].attest);
+        state.commit(0).unwrap();
+        assert_eq!(state.stats.attestations, 1);
+        // A different device is a different (enclave, device) pair.
+        state.commit(2).unwrap();
+        assert_eq!(state.stats.attestations, 2);
+        assert_eq!(state.stats.enclave_tasks, 3);
+    }
+
+    #[test]
+    fn checkpoint_sealing_charges_time_and_bytes() {
+        let mut state = SecurityState::default();
+        assert_eq!(state.charge_checkpoint_seal(Bytes::ZERO), Seconds::ZERO);
+        let t = state.charge_checkpoint_seal(Bytes::mib(64));
+        assert!(t > Seconds::ZERO);
+        assert_eq!(state.stats.sealed_bytes, Bytes::mib(64));
+        assert_eq!(state.stats.seal_time, t);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_region_confidentiality() {
+        let devices = devices();
+        let mut state = state_with_sizes();
+        state.activate(&devices);
+        // Checkpoint-time state: region 0 sealed (produced on device 0).
+        state.record_outputs(
+            &[(RegionId(0), AccessMode::Out)],
+            0,
+            SecurityLevel::Confidential,
+        );
+        let snap = state.snapshot();
+        assert!(snap.is_some());
+        // Post-checkpoint (to-be-discarded) writes: region 0 rewritten
+        // public on device 1, region 1 newly sealed.
+        state.record_outputs(&[(RegionId(0), AccessMode::Out)], 1, SecurityLevel::Public);
+        state.record_outputs(
+            &[(RegionId(1), AccessMode::Out)],
+            1,
+            SecurityLevel::Confidential,
+        );
+        state.restore(snap.as_ref());
+        // Region 0 is sealed again (its restored contents are the
+        // confidential write), region 1 is not (its write was discarded).
+        let reads0 = [(RegionId(0), AccessMode::In)];
+        assert!(state.prepare(&devices, &reads0, SecurityLevel::Public, 0));
+        assert!(state.plan.extra(1).unwrap() > Seconds::ZERO);
+        let reads1 = [(RegionId(1), AccessMode::In)];
+        assert!(!state.prepare(&devices, &reads1, SecurityLevel::Public, 0));
+        // A pre-activation snapshot restores to the empty state.
+        state.restore(None);
+        assert!(!state.prepare(&devices, &reads0, SecurityLevel::Public, 0));
+    }
+
+    #[test]
+    fn inactive_state_snapshots_nothing() {
+        let state = SecurityState::default();
+        assert!(state.snapshot().is_none());
+    }
+
+    #[test]
+    fn sealed_live_bytes_counts_only_sealed_regions() {
+        let devices = devices();
+        let mut state = SecurityState::default();
+        state.activate(&devices);
+        state.record_outputs(
+            &[(RegionId(0), AccessMode::Out)],
+            0,
+            SecurityLevel::Confidential,
+        );
+        state.record_outputs(&[(RegionId(1), AccessMode::Out)], 0, SecurityLevel::Public);
+        let sizes = sizes();
+        let live = [RegionId(0), RegionId(1)];
+        assert_eq!(
+            state.sealed_live_bytes(live.iter().copied(), &sizes),
+            Bytes::mib(32)
+        );
+    }
+}

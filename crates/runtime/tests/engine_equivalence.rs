@@ -18,23 +18,41 @@
 //! * **Report shape** — placements come out sorted by task id with at
 //!   most one outcome per task, whatever order completions happened in
 //!   (the outcome log is indexed, not sorted; this pins the invariant).
+//! * **Security equivalences** — with confidential tasks in the mix,
+//!   the same seed still yields a bit-identical report (including
+//!   [`SecurityStats`]) through either interface, enclave-only tasks
+//!   only ever land on TEE devices, and an all-public workload on a
+//!   security-configured runtime is bit-identical to one on a runtime
+//!   that never heard of security (the layer is pay-for-what-you-use).
 //!
 //! [`RunReport`]: legato_runtime::RunReport
+//! [`SecurityStats`]: legato_runtime::SecurityStats
 
 use std::collections::HashMap;
 
-use legato_core::requirements::{Criticality, Requirements};
+use legato_core::requirements::{Criticality, Requirements, SecurityLevel};
 use legato_core::task::{AccessMode, RegionId, TaskDescriptor, Work};
 use legato_core::units::{Bytes, Seconds};
 use legato_hw::device::DeviceSpec;
-use legato_runtime::{Policy, ResilienceConfig, RunReport, Runtime};
+use legato_runtime::{Policy, ResilienceConfig, RunReport, Runtime, SecurityConfig};
 use proptest::prelude::*;
 
-/// Chains → tasks → (flops, criticality selector).
-type ChainSpec = Vec<Vec<(f64, u8)>>;
+/// Chains → tasks → (flops, criticality selector, security selector).
+type ChainSpec = Vec<Vec<(f64, u8, u8)>>;
 
 fn chains_strategy() -> impl Strategy<Value = ChainSpec> {
-    prop::collection::vec(prop::collection::vec((5e11f64..4e12, 0u8..3), 1..8), 1..6)
+    prop::collection::vec(
+        prop::collection::vec((5e11f64..4e12, 0u8..3, 0u8..3), 1..8),
+        1..6,
+    )
+}
+
+/// Like [`chains_strategy`] but every task is public.
+fn public_chains_strategy() -> impl Strategy<Value = ChainSpec> {
+    prop::collection::vec(
+        prop::collection::vec((5e11f64..4e12, 0u8..3, Just(0u8)), 1..8),
+        1..6,
+    )
 }
 
 fn devices() -> Vec<DeviceSpec> {
@@ -53,14 +71,26 @@ fn criticality(sel: u8) -> Criticality {
     }
 }
 
+fn security(sel: u8) -> SecurityLevel {
+    match sel {
+        0 => SecurityLevel::Public,
+        1 => SecurityLevel::Confidential,
+        _ => SecurityLevel::Enclave,
+    }
+}
+
 /// Submit every chain task; chain `c` serializes on its private region.
 fn submit_wave(rt: &mut Runtime, chains: &ChainSpec) {
     for (c, chain) in chains.iter().enumerate() {
-        for &(flops, crit) in chain {
+        for &(flops, crit, sec) in chain {
             rt.submit(
                 TaskDescriptor::named("t")
                     .with_work(Work::flops(flops))
-                    .with_requirements(Requirements::new().with_criticality(criticality(crit))),
+                    .with_requirements(
+                        Requirements::new()
+                            .with_criticality(criticality(crit))
+                            .with_security(security(sec)),
+                    ),
                 [(c as u64, AccessMode::InOut)],
             );
         }
@@ -77,6 +107,7 @@ fn runtime(seed: u64, resilient: bool, chains: &ChainSpec) -> Runtime {
     let mut rt = Runtime::new(devices(), Policy::Weighted(0.5), seed);
     rt.set_fault_prob(1, 0.4);
     rt.set_max_retries(1);
+    rt.configure_security(SecurityConfig::new().with_region_sizes(sizes(chains)));
     if resilient {
         rt.enable_resilience(
             ResilienceConfig::new(Seconds(5.0))
@@ -155,10 +186,12 @@ proptest! {
     /// executors make the same placement at the same moment and consume
     /// the fault stream in the same order. This pins the refactored
     /// engine to `run_sweep`-era semantics where the two executors are
-    /// defined to coincide.
+    /// defined to coincide. (Public tasks only: the sweep deliberately
+    /// ignores the security layer, so the executors are only defined to
+    /// coincide on security-free workloads.)
     #[test]
     fn engine_matches_sweep_on_serial_chains(
-        chain in prop::collection::vec((5e11f64..4e12, 0u8..3), 1..16),
+        chain in prop::collection::vec((5e11f64..4e12, 0u8..3, Just(0u8)), 1..16),
         seed in 0u64..300,
     ) {
         let chains = vec![chain];
@@ -174,5 +207,134 @@ proptest! {
         prop_assert_eq!(engine.makespan, sweep.makespan);
         prop_assert_eq!(engine.failed, sweep.failed);
         prop_assert_eq!(engine.stats, sweep.stats);
+    }
+
+    /// With confidential tasks in the mix (sealed-io and enclave-only,
+    /// under faults and optionally resilience), the same seed produces
+    /// bit-identical reports — `SecurityStats` included — and the
+    /// engine's enclave placement rule holds on every accepted outcome:
+    /// enclave-only tasks only ever run on TEE-capable devices.
+    #[test]
+    fn confidential_runs_are_deterministic_and_respect_placement(
+        chains in chains_strategy(),
+        seed in 0u64..300,
+        resilient in any::<bool>(),
+    ) {
+        let run = |seed| {
+            let mut rt = runtime(seed, resilient, &chains);
+            submit_wave(&mut rt, &chains);
+            let report = rt.run().expect("devices present");
+            (report, rt.rollback_trace().to_vec())
+        };
+        let (a, trace_a) = run(seed);
+        let (b, trace_b) = run(seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(trace_a, trace_b);
+        assert_report_shape(&a);
+
+        // Placement rule: enclave-only tasks stay on TEE devices.
+        let rt = {
+            let mut rt = runtime(seed, resilient, &chains);
+            submit_wave(&mut rt, &chains);
+            rt
+        };
+        let tee: Vec<usize> = rt
+            .devices()
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.spec.tee.has_enclave())
+            .map(|(i, _)| i)
+            .collect();
+        let mut flat = Vec::new();
+        for chain in &chains {
+            for &(_, _, sec) in chain {
+                flat.push(security(sec));
+            }
+        }
+        let mut enclave_ran = 0u64;
+        for p in &a.placements {
+            if flat[p.task.index()] == SecurityLevel::Enclave {
+                enclave_ran += 1;
+                for &d in &p.devices {
+                    prop_assert!(
+                        tee.contains(&d),
+                        "enclave task {} on non-TEE device {}", p.task, d
+                    );
+                }
+            }
+        }
+        // Each accepted enclave task executed at least one replica.
+        prop_assert!(a.security.enclave_tasks >= enclave_ran);
+        if enclave_ran > 0 {
+            prop_assert!(a.security.attestations > 0);
+        }
+    }
+
+    /// Streaming ≡ batched holds with the security layer active too:
+    /// interleaved `submit()`/`step()` waves of confidential tasks
+    /// produce the identical report (security stats included) as `run()`
+    /// over the same waves.
+    #[test]
+    fn streaming_equals_batched_with_security(
+        chains in chains_strategy(),
+        split_frac in 0.0f64..1.0,
+        seed in 0u64..300,
+    ) {
+        let total: usize = chains.iter().map(Vec::len).sum();
+        let split = ((total as f64) * split_frac) as usize;
+        let (wave1, wave2) = waves(&chains, split);
+
+        let mut batched = runtime(seed, false, &chains);
+        submit_wave(&mut batched, &wave1);
+        batched.run().expect("devices present");
+        submit_wave(&mut batched, &wave2);
+        let batched_report = batched.run().expect("devices present");
+
+        let mut streamed = runtime(seed, false, &chains);
+        submit_wave(&mut streamed, &wave1);
+        while streamed.step().expect("devices present").is_some() {}
+        submit_wave(&mut streamed, &wave2);
+        while streamed.step().expect("devices present").is_some() {}
+        let streamed_report = streamed.report();
+
+        prop_assert_eq!(&batched_report, &streamed_report);
+        prop_assert_eq!(batched.security_stats(), streamed.security_stats());
+    }
+
+    /// Pay-for-what-you-use: an all-public workload on a runtime with
+    /// the security layer configured is bit-identical — report, trace
+    /// and all — to the same workload on a runtime that never heard of
+    /// security. The security wiring costs nothing until a confidential
+    /// task exists.
+    #[test]
+    fn all_public_runs_are_bit_identical_to_security_unaware_runs(
+        chains in public_chains_strategy(),
+        seed in 0u64..300,
+        resilient in any::<bool>(),
+    ) {
+        // `runtime()` configures security; this twin never does.
+        let mut plain = Runtime::new(devices(), Policy::Weighted(0.5), seed);
+        plain.set_fault_prob(1, 0.4);
+        plain.set_max_retries(1);
+        if resilient {
+            plain.enable_resilience(
+                ResilienceConfig::new(Seconds(5.0))
+                    .with_region_sizes(sizes(&chains))
+                    .with_max_rollbacks(10_000),
+            );
+        }
+        submit_wave(&mut plain, &chains);
+        let plain_report = plain.run().expect("devices present");
+
+        let mut configured = runtime(seed, resilient, &chains);
+        submit_wave(&mut configured, &chains);
+        let configured_report = configured.run().expect("devices present");
+
+        prop_assert_eq!(&plain_report, &configured_report);
+        prop_assert_eq!(plain.rollback_trace(), configured.rollback_trace());
+        prop_assert_eq!(
+            configured_report.security,
+            legato_runtime::SecurityStats::default()
+        );
     }
 }

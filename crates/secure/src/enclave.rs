@@ -1,6 +1,6 @@
 //! Enclave lifecycle, measurement and local attestation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -177,6 +177,94 @@ impl Platform {
     }
 }
 
+/// Verifier-side attestation cache: remembers which `(platform,
+/// measurement)` pairs have already produced a verified quote, so the
+/// runtime charges the attestation round only on the *first* placement of
+/// each enclave code image on each device.
+///
+/// Nonces are drawn from a monotonic counter — every attestation round
+/// uses a fresh nonce, so a replayed (stale-nonce) quote can never
+/// verify, and a failed verification caches nothing (the next attempt
+/// re-attests from scratch).
+///
+/// Cache entries must be [`invalidated`](QuoteCache::invalidate) when the
+/// attested enclave is torn down: a cached verdict about a destroyed
+/// enclave says nothing about a successor instance, even one with the
+/// same measurement.
+#[derive(Debug, Clone, Default)]
+pub struct QuoteCache {
+    verified: HashSet<(u64, u64)>,
+    next_nonce: u64,
+    issued: u64,
+}
+
+impl QuoteCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        QuoteCache::default()
+    }
+
+    /// Whether `(platform_tag, measurement)` already holds a verified
+    /// quote.
+    #[must_use]
+    pub fn is_verified(&self, platform_tag: u64, measurement: u64) -> bool {
+        self.verified.contains(&(platform_tag, measurement))
+    }
+
+    /// Number of `(platform, measurement)` pairs currently verified.
+    #[must_use]
+    pub fn verified_count(&self) -> usize {
+        self.verified.len()
+    }
+
+    /// Total attestation rounds performed (cache misses; each consumed a
+    /// fresh nonce).
+    #[must_use]
+    pub fn attestations_performed(&self) -> u64 {
+        self.issued
+    }
+
+    /// Attest `enclave` on `platform` under a fresh nonce unless
+    /// `(platform_tag, measurement)` is already verified.
+    ///
+    /// Returns `Ok(true)` when an attestation round was performed (cache
+    /// miss) and `Ok(false)` on a cache hit. On any failure nothing is
+    /// cached.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureError::UnknownEnclave`] when the enclave does not exist
+    /// (e.g. it was torn down); [`SecureError::BadQuote`] when the quote
+    /// does not verify against `expected_measurement` — a wrong or forged
+    /// code image.
+    pub fn attest_once(
+        &mut self,
+        platform_tag: u64,
+        platform: &Platform,
+        enclave: EnclaveId,
+        expected_measurement: u64,
+    ) -> Result<bool, SecureError> {
+        if self.is_verified(platform_tag, expected_measurement) {
+            return Ok(false);
+        }
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let quote = platform.attest(enclave, nonce)?;
+        platform.verify_quote(&quote, expected_measurement, nonce)?;
+        self.issued += 1;
+        self.verified.insert((platform_tag, expected_measurement));
+        Ok(true)
+    }
+
+    /// Drop the cached verdict for `(platform_tag, measurement)` —
+    /// required when the attested enclave is destroyed. Returns whether an
+    /// entry was present.
+    pub fn invalidate(&mut self, platform_tag: u64, measurement: u64) -> bool {
+        self.verified.remove(&(platform_tag, measurement))
+    }
+}
+
 /// Measure a code image (FNV-1a + finalization).
 #[must_use]
 pub fn measure(code: &[u8]) -> u64 {
@@ -287,6 +375,87 @@ mod tests {
         p.destroy_enclave(e).unwrap();
         assert_eq!(p.seal(e, b"x"), Err(SecureError::UnknownEnclave(e.0)));
         assert_eq!(p.enclave_count(), 0);
+    }
+
+    #[test]
+    fn quote_cache_attests_once_per_platform_and_measurement() {
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"module").unwrap();
+        let m = p.measurement(e).unwrap();
+        let mut cache = QuoteCache::new();
+        assert!(!cache.is_verified(0, m));
+        assert_eq!(cache.attest_once(0, &p, e, m), Ok(true));
+        assert_eq!(cache.attest_once(0, &p, e, m), Ok(false), "cache hit");
+        assert!(cache.is_verified(0, m));
+        // A different platform tag (another device) is a separate pair.
+        assert_eq!(cache.attest_once(1, &p, e, m), Ok(true));
+        assert_eq!(cache.verified_count(), 2);
+        assert_eq!(cache.attestations_performed(), 2);
+    }
+
+    #[test]
+    fn stale_nonce_quote_never_verifies_again() {
+        // The cache consumes a fresh nonce per round; a quote captured
+        // from an earlier round (stale nonce) must not verify against any
+        // later nonce the cache would issue.
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"module").unwrap();
+        let m = p.measurement(e).unwrap();
+        let mut cache = QuoteCache::new();
+        cache.attest_once(0, &p, e, m).unwrap(); // consumed nonce 0
+        let stale = p.attest(e, 0).unwrap(); // attacker replays nonce 0
+        for later_nonce in 1..5 {
+            assert_eq!(
+                p.verify_quote(&stale, m, later_nonce),
+                Err(SecureError::BadQuote),
+                "stale quote must fail nonce {later_nonce}"
+            );
+        }
+        // And each cache round really consumes a distinct nonce.
+        let e2 = p.create_enclave(b"other").unwrap();
+        let m2 = p.measurement(e2).unwrap();
+        cache.attest_once(0, &p, e2, m2).unwrap();
+        assert_eq!(cache.attestations_performed(), 2);
+    }
+
+    #[test]
+    fn wrong_measurement_fails_and_caches_nothing() {
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"module").unwrap();
+        let m = p.measurement(e).unwrap();
+        let wrong = m ^ 0xFF;
+        let mut cache = QuoteCache::new();
+        assert_eq!(
+            cache.attest_once(0, &p, e, wrong),
+            Err(SecureError::BadQuote)
+        );
+        assert_eq!(cache.verified_count(), 0, "failure must cache nothing");
+        assert!(!cache.is_verified(0, wrong));
+        // The correct measurement still attests cleanly afterwards.
+        assert_eq!(cache.attest_once(0, &p, e, m), Ok(true));
+    }
+
+    #[test]
+    fn teardown_invalidates_quote_cache_entry() {
+        let mut p = Platform::new(5, false);
+        let e = p.create_enclave(b"module").unwrap();
+        let m = p.measurement(e).unwrap();
+        let mut cache = QuoteCache::new();
+        cache.attest_once(0, &p, e, m).unwrap();
+        p.destroy_enclave(e).unwrap();
+        // A cached verdict about a destroyed enclave must be dropped; a
+        // stale cache would silently skip re-attestation of a successor.
+        assert!(cache.invalidate(0, m));
+        assert!(!cache.is_verified(0, m));
+        // Attesting the dead enclave is an error, not a cache hit.
+        assert_eq!(
+            cache.attest_once(0, &p, e, m),
+            Err(SecureError::UnknownEnclave(e.0))
+        );
+        // A recreated instance of the same code re-attests from scratch.
+        let e2 = p.create_enclave(b"module").unwrap();
+        assert_eq!(cache.attest_once(0, &p, e2, m), Ok(true));
+        assert_eq!(cache.attestations_performed(), 2);
     }
 
     #[test]

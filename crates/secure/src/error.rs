@@ -15,6 +15,10 @@ pub enum SecureError {
     BadQuote,
     /// The platform refused an operation (e.g. enclave limit reached).
     Platform(String),
+    /// A cost-model input was outside its domain (e.g. a non-positive
+    /// task time). Mirrors `legato_fti::FtiError::InvalidParameter`: cost
+    /// models report bad inputs as values, never as panics.
+    InvalidParameter(&'static str),
 }
 
 impl fmt::Display for SecureError {
@@ -26,6 +30,9 @@ impl fmt::Display for SecureError {
             }
             SecureError::BadQuote => write!(f, "attestation quote did not verify"),
             SecureError::Platform(msg) => write!(f, "platform error: {msg}"),
+            SecureError::InvalidParameter(msg) => {
+                write!(f, "invalid cost-model parameter: {msg}")
+            }
         }
     }
 }
@@ -42,6 +49,9 @@ mod tests {
             .to_string()
             .contains("integrity"));
         assert!(SecureError::UnknownEnclave(4).to_string().contains("4"));
+        assert!(SecureError::InvalidParameter("task time must be positive")
+            .to_string()
+            .contains("task time"));
     }
 
     #[test]

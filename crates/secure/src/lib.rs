@@ -44,7 +44,7 @@ pub mod error;
 pub mod seal;
 pub mod task;
 
-pub use enclave::{EnclaveId, Platform, Quote};
+pub use enclave::{EnclaveId, Platform, Quote, QuoteCache};
 pub use error::SecureError;
 pub use seal::SealedBlob;
-pub use task::{secure_task_cost, ExecutionMode, SecureCost};
+pub use task::{secure_task_cost, ExecutionMode, SecureCost, ATTESTATION_TIME, TRANSITION_TIME};

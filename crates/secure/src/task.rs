@@ -10,6 +10,8 @@
 use legato_core::units::{Bytes, BytesPerSec, Joule, Seconds, Watt};
 use serde::{Deserialize, Serialize};
 
+use crate::error::SecureError;
+
 /// How a task executes with respect to the TEE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecutionMode {
@@ -38,6 +40,12 @@ impl ExecutionMode {
 /// flushes dominate; ~8 µs is the measured SGX order of magnitude).
 pub const TRANSITION_TIME: Seconds = Seconds(8.0e-6);
 
+/// Cost of one local attestation round: quote generation (EREPORT-class)
+/// plus verifier-side MAC check. The runtime charges it once per
+/// (enclave, device) pair through its quote cache, so only the *first*
+/// confidential task of each code image pays it on each device.
+pub const ATTESTATION_TIME: Seconds = Seconds(120.0e-6);
+
 /// Cost breakdown of one secure task execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SecureCost {
@@ -59,18 +67,29 @@ pub struct SecureCost {
 /// `boundary_bytes` across the enclave boundary, with `transitions`
 /// ecall/ocall pairs, in the given mode.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `base_time` is non-positive.
-#[must_use]
+/// [`SecureError::InvalidParameter`] when `base_time` is not a positive
+/// finite duration or `power` is not a finite non-negative draw —
+/// reported as a value, never a panic, matching the error contract of
+/// the other cost models (`legato_fti::mtbf`).
 pub fn secure_task_cost(
     base_time: Seconds,
     power: Watt,
     boundary_bytes: Bytes,
     transitions: u32,
     mode: ExecutionMode,
-) -> SecureCost {
-    assert!(base_time.0 > 0.0, "task time must be positive");
+) -> Result<SecureCost, SecureError> {
+    if !(base_time.0.is_finite() && base_time.0 > 0.0) {
+        return Err(SecureError::InvalidParameter(
+            "task time must be a positive finite duration",
+        ));
+    }
+    if !(power.0.is_finite() && power.0 >= 0.0) {
+        return Err(SecureError::InvalidParameter(
+            "power draw must be a finite non-negative value",
+        ));
+    }
     let transition_time = TRANSITION_TIME * (2.0 * f64::from(transitions));
     let crypto_time = match mode.crypto_bandwidth() {
         None => Seconds::ZERO,
@@ -88,14 +107,14 @@ pub fn secure_task_cost(
         (transition_time, crypto_time)
     };
     let total_time = base_time + transition_time + crypto_time;
-    SecureCost {
+    Ok(SecureCost {
         base_time,
         transition_time,
         crypto_time,
         total_time,
         energy: power * total_time,
         overhead: total_time / base_time - 1.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +125,8 @@ mod tests {
 
     #[test]
     fn plain_has_no_overhead() {
-        let c = secure_task_cost(Seconds(0.05), Watt(50.0), FRAME, 4, ExecutionMode::Plain);
+        let c = secure_task_cost(Seconds(0.05), Watt(50.0), FRAME, 4, ExecutionMode::Plain)
+            .expect("valid inputs");
         assert_eq!(c.total_time, c.base_time);
         assert_eq!(c.overhead, 0.0);
     }
@@ -119,7 +139,8 @@ mod tests {
             FRAME,
             4,
             ExecutionMode::SecureSoftware,
-        );
+        )
+        .expect("valid inputs");
         assert!(c.crypto_time > c.transition_time);
         assert!(c.overhead > 0.3, "sw overhead {}", c.overhead);
     }
@@ -132,14 +153,16 @@ mod tests {
             FRAME,
             4,
             ExecutionMode::SecureSoftware,
-        );
+        )
+        .expect("valid inputs");
         let hw = secure_task_cost(
             Seconds(0.05),
             Watt(50.0),
             FRAME,
             4,
             ExecutionMode::SecureHardware,
-        );
+        )
+        .expect("valid inputs");
         let ratio = sw.overhead / hw.overhead;
         assert!(
             ratio > 8.0,
@@ -157,7 +180,8 @@ mod tests {
             Bytes::mib(1),
             2,
             ExecutionMode::SecureHardware,
-        );
+        )
+        .expect("valid inputs");
         assert!((c.energy.0 - 100.0 * c.total_time.0).abs() < 1e-12);
     }
 
@@ -169,20 +193,39 @@ mod tests {
             Bytes::ZERO,
             8,
             ExecutionMode::SecureHardware,
-        );
+        )
+        .expect("valid inputs");
         assert_eq!(c.crypto_time, Seconds::ZERO);
         assert!((c.transition_time.0 - 16.0 * 8.0e-6).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "task time must be positive")]
-    fn base_time_validated() {
-        let _ = secure_task_cost(
-            Seconds::ZERO,
-            Watt(1.0),
-            Bytes::ZERO,
-            0,
-            ExecutionMode::Plain,
-        );
+    fn malformed_base_time_is_an_error_not_a_panic() {
+        for bad in [Seconds::ZERO, Seconds(-1.0), Seconds(f64::NAN)] {
+            let err =
+                secure_task_cost(bad, Watt(1.0), Bytes::ZERO, 0, ExecutionMode::Plain).unwrap_err();
+            assert!(
+                matches!(err, SecureError::InvalidParameter(_)),
+                "{bad:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_power_is_an_error_not_a_panic() {
+        for bad in [Watt(-5.0), Watt(f64::INFINITY), Watt(f64::NAN)] {
+            let err = secure_task_cost(
+                Seconds(0.1),
+                bad,
+                Bytes::ZERO,
+                0,
+                ExecutionMode::SecureHardware,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, SecureError::InvalidParameter(_)),
+                "{bad:?} -> {err:?}"
+            );
+        }
     }
 }

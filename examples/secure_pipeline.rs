@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExecutionMode::SecureSoftware,
         ExecutionMode::SecureHardware,
     ] {
-        let c = secure_task_cost(Seconds(0.044), Watt(180.0), Bytes(1920 * 1080 * 3), 4, mode);
+        let c = secure_task_cost(Seconds(0.044), Watt(180.0), Bytes(1920 * 1080 * 3), 4, mode)?;
         println!(
             "  {mode:?}: {:>6.1} ms/frame ({:>5.1}% overhead, {:.2} J)",
             c.total_time.0 * 1e3,

@@ -301,6 +301,103 @@ fn checkpoint_restart_survives_mtbf_where_retry_only_fails() {
     );
 }
 
+/// The security pillar end to end: confidentiality requirements → TEE
+/// capability descriptors → enclave-aware engine → secure-layer costs.
+/// Enclave-only tasks are never placed on non-TEE devices, attestation
+/// is charged once per (enclave, device) pair, every confidential run
+/// reports non-zero `SecurityStats`, and hardware-assisted crypto pays
+/// a measurably lower end-to-end premium than software crypto — the
+/// paper's "energy-efficient security-by-design" lever, reproduced at
+/// the application level (`BENCH_secure.json` records the same rows).
+#[test]
+fn enclave_tasks_stay_on_tee_devices_and_hardware_crypto_cuts_the_premium() {
+    use legato::core::requirements::SecurityLevel;
+    use legato::runtime::SecurityConfig;
+    use legato_bench::experiments::secure_offload::{devices, sweep, CryptoClass, Scenario};
+
+    // Direct placement check on a mixed workload: the GPU wins every
+    // unconstrained inference placement, so only the placement rule can
+    // keep enclave tasks off it.
+    let specs = devices(CryptoClass::Hardware);
+    let tee: Vec<usize> = specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.tee.has_enclave())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(tee.len(), 2, "two TEE CPUs in the reference mix");
+    let mut rt = Runtime::new(specs, Policy::Performance, 42);
+    let scenario = Scenario::reference();
+    rt.configure_security(SecurityConfig::new().with_region_sizes(scenario.region_sizes()));
+    scenario.build(&mut rt, 50);
+    let confidential_chains = scenario.confidential_chains(50);
+    let report = rt.run().expect("devices present");
+    assert_eq!(report.placements.len(), scenario.tasks(), "nothing dropped");
+    // Tasks 1..=chains*depth are the chain stages, chain-major; the
+    // first `confidential_chains` chains are enclave-only.
+    let enclave_task_ids: std::collections::HashSet<u64> = (0..confidential_chains
+        * scenario.depth)
+        .map(|i| 1 + i as u64)
+        .collect();
+    for p in &report.placements {
+        if enclave_task_ids.contains(&p.task.0) {
+            for &d in &p.devices {
+                assert!(
+                    tee.contains(&d),
+                    "enclave task {} placed on non-TEE device {d}",
+                    p.task
+                );
+            }
+        }
+    }
+    // Attestation: one code image ("stage") on at most two TEE devices.
+    assert!(
+        (1..=2).contains(&report.security.attestations),
+        "attestations {}",
+        report.security.attestations
+    );
+    assert!(report.security.enclave_time > Seconds::ZERO);
+
+    // An enclave-only task with no TEE device anywhere is a hard error,
+    // never a silent downgrade.
+    let mut no_tee = Runtime::new(
+        vec![DeviceSpec::gtx1080(), DeviceSpec::fpga_kintex()],
+        Policy::Performance,
+        42,
+    );
+    no_tee.submit(
+        TaskDescriptor::named("secret").with_requirements(
+            legato::core::requirements::Requirements::new().with_security(SecurityLevel::Enclave),
+        ),
+        [(0u64, AccessMode::Out)],
+    );
+    assert!(matches!(
+        no_tee.run(),
+        Err(legato::runtime::RuntimeError::NoSecurePlacement(_))
+    ));
+
+    // The BENCH_secure.json claim shape: overhead grows with the
+    // confidential fraction, and hardware crypto is measurably cheaper
+    // than software at every non-zero fraction.
+    let rows = sweep(scenario, 42);
+    for percent in [25u32, 50, 100] {
+        let cell = |crypto: &str| {
+            rows.iter()
+                .find(|r| r.percent == percent && r.crypto == crypto)
+                .expect("cell present")
+        };
+        let sw = cell("sw");
+        let hw = cell("hw");
+        assert_eq!(sw.completed, sw.tasks);
+        assert!(
+            hw.overhead < sw.overhead * 0.8,
+            "{percent}%: hw premium must be measurably lower ({:.2} vs {:.2})",
+            hw.overhead,
+            sw.overhead
+        );
+    }
+}
+
 /// The graph's error propagation marks downstream tasks of a failure, and
 /// root-cause analysis walks back to the failed ancestor.
 #[test]
