@@ -1,9 +1,13 @@
 //! Criterion bench for E1/E2 (Fig. 5): the undervolting sweep and its
-//! kernels.
+//! kernels — plus E11, the engine-level energy/makespan frontier the
+//! low-voltage pillar feeds into (`experiments::energy`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use legato_bench::experiments::energy::run_cell;
+use legato_bench::experiments::engine::Scenario;
 use legato_core::units::{FaultsPerMbit, Volt};
 use legato_fpga::{undervolt_sweep, BramArray, FpgaPlatform};
+use legato_runtime::Policy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -40,10 +44,32 @@ fn bench_full_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_energy_frontier(c: &mut Criterion) {
+    // Three representative frontier cells: the fastest corner, the most
+    // frugal corner, and the mixed policy mid-ladder. Each cell is a
+    // full ≥ 1k-task engine run through `EngineConfig` with the energy
+    // layer on, so the rows time the operating-point scheduling path
+    // end to end.
+    let mut g = c.benchmark_group("energy/frontier_wide");
+    g.sample_size(10);
+    let scenario = Scenario::reference_wide();
+    g.bench_function("performance_nominal", |b| {
+        b.iter(|| run_cell(scenario, Policy::Performance, black_box(0), 42))
+    });
+    g.bench_function("performance_deep_eco", |b| {
+        b.iter(|| run_cell(scenario, Policy::Performance, black_box(2), 42))
+    });
+    g.bench_function("energy_deep_eco", |b| {
+        b.iter(|| run_cell(scenario, Policy::Energy, black_box(2), 42))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fault_model,
     bench_fault_injection,
-    bench_full_sweep
+    bench_full_sweep,
+    bench_energy_frontier
 );
 criterion_main!(benches);

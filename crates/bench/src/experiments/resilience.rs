@@ -29,7 +29,7 @@ use legato_core::requirements::{Criticality, Requirements};
 use legato_core::task::{AccessMode, RegionId, TaskDescriptor, TaskKind, Work};
 use legato_core::units::{Bytes, Seconds};
 use legato_fti::Strategy;
-use legato_runtime::{Policy, ResilienceConfig, Runtime};
+use legato_runtime::{EngineConfig, Policy, ResilienceConfig, Runtime};
 
 use super::goals::reference_devices;
 
@@ -201,12 +201,11 @@ impl ResilienceRow {
 /// `seed`.
 #[must_use]
 pub fn run_scenario(scenario: Scenario, mtbf: Seconds, mode: CkptMode, seed: u64) -> ResilienceRow {
-    let mut rt = Runtime::new(reference_devices(), Policy::Performance, seed);
-    let p = fault_prob_for_mtbf(mtbf, scenario.mean_task_duration());
-    for i in 0..rt.devices().len() {
-        rt.set_fault_prob(i, p);
-    }
-    rt.set_max_retries(scenario.max_retries);
+    let mut cfg = EngineConfig::new()
+        .with_devices(reference_devices())
+        .with_policy(Policy::Performance)
+        .with_seed(seed)
+        .with_max_retries(scenario.max_retries);
     match mode {
         CkptMode::RetryOnly => {}
         CkptMode::Initial | CkptMode::Async => {
@@ -215,7 +214,7 @@ pub fn run_scenario(scenario: Scenario, mtbf: Seconds, mode: CkptMode, seed: u64
             } else {
                 Strategy::Async
             };
-            rt.enable_resilience(
+            cfg = cfg.with_resilience(
                 ResilienceConfig::new(mtbf)
                     .with_strategy(strategy)
                     .with_region_sizes(scenario.region_sizes())
@@ -223,8 +222,14 @@ pub fn run_scenario(scenario: Scenario, mtbf: Seconds, mode: CkptMode, seed: u64
             );
         }
     }
+    let mut rt = cfg.build().expect("valid engine config");
+    let p = fault_prob_for_mtbf(mtbf, scenario.mean_task_duration());
+    for i in 0..rt.devices().len() {
+        rt.set_fault_prob(i, p);
+    }
     scenario.build(&mut rt);
     let report = rt.run().expect("devices present");
+    let res = report.resilience.unwrap_or_default();
     ResilienceRow {
         mtbf,
         mode: mode.label(),
@@ -232,10 +237,10 @@ pub fn run_scenario(scenario: Scenario, mtbf: Seconds, mode: CkptMode, seed: u64
         completed: report.placements.len(),
         failed: report.failed.len(),
         makespan: report.makespan,
-        checkpoints: report.resilience.checkpoints,
-        rollbacks: report.resilience.rollbacks,
-        wasted: report.resilience.wasted_work,
-        checkpoint_bytes: report.resilience.checkpoint_bytes,
+        checkpoints: res.checkpoints,
+        rollbacks: res.rollbacks,
+        wasted: res.wasted_work,
+        checkpoint_bytes: res.checkpoint_bytes,
     }
 }
 

@@ -35,7 +35,7 @@ use legato_core::requirements::{Requirements, SecurityLevel};
 use legato_core::task::{AccessMode, RegionId, TaskDescriptor, TaskKind, Work};
 use legato_core::units::{Bytes, Seconds};
 use legato_hw::device::{DeviceSpec, TeeCapability};
-use legato_runtime::{Policy, Runtime, SecurityConfig, SecurityStats};
+use legato_runtime::{EngineConfig, Policy, Runtime, SecurityConfig, SecurityStats};
 
 /// Region carrying the scatter task's fan-out output.
 const SCATTER_REGION: u64 = 0;
@@ -207,8 +207,13 @@ pub fn run_cell(
     crypto: CryptoClass,
     seed: u64,
 ) -> legato_runtime::RunReport {
-    let mut rt = Runtime::new(devices(crypto), Policy::Performance, seed);
-    rt.configure_security(SecurityConfig::new().with_region_sizes(scenario.region_sizes()));
+    let mut rt = EngineConfig::new()
+        .with_devices(devices(crypto))
+        .with_policy(Policy::Performance)
+        .with_seed(seed)
+        .with_security(SecurityConfig::new().with_region_sizes(scenario.region_sizes()))
+        .build()
+        .expect("valid engine config");
     scenario.build(&mut rt, percent);
     rt.run().expect("devices present")
 }
@@ -237,7 +242,7 @@ pub fn sweep(scenario: Scenario, seed: u64) -> Vec<SecureOffloadRow> {
                 completed: report.placements.len(),
                 makespan: report.makespan,
                 overhead: report.makespan / baseline - 1.0,
-                security: report.security,
+                security: report.security.unwrap_or_default(),
             });
         }
     }

@@ -187,6 +187,89 @@ impl Default for TeeCapability {
     }
 }
 
+/// One voltage/frequency operating point of a device, expressed as a
+/// scaling of the nominal spec: a power multiplier on the idle/busy
+/// draws, a duration multiplier on execution time (≥ 1 for throttled or
+/// undervolt-derated points), and the per-execution silent-fault
+/// probability the point adds (the Fig. 5 Poisson model — zero inside
+/// the guardband, positive in the critical region).
+///
+/// Every [`DeviceSpec`] carries a *ladder* of these, ordered nominal
+/// first and most aggressive last. The runtime's energy layer selects a
+/// rung per device and derives the effective spec with
+/// [`DeviceSpec::at_operating_point`]; an aggressive rung's fault
+/// probability also degrades the effective MTBF the resilience layer
+/// plans checkpoint intervals against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Human-readable rail/DVFS label (`"nominal"`, `"eco"`, `"540 mV"`, …).
+    pub label: String,
+    /// Multiplier applied to both `idle_power` and `busy_power`, in `(0, 1]`.
+    pub power_scale: f64,
+    /// Multiplier applied to execution time (compute *and* memory
+    /// streaming slow down together), ≥ 1 for non-nominal points.
+    pub duration_scale: f64,
+    /// Additional per-execution silent-fault probability at this point,
+    /// in `[0, 1]` (`1.0` marks a crash-region rail the runtime refuses
+    /// to select).
+    pub fault_probability: f64,
+}
+
+impl OperatingPoint {
+    /// The nominal point: the spec as constructed, no derating, no faults.
+    #[must_use]
+    pub fn nominal() -> Self {
+        OperatingPoint {
+            label: "nominal".into(),
+            power_scale: 1.0,
+            duration_scale: 1.0,
+            fault_probability: 0.0,
+        }
+    }
+
+    /// Build a point from its label and scales.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        power_scale: f64,
+        duration_scale: f64,
+        fault_probability: f64,
+    ) -> Self {
+        OperatingPoint {
+            label: label.into(),
+            power_scale,
+            duration_scale,
+            fault_probability,
+        }
+    }
+
+    /// Whether this point leaves the spec untouched.
+    #[must_use]
+    pub fn is_nominal(&self) -> bool {
+        self.power_scale == 1.0 && self.duration_scale == 1.0 && self.fault_probability == 0.0
+    }
+
+    /// The default DVFS ladder every device class ships with: nominal,
+    /// an `eco` step and a `deep-eco` step. The scales are deliberately
+    /// identical across classes (relative device speeds are preserved at
+    /// every rung) and fault-free (guardband-safe steps); FPGA rails with
+    /// real fault probabilities are derived from the Fig. 5 model by
+    /// `legato-runtime`'s `lowvolt::undervolt_ladder`.
+    ///
+    /// Each step trades longer execution (`duration_scale` up) for a
+    /// better-than-linear power cut (`power_scale × duration_scale`,
+    /// the per-task busy energy factor, falls monotonically:
+    /// 1.0 → 0.84 → 0.725).
+    #[must_use]
+    pub fn default_ladder() -> Vec<OperatingPoint> {
+        vec![
+            OperatingPoint::nominal(),
+            OperatingPoint::new("eco", 0.70, 1.20, 0.0),
+            OperatingPoint::new("deep-eco", 0.50, 1.45, 0.0),
+        ]
+    }
+}
+
 /// Static description of a device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceSpec {
@@ -208,6 +291,11 @@ pub struct DeviceSpec {
     pub clock: Hertz,
     /// Trusted-execution capability (enclave support and crypto rates).
     pub tee: TeeCapability,
+    /// Voltage/frequency operating-point ladder, nominal first. Never
+    /// empty: constructors install [`OperatingPoint::default_ladder`],
+    /// and [`DeviceSpec::with_operating_points`] re-inserts the nominal
+    /// point if handed an empty ladder.
+    pub operating_points: Vec<OperatingPoint>,
 }
 
 impl DeviceSpec {
@@ -225,6 +313,7 @@ impl DeviceSpec {
             busy_power: Watt(130.0),
             clock: Hertz::from_ghz(2.4),
             tee: TeeCapability::hardware_assisted(),
+            operating_points: OperatingPoint::default_ladder(),
         }
     }
 
@@ -241,6 +330,7 @@ impl DeviceSpec {
             busy_power: Watt(12.0),
             clock: Hertz::from_ghz(1.8),
             tee: TeeCapability::software(),
+            operating_points: OperatingPoint::default_ladder(),
         }
     }
 
@@ -258,6 +348,7 @@ impl DeviceSpec {
             busy_power: Watt(180.0),
             clock: Hertz::from_ghz(1.6),
             tee: TeeCapability::none(),
+            operating_points: OperatingPoint::default_ladder(),
         }
     }
 
@@ -275,6 +366,7 @@ impl DeviceSpec {
             busy_power: Watt(20.0),
             clock: Hertz::from_mhz(300.0),
             tee: TeeCapability::none(),
+            operating_points: OperatingPoint::default_ladder(),
         }
     }
 
@@ -291,6 +383,7 @@ impl DeviceSpec {
             busy_power: Watt(60.0),
             clock: Hertz::from_mhz(200.0),
             tee: TeeCapability::none(),
+            operating_points: OperatingPoint::default_ladder(),
         }
     }
 
@@ -307,6 +400,7 @@ impl DeviceSpec {
             busy_power: Watt(15.0),
             clock: Hertz::from_ghz(1.3),
             tee: TeeCapability::software(),
+            operating_points: OperatingPoint::default_ladder(),
         }
     }
 
@@ -316,6 +410,45 @@ impl DeviceSpec {
     pub fn with_tee(mut self, tee: TeeCapability) -> Self {
         self.tee = tee;
         self
+    }
+
+    /// Replace the operating-point ladder (builder-style; the
+    /// constructors install [`OperatingPoint::default_ladder`]). An empty
+    /// ladder is normalized to `[nominal]` so the invariant that every
+    /// spec has at least its nominal point can never be violated.
+    #[must_use]
+    pub fn with_operating_points(mut self, points: Vec<OperatingPoint>) -> Self {
+        self.operating_points = if points.is_empty() {
+            vec![OperatingPoint::nominal()]
+        } else {
+            points
+        };
+        self
+    }
+
+    /// The effective spec at ladder rung `point`, or `None` when the
+    /// index is off the ladder.
+    ///
+    /// Power draws are multiplied by the point's `power_scale`; compute
+    /// rate, memory bandwidth and clock are divided by its
+    /// `duration_scale`, so every [`DeviceSpec::time_for`] answer scales
+    /// up by exactly that factor. Selecting the nominal point returns a
+    /// bit-identical spec (all scales are exact float identities), which
+    /// is what lets an energy-enabled run at nominal settings reproduce
+    /// an energy-unaware run bit for bit.
+    #[must_use]
+    pub fn at_operating_point(&self, point: usize) -> Option<DeviceSpec> {
+        let p = self.operating_points.get(point)?;
+        let mut spec = self.clone();
+        if !p.is_nominal() {
+            spec.name = format!("{} @ {}", self.name, p.label);
+            spec.peak_flops = self.peak_flops / p.duration_scale;
+            spec.mem_bandwidth = BytesPerSec(self.mem_bandwidth.0 / p.duration_scale);
+            spec.clock = Hertz(self.clock.0 / p.duration_scale);
+            spec.idle_power = Watt(self.idle_power.0 * p.power_scale);
+            spec.busy_power = Watt(self.busy_power.0 * p.power_scale);
+        }
+        Some(spec)
     }
 
     /// Execution time of `work` of kind `task` on this device (roofline:
@@ -586,5 +719,72 @@ mod tests {
     fn with_tee_overrides_the_default() {
         let spec = DeviceSpec::gtx1080().with_tee(TeeCapability::hardware_assisted());
         assert!(spec.tee.has_enclave());
+    }
+
+    #[test]
+    fn every_class_ships_a_ladder_with_nominal_first() {
+        for spec in [
+            DeviceSpec::xeon_x86(),
+            DeviceSpec::arm64(),
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+            DeviceSpec::maxeler_dfe(),
+            DeviceSpec::jetson_soc(),
+        ] {
+            assert!(
+                spec.operating_points.len() >= 2,
+                "{}: ladder too short",
+                spec.name
+            );
+            assert!(spec.operating_points[0].is_nominal());
+        }
+    }
+
+    #[test]
+    fn default_ladder_cuts_energy_monotonically() {
+        // Per-task busy energy scales with power_scale × duration_scale;
+        // the ladder must trade time for a strictly better energy factor.
+        let ladder = OperatingPoint::default_ladder();
+        for pair in ladder.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(b.duration_scale >= a.duration_scale);
+            assert!(b.power_scale < a.power_scale);
+            assert!(b.power_scale * b.duration_scale < a.power_scale * a.duration_scale);
+            assert_eq!(b.fault_probability, 0.0, "guardband steps never fault");
+        }
+    }
+
+    #[test]
+    fn nominal_operating_point_is_bit_identical() {
+        let spec = DeviceSpec::gtx1080();
+        assert_eq!(spec.at_operating_point(0), Some(spec.clone()));
+        assert_eq!(spec.at_operating_point(spec.operating_points.len()), None);
+    }
+
+    #[test]
+    fn derated_point_scales_time_and_power_exactly() {
+        let spec = DeviceSpec::xeon_x86();
+        let eco = spec.at_operating_point(1).expect("eco rung exists");
+        let p = &spec.operating_points[1];
+        let w = Work::flops(1e12);
+        let base = spec.time_for(w, TaskKind::Compute);
+        let slow = eco.time_for(w, TaskKind::Compute);
+        assert!((slow.0 / base.0 - p.duration_scale).abs() < 1e-12);
+        assert!((eco.busy_power.0 / spec.busy_power.0 - p.power_scale).abs() < 1e-12);
+        assert!((eco.idle_power.0 / spec.idle_power.0 - p.power_scale).abs() < 1e-12);
+        // Memory-bound work derates by the same factor (the whole
+        // roofline slows down together).
+        let mem = Work::new(1.0, Bytes::gib(32));
+        let ratio =
+            eco.time_for(mem, TaskKind::Compute).0 / spec.time_for(mem, TaskKind::Compute).0;
+        assert!((ratio - p.duration_scale).abs() < 1e-12);
+        assert!(eco.name.contains("eco"));
+    }
+
+    #[test]
+    fn empty_ladder_is_normalized_to_nominal() {
+        let spec = DeviceSpec::arm64().with_operating_points(Vec::new());
+        assert_eq!(spec.operating_points.len(), 1);
+        assert!(spec.operating_points[0].is_nominal());
     }
 }

@@ -41,7 +41,9 @@ pub mod time;
 
 pub use cluster::{NodeClass, NodeSpec};
 pub use comm::Group;
-pub use device::{Device, DeviceId, DeviceKind, DeviceSpec, TeeCapability, TeeSupport};
+pub use device::{
+    Device, DeviceId, DeviceKind, DeviceSpec, OperatingPoint, TeeCapability, TeeSupport,
+};
 pub use error::HwError;
 pub use memory::{AddrSpace, MemoryManager, RegionHandle};
 pub use power::EnergyMeter;

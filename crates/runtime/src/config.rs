@@ -1,0 +1,375 @@
+//! The unified engine configuration: one builder for all three pillars.
+//!
+//! Historically every pillar grew its own entry point on [`Runtime`]
+//! (`new` for devices/policy/seed, `enable_resilience`,
+//! `configure_security`), and the energy layer would have added a third
+//! mutator. [`EngineConfig`] replaces that accretion with a single
+//! builder:
+//!
+//! ```
+//! use legato_core::units::Seconds;
+//! use legato_hw::device::DeviceSpec;
+//! use legato_runtime::{EngineConfig, EnergyConfig, Policy, ResilienceConfig, SecurityConfig};
+//!
+//! # fn main() -> Result<(), legato_runtime::RuntimeError> {
+//! let mut rt = EngineConfig::new()
+//!     .with_devices(vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080()])
+//!     .with_policy(Policy::Weighted(0.5))
+//!     .with_seed(7)
+//!     .with_resilience(ResilienceConfig::new(Seconds(500.0)))
+//!     .with_security(SecurityConfig::new())
+//!     .with_energy(EnergyConfig::new().with_uniform_step(1))
+//!     .build()?;
+//! # let _ = rt.run()?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`EngineConfig::build`] is where the energy layer's operating points
+//! become real: each device spec is replaced by
+//! [`DeviceSpec::at_operating_point`] *before* the runtime is
+//! constructed, so the scheduler's estimates, the committed execution
+//! times and the energy meters all see the derated spec with no hot-path
+//! branching — and the selected rung's fault probability seeds both the
+//! engine's silent-fault draws and the effective MTBF the resilience
+//! layer plans checkpoints against.
+
+use legato_hw::device::DeviceSpec;
+
+use crate::energy::{EnergyConfig, EnergyObjective, EnergyState};
+use crate::error::RuntimeError;
+use crate::resilience::{ResilienceConfig, ResilienceState};
+use crate::runtime::Runtime;
+use crate::scheduler::Policy;
+use crate::security::SecurityConfig;
+
+/// Builder for a fully configured [`Runtime`]: devices, policy, seed,
+/// and the three pillars (resilience, security, energy) in one place.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    devices: Vec<DeviceSpec>,
+    policy: Option<Policy>,
+    seed: u64,
+    max_retries: Option<u32>,
+    resilience: Option<ResilienceConfig>,
+    security: Option<SecurityConfig>,
+    energy: Option<EnergyConfig>,
+}
+
+impl EngineConfig {
+    /// An empty configuration: no devices, [`Policy::Performance`],
+    /// seed 0, no pillar enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineConfig::default()
+    }
+
+    /// The device specs the runtime schedules over (replaces any
+    /// previously added devices).
+    #[must_use]
+    pub fn with_devices(mut self, devices: Vec<DeviceSpec>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Append one device spec.
+    #[must_use]
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// The scheduling policy (default [`Policy::Performance`]).
+    #[must_use]
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The deterministic seed of the fault model (default 0).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Maximum re-executions after detected faults (default 3).
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Enable checkpoint/restart mode (see
+    /// [`resilience`](crate::resilience)).
+    #[must_use]
+    pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = Some(config);
+        self
+    }
+
+    /// Tune the security layer's cost model (see
+    /// [`security`](crate::security); the layer still activates only
+    /// when a confidential task is submitted).
+    #[must_use]
+    pub fn with_security(mut self, config: SecurityConfig) -> Self {
+        self.security = Some(config);
+        self
+    }
+
+    /// Enable the energy layer: select operating points per device and
+    /// optionally impose a Pareto objective (see
+    /// [`energy`](crate::energy)).
+    #[must_use]
+    pub fn with_energy(mut self, config: EnergyConfig) -> Self {
+        self.energy = Some(config);
+        self
+    }
+
+    /// Construct the runtime.
+    ///
+    /// With an [`EnergyConfig`], every device spec is derated to its
+    /// selected [`OperatingPoint`](legato_hw::device::OperatingPoint)
+    /// here, and the rung's fault probability becomes the device's
+    /// initial silent-fault probability (callers may still override it
+    /// with [`Runtime::set_fault_prob`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidWeight`] for an unusable
+    /// [`Policy::Weighted`] weight; [`RuntimeError::InvalidParameter`]
+    /// when an energy override names a device or ladder rung that does
+    /// not exist, when a selected rung lies in the crash region (fault
+    /// probability ≥ 1: the run could never accept a result), or when a
+    /// Pareto objective's bound or cap is not a positive finite value.
+    pub fn build(self) -> Result<Runtime, RuntimeError> {
+        let EngineConfig {
+            devices,
+            policy,
+            seed,
+            max_retries,
+            resilience,
+            security,
+            energy,
+        } = self;
+        let policy = policy.unwrap_or(Policy::Performance);
+        policy.validate()?;
+
+        let mut energy_state = EnergyState::default();
+        let devices = match &energy {
+            None => devices,
+            Some(cfg) => {
+                validate_objective(cfg.objective)?;
+                for &(d, p) in &cfg.device_points {
+                    let ladder = devices
+                        .get(d)
+                        .map(|s| s.operating_points.len())
+                        .ok_or_else(|| {
+                            RuntimeError::invalid_parameter(
+                                "device_points",
+                                format!("device {d} out of range ({} devices)", devices.len()),
+                            )
+                        })?;
+                    if p >= ladder {
+                        return Err(RuntimeError::invalid_parameter(
+                            "device_points",
+                            format!("rung {p} off device {d}'s ladder ({ladder} operating points)"),
+                        ));
+                    }
+                }
+                let mut derated = Vec::with_capacity(devices.len());
+                energy_state.active = true;
+                energy_state.objective = cfg.objective;
+                energy_state.op_fault_probs = Vec::with_capacity(devices.len());
+                for (i, spec) in devices.iter().enumerate() {
+                    let rung = cfg.point_for(i, spec.operating_points.len());
+                    let op = &spec.operating_points[rung];
+                    if op.fault_probability >= 1.0 {
+                        return Err(RuntimeError::invalid_parameter(
+                            "operating_point",
+                            format!(
+                                "device {i} ({}) rung {rung} ({:?}) is in the crash region \
+                                 (fault probability {})",
+                                spec.name, op.label, op.fault_probability
+                            ),
+                        ));
+                    }
+                    energy_state.op_fault_probs.push(op.fault_probability);
+                    derated.push(
+                        spec.at_operating_point(rung)
+                            .expect("rung validated against the ladder above"),
+                    );
+                }
+                derated
+            }
+        };
+
+        let mut rt = Runtime::new(devices, policy, seed);
+        if let Some(retries) = max_retries {
+            rt.max_retries = retries;
+        }
+        if let Some(cfg) = resilience {
+            rt.resilience = Some(ResilienceState::new(cfg));
+        }
+        if let Some(cfg) = security {
+            rt.security.config = cfg;
+        }
+        if energy_state.active {
+            rt.fault_probs.copy_from_slice(&energy_state.op_fault_probs);
+            rt.energy = energy_state;
+        }
+        Ok(rt)
+    }
+}
+
+fn validate_objective(objective: Option<EnergyObjective>) -> Result<(), RuntimeError> {
+    match objective {
+        Some(EnergyObjective::MinEnergyWithinMakespan(bound))
+            if !(bound.0.is_finite() && bound.0 > 0.0) =>
+        {
+            Err(RuntimeError::invalid_parameter(
+                "makespan_bound",
+                format!("must be a positive finite time, got {bound}"),
+            ))
+        }
+        Some(EnergyObjective::MinMakespanUnderPowerCap(cap))
+            if !(cap.0.is_finite() && cap.0 > 0.0) =>
+        {
+            Err(RuntimeError::invalid_parameter(
+                "power_cap",
+                format!("must be a positive finite power, got {cap}"),
+            ))
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_core::units::{Seconds, Watt};
+
+    fn specs() -> Vec<DeviceSpec> {
+        vec![
+            DeviceSpec::xeon_x86(),
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+        ]
+    }
+
+    #[test]
+    fn build_defaults_match_runtime_new() {
+        let rt = EngineConfig::new()
+            .with_devices(specs())
+            .build()
+            .expect("plain build");
+        assert_eq!(rt.policy(), Policy::Performance);
+        assert_eq!(rt.devices().len(), 3);
+        assert!(!rt.resilience_enabled());
+    }
+
+    #[test]
+    fn with_device_appends() {
+        let rt = EngineConfig::new()
+            .with_device(DeviceSpec::xeon_x86())
+            .with_device(DeviceSpec::arm64())
+            .build()
+            .expect("two devices");
+        assert_eq!(rt.devices().len(), 2);
+    }
+
+    #[test]
+    fn invalid_weight_is_rejected_at_build() {
+        let err = EngineConfig::new()
+            .with_devices(specs())
+            .with_policy(Policy::Weighted(2.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::InvalidWeight(2.0));
+    }
+
+    #[test]
+    fn energy_step_derates_every_device() {
+        let rt = EngineConfig::new()
+            .with_devices(specs())
+            .with_energy(EnergyConfig::new().with_uniform_step(1))
+            .build()
+            .expect("eco rung exists on the default ladder");
+        for (d, base) in rt.devices().iter().zip(specs()) {
+            assert!(d.spec.name.ends_with("@ eco"), "{}", d.spec.name);
+            assert!(d.spec.busy_power < base.busy_power);
+        }
+    }
+
+    #[test]
+    fn device_point_overrides_the_uniform_step() {
+        let rt = EngineConfig::new()
+            .with_devices(specs())
+            .with_energy(
+                EnergyConfig::new()
+                    .with_uniform_step(1)
+                    .with_device_point(1, 0),
+            )
+            .build()
+            .expect("valid override");
+        assert!(rt.devices()[0].spec.name.ends_with("@ eco"));
+        assert_eq!(rt.devices()[1].spec.name, DeviceSpec::gtx1080().name);
+    }
+
+    #[test]
+    fn out_of_range_overrides_are_errors() {
+        let err = EngineConfig::new()
+            .with_devices(specs())
+            .with_energy(EnergyConfig::new().with_device_point(9, 0))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidParameter { name, .. } if name == "device_points")
+        );
+        let err = EngineConfig::new()
+            .with_devices(specs())
+            .with_energy(EnergyConfig::new().with_device_point(0, 99))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidParameter { name, .. } if name == "device_points")
+        );
+    }
+
+    #[test]
+    fn crash_region_rungs_are_refused() {
+        use legato_hw::device::OperatingPoint;
+        let crash = DeviceSpec::fpga_kintex().with_operating_points(vec![
+            OperatingPoint::nominal(),
+            OperatingPoint::new("crash", 0.4, 1.0, 1.0),
+        ]);
+        let err = EngineConfig::new()
+            .with_device(crash)
+            .with_energy(EnergyConfig::new().with_uniform_step(1))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidParameter { name, .. } if name == "operating_point"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_objectives_are_errors() {
+        for cfg in [
+            EnergyConfig::new().with_makespan_bound(Seconds(0.0)),
+            EnergyConfig::new().with_makespan_bound(Seconds(f64::NAN)),
+            EnergyConfig::new().with_power_cap(Watt(-5.0)),
+        ] {
+            let err = EngineConfig::new()
+                .with_devices(specs())
+                .with_energy(cfg.clone())
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::InvalidParameter { .. }),
+                "{cfg:?} -> {err}"
+            );
+        }
+    }
+}

@@ -541,8 +541,13 @@ impl Runtime {
             }
             return Ok(());
         }
-        let (interval, _cost) =
-            crate::resilience::plan_interval(&res.config, &self.devices, self.policy, &self.graph)?;
+        let (interval, _cost) = crate::resilience::plan_interval(
+            &res.config,
+            &self.devices,
+            self.policy,
+            &self.graph,
+            &self.energy.op_fault_probs,
+        )?;
         // Copy-on-write snapshot of the incrementally maintained
         // completed list (sorted by id = submission order): one copy per
         // checkpoint, shared from then on.
@@ -697,12 +702,12 @@ impl Runtime {
             placements,
             stats: self.engine.stats,
             failed,
-            resilience: self
-                .resilience
-                .as_ref()
-                .map(|r| r.stats)
-                .unwrap_or_default(),
-            security: self.security.stats,
+            resilience: self.resilience.as_ref().map(|r| r.stats),
+            security: self.security.active.then_some(self.security.stats),
+            energy: self
+                .energy
+                .active
+                .then(|| self.energy.stats(busy_energy, idle_energy, makespan)),
         }
     }
 
@@ -824,6 +829,7 @@ impl Runtime {
             kind,
             at,
             needs_sec.then_some(&self.security.plan),
+            self.energy.objective.is_some().then_some(&mut self.energy),
             &mut self.engine.scratch.estimates,
             &mut self.engine.scratch.plans,
             &mut self.engine.scratch.candidates,

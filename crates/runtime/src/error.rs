@@ -35,6 +35,26 @@ pub enum RuntimeError {
     /// The simulated secure layer refused an operation (enclave limit
     /// reached, attestation failure).
     Security(String),
+    /// A caller-supplied parameter was outside its valid domain (a
+    /// non-FPGA device handed to the low-voltage model, a non-positive
+    /// working set, an operating-point index off a device's ladder, …).
+    /// The runtime-layer counterpart of `FtiError::InvalidParameter`.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Why it was rejected, including the offending value.
+        reason: String,
+    },
+}
+
+impl RuntimeError {
+    /// Shorthand for an [`RuntimeError::InvalidParameter`].
+    pub(crate) fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        RuntimeError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,6 +81,9 @@ impl fmt::Display for RuntimeError {
                 )
             }
             RuntimeError::Security(msg) => write!(f, "secure layer error: {msg}"),
+            RuntimeError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
         }
     }
 }
@@ -102,6 +125,15 @@ mod tests {
         assert!(e.to_string().contains("T7"), "{e}");
         let e = RuntimeError::Security("enclave limit (64) reached".into());
         assert!(e.to_string().contains("enclave limit"), "{e}");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = RuntimeError::invalid_parameter("working_set_mbit", "must be positive, got -1");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `working_set_mbit`: must be positive, got -1"
+        );
     }
 
     #[test]

@@ -36,6 +36,15 @@
 //! folded into the scheduler's estimates, and checkpoints of
 //! confidential data route through `seal`.
 //!
+//! The low-energy pillar is wired in the same way ([`energy`]): every
+//! device carries a ladder of voltage/frequency operating points,
+//! selecting a rung derates the spec the scheduler estimates against,
+//! Pareto objectives (min energy under a makespan bound, min makespan
+//! under a power cap) steer placement, and an aggressive rung's fault
+//! probability shortens the checkpoint interval the resilience layer
+//! plans. All pillars are configured through one builder,
+//! [`EngineConfig`].
+//!
 //! ## Example
 //!
 //! ```
@@ -71,7 +80,9 @@
 #![warn(missing_docs)]
 
 pub mod ckpt;
+pub mod config;
 pub mod elastic;
+pub mod energy;
 pub mod engine;
 pub mod error;
 pub mod lowvolt;
@@ -82,6 +93,8 @@ pub mod sched;
 pub mod scheduler;
 pub mod security;
 
+pub use config::EngineConfig;
+pub use energy::{EnergyConfig, EnergyObjective, EnergyStats};
 pub use error::RuntimeError;
 pub use replication::MAX_REPLICAS;
 pub use resilience::{ResilienceConfig, ResilienceStats, RollbackEvent};

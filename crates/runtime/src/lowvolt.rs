@@ -14,8 +14,10 @@
 
 use legato_core::units::{Seconds, Volt};
 use legato_fpga::{FpgaPlatform, VoltageRegion};
-use legato_hw::device::DeviceSpec;
+use legato_hw::device::{DeviceSpec, OperatingPoint};
 use serde::{Deserialize, Serialize};
+
+use crate::error::RuntimeError;
 
 /// Fraction of an FPGA accelerator's busy power drawn by the BRAM
 /// subsystem (the rail undervolting scales). On-chip memory dominates DNN
@@ -47,25 +49,40 @@ pub struct LowVoltageOperatingPoint {
 /// The fault probability assumes bit-flips arrive as a Poisson process at
 /// the platform's fault density: `p = 1 − exp(−rate · mbit · exposure)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `base` is not an FPGA-kind device or inputs are non-positive.
-#[must_use]
+/// Returns [`RuntimeError::InvalidParameter`] if `base` is not an
+/// FPGA-kind device, or `working_set_mbit`/`exposure` are not positive
+/// finite values (this validation used to panic; it now follows the same
+/// panic→`Result` convention as the fti and secure crates).
 pub fn operating_point(
     base: &DeviceSpec,
     platform: &FpgaPlatform,
     v: Volt,
     working_set_mbit: f64,
     exposure: Seconds,
-) -> LowVoltageOperatingPoint {
-    assert!(
-        base.kind == legato_hw::device::DeviceKind::Fpga,
-        "low-voltage operation targets FPGA devices"
-    );
-    assert!(
-        working_set_mbit > 0.0 && exposure.0 > 0.0,
-        "working set and exposure must be positive"
-    );
+) -> Result<LowVoltageOperatingPoint, RuntimeError> {
+    if base.kind != legato_hw::device::DeviceKind::Fpga {
+        return Err(RuntimeError::invalid_parameter(
+            "base",
+            format!(
+                "low-voltage operation targets FPGA devices, got {:?} ({})",
+                base.kind, base.name
+            ),
+        ));
+    }
+    if !(working_set_mbit > 0.0 && working_set_mbit.is_finite()) {
+        return Err(RuntimeError::invalid_parameter(
+            "working_set_mbit",
+            format!("must be positive and finite, got {working_set_mbit}"),
+        ));
+    }
+    if !(exposure.0 > 0.0 && exposure.0.is_finite()) {
+        return Err(RuntimeError::invalid_parameter(
+            "exposure",
+            format!("must be positive and finite, got {exposure}"),
+        ));
+    }
     let region = platform.region_at(v);
     let power_ratio = platform.power_at(v) / platform.nominal_power();
     // Only the BRAM share scales with the rail.
@@ -83,13 +100,51 @@ pub fn operating_point(
     spec.name = format!("{} @ {:.0} mV", base.name, v.millivolts());
     spec.busy_power = busy;
     spec.idle_power = idle;
-    LowVoltageOperatingPoint {
+    Ok(LowVoltageOperatingPoint {
         vccbram: v,
         region,
         spec,
         fault_probability,
         power_saving: 1.0 - busy / base.busy_power,
+    })
+}
+
+/// Derive a [`DeviceSpec`] operating-point ladder from an FPGA
+/// platform's BRAM rail: the nominal point followed by one rung per
+/// requested voltage, in the given order. Each rung carries the Fig. 5
+/// power scaling (only the BRAM share of the draw follows the rail) and
+/// Poisson fault probability; execution speed is unchanged (undervolting
+/// trades *reliability* for power, not clock rate), so `duration_scale`
+/// stays 1.
+///
+/// Feed the result to [`DeviceSpec::with_operating_points`] and select
+/// rungs through the runtime's `EnergyConfig`; a crash-region rung is
+/// included with `fault_probability = 1.0` and will be refused at
+/// selection time.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError::InvalidParameter`] from
+/// [`operating_point`] (non-FPGA base, non-positive working set or
+/// exposure).
+pub fn undervolt_ladder(
+    base: &DeviceSpec,
+    platform: &FpgaPlatform,
+    voltages: &[Volt],
+    working_set_mbit: f64,
+    exposure: Seconds,
+) -> Result<Vec<OperatingPoint>, RuntimeError> {
+    let mut ladder = vec![OperatingPoint::nominal()];
+    for &v in voltages {
+        let op = operating_point(base, platform, v, working_set_mbit, exposure)?;
+        ladder.push(OperatingPoint::new(
+            format!("{:.0} mV", v.millivolts()),
+            op.spec.busy_power.0 / base.busy_power.0,
+            1.0,
+            op.fault_probability,
+        ));
     }
+    Ok(ladder)
 }
 
 /// One row of the low-voltage ablation: energy and correctness of a task
@@ -129,7 +184,8 @@ pub fn undervolt_ablation(
     let base = DeviceSpec::fpga_kintex();
     let mut rows = Vec::new();
     for &v in voltages {
-        let op = operating_point(&base, platform, v, 0.5, Seconds(0.2));
+        let op = operating_point(&base, platform, v, 0.5, Seconds(0.2))
+            .expect("kintex base with positive working set and exposure");
         if op.region == VoltageRegion::Crash {
             rows.push(LowVoltRow {
                 vccbram: v,
@@ -191,10 +247,14 @@ pub fn undervolt_ablation(
 mod tests {
     use super::*;
 
+    fn op_at(p: &FpgaPlatform, v: Volt) -> LowVoltageOperatingPoint {
+        operating_point(&DeviceSpec::fpga_kintex(), p, v, 0.5, Seconds(0.2)).expect("valid inputs")
+    }
+
     #[test]
     fn nominal_point_is_reliable_and_unsaving() {
         let p = FpgaPlatform::vc707();
-        let op = operating_point(&DeviceSpec::fpga_kintex(), &p, Volt(1.0), 0.5, Seconds(0.2));
+        let op = op_at(&p, Volt(1.0));
         assert_eq!(op.region, VoltageRegion::Guardband);
         assert_eq!(op.fault_probability, 0.0);
         assert!(op.power_saving.abs() < 1e-9);
@@ -203,13 +263,7 @@ mod tests {
     #[test]
     fn guardband_edge_saves_power_without_faults() {
         let p = FpgaPlatform::vc707();
-        let op = operating_point(
-            &DeviceSpec::fpga_kintex(),
-            &p,
-            Volt(p.v_min.0 + 0.01),
-            0.5,
-            Seconds(0.2),
-        );
+        let op = op_at(&p, Volt(p.v_min.0 + 0.01));
         assert_eq!(op.fault_probability, 0.0);
         assert!(op.power_saving > 0.25, "saving {}", op.power_saving);
     }
@@ -218,7 +272,7 @@ mod tests {
     fn critical_region_trades_faults_for_power() {
         let p = FpgaPlatform::vc707();
         let deep = Volt(p.v_crash.0 + 0.005);
-        let op = operating_point(&DeviceSpec::fpga_kintex(), &p, deep, 0.5, Seconds(0.2));
+        let op = op_at(&p, deep);
         assert_eq!(op.region, VoltageRegion::Critical);
         assert!(op.fault_probability > 0.5, "p {}", op.fault_probability);
         assert!(op.power_saving > 0.3);
@@ -227,15 +281,14 @@ mod tests {
     #[test]
     fn crash_point_is_unusable() {
         let p = FpgaPlatform::vc707();
-        let op = operating_point(&DeviceSpec::fpga_kintex(), &p, Volt(0.5), 0.5, Seconds(0.2));
+        let op = op_at(&p, Volt(0.5));
         assert_eq!(op.fault_probability, 1.0);
     }
 
     #[test]
     fn power_scaling_only_touches_bram_share() {
         let p = FpgaPlatform::vc707();
-        let base = DeviceSpec::fpga_kintex();
-        let op = operating_point(&base, &p, Volt(p.v_crash.0 + 1e-3), 0.5, Seconds(0.2));
+        let op = op_at(&p, Volt(p.v_crash.0 + 1e-3));
         // Even at ~91 % BRAM saving, total saving caps at the BRAM share.
         assert!(op.power_saving <= BRAM_POWER_SHARE + 1e-9);
         assert!(op.power_saving > BRAM_POWER_SHARE * 0.8);
@@ -273,9 +326,87 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "FPGA devices")]
     fn rejects_non_fpga() {
         let p = FpgaPlatform::vc707();
-        let _ = operating_point(&DeviceSpec::gtx1080(), &p, Volt(1.0), 0.5, Seconds(0.2));
+        let err = operating_point(&DeviceSpec::gtx1080(), &p, Volt(1.0), 0.5, Seconds(0.2))
+            .expect_err("GPU must be rejected");
+        assert!(
+            matches!(err, RuntimeError::InvalidParameter { name: "base", .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("FPGA"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_working_set_and_exposure() {
+        let p = FpgaPlatform::vc707();
+        let base = DeviceSpec::fpga_kintex();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = operating_point(&base, &p, Volt(1.0), bad, Seconds(0.2))
+                .expect_err("bad working set");
+            assert!(
+                matches!(
+                    err,
+                    RuntimeError::InvalidParameter {
+                        name: "working_set_mbit",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+        for bad in [Seconds(0.0), Seconds(-0.2), Seconds(f64::NAN)] {
+            let err = operating_point(&base, &p, Volt(1.0), 0.5, bad).expect_err("bad exposure");
+            assert!(
+                matches!(
+                    err,
+                    RuntimeError::InvalidParameter {
+                        name: "exposure",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn undervolt_ladder_tracks_the_rail() {
+        let p = FpgaPlatform::zc702();
+        let base = DeviceSpec::fpga_kintex();
+        let guard = Volt(p.v_min.0 + 0.01);
+        let critical = Volt(p.v_min.0 - 0.5 * (p.v_min.0 - p.v_crash.0));
+        let crash = Volt(p.v_crash.0 - 0.01);
+        let ladder = undervolt_ladder(&base, &p, &[guard, critical, crash], 0.5, Seconds(0.2))
+            .expect("valid inputs");
+        assert_eq!(ladder.len(), 4);
+        assert!(ladder[0].is_nominal());
+        // Deeper rails save more power.
+        assert!(ladder[1].power_scale < 1.0);
+        assert!(ladder[2].power_scale < ladder[1].power_scale);
+        // Undervolting does not slow the clock down.
+        assert!(ladder.iter().all(|p| p.duration_scale == 1.0));
+        // Guardband rung is fault-free; the critical rung faults; the
+        // crash rung is marked unusable.
+        assert_eq!(ladder[1].fault_probability, 0.0);
+        assert!(ladder[2].fault_probability > 0.0 && ladder[2].fault_probability < 1.0);
+        assert_eq!(ladder[3].fault_probability, 1.0);
+        // Rungs compose with the hw-side spec derivation: busy power at
+        // the rung matches the Fig. 5 model's scaled draw.
+        let derated = base
+            .clone()
+            .with_operating_points(ladder.clone())
+            .at_operating_point(2)
+            .expect("rung 2");
+        let reference = operating_point(&base, &p, critical, 0.5, Seconds(0.2)).expect("valid");
+        assert!((derated.busy_power.0 - reference.spec.busy_power.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ladder_rejects_malformed_inputs() {
+        let p = FpgaPlatform::vc707();
+        let err = undervolt_ladder(&DeviceSpec::gtx1080(), &p, &[Volt(1.0)], 0.5, Seconds(0.2))
+            .expect_err("GPU must be rejected");
+        assert!(matches!(err, RuntimeError::InvalidParameter { .. }));
     }
 }

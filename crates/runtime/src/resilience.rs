@@ -53,7 +53,7 @@ use crate::sched::{Estimate, Scheduler};
 use crate::scheduler::Policy;
 
 /// Configuration of the engine's checkpoint/restart mode
-/// ([`Runtime::enable_resilience`](crate::runtime::Runtime::enable_resilience)).
+/// ([`EngineConfig::with_resilience`](crate::config::EngineConfig::with_resilience)).
 #[derive(Debug, Clone)]
 pub struct ResilienceConfig {
     /// Assumed system MTBF driving the Young-interval choice. Must be
@@ -208,8 +208,19 @@ impl ResilienceState {
 }
 
 /// Plan the checkpoint interval for a run: Young's optimal interval for
-/// the estimated checkpoint cost and configured MTBF, floored at the mean
-/// task duration the scheduler layer predicts under `policy`.
+/// the estimated checkpoint cost and the *effective* MTBF, floored at
+/// the mean task duration the scheduler layer predicts under `policy`.
+///
+/// `op_fault_probs` is the energy layer's per-device silent-fault
+/// probability at the selected operating points (empty or all-zero when
+/// the layer is inactive or every device runs a fault-free rung). A
+/// per-execution fault probability `p` over tasks of mean duration `τ`
+/// is a Poisson fault process of rate `λ = −ln(1 − p) / τ`; those rates
+/// superpose with the configured MTBF's own rate, so
+/// `MTBF_eff = 1 / (1 / MTBF + Σ λ_d)` — an undervolted device plans
+/// *shorter* checkpoint intervals, which is the paper's undervolting ↔
+/// checkpointing co-optimization in one formula. With no operating-point
+/// faults the arithmetic is bit-identical to the configured MTBF.
 ///
 /// Returns `(interval, estimated checkpoint cost)`.
 pub(crate) fn plan_interval(
@@ -217,6 +228,7 @@ pub(crate) fn plan_interval(
     devices: &[Device],
     policy: Policy,
     graph: &TaskGraph,
+    op_fault_probs: &[f64],
 ) -> Result<(Seconds, Seconds), RuntimeError> {
     let n = graph.len();
     let mut duration_total = Seconds::ZERO;
@@ -267,8 +279,20 @@ pub(crate) fn plan_interval(
         // the tier's setup latency.
         delta = config.tier.setup_latency.max(Seconds::from_millis(1.0));
     }
-    let young =
-        young_interval(delta, config.mtbf).map_err(|e| RuntimeError::Resilience(e.to_string()))?;
+    let extra_rate: f64 = op_fault_probs
+        .iter()
+        .filter(|&&p| p > 0.0 && mean_task.0 > 0.0)
+        .map(|&p| -(1.0 - p.clamp(0.0, 0.999_999)).ln() / mean_task.0)
+        .sum();
+    let effective_mtbf = if extra_rate > 0.0 && config.mtbf.0 > 0.0 {
+        Seconds(1.0 / (1.0 / config.mtbf.0 + extra_rate))
+    } else {
+        // Bit-exact pre-energy path; a non-positive configured MTBF
+        // falls through so `young_interval` reports it as the error.
+        config.mtbf
+    };
+    let young = young_interval(delta, effective_mtbf)
+        .map_err(|e| RuntimeError::Resilience(e.to_string()))?;
     Ok((young.max(mean_task), delta))
 }
 
@@ -302,7 +326,7 @@ mod tests {
         let (g, sizes) = graph_with_sizes();
         let plan = |mtbf| {
             let cfg = ResilienceConfig::new(mtbf).with_region_sizes(sizes.clone());
-            plan_interval(&cfg, &devices(), Policy::Performance, &g).unwrap()
+            plan_interval(&cfg, &devices(), Policy::Performance, &g, &[]).unwrap()
         };
         let (long, _) = plan(Seconds(100_000.0));
         let (short, _) = plan(Seconds(1_000.0));
@@ -314,7 +338,7 @@ mod tests {
         let (g, sizes) = graph_with_sizes();
         // Absurdly small MTBF: Young's interval would be sub-task-length.
         let cfg = ResilienceConfig::new(Seconds(0.05)).with_region_sizes(sizes);
-        let (interval, _) = plan_interval(&cfg, &devices(), Policy::Performance, &g).unwrap();
+        let (interval, _) = plan_interval(&cfg, &devices(), Policy::Performance, &g, &[]).unwrap();
         // Under the performance policy every task lands on the fastest
         // device, so the mean predicted duration is that device's time.
         let mean = devices()
@@ -331,7 +355,7 @@ mod tests {
     fn non_positive_mtbf_is_an_error_not_a_panic() {
         let (g, sizes) = graph_with_sizes();
         let cfg = ResilienceConfig::new(Seconds::ZERO).with_region_sizes(sizes);
-        let err = plan_interval(&cfg, &devices(), Policy::Performance, &g).unwrap_err();
+        let err = plan_interval(&cfg, &devices(), Policy::Performance, &g, &[]).unwrap_err();
         assert!(matches!(err, RuntimeError::Resilience(_)), "{err:?}");
     }
 
@@ -339,8 +363,44 @@ mod tests {
     fn zero_sized_regions_still_plan_a_positive_interval() {
         let (g, _) = graph_with_sizes();
         let cfg = ResilienceConfig::new(Seconds(1_000.0)); // no sizes declared
-        let (interval, delta) = plan_interval(&cfg, &devices(), Policy::Energy, &g).unwrap();
+        let (interval, delta) = plan_interval(&cfg, &devices(), Policy::Energy, &g, &[]).unwrap();
         assert!(delta > Seconds::ZERO);
         assert!(interval > Seconds::ZERO);
+    }
+
+    #[test]
+    fn operating_point_faults_shorten_the_interval() {
+        let (g, sizes) = graph_with_sizes();
+        let cfg = ResilienceConfig::new(Seconds(10_000.0)).with_region_sizes(sizes);
+        let plan = |probs: &[f64]| {
+            plan_interval(&cfg, &devices(), Policy::Performance, &g, probs)
+                .unwrap()
+                .0
+        };
+        let nominal = plan(&[]);
+        assert_eq!(
+            nominal,
+            plan(&[0.0, 0.0]),
+            "fault-free rungs must be bit-identical to no energy layer"
+        );
+        let undervolted = plan(&[0.0, 0.05]);
+        assert!(
+            undervolted < nominal,
+            "a faulting rung must shorten the interval: {undervolted} vs {nominal}"
+        );
+        let deeper = plan(&[0.05, 0.2]);
+        assert!(deeper < undervolted, "{deeper} vs {undervolted}");
+    }
+
+    #[test]
+    fn near_certain_op_faults_are_clamped_not_infinite() {
+        let (g, sizes) = graph_with_sizes();
+        let cfg = ResilienceConfig::new(Seconds(10_000.0)).with_region_sizes(sizes);
+        let (interval, _) =
+            plan_interval(&cfg, &devices(), Policy::Performance, &g, &[1.0]).unwrap();
+        assert!(
+            interval.0.is_finite() && interval > Seconds::ZERO,
+            "{interval}"
+        );
     }
 }

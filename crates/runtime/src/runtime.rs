@@ -14,6 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::energy::{EnergyState, EnergyStats};
 use crate::engine::EngineState;
 use crate::error::RuntimeError;
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
@@ -115,12 +116,18 @@ pub struct RunReport {
     /// Tasks that exhausted their retry budget (their dependents were
     /// poisoned and skipped), in submission order.
     pub failed: Vec<TaskId>,
-    /// Checkpoint/restart counters (all zero unless
-    /// [`Runtime::enable_resilience`] was called).
-    pub resilience: ResilienceStats,
-    /// Security counters (all zero unless the run executed confidential
-    /// tasks — the security layer is pay-for-what-you-use).
-    pub security: SecurityStats,
+    /// Checkpoint/restart counters; `Some` exactly when the runtime was
+    /// built with a [`ResilienceConfig`]
+    /// ([`EngineConfig::with_resilience`](crate::config::EngineConfig::with_resilience)).
+    pub resilience: Option<ResilienceStats>,
+    /// Security counters; `Some` exactly when the run executed
+    /// confidential tasks — the security layer is pay-for-what-you-use,
+    /// and an all-public run reports `None`.
+    pub security: Option<SecurityStats>,
+    /// Energy counters; `Some` exactly when the runtime was built with
+    /// an [`EnergyConfig`](crate::energy::EnergyConfig)
+    /// ([`EngineConfig::with_energy`](crate::config::EngineConfig::with_energy)).
+    pub energy: Option<EnergyStats>,
 }
 
 impl RunReport {
@@ -145,6 +152,7 @@ pub struct Runtime {
     pub(crate) engine: EngineState,
     pub(crate) resilience: Option<ResilienceState>,
     pub(crate) security: SecurityState,
+    pub(crate) energy: EnergyState,
 }
 
 impl Runtime {
@@ -167,6 +175,7 @@ impl Runtime {
             engine: EngineState::default(),
             resilience: None,
             security: SecurityState::default(),
+            energy: EnergyState::default(),
         }
     }
 
@@ -180,6 +189,7 @@ impl Runtime {
     /// The interval is planned lazily at the next [`Runtime::step`], so
     /// tasks submitted before the run starts inform the estimate. The
     /// legacy [`Runtime::run_sweep`] ignores resilience mode entirely.
+    #[deprecated(note = "build the runtime with EngineConfig::new().with_resilience(..) instead")]
     pub fn enable_resilience(&mut self, config: ResilienceConfig) {
         self.resilience = Some(ResilienceState::new(config));
     }
@@ -199,6 +209,7 @@ impl Runtime {
     /// [`SecurityLevel`](legato_core::requirements::SecurityLevel) is
     /// submitted, and an all-public run is bit-identical to one on a
     /// runtime that never heard of security (proptest-pinned).
+    #[deprecated(note = "build the runtime with EngineConfig::new().with_security(..) instead")]
     pub fn configure_security(&mut self, config: SecurityConfig) {
         self.security.config = config;
     }
@@ -227,6 +238,17 @@ impl Runtime {
             .as_ref()
             .and_then(|r| r.last.as_ref())
             .map(|c| c.time)
+    }
+
+    /// The Young checkpoint interval planned for the current run; `None`
+    /// before the first run plans it or when resilience is disabled.
+    ///
+    /// With the energy layer active, aggressive operating points raise
+    /// the planned fault rate and *shorten* this interval — the
+    /// undervolting/checkpointing co-optimization made observable.
+    #[must_use]
+    pub fn checkpoint_interval(&self) -> Option<Seconds> {
+        self.resilience.as_ref().and_then(|r| r.interval)
     }
 
     /// The scheduling policy in force.
@@ -331,6 +353,16 @@ impl Runtime {
                 "the topological sweep is security-unaware; use run() for workloads \
                  with confidential tasks"
                     .into(),
+            ));
+        }
+        if self.energy.objective.is_some() {
+            // Rung selection (baked into the specs) is honest in the
+            // sweep, but a Pareto objective steers placement and only
+            // the engine implements it.
+            return Err(RuntimeError::invalid_parameter(
+                "objective",
+                "the topological sweep ignores Pareto objectives; use run() for \
+                 energy-objective workloads",
             ));
         }
         // The sweep executes every outstanding task itself; any ready
@@ -451,8 +483,14 @@ impl Runtime {
             placements,
             stats,
             failed,
-            resilience: ResilienceStats::default(),
-            security: SecurityStats::default(),
+            // The sweep ignores resilience mode entirely, so reporting
+            // its counters here would imply coverage it does not have.
+            resilience: None,
+            security: None,
+            energy: self
+                .energy
+                .active
+                .then(|| self.energy.stats(busy_energy, idle_energy, makespan)),
         })
     }
 
@@ -783,6 +821,20 @@ mod tests {
         crate::resilience::ResilienceConfig::new(Seconds(mtbf)).with_region_sizes(sizes)
     }
 
+    fn resilient_rt(
+        seed: u64,
+        policy: Policy,
+        config: crate::resilience::ResilienceConfig,
+    ) -> Runtime {
+        crate::config::EngineConfig::new()
+            .with_devices(specs())
+            .with_policy(policy)
+            .with_seed(seed)
+            .with_resilience(config)
+            .build()
+            .expect("valid engine config")
+    }
+
     /// A serial chain of seconds-scale tasks (the resilience tests need
     /// virtual times comparable to checkpoint intervals and MTBFs).
     fn heavy_chain(rt: &mut Runtime, n: usize, crit: Criticality) -> Vec<TaskId> {
@@ -801,19 +853,18 @@ mod tests {
 
     #[test]
     fn fault_free_resilient_run_checkpoints_without_rollbacks() {
-        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
-        rt.enable_resilience(resilient_config(5.0));
+        let mut rt = resilient_rt(1, Policy::Performance, resilient_config(5.0));
         heavy_chain(&mut rt, 40, Criticality::Normal);
         let rep = rt.run().unwrap();
         assert!(rep.is_correct());
         assert_eq!(rep.placements.len(), 40);
-        assert_eq!(rep.resilience.rollbacks, 0);
+        let res = rep.resilience.expect("resilience enabled");
+        assert_eq!(res.rollbacks, 0);
         assert!(
-            rep.resilience.checkpoints > 0,
-            "long chain must cross several intervals: {:?}",
-            rep.resilience
+            res.checkpoints > 0,
+            "long chain must cross several intervals: {res:?}"
         );
-        assert!(rep.resilience.checkpoint_bytes > legato_core::units::Bytes::ZERO);
+        assert!(res.checkpoint_bytes > legato_core::units::Bytes::ZERO);
         assert!(rt.last_checkpoint_time().is_some());
         assert!(rt.rollback_trace().is_empty());
     }
@@ -821,15 +872,19 @@ mod tests {
     #[test]
     fn exhausted_retries_roll_back_and_complete_instead_of_poisoning() {
         let build = |resilient: bool| {
-            let mut rt = Runtime::new(specs(), Policy::Performance, 11);
+            let mut cfg = crate::config::EngineConfig::new()
+                .with_devices(specs())
+                .with_policy(Policy::Performance)
+                .with_seed(11)
+                .with_max_retries(1);
+            if resilient {
+                cfg = cfg.with_resilience(resilient_config(5.0).with_max_rollbacks(500));
+            }
+            let mut rt = cfg.build().expect("valid engine config");
             // The GPU is the fastest device and always in the replica
             // set; a high fault rate with a tight retry budget exhausts
             // retries on some tasks.
             rt.set_fault_prob(1, 0.85);
-            rt.set_max_retries(1);
-            if resilient {
-                rt.enable_resilience(resilient_config(5.0).with_max_rollbacks(500));
-            }
             heavy_chain(&mut rt, 12, Criticality::High);
             rt
         };
@@ -847,28 +902,33 @@ mod tests {
         assert!(rep.failed.is_empty(), "rollback must recover: {rep:?}");
         assert_eq!(rep.placements.len(), 12);
         assert!(resilient.graph().is_complete());
-        assert!(rep.resilience.rollbacks > 0);
-        assert_eq!(
-            rep.resilience.rollbacks as usize,
-            resilient.rollback_trace().len()
-        );
+        let res = rep.resilience.expect("resilience enabled");
+        assert!(res.rollbacks > 0);
+        assert_eq!(res.rollbacks as usize, resilient.rollback_trace().len());
         // Rolled-back work is accounted and the makespan pays for it.
-        assert!(rep.resilience.wasted_work >= Seconds::ZERO);
+        assert!(res.wasted_work >= Seconds::ZERO);
         assert!(rep.makespan > baseline.makespan);
     }
 
     #[test]
     fn rollback_budget_falls_back_to_fail_and_poison() {
-        let mut rt = Runtime::new(specs(), Policy::Performance, 3);
+        let mut rt = resilient_rt(
+            3,
+            Policy::Performance,
+            resilient_config(5.0).with_max_rollbacks(4),
+        );
         // Every device always faults: dual replication can never agree,
         // so every rollback replays the same doomed task.
         for i in 0..3 {
             rt.set_fault_prob(i, 1.0);
         }
-        rt.enable_resilience(resilient_config(5.0).with_max_rollbacks(4));
         let ids = heavy_chain(&mut rt, 3, Criticality::High);
         let rep = rt.run().unwrap();
-        assert_eq!(rep.resilience.rollbacks, 4, "budget must bound rollbacks");
+        assert_eq!(
+            rep.resilience.expect("resilience enabled").rollbacks,
+            4,
+            "budget must bound rollbacks"
+        );
         assert_eq!(rep.failed, vec![ids[0]]);
         assert_eq!(rep.placements.len(), 0);
     }
@@ -876,10 +936,9 @@ mod tests {
     #[test]
     fn resilient_run_is_deterministic() {
         let run = |seed| {
-            let mut rt = Runtime::new(specs(), Policy::Weighted(0.5), seed);
+            let mut rt = resilient_rt(seed, Policy::Weighted(0.5), resilient_config(5.0));
             rt.set_fault_prob(1, 0.7);
             rt.set_max_retries(1);
-            rt.enable_resilience(resilient_config(5.0));
             heavy_chain(&mut rt, 15, Criticality::High);
             let rep = rt.run().unwrap();
             (rep, rt.rollback_trace().to_vec())
@@ -889,26 +948,41 @@ mod tests {
 
     #[test]
     fn invalid_mtbf_is_an_error_not_a_panic() {
-        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
-        rt.enable_resilience(crate::resilience::ResilienceConfig::new(Seconds(-5.0)));
+        let mut rt = resilient_rt(
+            1,
+            Policy::Performance,
+            crate::resilience::ResilienceConfig::new(Seconds(-5.0)),
+        );
         chain(&mut rt, 2, Criticality::Normal);
         assert!(matches!(rt.run(), Err(RuntimeError::Resilience(_))));
     }
 
     #[test]
-    fn checkpoint_chain_survives_a_second_run() {
+    fn deprecated_pillar_shims_still_configure_the_runtime() {
+        // The pre-EngineConfig entry points keep working for downstream
+        // callers mid-migration.
         let mut rt = Runtime::new(specs(), Policy::Performance, 1);
+        #[allow(deprecated)]
         rt.enable_resilience(resilient_config(5.0));
+        #[allow(deprecated)]
+        rt.configure_security(SecurityConfig::new());
+        assert!(rt.resilience_enabled());
         heavy_chain(&mut rt, 30, Criticality::Normal);
-        let first = rt.run().unwrap();
-        assert!(first.resilience.checkpoints > 0);
+        let rep = rt.run().unwrap();
+        assert!(rep.resilience.expect("shim enabled resilience").checkpoints > 0);
+    }
+
+    #[test]
+    fn checkpoint_chain_survives_a_second_run() {
+        let mut rt = resilient_rt(1, Policy::Performance, resilient_config(5.0));
         heavy_chain(&mut rt, 30, Criticality::Normal);
-        let second = rt.run().unwrap();
+        let first = rt.run().unwrap().resilience.expect("resilience enabled");
+        assert!(first.checkpoints > 0);
+        heavy_chain(&mut rt, 30, Criticality::Normal);
+        let second = rt.run().unwrap().resilience.expect("resilience enabled");
         assert!(
-            second.resilience.checkpoints > first.resilience.checkpoints,
-            "a later run must keep checkpointing: {:?} then {:?}",
-            first.resilience,
-            second.resilience
+            second.checkpoints > first.checkpoints,
+            "a later run must keep checkpointing: {first:?} then {second:?}"
         );
     }
 
@@ -935,9 +1009,13 @@ mod tests {
         }
 
         fn secure_rt(seed: u64) -> Runtime {
-            let mut rt = Runtime::new(specs(), Policy::Performance, seed);
-            rt.configure_security(SecurityConfig::new().with_region_sizes(sizes()));
-            rt
+            crate::config::EngineConfig::new()
+                .with_devices(specs())
+                .with_policy(Policy::Performance)
+                .with_seed(seed)
+                .with_security(SecurityConfig::new().with_region_sizes(sizes()))
+                .build()
+                .expect("valid engine config")
         }
 
         fn submit_leveled(rt: &mut Runtime, region: u64, level: SecurityLevel, kind: TaskKind) {
@@ -977,8 +1055,9 @@ mod tests {
                     );
                 }
             }
-            assert_eq!(rep.security.enclave_tasks, 12);
-            assert!(rep.security.enclave_time > Seconds::ZERO);
+            let sec = rep.security.expect("confidential tasks ran");
+            assert_eq!(sec.enclave_tasks, 12);
+            assert!(sec.enclave_time > Seconds::ZERO);
         }
 
         #[test]
@@ -1020,10 +1099,10 @@ mod tests {
             // One code image, at most two TEE devices: the quote cache
             // bounds attestations by the (enclave, device) pairs touched,
             // not by the 8 executions.
+            let attestations = rep.security.expect("confidential tasks ran").attestations;
             assert!(
-                (1..=2).contains(&rep.security.attestations),
-                "attestations {}",
-                rep.security.attestations
+                (1..=2).contains(&attestations),
+                "attestations {attestations}"
             );
         }
 
@@ -1050,8 +1129,9 @@ mod tests {
             let producer_dev = rep.placements[0].devices[0];
             let consumer_dev = rep.placements[1].devices[0];
             assert_ne!(producer_dev, consumer_dev, "the region must cross");
-            assert_eq!(rep.security.sealed_bytes, Bytes::mib(32));
-            assert!(rep.security.seal_time > Seconds::ZERO);
+            let sec = rep.security.expect("confidential tasks ran");
+            assert_eq!(sec.sealed_bytes, Bytes::mib(32));
+            assert!(sec.seal_time > Seconds::ZERO);
         }
 
         #[test]
@@ -1061,17 +1141,24 @@ mod tests {
                 submit_leveled(&mut rt, i, SecurityLevel::Public, TaskKind::Compute);
             }
             let rep = rt.run().expect("devices present");
-            assert_eq!(rep.security, crate::security::SecurityStats::default());
+            assert!(
+                rep.security.is_none(),
+                "pay-for-what-you-use: an all-public run reports no security stats"
+            );
             assert!(rep.is_correct());
         }
 
         #[test]
         fn confidential_checkpoints_route_through_seal() {
             let run = |confidential: bool| {
-                let mut rt = secure_rt(9);
-                rt.enable_resilience(
-                    ResilienceConfig::new(Seconds(5.0)).with_region_sizes(sizes()),
-                );
+                let mut rt = crate::config::EngineConfig::new()
+                    .with_devices(specs())
+                    .with_policy(Policy::Performance)
+                    .with_seed(9)
+                    .with_security(SecurityConfig::new().with_region_sizes(sizes()))
+                    .with_resilience(ResilienceConfig::new(Seconds(5.0)).with_region_sizes(sizes()))
+                    .build()
+                    .expect("valid engine config");
                 let level = if confidential {
                     SecurityLevel::Confidential
                 } else {
@@ -1089,29 +1176,31 @@ mod tests {
             };
             let plain = run(false);
             let sealed = run(true);
-            assert!(plain.resilience.checkpoints > 0);
-            assert!(sealed.resilience.checkpoints > 0);
+            assert!(plain.resilience.expect("resilience enabled").checkpoints > 0);
+            assert!(sealed.resilience.expect("resilience enabled").checkpoints > 0);
             // Checkpoints of confidential data pay sealing on top of the
-            // FTI write cost; public data pays nothing.
-            assert_eq!(plain.security.seal_time, Seconds::ZERO);
-            assert!(
-                sealed.security.seal_time > Seconds::ZERO,
-                "sealed ckpt stats: {:?}",
-                sealed.security
-            );
-            assert!(sealed.security.sealed_bytes > Bytes::ZERO);
+            // FTI write cost; public data pays nothing (and an all-public
+            // run reports no security stats at all).
+            assert!(plain.security.is_none());
+            let sec = sealed.security.expect("confidential tasks ran");
+            assert!(sec.seal_time > Seconds::ZERO, "sealed ckpt stats: {sec:?}");
+            assert!(sec.sealed_bytes > Bytes::ZERO);
             assert!(sealed.makespan >= plain.makespan);
         }
 
         #[test]
         fn hardware_crypto_beats_software_crypto_end_to_end() {
             let run = |tee: TeeCapability| {
-                let mut rt = Runtime::new(
-                    vec![DeviceSpec::xeon_x86().with_tee(tee), DeviceSpec::gtx1080()],
-                    Policy::Performance,
-                    11,
-                );
-                rt.configure_security(SecurityConfig::new().with_region_sizes(sizes()));
+                let mut rt = crate::config::EngineConfig::new()
+                    .with_devices(vec![
+                        DeviceSpec::xeon_x86().with_tee(tee),
+                        DeviceSpec::gtx1080(),
+                    ])
+                    .with_policy(Policy::Performance)
+                    .with_seed(11)
+                    .with_security(SecurityConfig::new().with_region_sizes(sizes()))
+                    .build()
+                    .expect("valid engine config");
                 for i in 0..8u64 {
                     submit_leveled(&mut rt, i, SecurityLevel::Enclave, TaskKind::Compute);
                 }

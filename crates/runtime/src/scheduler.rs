@@ -120,6 +120,13 @@ impl Policy {
     /// and pending attestation included. `None` (the common case) is the
     /// exact pre-security arithmetic.
     ///
+    /// `energy` carries the energy layer's state when a Pareto
+    /// [`EnergyObjective`](crate::energy::EnergyObjective) is in force:
+    /// the objective *replaces* this policy's scoring for the selection
+    /// (see [`pick_k_pareto`]), and a placement that had to relax its
+    /// bound or cap bumps the state's relaxation counter. `None` (no
+    /// objective) is the exact pre-energy arithmetic.
+    ///
     /// Fills `out` with `(device index, start, duration)` triples in
     /// selection order and returns how many slots were filled
     /// (`min(out.len(), eligible devices)`). The plans are valid until
@@ -132,6 +139,7 @@ impl Policy {
         kind: TaskKind,
         ready_at: Seconds,
         security: Option<&crate::security::SecurePlan>,
+        energy: Option<&mut crate::energy::EnergyState>,
         estimates: &mut Vec<Estimate>,
         plans: &mut Vec<(Seconds, Seconds)>,
         candidates: &mut Vec<usize>,
@@ -160,7 +168,17 @@ impl Policy {
         }
         let mut chosen = [0usize; crate::replication::MAX_REPLICAS];
         let want = out.len().min(chosen.len());
-        let k = policy.select_k(estimates, &mut chosen[..want]);
+        let k = match energy.and_then(|state| state.objective.map(|obj| (state, obj))) {
+            Some((state, objective)) => pick_k_pareto(
+                objective,
+                state,
+                devices,
+                estimates,
+                candidates,
+                &mut chosen[..want],
+            ),
+            None => policy.select_k(estimates, &mut chosen[..want]),
+        };
         for (slot, &c) in chosen[..k].iter().enumerate() {
             out[slot] = (candidates[c], plans[c].0, plans[c].1);
         }
@@ -195,6 +213,97 @@ impl Scheduler for Policy {
         // them on a common scale; the pure policies are scale-free.
         matches!(self, Policy::Weighted(_))
     }
+}
+
+/// Constrained top-k selection for a Pareto
+/// [`EnergyObjective`](crate::energy::EnergyObjective), replacing the
+/// policy's scoring when the energy layer imposes one:
+///
+/// * **Min energy within a makespan bound** — when at least `k`
+///   candidates are predicted to finish by the bound, pick the `k`
+///   cheapest of them in energy; otherwise fall back to the `k`
+///   earliest finishers over *all* candidates and count one bound
+///   relaxation (the engine never refuses to place work).
+/// * **Min makespan under a power cap** — when at least `k` candidates'
+///   busy draw respects the cap, pick the `k` earliest finishers among
+///   them; otherwise fall back to the `k` lowest-power candidates and
+///   count one cap relaxation.
+///
+/// Selection is the same allocation-free repeated-minimum
+/// [`Scheduler::select_k`] uses, with identical earliest-index
+/// tie-breaking, so Pareto runs stay exactly as deterministic as policy
+/// runs.
+fn pick_k_pareto(
+    objective: crate::energy::EnergyObjective,
+    state: &mut crate::energy::EnergyState,
+    devices: &[Device],
+    estimates: &[Estimate],
+    candidates: &[usize],
+    out: &mut [usize],
+) -> usize {
+    use crate::energy::EnergyObjective::{MinEnergyWithinMakespan, MinMakespanUnderPowerCap};
+    let want = out.len().min(estimates.len());
+    match objective {
+        MinEnergyWithinMakespan(bound) => {
+            let in_bound = |c: usize| estimates[c].finish.0 <= bound.0;
+            let feasible = (0..estimates.len()).filter(|&c| in_bound(c)).count();
+            if feasible >= want {
+                pick_k_by(estimates.len(), in_bound, |c| estimates[c].energy.0, out)
+            } else {
+                state.bound_relaxations += 1;
+                pick_k_by(estimates.len(), |_| true, |c| estimates[c].finish.0, out)
+            }
+        }
+        MinMakespanUnderPowerCap(cap) => {
+            let capped = |c: usize| devices[candidates[c]].spec.busy_power.0 <= cap.0;
+            let feasible = (0..estimates.len()).filter(|&c| capped(c)).count();
+            if feasible >= want {
+                pick_k_by(estimates.len(), capped, |c| estimates[c].finish.0, out)
+            } else {
+                state.cap_relaxations += 1;
+                pick_k_by(
+                    estimates.len(),
+                    |_| true,
+                    |c| devices[candidates[c]].spec.busy_power.0,
+                    out,
+                )
+            }
+        }
+    }
+}
+
+/// Repeated-minimum top-k over candidate positions `0..n` that satisfy
+/// `keep`, ordered by ascending `key` with ties toward the earliest
+/// position — the filtered twin of [`Scheduler::select_k`], sharing its
+/// allocation-free shape and tie-break so constrained and unconstrained
+/// selections are directly comparable.
+fn pick_k_by(
+    n: usize,
+    keep: impl Fn(usize) -> bool,
+    key: impl Fn(usize) -> f64,
+    out: &mut [usize],
+) -> usize {
+    let mut filled = 0;
+    for slot in 0..out.len().min(n) {
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..n {
+            if !keep(c) || out[..slot].contains(&c) {
+                continue;
+            }
+            let s = key(c);
+            if best.is_none_or(|(_, bs)| s < bs) {
+                best = Some((c, s));
+            }
+        }
+        match best {
+            Some((c, _)) => {
+                out[slot] = c;
+                filled += 1;
+            }
+            None => break,
+        }
+    }
+    filled
 }
 
 /// Predicted completion and energy of `work` on each live device, folding

@@ -54,7 +54,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::RuntimeError;
 
 /// Configuration of the security layer
-/// ([`Runtime::configure_security`](crate::runtime::Runtime::configure_security)).
+/// ([`EngineConfig::with_security`](crate::config::EngineConfig::with_security)).
 ///
 /// The layer itself activates automatically when the first non-public
 /// task is submitted; the configuration only tunes its cost model.

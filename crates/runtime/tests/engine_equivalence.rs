@@ -34,7 +34,7 @@ use legato_core::requirements::{Criticality, Requirements, SecurityLevel};
 use legato_core::task::{AccessMode, RegionId, TaskDescriptor, Work};
 use legato_core::units::{Bytes, Seconds};
 use legato_hw::device::DeviceSpec;
-use legato_runtime::{Policy, ResilienceConfig, RunReport, Runtime, SecurityConfig};
+use legato_runtime::{EngineConfig, Policy, ResilienceConfig, RunReport, Runtime, SecurityConfig};
 use proptest::prelude::*;
 
 /// Chains → tasks → (flops, criticality selector, security selector).
@@ -104,17 +104,21 @@ fn sizes(chains: &ChainSpec) -> HashMap<RegionId, Bytes> {
 }
 
 fn runtime(seed: u64, resilient: bool, chains: &ChainSpec) -> Runtime {
-    let mut rt = Runtime::new(devices(), Policy::Weighted(0.5), seed);
-    rt.set_fault_prob(1, 0.4);
-    rt.set_max_retries(1);
-    rt.configure_security(SecurityConfig::new().with_region_sizes(sizes(chains)));
+    let mut cfg = EngineConfig::new()
+        .with_devices(devices())
+        .with_policy(Policy::Weighted(0.5))
+        .with_seed(seed)
+        .with_max_retries(1)
+        .with_security(SecurityConfig::new().with_region_sizes(sizes(chains)));
     if resilient {
-        rt.enable_resilience(
+        cfg = cfg.with_resilience(
             ResilienceConfig::new(Seconds(5.0))
                 .with_region_sizes(sizes(chains))
                 .with_max_rollbacks(10_000),
         );
     }
+    let mut rt = cfg.build().expect("valid engine config");
+    rt.set_fault_prob(1, 0.4);
     rt
 }
 
@@ -264,9 +268,10 @@ proptest! {
             }
         }
         // Each accepted enclave task executed at least one replica.
-        prop_assert!(a.security.enclave_tasks >= enclave_ran);
+        let sec = a.security.unwrap_or_default();
+        prop_assert!(sec.enclave_tasks >= enclave_ran);
         if enclave_ran > 0 {
-            prop_assert!(a.security.attestations > 0);
+            prop_assert!(sec.attestations > 0);
         }
     }
 
@@ -313,16 +318,20 @@ proptest! {
         resilient in any::<bool>(),
     ) {
         // `runtime()` configures security; this twin never does.
-        let mut plain = Runtime::new(devices(), Policy::Weighted(0.5), seed);
-        plain.set_fault_prob(1, 0.4);
-        plain.set_max_retries(1);
+        let mut plain_cfg = EngineConfig::new()
+            .with_devices(devices())
+            .with_policy(Policy::Weighted(0.5))
+            .with_seed(seed)
+            .with_max_retries(1);
         if resilient {
-            plain.enable_resilience(
+            plain_cfg = plain_cfg.with_resilience(
                 ResilienceConfig::new(Seconds(5.0))
                     .with_region_sizes(sizes(&chains))
                     .with_max_rollbacks(10_000),
             );
         }
+        let mut plain = plain_cfg.build().expect("valid engine config");
+        plain.set_fault_prob(1, 0.4);
         submit_wave(&mut plain, &chains);
         let plain_report = plain.run().expect("devices present");
 
@@ -332,9 +341,6 @@ proptest! {
 
         prop_assert_eq!(&plain_report, &configured_report);
         prop_assert_eq!(plain.rollback_trace(), configured.rollback_trace());
-        prop_assert_eq!(
-            configured_report.security,
-            legato_runtime::SecurityStats::default()
-        );
+        prop_assert_eq!(configured_report.security, None);
     }
 }

@@ -13,7 +13,7 @@ use legato_core::requirements::{Criticality, Requirements};
 use legato_core::task::{AccessMode, RegionId, TaskDescriptor, Work};
 use legato_core::units::{Bytes, Seconds};
 use legato_hw::device::DeviceSpec;
-use legato_runtime::{Policy, ResilienceConfig, Runtime};
+use legato_runtime::{EngineConfig, Policy, ResilienceConfig, Runtime};
 use proptest::prelude::*;
 
 /// Chains → tasks → flops (seconds-scale so checkpoint intervals and
@@ -57,12 +57,17 @@ proptest! {
     #[test]
     fn checkpointed_engine_is_deterministic(chains in chains_strategy(), seed in 0u64..500) {
         let run = || {
-            let mut rt = Runtime::new(devices(), Policy::Performance, seed);
+            let mut rt = EngineConfig::new()
+                .with_devices(devices())
+                .with_policy(Policy::Performance)
+                .with_seed(seed)
+                .with_max_retries(1)
+                .with_resilience(
+                    ResilienceConfig::new(Seconds(5.0)).with_region_sizes(sizes(&chains)),
+                )
+                .build()
+                .expect("valid engine config");
             rt.set_fault_prob(1, 0.6);
-            rt.set_max_retries(1);
-            rt.enable_resilience(
-                ResilienceConfig::new(Seconds(5.0)).with_region_sizes(sizes(&chains)),
-            );
             build(&mut rt, &chains);
             let report = rt.run().expect("devices present");
             (report, rt.rollback_trace().to_vec())
@@ -78,14 +83,19 @@ proptest! {
     #[test]
     fn rollback_always_recovers_within_budget(chains in chains_strategy(), seed in 0u64..500) {
         let total: usize = chains.iter().map(Vec::len).sum();
-        let mut rt = Runtime::new(devices(), Policy::Performance, seed);
+        let mut rt = EngineConfig::new()
+            .with_devices(devices())
+            .with_policy(Policy::Performance)
+            .with_seed(seed)
+            .with_max_retries(1)
+            .with_resilience(
+                ResilienceConfig::new(Seconds(5.0))
+                    .with_region_sizes(sizes(&chains))
+                    .with_max_rollbacks(10_000),
+            )
+            .build()
+            .expect("valid engine config");
         rt.set_fault_prob(1, 0.5);
-        rt.set_max_retries(1);
-        rt.enable_resilience(
-            ResilienceConfig::new(Seconds(5.0))
-                .with_region_sizes(sizes(&chains))
-                .with_max_rollbacks(10_000),
-        );
         build(&mut rt, &chains);
         let report = rt.run().expect("devices present");
         prop_assert!(report.failed.is_empty(), "stats: {:?}", report.resilience);
