@@ -16,9 +16,10 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use legato_bench::experiments::engine::{compare, Scenario};
 use legato_bench::experiments::goals;
-use legato_core::graph::TaskGraph;
-use legato_core::task::{AccessMode, TaskDescriptor};
-use legato_runtime::{Policy, Runtime};
+use legato_core::graph::{GraphBuilder, TaskGraph};
+use legato_core::task::{AccessMode, TaskDescriptor, Work};
+use legato_hw::device::DeviceSpec;
+use legato_runtime::{EngineConfig, Policy, PoolConfig, Runtime};
 use std::hint::black_box;
 
 fn bench_executors(c: &mut Criterion) {
@@ -93,5 +94,63 @@ fn bench_ready_set_drain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_executors, bench_ready_set_drain);
+/// Cluster-scale scheduling: wide chain graphs bulk-submitted through
+/// [`GraphBuilder`], placed by the sharded scheduler over pooled
+/// fleets. Rows span {10k, 100k, 1M} tasks × {64, 256, 1024} devices;
+/// the per-task trajectory across the device axis is the scaling curve
+/// the `bench-baseline` CI job tracks (per-task cost should stay
+/// near-flat as the fleet grows — that is the point of the pools).
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_engine/scaling");
+    g.sample_size(10);
+    let fleet = |n: usize| -> Vec<DeviceSpec> {
+        let specs = [
+            DeviceSpec::xeon_x86(),
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+            DeviceSpec::arm64(),
+        ];
+        (0..n).map(|i| specs[i % specs.len()].clone()).collect()
+    };
+    for &tasks in &[10_000usize, 100_000, 1_000_000] {
+        for &devs in &[64usize, 256, 1024] {
+            g.throughput(Throughput::Elements(tasks as u64));
+            g.bench_function(&format!("tasks_{tasks}/devs_{devs}"), |b| {
+                b.iter(|| {
+                    let mut rt = EngineConfig::new()
+                        .with_devices(fleet(devs))
+                        .with_policy(Policy::Performance)
+                        .with_seed(42)
+                        .with_pools(PoolConfig::uniform(devs, 16))
+                        .build()
+                        .expect("valid engine config");
+                    // `width` chains of depth 4, serialized per region,
+                    // with varied task sizes so availability minima
+                    // diverge and the shard bounds separate.
+                    let width = tasks / 4;
+                    let mut builder =
+                        GraphBuilder::with_capacity(tasks, tasks).with_region_capacity(width);
+                    for i in 0..tasks {
+                        let flops = (1.0 + (i % 997) as f64 / 997.0) * 1.0e12;
+                        builder.task(
+                            TaskDescriptor::named("t").with_work(Work::flops(flops)),
+                            [((i % width) as u64, AccessMode::InOut)],
+                        );
+                    }
+                    rt.reserve(tasks, tasks - width);
+                    rt.submit_batch(builder);
+                    rt.run().expect("devices present")
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executors,
+    bench_ready_set_drain,
+    bench_scaling
+);
 criterion_main!(benches);

@@ -4,7 +4,8 @@
 //!
 //! ```json
 //! {"id": "group/case", "ns_per_iter": 123.0, "mean_ns_per_iter": 130.1,
-//!  "iterations": 10, "throughput": {"elements_per_iter": 1026}}
+//!  "min_ns_per_iter": 119.8, "iterations": 10,
+//!  "throughput": {"elements_per_iter": 1026}}
 //! ```
 //!
 //! The `bench_compare` binary (used by the `bench-baseline` CI job)
@@ -24,6 +25,19 @@ pub struct BaselineRow {
     pub id: String,
     /// Median wall-clock nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// Minimum wall-clock nanoseconds per iteration, when the baseline
+    /// recorded one (older baselines predate the field).
+    pub min_ns_per_iter: Option<f64>,
+}
+
+impl BaselineRow {
+    /// The number comparisons run on: the minimum when recorded (for a
+    /// deterministic bench body every nanosecond above the minimum is
+    /// interference), the median otherwise.
+    #[must_use]
+    pub fn metric(&self) -> f64 {
+        self.min_ns_per_iter.unwrap_or(self.ns_per_iter)
+    }
 }
 
 /// Extract the string value of `"key": "…"` from a JSON row line.
@@ -54,6 +68,7 @@ pub fn parse_baseline(contents: &str) -> Vec<BaselineRow> {
             Some(BaselineRow {
                 id: string_field(line, "id")?,
                 ns_per_iter: number_field(line, "ns_per_iter")?,
+                min_ns_per_iter: number_field(line, "min_ns_per_iter"),
             })
         })
         .collect()
@@ -70,9 +85,11 @@ pub enum DeltaRow {
     Removed(String, f64),
 }
 
-/// Diff `current` against `baseline`, matching rows by id. Changed rows
-/// come first, sorted most-regressed first (largest positive delta);
-/// added and removed rows follow in file order.
+/// Diff `current` against `baseline`, matching rows by id. Each side
+/// contributes its [`BaselineRow::metric`] — the minimum when recorded,
+/// the median otherwise. Changed rows come first, sorted most-regressed
+/// first (largest positive delta); added and removed rows follow in
+/// file order.
 #[must_use]
 pub fn diff_baselines(baseline: &[BaselineRow], current: &[BaselineRow]) -> Vec<DeltaRow> {
     let mut changed = Vec::new();
@@ -80,25 +97,25 @@ pub fn diff_baselines(baseline: &[BaselineRow], current: &[BaselineRow]) -> Vec<
     for cur in current {
         match baseline.iter().find(|b| b.id == cur.id) {
             Some(base) => {
-                let delta = if base.ns_per_iter > 0.0 {
-                    (cur.ns_per_iter - base.ns_per_iter) / base.ns_per_iter * 100.0
+                let delta = if base.metric() > 0.0 {
+                    (cur.metric() - base.metric()) / base.metric() * 100.0
                 } else {
                     0.0
                 };
                 changed.push(DeltaRow::Changed(
                     cur.id.clone(),
-                    base.ns_per_iter,
-                    cur.ns_per_iter,
+                    base.metric(),
+                    cur.metric(),
                     delta,
                 ));
             }
-            None => added.push(DeltaRow::Added(cur.id.clone(), cur.ns_per_iter)),
+            None => added.push(DeltaRow::Added(cur.id.clone(), cur.metric())),
         }
     }
     let removed = baseline
         .iter()
         .filter(|b| !current.iter().any(|c| c.id == b.id))
-        .map(|b| DeltaRow::Removed(b.id.clone(), b.ns_per_iter));
+        .map(|b| DeltaRow::Removed(b.id.clone(), b.metric()));
     changed.sort_by(|a, b| match (a, b) {
         (DeltaRow::Changed(_, _, _, da), DeltaRow::Changed(_, _, _, db)) => db.total_cmp(da),
         _ => std::cmp::Ordering::Equal,
@@ -142,7 +159,7 @@ mod tests {
 
     const SAMPLE: &str = r#"[
   {"id": "g/a", "ns_per_iter": 100.0, "mean_ns_per_iter": 110.0, "iterations": 10, "throughput": null},
-  {"id": "g/b", "ns_per_iter": 250.5, "mean_ns_per_iter": 251.0, "iterations": 10, "throughput": {"elements_per_iter": 1026}}
+  {"id": "g/b", "ns_per_iter": 250.5, "mean_ns_per_iter": 251.0, "min_ns_per_iter": 240.0, "iterations": 10, "throughput": {"elements_per_iter": 1026}}
 ]"#;
 
     #[test]
@@ -151,8 +168,17 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].id, "g/a");
         assert!((rows[0].ns_per_iter - 100.0).abs() < 1e-9);
+        assert_eq!(rows[0].min_ns_per_iter, None, "pre-min rows still parse");
         assert_eq!(rows[1].id, "g/b");
         assert!((rows[1].ns_per_iter - 250.5).abs() < 1e-9);
+        assert_eq!(rows[1].min_ns_per_iter, Some(240.0));
+    }
+
+    #[test]
+    fn metric_prefers_minimum_over_median() {
+        let rows = parse_baseline(SAMPLE);
+        assert!((rows[0].metric() - 100.0).abs() < 1e-9, "median fallback");
+        assert!((rows[1].metric() - 240.0).abs() < 1e-9, "min preferred");
     }
 
     #[test]
@@ -168,10 +194,12 @@ mod tests {
             BaselineRow {
                 id: "g/a".into(),
                 ns_per_iter: 150.0, // +50 % regression
+                min_ns_per_iter: None,
             },
             BaselineRow {
                 id: "g/new".into(),
                 ns_per_iter: 10.0,
+                min_ns_per_iter: None,
             },
         ];
         let delta = diff_baselines(&base, &current);
@@ -195,20 +223,24 @@ mod tests {
             BaselineRow {
                 id: "a".into(),
                 ns_per_iter: 100.0,
+                min_ns_per_iter: None,
             },
             BaselineRow {
                 id: "b".into(),
                 ns_per_iter: 100.0,
+                min_ns_per_iter: None,
             },
         ];
         let current = vec![
             BaselineRow {
                 id: "a".into(),
                 ns_per_iter: 50.0, // -50 % improvement
+                min_ns_per_iter: None,
             },
             BaselineRow {
                 id: "b".into(),
                 ns_per_iter: 200.0, // +100 % regression
+                min_ns_per_iter: None,
             },
         ];
         let delta = diff_baselines(&base, &current);

@@ -50,18 +50,48 @@ impl TaskState {
     }
 }
 
+/// Half-open window into one of the graph's flat arenas.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Span {
+    start: usize,
+    len: usize,
+}
+
+impl Span {
+    #[inline]
+    fn range(self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// Successor window with growth capacity: streaming submission cannot
+/// know a task's out-degree in advance, so successor spans relocate to
+/// the end of the arena with doubled capacity when they fill (amortized
+/// O(1) per edge, like `Vec` push but without a heap allocation per
+/// task). [`GraphBuilder`] bypasses the growth path entirely with an
+/// exactly-sized two-pass layout.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct SuccSpan {
+    start: usize,
+    len: usize,
+    cap: usize,
+}
+
 /// Cold per-task data: looked up once per lifecycle phase. The *hot*
 /// per-task fields the executors touch on every event — lifecycle state
 /// and unmet-dependence count — live in dense parallel arrays on
 /// [`TaskGraph`] (`states`, `unmet`), so the engine's readiness-order
 /// (i.e. random-order) walks stay cache-resident instead of dragging a
-/// full node struct through the cache per touch.
+/// full node struct through the cache per touch. Edge and access lists
+/// are spans into shared flat arenas (CSR layout) rather than three
+/// heap `Vec`s per task — a 1M-task build performs a handful of arena
+/// growths instead of millions of small allocations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Node {
     descriptor: TaskDescriptor,
-    preds: Vec<TaskId>,
-    succs: Vec<TaskId>,
-    accesses: Vec<(RegionId, AccessMode)>,
+    preds: Span,
+    succs: SuccSpan,
+    accesses: Span,
 }
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -126,6 +156,19 @@ pub struct TaskGraph {
     /// — the incremental mirror of the frontier-liveness analysis, so
     /// checkpoint volume queries are O(live) instead of O(V + E).
     live_set: HashSet<RegionId>,
+    /// Flat predecessor arena (CSR): each task's predecessors occupy a
+    /// contiguous [`Span`], fixed at submission time (dependences never
+    /// change after inference).
+    pred_arena: Vec<TaskId>,
+    /// Flat successor arena: [`SuccSpan`]s relocate (doubling) when a
+    /// streaming append outgrows them; holes left behind are dead space.
+    /// Bulk builds via [`GraphBuilder`] lay this out exactly, hole-free.
+    succ_arena: Vec<TaskId>,
+    /// Flat `(region, mode)` declaration arena.
+    access_arena: Vec<(RegionId, AccessMode)>,
+    /// Reusable scratch for dependence inference (avoids a heap
+    /// allocation per submitted task).
+    pred_scratch: Vec<TaskId>,
 }
 
 impl TaskGraph {
@@ -133,6 +176,64 @@ impl TaskGraph {
     #[must_use]
     pub fn new() -> Self {
         TaskGraph::default()
+    }
+
+    /// An empty graph pre-sized for `tasks` tasks and roughly `edges`
+    /// dependence edges, so a large build never regrows its dense arrays
+    /// mid-stream. Region tables are *not* pre-sized here (see
+    /// [`TaskGraph::reserve_regions`]): region counts are usually far
+    /// below task counts, and blanket-reserving the maps for a 1M-task
+    /// graph would waste memory.
+    #[must_use]
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        // Access declarations are unknown ahead of time; two per task
+        // covers the common read+write shape without overcommitting.
+        Self::with_capacity_parts(tasks, edges, edges, tasks * 2)
+    }
+
+    fn with_capacity_parts(
+        tasks: usize,
+        pred_cap: usize,
+        succ_cap: usize,
+        access_cap: usize,
+    ) -> Self {
+        let words = tasks.div_ceil(64);
+        let mut g = TaskGraph::default();
+        g.nodes.reserve(tasks);
+        g.states.reserve(tasks);
+        g.unmet.reserve(tasks);
+        g.ready_bits.reserve(words);
+        g.completed_bits.reserve(words);
+        g.pred_arena.reserve(pred_cap);
+        g.succ_arena.reserve(succ_cap);
+        g.access_arena.reserve(access_cap);
+        g
+    }
+
+    /// Pre-size the dense per-task arrays and dependence arenas for
+    /// `tasks` additional tasks and roughly `edges` additional edges, on
+    /// a graph that may already hold tasks. Streaming a large batch into
+    /// a live graph never regrows mid-stream after this.
+    pub fn reserve(&mut self, tasks: usize, edges: usize) {
+        let words = (self.nodes.len() + tasks).div_ceil(64);
+        self.nodes.reserve(tasks);
+        self.states.reserve(tasks);
+        self.unmet.reserve(tasks);
+        self.ready_bits
+            .reserve(words.saturating_sub(self.ready_bits.len()));
+        self.completed_bits
+            .reserve(words.saturating_sub(self.completed_bits.len()));
+        self.pred_arena.reserve(edges);
+        self.succ_arena.reserve(edges);
+        self.access_arena.reserve(tasks * 2);
+    }
+
+    /// Pre-size the region-history and liveness tables for `regions`
+    /// distinct regions, so dependence inference never rehashes.
+    pub fn reserve_regions(&mut self, regions: usize) {
+        self.regions.reserve(regions);
+        self.liveness.reserve(regions);
+        self.live_set.reserve(regions);
     }
 
     /// Number of tasks ever submitted.
@@ -214,12 +315,38 @@ impl TaskGraph {
         I: IntoIterator<Item = (R, AccessMode)>,
         R: Into<RegionId>,
     {
-        let id = TaskId(self.nodes.len() as u64);
-        let accesses: Vec<(RegionId, AccessMode)> =
-            accesses.into_iter().map(|(r, m)| (r.into(), m)).collect();
+        let acc_start = self.access_arena.len();
+        self.access_arena
+            .extend(accesses.into_iter().map(|(r, m)| (r.into(), m)));
+        let acc = Span {
+            start: acc_start,
+            len: self.access_arena.len() - acc_start,
+        };
+        let id = self.push_task_core(descriptor, acc);
+        // Wire the new task into its predecessors' successor lists.
+        let p = self.nodes[id.index()].preds;
+        for j in p.range() {
+            let pred = self.pred_arena[j].index();
+            self.succ_push(pred, id);
+        }
+        id
+    }
 
-        let mut preds: Vec<TaskId> = Vec::new();
-        for &(region, mode) in &accesses {
+    /// Core of task submission: infer dependences for a task whose access
+    /// declarations already sit in the access arena at `acc`, record its
+    /// predecessor span, update region histories, liveness and readiness —
+    /// but do **not** wire the task into its predecessors' successor
+    /// lists. The caller does that: streaming submission wires immediately
+    /// (growth spans), while [`GraphBuilder::build_into`] counts
+    /// out-degrees first and lays successors out in one exactly-sized
+    /// pass.
+    fn push_task_core(&mut self, descriptor: TaskDescriptor, acc: Span) -> TaskId {
+        let id = TaskId(self.nodes.len() as u64);
+
+        let mut preds = std::mem::take(&mut self.pred_scratch);
+        preds.clear();
+        for a in acc.range() {
+            let (region, mode) = self.access_arena[a];
             let hist = self.regions.entry(region).or_default();
             if mode.reads() {
                 if let Some(w) = hist.last_writer {
@@ -242,6 +369,15 @@ impl TaskGraph {
             .filter(|p| !self.states[p.index()].is_terminal())
             .count();
 
+        let pred_span = Span {
+            start: self.pred_arena.len(),
+            len: preds.len(),
+        };
+        self.pred_arena.extend_from_slice(&preds);
+        self.edge_count += preds.len();
+        preds.clear();
+        self.pred_scratch = preds;
+
         if id.index() / 64 == self.ready_bits.len() {
             // One new word per 64 tasks, for both per-task bitmaps.
             self.ready_bits.push(0);
@@ -253,13 +389,10 @@ impl TaskGraph {
         } else {
             TaskState::Pending
         };
-        for &p in &preds {
-            self.nodes[p.index()].succs.push(id);
-        }
-        self.edge_count += preds.len();
 
         // Update region histories *after* computing dependences.
-        for &(region, mode) in &accesses {
+        for a in acc.range() {
+            let (region, mode) = self.access_arena[a];
             let hist = self.regions.entry(region).or_default();
             if mode.writes() {
                 hist.last_writer = Some(id);
@@ -270,7 +403,8 @@ impl TaskGraph {
             }
         }
         // The new task is pending or ready: its reads are outstanding.
-        for &(region, mode) in &accesses {
+        for a in acc.range() {
+            let (region, mode) = self.access_arena[a];
             if mode.reads() {
                 self.update_liveness(region, |l| l.readers_outstanding += 1);
             }
@@ -280,11 +414,49 @@ impl TaskGraph {
         self.unmet.push(unmet);
         self.nodes.push(Node {
             descriptor,
-            preds,
-            succs: Vec::new(),
-            accesses,
+            preds: pred_span,
+            succs: SuccSpan::default(),
+            accesses: acc,
         });
         id
+    }
+
+    /// Append `id` to task `p`'s successor span, relocating the span to
+    /// the arena tail with doubled capacity when full. Appends arrive in
+    /// ascending id order (submission order), and relocation preserves
+    /// the prefix, so successor lists stay ascending — a property the
+    /// runtime's deterministic replay relies on.
+    fn succ_push(&mut self, p: usize, id: TaskId) {
+        let s = self.nodes[p].succs;
+        if s.len < s.cap {
+            self.succ_arena[s.start + s.len] = id;
+            self.nodes[p].succs.len += 1;
+            return;
+        }
+        let new_cap = (s.cap * 2).max(2);
+        let new_start = self.succ_arena.len();
+        self.succ_arena.reserve(new_cap);
+        self.succ_arena.extend_from_within(s.start..s.start + s.len);
+        self.succ_arena.push(id);
+        self.succ_arena.resize(new_start + new_cap, TaskId(0));
+        self.nodes[p].succs = SuccSpan {
+            start: new_start,
+            len: s.len + 1,
+            cap: new_cap,
+        };
+    }
+
+    /// Predecessors of task `i` (by index), borrowed from the arena.
+    #[inline]
+    fn preds_of(&self, i: usize) -> &[TaskId] {
+        &self.pred_arena[self.nodes[i].preds.range()]
+    }
+
+    /// Successors of task `i` (by index), borrowed from the arena.
+    #[inline]
+    fn succs_of(&self, i: usize) -> &[TaskId] {
+        let s = self.nodes[i].succs;
+        &self.succ_arena[s.start..s.start + s.len]
     }
 
     /// Descriptor of a task.
@@ -316,7 +488,8 @@ impl TaskGraph {
     ///
     /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
     pub fn predecessors(&self, id: TaskId) -> Result<&[TaskId], CoreError> {
-        self.node(id).map(|n| n.preds.as_slice())
+        let s = self.node(id)?.preds;
+        Ok(&self.pred_arena[s.range()])
     }
 
     /// Direct successors (dependents) of a task.
@@ -325,7 +498,8 @@ impl TaskGraph {
     ///
     /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
     pub fn successors(&self, id: TaskId) -> Result<&[TaskId], CoreError> {
-        self.node(id).map(|n| n.succs.as_slice())
+        let s = self.node(id)?.succs;
+        Ok(&self.succ_arena[s.start..s.start + s.len])
     }
 
     /// The `(region, mode)` declarations a task was submitted with.
@@ -338,7 +512,8 @@ impl TaskGraph {
     /// Returns [`CoreError::UnknownTask`] for an id outside the graph.
     #[inline]
     pub fn accesses(&self, id: TaskId) -> Result<&[(RegionId, AccessMode)], CoreError> {
-        self.node(id).map(|n| n.accesses.as_slice())
+        let s = self.node(id)?.accesses;
+        Ok(&self.access_arena[s.range()])
     }
 
     /// All tasks currently in [`TaskState::Ready`], in submission order.
@@ -462,8 +637,8 @@ impl TaskGraph {
         self.insert_completed(id);
         // The task's reads are settled; its writes are now produced by a
         // completed task. Both can flip region liveness.
-        for a in 0..self.nodes[id.index()].accesses.len() {
-            let (region, mode) = self.nodes[id.index()].accesses[a];
+        for a in self.nodes[id.index()].accesses.range() {
+            let (region, mode) = self.access_arena[a];
             self.update_liveness(region, |l| {
                 if mode.reads() {
                     l.readers_outstanding -= 1;
@@ -505,7 +680,7 @@ impl TaskGraph {
         }
         self.retire_reads(id);
         let mut poisoned = Vec::new();
-        let mut stack: Vec<TaskId> = self.nodes[id.index()].succs.clone();
+        let mut stack: Vec<TaskId> = self.succs_of(id.index()).to_vec();
         while let Some(next) = stack.pop() {
             let state = &mut self.states[next.index()];
             if *state == TaskState::Poisoned || *state == TaskState::Failed {
@@ -518,7 +693,7 @@ impl TaskGraph {
             }
             self.retire_reads(next);
             poisoned.push(next);
-            stack.extend(self.nodes[next.index()].succs.iter().copied());
+            stack.extend_from_slice(self.succs_of(next.index()));
         }
         poisoned.sort_unstable();
         poisoned.dedup();
@@ -529,8 +704,8 @@ impl TaskGraph {
     /// completing (failed or poisoned): its reads are no longer
     /// outstanding.
     fn retire_reads(&mut self, id: TaskId) {
-        for a in 0..self.nodes[id.index()].accesses.len() {
-            let (region, mode) = self.nodes[id.index()].accesses[a];
+        for a in self.nodes[id.index()].accesses.range() {
+            let (region, mode) = self.access_arena[a];
             if mode.reads() {
                 self.update_liveness(region, |l| l.readers_outstanding -= 1);
             }
@@ -593,11 +768,7 @@ impl TaskGraph {
             keep[id.index()] = true;
         }
         for &id in completed {
-            if self.nodes[id.index()]
-                .preds
-                .iter()
-                .any(|p| !keep[p.index()])
-            {
+            if self.preds_of(id.index()).iter().any(|p| !keep[p.index()]) {
                 return Err(CoreError::InvalidTransition {
                     task: id,
                     reason: "checkpoint frontier is not closed under dependences",
@@ -617,11 +788,7 @@ impl TaskGraph {
                 self.insert_completed(TaskId(i as u64));
                 continue;
             }
-            let unmet = self.nodes[i]
-                .preds
-                .iter()
-                .filter(|p| !keep[p.index()])
-                .count();
+            let unmet = self.preds_of(i).iter().filter(|p| !keep[p.index()]).count();
             self.unmet[i] = unmet;
             if unmet == 0 {
                 self.states[i] = TaskState::Ready;
@@ -636,7 +803,7 @@ impl TaskGraph {
         // O(n) regardless, and every task is now either completed
         // (writes count) or pending/ready (reads outstanding).
         for (node, &completed) in self.nodes.iter().zip(&keep) {
-            for &(region, mode) in &node.accesses {
+            for &(region, mode) in &self.access_arena[node.accesses.range()] {
                 let live = self.liveness.entry(region).or_default();
                 if completed && mode.writes() {
                     live.writers_done += 1;
@@ -669,7 +836,7 @@ impl TaskGraph {
         let mut stack = vec![id];
         visited[id.index()] = true;
         while let Some(next) = stack.pop() {
-            for &p in &self.nodes[next.index()].preds {
+            for &p in self.preds_of(next.index()) {
                 if !visited[p.index()] {
                     visited[p.index()] = true;
                     if self.states[p.index()] == TaskState::Failed {
@@ -702,8 +869,8 @@ impl TaskGraph {
 
         let n = self.nodes.len();
         let mut indegree: Vec<usize> = vec![0; n];
-        for node in &self.nodes {
-            for s in &node.succs {
+        for i in 0..n {
+            for s in self.succs_of(i) {
                 indegree[s.index()] += 1;
             }
         }
@@ -716,7 +883,7 @@ impl TaskGraph {
         let mut order = Vec::with_capacity(n);
         while let Some(Reverse(id)) = frontier.pop() {
             order.push(id);
-            for &s in &self.nodes[id.index()].succs {
+            for &s in self.succs_of(id.index()) {
                 indegree[s.index()] -= 1;
                 if indegree[s.index()] == 0 {
                     frontier.push(Reverse(s));
@@ -747,7 +914,7 @@ impl TaskGraph {
             let id = TaskId(i as u64);
             let c = cost(id, &self.nodes[i].descriptor);
             let mut incoming = 0.0_f64;
-            for &p in &self.nodes[i].preds {
+            for &p in self.preds_of(i) {
                 if dist[p.index()] > incoming {
                     incoming = dist[p.index()];
                     best_pred[i] = Some(p);
@@ -788,8 +955,9 @@ impl TaskGraph {
     fn release_successors(&mut self, id: TaskId, released: &mut Vec<TaskId>) {
         // Index iteration instead of cloning the successor list: this runs
         // once per completed task, on the engine's hottest path.
-        for i in 0..self.nodes[id.index()].succs.len() {
-            let s = self.nodes[id.index()].succs[i];
+        let span = self.nodes[id.index()].succs;
+        for k in 0..span.len {
+            let s = self.succ_arena[span.start + k];
             if self.states[s.index()] != TaskState::Pending {
                 continue;
             }
@@ -840,6 +1008,206 @@ fn collect_bits(words: &[u64], count: usize) -> Vec<TaskId> {
         }
     }
     out
+}
+
+/// Bulk construction of a [`TaskGraph`].
+///
+/// Streaming [`TaskGraph::add_task`] cannot know a task's out-degree in
+/// advance, so its successor spans grow by amortized relocation, leaving
+/// dead holes in the arena. The builder buffers descriptors and a flat
+/// access list, then [`GraphBuilder::build`] performs dependence
+/// inference in one pass while counting out-degrees and lays the
+/// successor CSR out with *exact* capacities in a second pass — no
+/// rehash, no regrow, no holes. This is what makes 1M-task graph builds
+/// routine rather than allocation-bound.
+///
+/// The resulting graph is indistinguishable from one built by streaming
+/// submission: same predecessors, successors (ascending), ready set and
+/// edge count.
+///
+/// ```
+/// use legato_core::graph::GraphBuilder;
+/// use legato_core::task::{AccessMode, TaskDescriptor};
+///
+/// let mut b = GraphBuilder::with_capacity(2, 3);
+/// let w = b.task(TaskDescriptor::named("w"), [(0u64, AccessMode::Out)]);
+/// let r = b.task(TaskDescriptor::named("r"), [(0u64, AccessMode::In)]);
+/// let g = b.build();
+/// assert_eq!(g.predecessors(r).unwrap(), &[w]);
+/// assert_eq!(g.ready(), vec![w]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    descriptors: Vec<TaskDescriptor>,
+    /// Flat access declarations for all buffered tasks.
+    accesses: Vec<(RegionId, AccessMode)>,
+    /// Prefix offsets into `accesses`: `bounds[i]..bounds[i + 1]` is
+    /// task `i`'s declaration window. Always starts with 0.
+    bounds: Vec<usize>,
+    region_capacity: usize,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        GraphBuilder::new()
+    }
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        GraphBuilder::with_capacity(0, 0)
+    }
+
+    /// A builder pre-sized for `tasks` tasks carrying `accesses` access
+    /// declarations in total.
+    #[must_use]
+    pub fn with_capacity(tasks: usize, accesses: usize) -> Self {
+        let mut bounds = Vec::with_capacity(tasks + 1);
+        bounds.push(0);
+        GraphBuilder {
+            descriptors: Vec::with_capacity(tasks),
+            accesses: Vec::with_capacity(accesses),
+            bounds,
+            region_capacity: 0,
+        }
+    }
+
+    /// Hint the number of distinct regions the graph will touch, so the
+    /// dependence-inference hash tables are sized once up front.
+    #[must_use]
+    pub fn with_region_capacity(mut self, regions: usize) -> Self {
+        self.region_capacity = regions;
+        self
+    }
+
+    /// Buffer a task with its access declarations. The returned id is
+    /// the one [`GraphBuilder::build`] will assign (submission order);
+    /// when appending to an existing graph via
+    /// [`GraphBuilder::build_into`], actual ids are offset by the
+    /// graph's prior length.
+    pub fn task<I, R>(&mut self, descriptor: TaskDescriptor, accesses: I) -> TaskId
+    where
+        I: IntoIterator<Item = (R, AccessMode)>,
+        R: Into<RegionId>,
+    {
+        let id = TaskId(self.descriptors.len() as u64);
+        self.descriptors.push(descriptor);
+        self.accesses
+            .extend(accesses.into_iter().map(|(r, m)| (r.into(), m)));
+        self.bounds.push(self.accesses.len());
+        id
+    }
+
+    /// The buffered task descriptors, in submission order.
+    #[must_use]
+    pub fn descriptors(&self) -> &[TaskDescriptor] {
+        &self.descriptors
+    }
+
+    /// Number of buffered tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Whether no task has been buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// Build a fresh, exactly-sized graph from the buffered tasks.
+    #[must_use]
+    pub fn build(self) -> TaskGraph {
+        let mut g = TaskGraph::with_capacity_parts(self.descriptors.len(), 0, 0, 0);
+        self.build_into(&mut g);
+        g
+    }
+
+    /// Append the buffered tasks to an existing graph, inferring
+    /// dependences against its region histories exactly as streaming
+    /// submission would (new tasks may depend on previously submitted
+    /// ones). Consumes the builder.
+    pub fn build_into(self, g: &mut TaskGraph) {
+        let GraphBuilder {
+            descriptors,
+            accesses,
+            bounds,
+            region_capacity,
+        } = self;
+        let n0 = g.nodes.len();
+        let new = descriptors.len();
+        g.nodes.reserve(new);
+        g.states.reserve(new);
+        g.unmet.reserve(new);
+        // Dependence edges are unknown until inference; one per access
+        // covers the common RAW/WAW shape without overcommitting.
+        g.pred_arena.reserve(accesses.len());
+        if region_capacity > 0 {
+            g.reserve_regions(region_capacity);
+        }
+        // Move the flat access block in wholesale (no per-task copies).
+        let acc_base = g.access_arena.len();
+        if acc_base == 0 {
+            g.access_arena = accesses;
+        } else {
+            g.access_arena.extend_from_slice(&accesses);
+        }
+
+        // Pass 1: submit every task (dependence inference, states,
+        // bitmaps, region histories). Edges whose producer is an *old*
+        // task are wired immediately (ids ascend, so existing successor
+        // lists stay sorted); out-degrees of new tasks are only counted.
+        let mut degree = vec![0usize; new];
+        for (k, descriptor) in descriptors.into_iter().enumerate() {
+            let acc = Span {
+                start: acc_base + bounds[k],
+                len: bounds[k + 1] - bounds[k],
+            };
+            let id = g.push_task_core(descriptor, acc);
+            let p = g.nodes[id.index()].preds;
+            for j in p.range() {
+                let pred = g.pred_arena[j].index();
+                if pred < n0 {
+                    g.succ_push(pred, id);
+                } else {
+                    degree[pred - n0] += 1;
+                }
+            }
+        }
+
+        // Exactly-sized successor spans for the new tasks.
+        let total: usize = degree.iter().sum();
+        let succ_base = g.succ_arena.len();
+        g.succ_arena.resize(succ_base + total, TaskId(0));
+        let mut offset = succ_base;
+        for (k, &d) in degree.iter().enumerate() {
+            g.nodes[n0 + k].succs = SuccSpan {
+                start: offset,
+                len: 0,
+                cap: d,
+            };
+            offset += d;
+        }
+
+        // Pass 2: fill the spans. Walking tasks in ascending id order
+        // fills every successor list in ascending order — the property
+        // deterministic replay relies on.
+        for i in n0..g.nodes.len() {
+            let id = TaskId(i as u64);
+            let p = g.nodes[i].preds;
+            for j in p.range() {
+                let pred = g.pred_arena[j].index();
+                if pred >= n0 {
+                    let s = g.nodes[pred].succs;
+                    g.succ_arena[s.start + s.len] = id;
+                    g.nodes[pred].succs.len += 1;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1269,6 +1637,144 @@ mod tests {
         assert_eq!(buf, vec![TaskId(99), b], "appends, never clears");
         assert!(g.complete_into(a, &mut buf).is_err());
         assert_eq!(buf.len(), 2, "error leaves the buffer untouched");
+    }
+
+    /// Every structural observable of two graphs must agree.
+    fn assert_same_graph(a: &TaskGraph, b: &TaskGraph) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.ready(), b.ready());
+        assert_eq!(a.ready_count(), b.ready_count());
+        for i in 0..a.len() {
+            let id = TaskId(i as u64);
+            assert_eq!(a.predecessors(id).unwrap(), b.predecessors(id).unwrap());
+            assert_eq!(a.successors(id).unwrap(), b.successors(id).unwrap());
+            assert_eq!(a.accesses(id).unwrap(), b.accesses(id).unwrap());
+            assert_eq!(a.state(id).unwrap(), b.state(id).unwrap());
+        }
+    }
+
+    /// A mixed workload exercising RAW/WAR/WAW fan-in and fan-out.
+    fn mixed_workload() -> Vec<(&'static str, Vec<(u64, AccessMode)>)> {
+        vec![
+            ("scatter", vec![(0, AccessMode::Out), (1, AccessMode::Out)]),
+            ("r0", vec![(0, AccessMode::In), (2, AccessMode::Out)]),
+            ("r1", vec![(0, AccessMode::In), (3, AccessMode::Out)]),
+            ("rw", vec![(1, AccessMode::InOut)]),
+            (
+                "gather",
+                vec![
+                    (2, AccessMode::In),
+                    (3, AccessMode::In),
+                    (1, AccessMode::In),
+                    (4, AccessMode::Out),
+                ],
+            ),
+            ("rewrite", vec![(0, AccessMode::Out)]),
+            ("sink", vec![(4, AccessMode::In), (0, AccessMode::In)]),
+        ]
+    }
+
+    #[test]
+    fn builder_bulk_build_matches_streaming_submission() {
+        let mut streamed = TaskGraph::new();
+        let mut b = GraphBuilder::new();
+        for (name, accesses) in mixed_workload() {
+            let s = streamed.add_task(desc_of(name), accesses.clone());
+            let t = b.task(desc_of(name), accesses);
+            assert_eq!(s, t, "builder promises the streaming id");
+        }
+        let built = b.build();
+        assert_same_graph(&streamed, &built);
+        // And the built graph executes identically.
+        let mut built = built;
+        while let Some(&id) = built.ready().first() {
+            built.complete(id).unwrap();
+        }
+        assert!(built.is_complete());
+    }
+
+    fn desc_of(name: &str) -> TaskDescriptor {
+        TaskDescriptor::named(name.to_owned())
+    }
+
+    #[test]
+    fn build_into_extends_existing_graph() {
+        // Stream the first half, bulk-append the second: must match the
+        // all-streaming graph, including cross-boundary dependences.
+        let workload = mixed_workload();
+        let mut streamed = TaskGraph::new();
+        for (name, accesses) in &workload {
+            streamed.add_task(desc_of(name), accesses.clone());
+        }
+        let mut hybrid = TaskGraph::new();
+        for (name, accesses) in &workload[..3] {
+            hybrid.add_task(desc_of(name), accesses.clone());
+        }
+        let mut b = GraphBuilder::new();
+        for (name, accesses) in &workload[3..] {
+            b.task(desc_of(name), accesses.clone());
+        }
+        b.build_into(&mut hybrid);
+        assert_same_graph(&streamed, &hybrid);
+    }
+
+    #[test]
+    fn builder_handles_wide_fan_out_and_fan_in() {
+        // One writer, 100 readers, one gathering writer: exercises both
+        // a large successor span and a large WAR pred list.
+        let mut streamed = TaskGraph::new();
+        let mut b = GraphBuilder::with_capacity(102, 102);
+        let tasks: Vec<(TaskDescriptor, Vec<(u64, AccessMode)>)> =
+            std::iter::once((desc_of("w"), vec![(0, AccessMode::Out)]))
+                .chain((0..100).map(|_| (desc_of("r"), vec![(0, AccessMode::In)])))
+                .chain(std::iter::once((desc_of("g"), vec![(0, AccessMode::Out)])))
+                .collect();
+        for (d, a) in tasks {
+            streamed.add_task(d.clone(), a.clone());
+            b.task(d, a);
+        }
+        let built = b.build();
+        assert_same_graph(&streamed, &built);
+        assert_eq!(built.successors(TaskId(0)).unwrap().len(), 101);
+        assert_eq!(built.predecessors(TaskId(101)).unwrap().len(), 101);
+    }
+
+    #[test]
+    fn streaming_succ_relocation_keeps_ascending_order() {
+        // Interleave submissions so the writer's successor span relocates
+        // several times; order must stay ascending throughout.
+        let mut g = TaskGraph::new();
+        let w = g.add_task(desc("w"), [(0u64, AccessMode::Out)]);
+        let mut readers = Vec::new();
+        for i in 0..17u64 {
+            // Unrelated tasks interleave, fragmenting the succ arena.
+            g.add_task(desc("noise"), [(100 + i, AccessMode::Out)]);
+            readers.push(g.add_task(desc("r"), [(0u64, AccessMode::In)]));
+        }
+        assert_eq!(g.successors(w).unwrap(), readers.as_slice());
+    }
+
+    #[test]
+    fn with_capacity_is_behavior_neutral() {
+        let mut plain = TaskGraph::new();
+        let mut sized = TaskGraph::with_capacity(200, 400);
+        sized.reserve_regions(8);
+        for i in 0..200u64 {
+            plain.add_task(desc("t"), [(i % 7, AccessMode::InOut)]);
+            sized.add_task(desc("t"), [(i % 7, AccessMode::InOut)]);
+        }
+        assert_same_graph(&plain, &sized);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let b = GraphBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        let g = b.build();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
     }
 
     /// A frontier that is not closed under dependences is rejected and

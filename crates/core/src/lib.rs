@@ -50,7 +50,7 @@ pub mod task;
 pub mod units;
 
 pub use error::CoreError;
-pub use graph::TaskGraph;
+pub use graph::{GraphBuilder, TaskGraph};
 pub use requirements::{Confidentiality, Criticality, Requirements, SecurityLevel};
 pub use task::{AccessMode, TaskDescriptor, TaskId, TaskKind};
 pub use units::{Bytes, Joule, Seconds, Volt, Watt};

@@ -8,12 +8,25 @@
 //!
 //! Channels are FIFO per (sender, receiver) pair, matching MPI's
 //! non-overtaking guarantee for same-source messages.
+//!
+//! Payloads travel as [`Payload`] (`Arc<[u8]>`): a send converts the
+//! caller's buffer into shared ownership once, and every further hop —
+//! each peer of a broadcast, each slot of a gather — moves a refcounted
+//! pointer instead of cloning the bytes. Scheduling code that only needs
+//! transfer *costs* should not materialize payloads at all: the
+//! [`LinkModel`] prices a transfer from its size alone.
 
 use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use legato_core::units::{Bytes, BytesPerSec, Seconds};
 
 use crate::error::HwError;
+use crate::recs::Networks;
+
+/// A message buffer with shared ownership: cloned per hop by pointer,
+/// never by content.
+pub type Payload = Arc<[u8]>;
 
 /// A communicator group; construct endpoints with [`Group::endpoints`].
 #[derive(Debug)]
@@ -33,10 +46,10 @@ impl Group {
     #[must_use]
     pub fn endpoints(size: usize) -> Vec<Endpoint> {
         assert!(size > 0, "communicator group must have at least one rank");
-        let mut txs: Vec<Vec<Option<Sender<Vec<u8>>>>> = (0..size)
+        let mut txs: Vec<Vec<Option<Sender<Payload>>>> = (0..size)
             .map(|_| (0..size).map(|_| None).collect())
             .collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Vec<u8>>>>> = (0..size)
+        let mut rxs: Vec<Vec<Option<Receiver<Payload>>>> = (0..size)
             .map(|_| (0..size).map(|_| None).collect())
             .collect();
         for from in 0..size {
@@ -72,8 +85,8 @@ impl Group {
 pub struct Endpoint {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Vec<u8>>>,
-    receivers: Vec<Receiver<Vec<u8>>>,
+    senders: Vec<Sender<Payload>>,
+    receivers: Vec<Receiver<Payload>>,
     barrier: Arc<Barrier>,
 }
 
@@ -90,18 +103,20 @@ impl Endpoint {
         self.size
     }
 
-    /// Send a payload to `to`.
+    /// Send a payload to `to`. Accepts anything convertible into a
+    /// [`Payload`] (`Vec<u8>` converts with one move of the bytes; an
+    /// existing `Payload` is forwarded without copying).
     ///
     /// # Errors
     ///
     /// [`HwError::Comm`] if `to` is out of range or the peer endpoint was
     /// dropped.
-    pub fn send(&self, to: usize, payload: Vec<u8>) -> Result<(), HwError> {
+    pub fn send(&self, to: usize, payload: impl Into<Payload>) -> Result<(), HwError> {
         let tx = self
             .senders
             .get(to)
             .ok_or_else(|| HwError::Comm(format!("rank {to} out of range 0..{}", self.size)))?;
-        tx.send(payload)
+        tx.send(payload.into())
             .map_err(|_| HwError::Comm(format!("rank {to} has hung up")))
     }
 
@@ -111,7 +126,7 @@ impl Endpoint {
     ///
     /// [`HwError::Comm`] if `from` is out of range or the peer endpoint was
     /// dropped without sending.
-    pub fn recv(&self, from: usize) -> Result<Vec<u8>, HwError> {
+    pub fn recv(&self, from: usize) -> Result<Payload, HwError> {
         let rx = self
             .receivers
             .get(from)
@@ -140,8 +155,9 @@ impl Endpoint {
                 let bytes = self.recv(from)?;
                 acc += decode_f64(&bytes)?;
             }
+            let out = Payload::from(acc.to_le_bytes().to_vec());
             for to in 1..self.size {
-                self.send(to, acc.to_le_bytes().to_vec())?;
+                self.send(to, Payload::clone(&out))?;
             }
             Ok(acc)
         } else {
@@ -153,20 +169,25 @@ impl Endpoint {
     /// Broadcast `data` from `root` to every rank; returns the payload on
     /// all ranks.
     ///
+    /// The bytes are converted into a shared [`Payload`] once on the
+    /// root; each peer then receives a refcounted handle to the same
+    /// buffer — no per-hop byte clone.
+    ///
     /// # Errors
     ///
     /// [`HwError::Comm`] on hang-up or out-of-range root.
-    pub fn broadcast(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, HwError> {
+    pub fn broadcast(&self, root: usize, data: impl Into<Payload>) -> Result<Payload, HwError> {
         if root >= self.size {
             return Err(HwError::Comm(format!(
                 "root {root} out of range 0..{}",
                 self.size
             )));
         }
+        let data = data.into();
         if self.rank == root {
             for to in 0..self.size {
                 if to != root {
-                    self.send(to, data.clone())?;
+                    self.send(to, Payload::clone(&data))?;
                 }
             }
             Ok(data)
@@ -176,20 +197,26 @@ impl Endpoint {
     }
 
     /// Gather every rank's payload at `root`; returns `Some(payloads)` (in
-    /// rank order) on the root and `None` elsewhere.
+    /// rank order) on the root and `None` elsewhere. Payload handles are
+    /// moved, never deep-copied.
     ///
     /// # Errors
     ///
     /// [`HwError::Comm`] on hang-up or out-of-range root.
-    pub fn gather(&self, root: usize, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>, HwError> {
+    pub fn gather(
+        &self,
+        root: usize,
+        data: impl Into<Payload>,
+    ) -> Result<Option<Vec<Payload>>, HwError> {
         if root >= self.size {
             return Err(HwError::Comm(format!(
                 "root {root} out of range 0..{}",
                 self.size
             )));
         }
+        let data = data.into();
         if self.rank == root {
-            let mut all = vec![Vec::new(); self.size];
+            let mut all = vec![Payload::from(&[][..]); self.size];
             all[root] = data;
             for (from, slot) in all.iter_mut().enumerate() {
                 if from != root {
@@ -201,6 +228,50 @@ impl Endpoint {
             self.send(root, data)?;
             Ok(None)
         }
+    }
+}
+
+/// Size-only transfer cost model for one interconnect hop.
+///
+/// The scheduler's topology layer prices a producer→consumer region
+/// movement as `latency + bytes / bandwidth` without ever materializing
+/// a payload — evaluating a cost is pure arithmetic on `Copy` values
+/// (regression-pinned allocation-free in `tests/comm_cost_alloc.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Sustained link bandwidth.
+    pub bandwidth: BytesPerSec,
+    /// Per-transfer setup latency (paid once per crossing, not per byte).
+    pub latency: Seconds,
+}
+
+impl LinkModel {
+    /// A link with the given bandwidth and per-transfer latency.
+    #[must_use]
+    pub const fn new(bandwidth: BytesPerSec, latency: Seconds) -> Self {
+        LinkModel { bandwidth, latency }
+    }
+
+    /// The chassis *compute* network (up to 40 GbE) of `networks`.
+    #[must_use]
+    pub fn compute_network(networks: &Networks, latency: Seconds) -> Self {
+        LinkModel::new(networks.compute, latency)
+    }
+
+    /// The chassis high-speed *fabric* (PCIe / serial) of `networks`.
+    #[must_use]
+    pub fn fabric(networks: &Networks, latency: Seconds) -> Self {
+        LinkModel::new(networks.fabric, latency)
+    }
+
+    /// Time to move `bytes` across the link. Zero-sized transfers are
+    /// free: nothing moves, so no latency is charged either.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: Bytes) -> Seconds {
+        if bytes == Bytes::ZERO {
+            return Seconds::ZERO;
+        }
+        self.latency + bytes.time_at(self.bandwidth)
     }
 }
 
@@ -240,7 +311,7 @@ mod tests {
             let prev = (ep.rank() + ep.size() - 1) % ep.size();
             ep.send(next, vec![ep.rank() as u8]).unwrap();
             let got = ep.recv(prev).unwrap();
-            assert_eq!(got, vec![prev as u8]);
+            assert_eq!(&got[..], &[prev as u8]);
         });
     }
 
@@ -268,7 +339,7 @@ mod tests {
                 vec![]
             };
             let got = ep.broadcast(1, data).unwrap();
-            assert_eq!(got, vec![7, 7, 7]);
+            assert_eq!(&got[..], &[7, 7, 7]);
         });
     }
 
@@ -279,7 +350,7 @@ mod tests {
             if ep.rank() == 0 {
                 let all = out.unwrap();
                 for (r, payload) in all.iter().enumerate() {
-                    assert_eq!(payload, &vec![r as u8; 2]);
+                    assert_eq!(&payload[..], &[r as u8; 2]);
                 }
             } else {
                 assert!(out.is_none());
@@ -327,7 +398,7 @@ mod tests {
                 }
             } else {
                 for i in 0..10u8 {
-                    assert_eq!(ep.recv(0).unwrap(), vec![i]);
+                    assert_eq!(&ep.recv(0).unwrap()[..], &[i]);
                 }
             }
         });
@@ -337,5 +408,43 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_size_group_panics() {
         let _ = Group::endpoints(0);
+    }
+
+    #[test]
+    fn hops_share_one_buffer() {
+        // Unbounded channels let a single thread play both ranks: the
+        // payload the peer receives is the *same* allocation the sender
+        // converted, not a per-hop byte clone.
+        let mut eps = Group::endpoints(2);
+        let ep1 = eps.remove(1);
+        let ep0 = eps.remove(0);
+        let sent = Payload::from(vec![9u8; 128]);
+        let returned = ep0.broadcast(0, Payload::clone(&sent)).unwrap();
+        let received = ep1.broadcast(0, Payload::from(&[][..])).unwrap();
+        assert!(Arc::ptr_eq(&sent, &returned));
+        assert!(Arc::ptr_eq(&sent, &received));
+    }
+
+    #[test]
+    fn link_model_prices_by_size() {
+        let link = LinkModel::compute_network(&Networks::default(), Seconds(25e-6));
+        assert_eq!(link.transfer_time(Bytes::ZERO), Seconds::ZERO);
+        let small = link.transfer_time(Bytes::kib(4));
+        let big = link.transfer_time(Bytes::mib(64));
+        assert!(small > Seconds::ZERO && big > small);
+        // Latency dominates tiny transfers; bandwidth dominates bulk.
+        assert!((small.0 - 25e-6).abs() / small.0 < 0.1);
+        assert!((big.0 - Bytes::mib(64).as_f64() / 5.0e9).abs() / big.0 < 0.1);
+    }
+
+    #[test]
+    fn fabric_beats_compute_network_on_bulk() {
+        let n = Networks::default();
+        let lat = Seconds(5e-6);
+        let bulk = Bytes::mib(256);
+        assert!(
+            LinkModel::fabric(&n, lat).transfer_time(bulk)
+                < LinkModel::compute_network(&n, lat).transfer_time(bulk)
+        );
     }
 }

@@ -40,7 +40,7 @@ pub mod storage;
 pub mod time;
 
 pub use cluster::{NodeClass, NodeSpec};
-pub use comm::Group;
+pub use comm::{Group, LinkModel, Payload};
 pub use device::{
     Device, DeviceId, DeviceKind, DeviceSpec, OperatingPoint, TeeCapability, TeeSupport,
 };

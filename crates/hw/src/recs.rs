@@ -66,14 +66,16 @@ pub enum Carrier {
 }
 
 impl Carrier {
-    /// Microservers on this carrier.
+    /// Microservers on this carrier, borrowed in slot order.
+    ///
+    /// Returns a slice into the carrier itself so hot-path callers (the
+    /// runtime's device-pool layer polls carrier membership per
+    /// placement) never allocate.
     #[must_use]
-    pub fn microservers(&self) -> Vec<&Microserver> {
+    pub fn microservers(&self) -> &[Microserver] {
         match self {
-            Carrier::LowPower { slots } | Carrier::HighPerformance { slots } => {
-                slots.iter().collect()
-            }
-            Carrier::PcieExpansion { accelerator } => vec![accelerator],
+            Carrier::LowPower { slots } | Carrier::HighPerformance { slots } => slots,
+            Carrier::PcieExpansion { accelerator } => std::slice::from_ref(accelerator),
         }
     }
 
@@ -154,46 +156,36 @@ impl RecsBox {
         }
     }
 
-    /// All microservers across all carriers.
-    #[must_use]
-    pub fn microservers(&self) -> Vec<&Microserver> {
-        self.carriers
-            .iter()
-            .flat_map(|c| c.microservers())
-            .collect()
+    /// All microservers across all carriers, in carrier-then-slot order.
+    ///
+    /// Lazily iterates over borrowed modules — no per-call `Vec` — so the
+    /// scheduler's pool layer can enumerate chassis membership on the
+    /// placement hot path without allocation.
+    pub fn microservers(&self) -> impl Iterator<Item = &Microserver> {
+        self.carriers.iter().flat_map(|c| c.microservers())
     }
 
     /// Number of microserver modules.
     #[must_use]
     pub fn module_count(&self) -> usize {
-        self.microservers().len()
+        self.carriers.iter().map(|c| c.microservers().len()).sum()
     }
 
-    /// Microservers whose device matches `kind`.
-    #[must_use]
-    pub fn modules_of_kind(&self, kind: DeviceKind) -> Vec<&Microserver> {
-        self.microservers()
-            .into_iter()
-            .filter(|m| m.device.kind == kind)
-            .collect()
+    /// Microservers whose device matches `kind` (lazy, allocation-free).
+    pub fn modules_of_kind(&self, kind: DeviceKind) -> impl Iterator<Item = &Microserver> {
+        self.microservers().filter(move |m| m.device.kind == kind)
     }
 
     /// Chassis idle power: sum of module idle draws.
     #[must_use]
     pub fn idle_power(&self) -> Watt {
-        self.microservers()
-            .iter()
-            .map(|m| m.device.idle_power)
-            .sum()
+        self.microservers().map(|m| m.device.idle_power).sum()
     }
 
     /// Chassis peak power: sum of module busy draws.
     #[must_use]
     pub fn peak_power(&self) -> Watt {
-        self.microservers()
-            .iter()
-            .map(|m| m.device.busy_power)
-            .sum()
+        self.microservers().map(|m| m.device.busy_power).sum()
     }
 }
 
@@ -301,8 +293,8 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(recs.module_count(), 20);
-        assert_eq!(recs.modules_of_kind(DeviceKind::Gpu).len(), 1);
-        assert_eq!(recs.modules_of_kind(DeviceKind::CpuArm).len(), 16);
+        assert_eq!(recs.modules_of_kind(DeviceKind::Gpu).count(), 1);
+        assert_eq!(recs.modules_of_kind(DeviceKind::CpuArm).count(), 16);
     }
 
     #[test]

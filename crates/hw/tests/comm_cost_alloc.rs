@@ -1,0 +1,68 @@
+//! Regression pin: evaluating comm transfer costs must not allocate.
+//!
+//! The scheduler's topology layer calls [`LinkModel::transfer_time`] per
+//! candidate pool per placement — on a 1M-task run that is tens of
+//! millions of evaluations, so the cost model must stay pure arithmetic
+//! on `Copy` values. This binary installs a counting allocator and
+//! asserts the evaluation loop performs zero heap allocations (payload
+//! materialization would show up immediately).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use legato_core::units::{Bytes, Seconds};
+use legato_hw::comm::LinkModel;
+use legato_hw::recs::Networks;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// The counter only increments; deallocations are uninteresting here.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn comm_cost_evaluation_is_allocation_free() {
+    // Build everything that may allocate *before* the measured window.
+    let networks = Networks::default();
+    let links = [
+        LinkModel::compute_network(&networks, Seconds(25e-6)),
+        LinkModel::fabric(&networks, Seconds(5e-6)),
+    ];
+    let sizes = [
+        Bytes::ZERO,
+        Bytes::kib(4),
+        Bytes::mib(1),
+        Bytes::mib(64),
+        Bytes::gib(2),
+    ];
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut total = Seconds::ZERO;
+    for round in 0..10_000u64 {
+        let link = links[(round % 2) as usize];
+        let bytes = sizes[(round % sizes.len() as u64) as usize];
+        total += link.transfer_time(bytes);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(total > Seconds::ZERO, "costs were really evaluated");
+    assert_eq!(
+        after - before,
+        0,
+        "comm-cost evaluation allocated {} times",
+        after - before
+    );
+}

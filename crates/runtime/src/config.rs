@@ -38,6 +38,7 @@ use legato_hw::device::DeviceSpec;
 
 use crate::energy::{EnergyConfig, EnergyObjective, EnergyState};
 use crate::error::RuntimeError;
+use crate::pool::{DevicePools, PoolConfig, TopologyConfig, TopologyState};
 use crate::resilience::{ResilienceConfig, ResilienceState};
 use crate::runtime::Runtime;
 use crate::scheduler::Policy;
@@ -54,6 +55,8 @@ pub struct EngineConfig {
     resilience: Option<ResilienceConfig>,
     security: Option<SecurityConfig>,
     energy: Option<EnergyConfig>,
+    pools: Option<PoolConfig>,
+    topology: Option<TopologyConfig>,
 }
 
 impl EngineConfig {
@@ -126,6 +129,29 @@ impl EngineConfig {
         self
     }
 
+    /// Shard the device fleet into pools for sub-linear placement (see
+    /// [`pool`](crate::pool)). Membership is validated against the
+    /// device list at [`EngineConfig::build`]. With a pool
+    /// configuration, scale-free placements (`Performance`, `Energy`,
+    /// `Edp`; no active security plan, no Pareto objective) run the
+    /// bound-and-prune sharded search — bit-identical selections to
+    /// the flat scan, at a fraction of the per-task evaluations.
+    #[must_use]
+    pub fn with_pools(mut self, config: PoolConfig) -> Self {
+        self.pools = Some(config);
+        self
+    }
+
+    /// Enable the topology cost model: producer→consumer transfer
+    /// charges across pool boundaries, folded into the scheduler's
+    /// estimates (see [`pool`](crate::pool)). Requires
+    /// [`EngineConfig::with_pools`] on the same configuration.
+    #[must_use]
+    pub fn with_topology(mut self, config: TopologyConfig) -> Self {
+        self.topology = Some(config);
+        self
+    }
+
     /// Construct the runtime.
     ///
     /// With an [`EnergyConfig`], every device spec is derated to its
@@ -151,7 +177,15 @@ impl EngineConfig {
             resilience,
             security,
             energy,
+            pools,
+            topology,
         } = self;
+        if topology.is_some() && pools.is_none() {
+            return Err(RuntimeError::invalid_parameter(
+                "topology",
+                "the topology cost model requires a pool configuration (with_pools)",
+            ));
+        }
         let policy = policy.unwrap_or(Policy::Performance);
         policy.validate()?;
 
@@ -217,6 +251,12 @@ impl EngineConfig {
         if energy_state.active {
             rt.fault_probs.copy_from_slice(&energy_state.op_fault_probs);
             rt.energy = energy_state;
+        }
+        if let Some(cfg) = pools {
+            rt.pools = Some(DevicePools::new(cfg, &rt.devices)?);
+        }
+        if let Some(cfg) = topology {
+            rt.topology = TopologyState::from_config(cfg);
         }
         Ok(rt)
     }

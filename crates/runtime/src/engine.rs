@@ -68,6 +68,7 @@ use rand::Rng;
 
 use crate::ckpt;
 use crate::error::RuntimeError;
+use crate::pool::DevicePools;
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict, MAX_REPLICAS};
 use crate::resilience::{CheckpointRecord, RollbackEvent};
 use crate::runtime::{golden_value, RunReport, Runtime, TaskOutcome};
@@ -220,6 +221,12 @@ pub(crate) struct EngineState {
     /// Reusable scratch buffers: after warm-up, the per-event path
     /// allocates nothing through these.
     scratch: Scratch,
+    /// Per-device placement evaluations performed so far (flat and
+    /// pooled paths alike) — the sub-linearity observable behind
+    /// [`Runtime::placement_evals`]. Deliberately *not* part of
+    /// [`RunReport`]: pooled and flat runs must stay bit-identical
+    /// there.
+    pub(crate) sched_evals: u64,
 }
 
 /// Per-runtime scratch buffers for the hot path. Contents are dead
@@ -816,25 +823,76 @@ impl Runtime {
             self.security
                 .prepare(&self.devices, accesses, security, measurement)
         };
+        // Topology charge for this task: per-pool producer→consumer
+        // transfer extras, folded into every estimate before scoring on
+        // both the pooled and the flat path.
+        let pool_count = self.pools.as_ref().map_or(0, DevicePools::pool_count);
+        let topo_active = self.topology.active() && pool_count > 0;
+        if topo_active {
+            self.topology
+                .charge_into(self.graph.accesses(task)?, pool_count);
+        }
         // `rank().take(k)` and `plan_k_devices` are bit-identical
         // selections (see `sched` / `Policy::plan_k_devices`); the
         // policy was validated at run/step entry. The selection hands
         // back each chosen device's `(start, duration)` plan, which is
         // committed as-is — the roofline model runs once per candidate,
         // nowhere else.
+        //
+        // With a pool configuration, scale-free placements route
+        // through the sharded bound-and-prune search instead of the
+        // flat O(D) scan — same selection, same plans (proptest-pinned
+        // in `tests/pool_equivalence.rs`). A `Weighted` policy (global
+        // min-max normalization), an active security plan (per-task
+        // device exclusions) or a Pareto energy objective (replaces the
+        // scoring) fall back to the flat path, where the topology
+        // extras still apply.
         let mut planned = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
-        let k = self.policy.plan_k_devices(
-            &self.devices,
-            work,
-            kind,
-            at,
-            needs_sec.then_some(&self.security.plan),
-            self.energy.objective.is_some().then_some(&mut self.energy),
-            &mut self.engine.scratch.estimates,
-            &mut self.engine.scratch.plans,
-            &mut self.engine.scratch.candidates,
-            &mut planned[..replicas.min(MAX_REPLICAS)],
-        );
+        let use_pools = self.pools.is_some()
+            && !needs_sec
+            && self.energy.objective.is_none()
+            && !crate::sched::Scheduler::needs_norm(&self.policy);
+        let k = if use_pools {
+            let extras = topo_active.then_some(self.topology.pool_extras.as_slice());
+            let (k, evaluated) = self.pools.as_mut().expect("checked above").plan_k(
+                self.policy,
+                &self.devices,
+                work,
+                kind,
+                at,
+                extras,
+                &mut planned[..replicas.min(MAX_REPLICAS)],
+            );
+            self.engine.sched_evals += evaluated;
+            k
+        } else {
+            let topo = if topo_active {
+                Some((
+                    self.topology.pool_extras.as_slice(),
+                    self.pools
+                        .as_ref()
+                        .expect("topo requires pools")
+                        .pool_of_slice(),
+                ))
+            } else {
+                None
+            };
+            let k = self.policy.plan_k_devices(
+                &self.devices,
+                work,
+                kind,
+                at,
+                needs_sec.then_some(&self.security.plan),
+                topo,
+                self.energy.objective.is_some().then_some(&mut self.energy),
+                &mut self.engine.scratch.estimates,
+                &mut self.engine.scratch.plans,
+                &mut self.engine.scratch.candidates,
+                &mut planned[..replicas.min(MAX_REPLICAS)],
+            );
+            self.engine.sched_evals += self.engine.scratch.estimates.len() as u64;
+            k
+        };
         if k == 0 {
             // Only reachable for an enclave-only task whose eligible set
             // is empty — `handle_ready` guards the no-TEE case, so this
@@ -851,6 +909,11 @@ impl Runtime {
         let mut finish = Seconds::ZERO;
         for (slot, &(d, plan_start, plan_dur)) in planned[..k].iter().enumerate() {
             let (s, f) = self.devices[d].execute_planned(plan_start, plan_dur);
+            if let Some(pools) = &mut self.pools {
+                // The device's timeline moved: its pool's cached
+                // availability minimum is stale.
+                pools.mark_dirty(d);
+            }
             devices[slot] = d;
             start = start.min(s);
             finish = finish.max(f);
@@ -936,6 +999,17 @@ impl Runtime {
                     let accesses = self.graph.accesses(task)?;
                     self.security
                         .record_outputs(accesses, replicas.devices[0], security);
+                }
+                // Topology producer tracking mirrors the security
+                // bookkeeping: the task's written regions now live in
+                // the primary replica's pool, and downstream readers
+                // placed elsewhere will be charged the transfer.
+                if self.topology.active() {
+                    if let Some(pools) = &self.pools {
+                        let pool = pools.pool_of(replicas.devices[0]);
+                        self.topology
+                            .record_outputs(self.graph.accesses(task)?, pool);
+                    }
                 }
                 // Complete through the scratch buffer: the only per-task
                 // allocation left on the accept path is the outcome's

@@ -86,6 +86,7 @@ pub mod energy;
 pub mod engine;
 pub mod error;
 pub mod lowvolt;
+pub mod pool;
 pub mod replication;
 pub mod resilience;
 pub mod runtime;
@@ -96,6 +97,7 @@ pub mod security;
 pub use config::EngineConfig;
 pub use energy::{EnergyConfig, EnergyObjective, EnergyStats};
 pub use error::RuntimeError;
+pub use pool::{PoolConfig, TopologyConfig};
 pub use replication::MAX_REPLICAS;
 pub use resilience::{ResilienceConfig, ResilienceStats, RollbackEvent};
 pub use runtime::{ReplicaDevices, RunReport, Runtime, TaskOutcome};

@@ -1,0 +1,990 @@
+//! Device-pool sharding: sub-linear placement over large device fleets.
+//!
+//! The engine's placement choke point evaluates the roofline model on
+//! every device per task — exact, but O(D) with 1k+ devices dwarfs the
+//! rest of the per-event work. This module partitions the fleet into
+//! *pools* (RECS|BOX carriers, cluster nodes, or uniform chunks) — the
+//! user-visible locality domains the topology cost model charges
+//! transfers across — and internally splits each pool into *shards* of
+//! identically-specced devices, turning placement into a
+//! bound-and-prune search over shards:
+//!
+//! * each shard caches the minimum `busy_until` over its members,
+//!   invalidated only when a member's timeline changes
+//!   (`DevicePools::mark_dirty`) and recomputed lazily;
+//! * static per-shard maxima (best compute rate per [`TaskKind`], best
+//!   memory bandwidth, lowest busy power) give a **lower bound** on any
+//!   member's score under the active [`Policy`] — every term of the
+//!   bound is ≤ the corresponding term of every member's estimate, and
+//!   the pure policies are monotone in (finish, energy), so the bound
+//!   never exceeds a true score. Because a shard's members share one
+//!   spec, the bound degenerates to the score of the shard's least-busy
+//!   member — it is *exact*, which is what makes the pruning bite: a
+//!   mixed pool bounded as a whole combines its idlest device with its
+//!   fastest device into a score nothing in the pool can achieve, and
+//!   such a bound almost never exceeds the incumbent;
+//! * shards are visited in ascending bound order and fully evaluated
+//!   with the *identical* per-device arithmetic the flat path uses;
+//!   once `k` candidates are held and the next shard's bound is
+//!   **strictly** worse than the current k-th best score, every
+//!   remaining device is strictly worse than the k-th final score and
+//!   the scan stops.
+//!
+//! Because pruning only skips devices that are *strictly* worse than
+//! the k-th selected score, and ties among evaluated devices break
+//! toward the lowest device index — exactly the flat
+//! [`select_k`](crate::sched::Scheduler::select_k) tie-break — the
+//! selected set, order and committed plans are bit-identical to the
+//! flat O(D) scan (proptest-pinned in `tests/pool_equivalence.rs`).
+//!
+//! The pooled path covers the scale-free policies
+//! ([`Policy::Performance`], [`Policy::Energy`], [`Policy::Edp`]) with
+//! no active security plan and no Pareto energy objective; the engine
+//! falls back to the flat scan otherwise (a `Weighted` policy needs a
+//! global min-max over all candidates, a security plan excludes
+//! devices per task, and a Pareto objective replaces the scoring).
+//!
+//! The same pool structure carries the **topology cost model**
+//! ([`TopologyConfig`]): the pool that produced a region is tracked as
+//! tasks complete, and a consumer placed in a different pool is charged
+//! the link's transfer time for the region — folded into the estimate
+//! *before* scoring on both the pooled and the flat path, so locality
+//! becomes a scheduling dimension like any other.
+
+use std::collections::HashMap;
+
+use legato_core::task::{AccessMode, RegionId, TaskKind, Work};
+use legato_core::units::{Bytes, Seconds};
+use legato_hw::cluster::NodeSpec;
+use legato_hw::comm::LinkModel;
+use legato_hw::device::{Device, DeviceSpec};
+use legato_hw::recs::RecsBox;
+
+use crate::error::RuntimeError;
+use crate::replication::MAX_REPLICAS;
+use crate::sched::{Estimate, Scheduler, ScoreNorm};
+use crate::scheduler::Policy;
+
+/// How the device fleet is partitioned into pools.
+///
+/// Build one from chassis or cluster structure
+/// ([`PoolConfig::from_recs`], [`PoolConfig::from_nodes`]), from an
+/// explicit membership list ([`PoolConfig::from_membership`]), or by
+/// uniform chunking ([`PoolConfig::uniform`]), and hand it to
+/// [`EngineConfig::with_pools`](crate::config::EngineConfig::with_pools).
+/// Every device must belong to exactly one pool; membership is
+/// validated when the runtime is built.
+#[derive(Debug, Clone, Default)]
+pub struct PoolConfig {
+    pools: Vec<Vec<usize>>,
+}
+
+impl PoolConfig {
+    /// An explicit partition: `pools[p]` lists the device indices of
+    /// pool `p`. Empty pools are dropped.
+    #[must_use]
+    pub fn from_membership(pools: Vec<Vec<usize>>) -> Self {
+        PoolConfig { pools }
+    }
+
+    /// Partition `device_count` devices into consecutive chunks of (at
+    /// most) `pool_size` — the structure-free fallback when the fleet
+    /// has no chassis or node grouping. A zero `pool_size` yields a
+    /// single pool.
+    #[must_use]
+    pub fn uniform(device_count: usize, pool_size: usize) -> Self {
+        let size = pool_size.max(1).min(device_count.max(1));
+        let pools = (0..device_count)
+            .collect::<Vec<_>>()
+            .chunks(size)
+            .map(<[usize]>::to_vec)
+            .collect();
+        PoolConfig { pools }
+    }
+
+    /// One pool per cluster node: returns the flattened device specs
+    /// (node order, then the node's device order) and the matching
+    /// partition, ready for
+    /// [`EngineConfig::with_devices`](crate::config::EngineConfig::with_devices).
+    #[must_use]
+    pub fn from_nodes(nodes: &[NodeSpec]) -> (Vec<DeviceSpec>, PoolConfig) {
+        let mut specs = Vec::new();
+        let mut pools = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let start = specs.len();
+            specs.extend(node.devices.iter().cloned());
+            pools.push((start..specs.len()).collect());
+        }
+        (specs, PoolConfig { pools })
+    }
+
+    /// One pool per RECS|BOX carrier: returns the flattened device
+    /// specs (carrier order, then slot order) and the matching
+    /// partition. Devices on one carrier share the chassis backplane,
+    /// which is exactly the locality boundary the topology cost model
+    /// charges transfers across.
+    #[must_use]
+    pub fn from_recs(chassis: &RecsBox) -> (Vec<DeviceSpec>, PoolConfig) {
+        let mut specs = Vec::new();
+        let mut pools = Vec::with_capacity(chassis.carriers.len());
+        for carrier in &chassis.carriers {
+            let start = specs.len();
+            specs.extend(carrier.microservers().iter().map(|m| m.device.clone()));
+            pools.push((start..specs.len()).collect());
+        }
+        (specs, PoolConfig { pools })
+    }
+
+    /// Number of (declared, possibly empty) pools.
+    #[must_use]
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+}
+
+/// Slots of the per-shard best-rate table, one per known [`TaskKind`].
+/// The enum is `#[non_exhaustive]`; an unknown kind falls back to the
+/// shard's raw peak rate (efficiency ≤ 1 keeps the bound valid).
+const KNOWN_KINDS: [(TaskKind, usize); 4] = [
+    (TaskKind::Compute, 0),
+    (TaskKind::Transfer, 1),
+    (TaskKind::Inference, 2),
+    (TaskKind::Io, 3),
+];
+
+fn kind_slot(kind: TaskKind) -> Option<usize> {
+    KNOWN_KINDS
+        .iter()
+        .find(|&&(k, _)| k == kind)
+        .map(|&(_, slot)| slot)
+}
+
+/// Runtime state of the sharded placement layer: pool membership (for
+/// the topology charges), the homogeneous shards each pool splits
+/// into, the lazily maintained per-shard availability minimum, and the
+/// static per-shard maxima the score lower bound is built from.
+#[derive(Debug, Clone)]
+pub(crate) struct DevicePools {
+    /// Pool index of each device (the user-visible partition).
+    pool_of: Vec<usize>,
+    /// Number of (non-empty) pools.
+    pool_count: usize,
+    /// Shard index of each device.
+    shard_of: Vec<usize>,
+    /// Member device indices per shard, ascending. All members of a
+    /// shard carry an identical [`DeviceSpec`], which makes the shard's
+    /// score bound exact (see the module docs).
+    members: Vec<Vec<usize>>,
+    /// Pool each shard belongs to (indexes the topology extras).
+    shard_pool: Vec<usize>,
+    /// Spec class of each shard. Shards of one class carry the same
+    /// [`DeviceSpec`] — usually far fewer classes than shards (a 1k
+    /// fleet cycling four reference specs has four classes and hundreds
+    /// of shards), so the per-task roofline runs once per class.
+    class_of: Vec<usize>,
+    /// Whether a member's `busy_until` changed since `min_busy[s]` was
+    /// computed.
+    dirty: Vec<bool>,
+    /// Cached `min(busy_until)` over the shard's members.
+    min_busy: Vec<Seconds>,
+    /// Effective compute rate (`peak_flops · efficiency`) per spec
+    /// class per known task kind.
+    max_rate: Vec<[f64; 4]>,
+    /// Raw peak rate per spec class (bound for unknown kinds).
+    max_peak: Vec<f64>,
+    /// Memory bandwidth per spec class, bytes/s.
+    max_bw: Vec<f64>,
+    /// Busy power per spec class, watts.
+    min_power: Vec<f64>,
+    /// Scratch: per-class bound duration for the task being placed.
+    class_dur: Vec<Seconds>,
+    /// Scratch: per-shard score lower bound.
+    lbs: Vec<f64>,
+}
+
+impl DevicePools {
+    /// Validate `config` against the device fleet, split every pool
+    /// into identical-spec shards, and precompute the static per-shard
+    /// maxima.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidParameter`] when the membership is not an
+    /// exact partition of the device indices.
+    pub(crate) fn new(config: PoolConfig, devices: &[Device]) -> Result<Self, RuntimeError> {
+        let mut pools: Vec<Vec<usize>> =
+            config.pools.into_iter().filter(|p| !p.is_empty()).collect();
+        if pools.is_empty() {
+            return Err(RuntimeError::invalid_parameter(
+                "pools",
+                "at least one non-empty pool is required",
+            ));
+        }
+        let mut pool_of = vec![usize::MAX; devices.len()];
+        for (p, pool) in pools.iter_mut().enumerate() {
+            pool.sort_unstable();
+            for &d in pool.iter() {
+                if d >= devices.len() {
+                    return Err(RuntimeError::invalid_parameter(
+                        "pools",
+                        format!("device {d} out of range ({} devices)", devices.len()),
+                    ));
+                }
+                if pool_of[d] != usize::MAX {
+                    return Err(RuntimeError::invalid_parameter(
+                        "pools",
+                        format!("device {d} appears in more than one pool"),
+                    ));
+                }
+                pool_of[d] = p;
+            }
+        }
+        if let Some(d) = pool_of.iter().position(|&p| p == usize::MAX) {
+            return Err(RuntimeError::invalid_parameter(
+                "pools",
+                format!("device {d} belongs to no pool"),
+            ));
+        }
+        // Split each pool into shards of identical specs, and dedupe
+        // those specs fleet-wide into classes (linear scans — pools and
+        // class counts are small and this runs once at build time).
+        // Shard members stay ascending because each pool was sorted
+        // above and devices append in order.
+        let pool_count = pools.len();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut shard_pool: Vec<usize> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::new();
+        let mut class_rep: Vec<usize> = Vec::new();
+        let mut shard_of = vec![0usize; devices.len()];
+        for (p, pool) in pools.iter().enumerate() {
+            let first = members.len();
+            for &d in pool {
+                let spec = &devices[d].spec;
+                let s = (first..members.len())
+                    .find(|&s| devices[members[s][0]].spec == *spec)
+                    .unwrap_or_else(|| {
+                        let class = class_rep
+                            .iter()
+                            .position(|&r| devices[r].spec == *spec)
+                            .unwrap_or_else(|| {
+                                class_rep.push(d);
+                                class_rep.len() - 1
+                            });
+                        members.push(Vec::new());
+                        shard_pool.push(p);
+                        class_of.push(class);
+                        members.len() - 1
+                    });
+                members[s].push(d);
+                shard_of[d] = s;
+            }
+        }
+        let n = members.len();
+        let classes = class_rep.len();
+        let mut pools = DevicePools {
+            pool_of,
+            pool_count,
+            shard_of,
+            shard_pool,
+            class_of,
+            dirty: vec![true; n],
+            min_busy: vec![Seconds::ZERO; n],
+            max_rate: vec![[0.0; 4]; classes],
+            max_peak: vec![0.0; classes],
+            max_bw: vec![0.0; classes],
+            min_power: vec![0.0; classes],
+            class_dur: vec![Seconds::ZERO; classes],
+            lbs: vec![0.0; n],
+            members,
+        };
+        for (c, &rep) in class_rep.iter().enumerate() {
+            let spec = &devices[rep].spec;
+            for &(kind, slot) in &KNOWN_KINDS {
+                pools.max_rate[c][slot] = spec.peak_flops * spec.kind.efficiency(kind);
+            }
+            pools.max_peak[c] = spec.peak_flops;
+            pools.max_bw[c] = spec.mem_bandwidth.0;
+            pools.min_power[c] = spec.busy_power.0;
+        }
+        Ok(pools)
+    }
+
+    /// The pool device `d` belongs to.
+    pub(crate) fn pool_of(&self, d: usize) -> usize {
+        self.pool_of[d]
+    }
+
+    /// Pool membership of every device, indexed by device.
+    pub(crate) fn pool_of_slice(&self) -> &[usize] {
+        &self.pool_of
+    }
+
+    /// Number of pools.
+    pub(crate) fn pool_count(&self) -> usize {
+        self.pool_count
+    }
+
+    /// Device `d`'s timeline changed: its shard's cached availability
+    /// minimum is stale.
+    pub(crate) fn mark_dirty(&mut self, d: usize) {
+        self.dirty[self.shard_of[d]] = true;
+    }
+
+    /// Every cached minimum is stale (device reset, sweep execution).
+    pub(crate) fn mark_all_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|f| *f = true);
+    }
+
+    /// Bound on a spec class's execution duration: the roofline against
+    /// the class's rates. Every member of a shard of this class runs
+    /// the task in exactly this time (identical specs), so per shard
+    /// the bound is the duration — only the topology extra (exact,
+    /// pool-uniform) is added on top later.
+    fn class_duration(&self, c: usize, work: Work, kind: TaskKind) -> Seconds {
+        let rate = match kind_slot(kind) {
+            Some(slot) => self.max_rate[c][slot],
+            None => self.max_peak[c],
+        };
+        let compute = if work.flops > 0.0 {
+            work.flops / rate
+        } else {
+            0.0
+        };
+        let memory = if work.bytes > Bytes::ZERO {
+            work.bytes.as_f64() / self.max_bw[c]
+        } else {
+            0.0
+        };
+        Seconds(compute.max(memory))
+    }
+
+    /// Pooled top-k placement: bit-identical selection and plans to the
+    /// flat scan (`Policy::plan_k_devices` with no security plan and no
+    /// energy objective), visiting shards in ascending bound order and
+    /// pruning those whose bound is strictly worse than the k-th best
+    /// score found so far.
+    ///
+    /// `extras` carries the per-pool topology charge for the task (or
+    /// `None` when the topology model is off). Fills `out` with
+    /// `(device index, start, duration)` triples in selection order;
+    /// returns `(filled, devices evaluated)` — the second component is
+    /// the sub-linearity observable the scaling guard test pins.
+    #[allow(clippy::too_many_arguments)] // mirrors the flat plan_k_devices signature
+    pub(crate) fn plan_k(
+        &mut self,
+        policy: Policy,
+        devices: &[Device],
+        work: Work,
+        kind: TaskKind,
+        ready_at: Seconds,
+        extras: Option<&[Seconds]>,
+        out: &mut [(usize, Seconds, Seconds)],
+    ) -> (usize, u64) {
+        let policy = policy.sanitized();
+        debug_assert!(
+            !policy.needs_norm(),
+            "the pooled path is for scale-free policies only"
+        );
+        let want = out.len().min(devices.len()).min(MAX_REPLICAS);
+        if want == 0 {
+            return (0, 0);
+        }
+        let n = self.members.len();
+        // Refresh stale availability minima (O(shard) per dirty shard).
+        for s in 0..n {
+            if self.dirty[s] {
+                self.min_busy[s] = self.members[s]
+                    .iter()
+                    .map(|&d| devices[d].busy_until())
+                    .fold(Seconds(f64::INFINITY), Seconds::min);
+                self.dirty[s] = false;
+            }
+        }
+        // Roofline once per spec class — a 1k fleet cycling four
+        // reference specs runs four divisions here, not one per shard.
+        for c in 0..self.class_dur.len() {
+            self.class_dur[c] = self.class_duration(c, work, kind);
+        }
+        // Score bound per shard — exactly the score of the shard's
+        // least-busy member (one spec per shard; the topology extra is
+        // pool-uniform). Track the best-bounded shard to seed the scan:
+        // evaluating it first makes the incumbent k-th score final-tight
+        // immediately, so the remaining shards need no sorting — any
+        // visit order prunes the same set, because selection by
+        // (score, device index) is a total order and only strictly
+        // worse bounds are skipped.
+        let mut seed = 0usize;
+        for s in 0..n {
+            let extra = extras.map_or(Seconds::ZERO, |e| e[self.shard_pool[s]]);
+            let c = self.class_of[s];
+            let dur = self.class_dur[c] + extra;
+            let est = Estimate::new(
+                ready_at.max(self.min_busy[s]) + dur,
+                legato_core::units::Watt(self.min_power[c]) * dur,
+            );
+            self.lbs[s] = policy.score(&est, &ScoreNorm::IDENTITY);
+            if self.lbs[s] < self.lbs[seed] {
+                seed = s;
+            }
+        }
+
+        // Top-k kept sorted by (score, device index) — the lexicographic
+        // order the flat repeated-minimum selection produces.
+        let mut scores = [f64::INFINITY; MAX_REPLICAS];
+        let mut best = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
+        let mut filled = 0usize;
+        let mut evaluated = 0u64;
+        for s in std::iter::once(seed).chain((0..n).filter(|&s| s != seed)) {
+            // Strict inequality: a shard whose bound *ties* the k-th
+            // score may still hold the tie-break winner, so it is
+            // evaluated; only strictly-worse shards are pruned, which
+            // is what makes the selection exact.
+            if filled == want && self.lbs[s] > scores[want - 1] {
+                continue;
+            }
+            let extra = extras.map_or(Seconds::ZERO, |e| e[self.shard_pool[s]]);
+            for &d in &self.members[s] {
+                let dev = &devices[d];
+                // Identical per-device arithmetic to the flat path.
+                let start = ready_at.max(dev.busy_until());
+                let dur = dev.spec.time_for(work, kind) + extra;
+                let est = Estimate::new(start + dur, dev.spec.busy_power * dur);
+                let score = policy.score(&est, &ScoreNorm::IDENTITY);
+                evaluated += 1;
+                let mut pos = filled.min(want);
+                while pos > 0 {
+                    let ps = scores[pos - 1];
+                    let pd = best[pos - 1].0;
+                    if score < ps || (score == ps && d < pd) {
+                        pos -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                if pos >= want {
+                    continue;
+                }
+                let end = if filled < want { filled } else { want - 1 };
+                for j in (pos..end).rev() {
+                    scores[j + 1] = scores[j];
+                    best[j + 1] = best[j];
+                }
+                scores[pos] = score;
+                best[pos] = (d, start, dur);
+                filled = (filled + 1).min(want);
+            }
+        }
+        out[..filled].copy_from_slice(&best[..filled]);
+        (filled, evaluated)
+    }
+}
+
+/// Topology cost model: producer→consumer transfer charges across pool
+/// boundaries.
+///
+/// Requires a [`PoolConfig`] on the same
+/// [`EngineConfig`](crate::config::EngineConfig) — pools define the
+/// locality domains transfers are charged across. When a task reads a
+/// region last produced in another pool, the link's transfer time for
+/// the region's declared size is added to the task's estimated duration
+/// on every device *outside* the producer pool, before scoring. With no
+/// producers recorded yet (or zero-size regions) the charge is zero and
+/// scheduling is bit-identical to a topology-free runtime.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    pub(crate) link: LinkModel,
+    pub(crate) region_sizes: HashMap<RegionId, Bytes>,
+    pub(crate) default_region_size: Bytes,
+}
+
+impl TopologyConfig {
+    /// A topology model over `link` (e.g.
+    /// [`LinkModel::compute_network`]) with no declared region sizes:
+    /// transfers are free until sizes are declared.
+    #[must_use]
+    pub fn new(link: LinkModel) -> Self {
+        TopologyConfig {
+            link,
+            region_sizes: HashMap::new(),
+            default_region_size: Bytes::ZERO,
+        }
+    }
+
+    /// Declared size of one region (overrides the default).
+    #[must_use]
+    pub fn with_region_size(mut self, region: impl Into<RegionId>, bytes: Bytes) -> Self {
+        self.region_sizes.insert(region.into(), bytes);
+        self
+    }
+
+    /// Size assumed for regions without a declared size (default zero:
+    /// undeclared regions transfer for free).
+    #[must_use]
+    pub fn with_default_region_size(mut self, bytes: Bytes) -> Self {
+        self.default_region_size = bytes;
+        self
+    }
+}
+
+/// Engine-side topology state: the configuration, the last producer
+/// pool of every region, and the per-task scratch of per-pool charges.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TopologyState {
+    pub(crate) cfg: Option<TopologyConfig>,
+    /// Pool that last (re)produced each region.
+    producers: HashMap<RegionId, usize>,
+    /// Scratch: extra seconds charged to a placement in each pool for
+    /// the task currently being placed.
+    pub(crate) pool_extras: Vec<Seconds>,
+}
+
+impl TopologyState {
+    /// Activate the model with `cfg` (empty producer map, no charges).
+    pub(crate) fn from_config(cfg: TopologyConfig) -> Self {
+        TopologyState {
+            cfg: Some(cfg),
+            ..TopologyState::default()
+        }
+    }
+
+    /// Whether the topology model is configured.
+    pub(crate) fn active(&self) -> bool {
+        self.cfg.is_some()
+    }
+
+    /// Fill [`TopologyState::pool_extras`] for a task about to be
+    /// placed: each region the task reads whose producer pool is known
+    /// charges the link transfer time to every *other* pool. O(pools ×
+    /// read accesses).
+    pub(crate) fn charge_into(&mut self, accesses: &[(RegionId, AccessMode)], pool_count: usize) {
+        self.pool_extras.clear();
+        self.pool_extras.resize(pool_count, Seconds::ZERO);
+        let Some(cfg) = &self.cfg else {
+            return;
+        };
+        for &(region, mode) in accesses {
+            if !mode.reads() {
+                continue;
+            }
+            let Some(&producer) = self.producers.get(&region) else {
+                continue;
+            };
+            let bytes = cfg
+                .region_sizes
+                .get(&region)
+                .copied()
+                .unwrap_or(cfg.default_region_size);
+            let t = cfg.link.transfer_time(bytes);
+            if t <= Seconds::ZERO {
+                continue;
+            }
+            for (p, extra) in self.pool_extras.iter_mut().enumerate() {
+                if p != producer {
+                    *extra += t;
+                }
+            }
+        }
+    }
+
+    /// Record that a task's written regions now live in `pool` (the
+    /// primary replica's pool) — the producer side of the charge,
+    /// mirroring the security layer's seal-on-cross-device tracking.
+    pub(crate) fn record_outputs(&mut self, accesses: &[(RegionId, AccessMode)], pool: usize) {
+        if self.cfg.is_none() {
+            return;
+        }
+        for &(region, mode) in accesses {
+            if mode.writes() {
+                self.producers.insert(region, pool);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_core::units::BytesPerSec;
+    use legato_hw::device::DeviceId;
+
+    fn fleet(n: usize) -> Vec<Device> {
+        let specs = [
+            DeviceSpec::xeon_x86(),
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+            DeviceSpec::arm64(),
+        ];
+        (0..n)
+            .map(|i| Device::new(DeviceId(i as u64), specs[i % specs.len()].clone()))
+            .collect()
+    }
+
+    fn flat_plan(
+        policy: Policy,
+        devices: &[Device],
+        work: Work,
+        kind: TaskKind,
+        ready_at: Seconds,
+        k: usize,
+    ) -> Vec<(usize, Seconds, Seconds)> {
+        let mut estimates = Vec::new();
+        let mut plans = Vec::new();
+        let mut candidates = Vec::new();
+        let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
+        let filled = policy.plan_k_devices(
+            devices,
+            work,
+            kind,
+            ready_at,
+            None,
+            None,
+            None,
+            &mut estimates,
+            &mut plans,
+            &mut candidates,
+            &mut out[..k],
+        );
+        out[..filled].to_vec()
+    }
+
+    #[test]
+    fn uniform_partition_covers_every_device() {
+        let devices = fleet(10);
+        let pools = DevicePools::new(PoolConfig::uniform(10, 4), &devices).expect("valid");
+        assert_eq!(pools.pool_count(), 3); // 4 + 4 + 2
+        let mut seen = [false; 10];
+        for (s, shard) in pools.members.iter().enumerate() {
+            for &d in shard {
+                assert!(!seen[d]);
+                seen[d] = true;
+                assert_eq!(pools.pool_of(d), pools.shard_pool[s]);
+                assert_eq!(pools.shard_of[d], s);
+                assert_eq!(
+                    devices[d].spec, devices[shard[0]].spec,
+                    "shards are spec-homogeneous"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn invalid_memberships_are_rejected() {
+        let devices = fleet(4);
+        for (pools, what) in [
+            (vec![vec![0, 1], vec![2]], "missing device"),
+            (vec![vec![0, 1, 2, 3, 9]], "out of range"),
+            (vec![vec![0, 1, 2], vec![2, 3]], "duplicate"),
+            (vec![], "empty"),
+        ] {
+            let err = DevicePools::new(PoolConfig::from_membership(pools), &devices);
+            assert!(err.is_err(), "{what} must be rejected");
+        }
+    }
+
+    #[test]
+    fn pooled_matches_flat_on_fresh_fleet() {
+        let devices = fleet(16);
+        let mut pools = DevicePools::new(PoolConfig::uniform(16, 4), &devices).expect("valid");
+        for policy in [Policy::Performance, Policy::Energy, Policy::Edp] {
+            for k in 1..=3usize {
+                let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
+                let (filled, _) = pools.plan_k(
+                    policy,
+                    &devices,
+                    Work::flops(66e9),
+                    TaskKind::Inference,
+                    Seconds::ZERO,
+                    None,
+                    &mut out[..k],
+                );
+                let flat = flat_plan(
+                    policy,
+                    &devices,
+                    Work::flops(66e9),
+                    TaskKind::Inference,
+                    Seconds::ZERO,
+                    k,
+                );
+                assert_eq!(filled, flat.len(), "{policy:?} k={k}");
+                assert_eq!(&out[..filled], flat.as_slice(), "{policy:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_matches_flat_with_busy_devices() {
+        let mut devices = fleet(12);
+        // Stagger availability so tie-breaks and start times matter.
+        for (i, d) in devices.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                d.execute(
+                    Seconds::ZERO,
+                    Work::flops(1e12 * (1.0 + i as f64)),
+                    TaskKind::Compute,
+                );
+            }
+        }
+        let mut pools = DevicePools::new(PoolConfig::uniform(12, 3), &devices).expect("valid");
+        for policy in [Policy::Performance, Policy::Energy, Policy::Edp] {
+            let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
+            let (filled, _) = pools.plan_k(
+                policy,
+                &devices,
+                Work::new(2e12, Bytes::gib(1)),
+                TaskKind::Compute,
+                Seconds(0.5),
+                None,
+                &mut out,
+            );
+            let flat = flat_plan(
+                policy,
+                &devices,
+                Work::new(2e12, Bytes::gib(1)),
+                TaskKind::Compute,
+                Seconds(0.5),
+                MAX_REPLICAS,
+            );
+            assert_eq!(filled, flat.len(), "{policy:?}");
+            assert_eq!(&out[..filled], flat.as_slice(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn identical_devices_tie_break_toward_lowest_index() {
+        let devices: Vec<Device> = (0..8)
+            .map(|i| Device::new(DeviceId(i), DeviceSpec::arm64()))
+            .collect();
+        let mut pools = DevicePools::new(PoolConfig::uniform(8, 2), &devices).expect("valid");
+        let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
+        let (filled, _) = pools.plan_k(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e9),
+            TaskKind::Compute,
+            Seconds::ZERO,
+            None,
+            &mut out,
+        );
+        assert_eq!(filled, 3);
+        assert_eq!([out[0].0, out[1].0, out[2].0], [0, 1, 2]);
+    }
+
+    #[test]
+    fn pruning_skips_strictly_worse_pools() {
+        // One fast pool, many identical slow pools: once k candidates
+        // from the fast pool are held, the slow pools' bounds are
+        // strictly worse and must be pruned.
+        let mut specs = vec![DeviceSpec::gtx1080(), DeviceSpec::gtx1080()];
+        for _ in 0..31 {
+            specs.push(DeviceSpec::arm64());
+            specs.push(DeviceSpec::arm64());
+        }
+        let devices: Vec<Device> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Device::new(DeviceId(i as u64), s))
+            .collect();
+        let mut pools =
+            DevicePools::new(PoolConfig::uniform(devices.len(), 2), &devices).expect("valid");
+        let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); 2];
+        let (filled, evaluated) = pools.plan_k(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e12),
+            TaskKind::Inference,
+            Seconds::ZERO,
+            None,
+            &mut out,
+        );
+        assert_eq!(filled, 2);
+        assert_eq!([out[0].0, out[1].0], [0, 1]);
+        assert_eq!(evaluated, 2, "only the fast pool may be evaluated");
+    }
+
+    #[test]
+    fn mixed_pools_prune_via_homogeneous_shards() {
+        // Pools mixing a fast GPU with a slow ARM: bounding each pool
+        // as a whole would pair the idlest member's availability with
+        // the fastest member's rate into a score nothing in the pool
+        // can achieve, and never prune. The per-spec shards keep the
+        // bound exact, so on a compute task only the GPU shards (which
+        // all tie at idle) are evaluated and every ARM is skipped.
+        let mut specs = Vec::new();
+        for _ in 0..8 {
+            specs.push(DeviceSpec::gtx1080());
+            specs.push(DeviceSpec::arm64());
+        }
+        let devices: Vec<Device> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Device::new(DeviceId(i as u64), s))
+            .collect();
+        let mut pools =
+            DevicePools::new(PoolConfig::uniform(devices.len(), 2), &devices).expect("valid");
+        let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); 1];
+        let (filled, evaluated) = pools.plan_k(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e12),
+            TaskKind::Compute,
+            Seconds::ZERO,
+            None,
+            &mut out,
+        );
+        assert_eq!(filled, 1);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(evaluated, 8, "GPU shards only; every ARM is pruned");
+    }
+
+    #[test]
+    fn dirty_pool_refresh_tracks_executions() {
+        let mut devices = fleet(8);
+        let mut pools = DevicePools::new(PoolConfig::uniform(8, 4), &devices).expect("valid");
+        let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); 1];
+        let (_, _) = pools.plan_k(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e9),
+            TaskKind::Compute,
+            Seconds::ZERO,
+            None,
+            &mut out,
+        );
+        // Busy every device in pool 0, mark them dirty, and check the
+        // pooled result still matches flat.
+        for (d, dev) in devices.iter_mut().enumerate().take(4) {
+            dev.execute(Seconds::ZERO, Work::flops(5e13), TaskKind::Compute);
+            pools.mark_dirty(d);
+        }
+        let (filled, _) = pools.plan_k(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e9),
+            TaskKind::Compute,
+            Seconds::ZERO,
+            None,
+            &mut out,
+        );
+        let flat = flat_plan(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e9),
+            TaskKind::Compute,
+            Seconds::ZERO,
+            1,
+        );
+        assert_eq!(filled, 1);
+        assert_eq!(&out[..1], flat.as_slice());
+        assert!(flat[0].0 >= 4, "pool 0 is saturated");
+    }
+
+    #[test]
+    fn from_nodes_builds_matching_partition() {
+        let nodes = [
+            NodeSpec::gpu_node("g0"),
+            NodeSpec::fpga_node("f0"),
+            NodeSpec::low_power_arm("a0"),
+        ];
+        let (specs, cfg) = PoolConfig::from_nodes(&nodes);
+        assert_eq!(specs.len(), 5); // 2 + 2 + 1
+        assert_eq!(cfg.pool_count(), 3);
+        let devices: Vec<Device> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Device::new(DeviceId(i as u64), s))
+            .collect();
+        let pools = DevicePools::new(cfg, &devices).expect("valid");
+        assert_eq!(pools.pool_of(0), 0);
+        assert_eq!(pools.pool_of(1), 0);
+        assert_eq!(pools.pool_of(2), 1);
+        assert_eq!(pools.pool_of(4), 2);
+    }
+
+    #[test]
+    fn from_recs_builds_matching_partition() {
+        let chassis = RecsBox::builder("box")
+            .high_performance_carrier(vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080()])
+            .low_power_carrier(vec![DeviceSpec::arm64(), DeviceSpec::jetson_soc()])
+            .build()
+            .expect("valid chassis");
+        let (specs, cfg) = PoolConfig::from_recs(&chassis);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(cfg.pool_count(), 2);
+        let devices: Vec<Device> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Device::new(DeviceId(i as u64), s))
+            .collect();
+        let pools = DevicePools::new(cfg, &devices).expect("valid");
+        assert_eq!(pools.pool_of(1), 0);
+        assert_eq!(pools.pool_of(2), 1);
+    }
+
+    #[test]
+    fn topology_charges_only_foreign_pools() {
+        let link = LinkModel::new(BytesPerSec::gib_per_sec(1.0), Seconds(1e-4));
+        let mut topo = TopologyState {
+            cfg: Some(TopologyConfig::new(link).with_region_size(7u64, Bytes::gib(1))),
+            ..TopologyState::default()
+        };
+        let wrote = [(RegionId(7), AccessMode::Out)];
+        topo.record_outputs(&wrote, 1);
+        let reads = [(RegionId(7), AccessMode::In), (RegionId(9), AccessMode::In)];
+        topo.charge_into(&reads, 3);
+        assert_eq!(topo.pool_extras.len(), 3);
+        assert_eq!(topo.pool_extras[1], Seconds::ZERO, "local read is free");
+        let expect = link.transfer_time(Bytes::gib(1));
+        assert_eq!(topo.pool_extras[0], expect);
+        assert_eq!(topo.pool_extras[2], expect);
+    }
+
+    #[test]
+    fn topology_extras_shift_pooled_selection_like_flat() {
+        // Two identical pools; a 1 GiB transfer charge on pool 1 must
+        // steer placement into pool 0 on both paths.
+        let devices: Vec<Device> = (0..4)
+            .map(|i| Device::new(DeviceId(i), DeviceSpec::arm64()))
+            .collect();
+        let mut pools = DevicePools::new(PoolConfig::uniform(4, 2), &devices).expect("valid");
+        let link = LinkModel::new(BytesPerSec::gib_per_sec(1.0), Seconds(1e-4));
+        let extras = [Seconds::ZERO, link.transfer_time(Bytes::gib(1))];
+        let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); 2];
+        let (filled, _) = pools.plan_k(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e9),
+            TaskKind::Compute,
+            Seconds::ZERO,
+            Some(&extras),
+            &mut out,
+        );
+        assert_eq!(filled, 2);
+        assert_eq!([out[0].0, out[1].0], [0, 1], "both picks in the local pool");
+        // Duration on the charged pool's devices includes the transfer.
+        let (filled, _) = pools.plan_k(
+            Policy::Performance,
+            &devices,
+            Work::flops(1e9),
+            TaskKind::Compute,
+            Seconds::ZERO,
+            Some(&[extras[1], extras[1]]),
+            &mut out[..1],
+        );
+        assert_eq!(filled, 1);
+        assert!(
+            out[0].2
+                > devices[0]
+                    .spec
+                    .time_for(Work::flops(1e9), TaskKind::Compute)
+        );
+    }
+
+    #[test]
+    fn inactive_topology_charges_nothing() {
+        let mut topo = TopologyState::default();
+        topo.record_outputs(&[(RegionId(1), AccessMode::Out)], 0);
+        topo.charge_into(&[(RegionId(1), AccessMode::In)], 4);
+        assert!(topo.pool_extras.iter().all(|&e| e == Seconds::ZERO));
+    }
+}

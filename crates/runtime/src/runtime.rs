@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::energy::{EnergyState, EnergyStats};
 use crate::engine::EngineState;
 use crate::error::RuntimeError;
+use crate::pool::{DevicePools, TopologyState};
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
 use crate::resilience::{ResilienceConfig, ResilienceState, ResilienceStats, RollbackEvent};
 use crate::scheduler::Policy;
@@ -153,6 +154,10 @@ pub struct Runtime {
     pub(crate) resilience: Option<ResilienceState>,
     pub(crate) security: SecurityState,
     pub(crate) energy: EnergyState,
+    /// Sharded placement state; `None` = flat O(D) scan per placement.
+    pub(crate) pools: Option<DevicePools>,
+    /// Topology cost model (inactive unless configured with pools).
+    pub(crate) topology: TopologyState,
 }
 
 impl Runtime {
@@ -176,6 +181,8 @@ impl Runtime {
             resilience: None,
             security: SecurityState::default(),
             energy: EnergyState::default(),
+            pools: None,
+            topology: TopologyState::default(),
         }
     }
 
@@ -304,6 +311,62 @@ impl Runtime {
         id
     }
 
+    /// Pre-size the graph for a workload of known scale: reserves node
+    /// and edge storage so a large streaming submission (100k–1M tasks)
+    /// does not pay amortized regrowth. Purely an optimization — the
+    /// resulting schedule is identical with or without the call.
+    pub fn reserve(&mut self, tasks: usize, edges: usize) {
+        self.graph.reserve(tasks, edges);
+    }
+
+    /// Submit a batch of tasks buffered in a
+    /// [`GraphBuilder`](legato_core::graph::GraphBuilder) in one bulk
+    /// operation: the graph's edge storage is sized exactly before any
+    /// task is wired, which is substantially cheaper than task-by-task
+    /// [`Runtime::submit`] on 100k+-task graphs. Semantically identical
+    /// to submitting the builder's tasks in order; returns the id range
+    /// assigned to the batch.
+    pub fn submit_batch(
+        &mut self,
+        builder: legato_core::graph::GraphBuilder,
+    ) -> std::ops::Range<u64> {
+        if builder
+            .descriptors()
+            .iter()
+            .any(|d| d.requirements.security.seals_at_rest())
+        {
+            self.security.activate(&self.devices);
+        }
+        let n0 = self.graph.len();
+        builder.build_into(&mut self.graph);
+        for i in n0..self.graph.len() {
+            let id = TaskId(i as u64);
+            if self.graph.state(id) == Ok(TaskState::Ready) {
+                self.engine.push_ready(id);
+            }
+        }
+        n0 as u64..self.graph.len() as u64
+    }
+
+    /// Per-device placement evaluations performed so far (each is one
+    /// roofline estimate plus scoring). The flat path evaluates every
+    /// eligible device per attempt; the pooled path
+    /// ([`EngineConfig::with_pools`](crate::config::EngineConfig::with_pools))
+    /// prunes pools whose score lower bound cannot reach the top-k, so
+    /// this counter is the sub-linearity observable — deliberately kept
+    /// out of [`RunReport`] so pooled and flat reports stay comparable
+    /// bit for bit.
+    #[must_use]
+    pub fn placement_evals(&self) -> u64 {
+        self.engine.sched_evals
+    }
+
+    /// Number of device pools, or `None` when placement is unsharded.
+    #[must_use]
+    pub fn pool_count(&self) -> Option<usize> {
+        self.pools.as_ref().map(DevicePools::pool_count)
+    }
+
     /// The underlying dataflow graph.
     #[must_use]
     pub fn graph(&self) -> &TaskGraph {
@@ -411,6 +474,9 @@ impl Runtime {
                 let mut finish = Seconds::ZERO;
                 for &d in &chosen {
                     let (s, f) = self.devices[d].execute(attempt_start, desc.work, desc.kind);
+                    if let Some(pools) = &mut self.pools {
+                        pools.mark_dirty(d);
+                    }
                     start = start.min(s);
                     finish = finish.max(f);
                     let faulty = self.rng.gen_range(0.0..1.0) < self.fault_probs[d];
@@ -498,6 +564,9 @@ impl Runtime {
     pub fn reset_devices(&mut self) {
         for d in &mut self.devices {
             d.reset();
+        }
+        if let Some(pools) = &mut self.pools {
+            pools.mark_all_dirty();
         }
     }
 }

@@ -120,6 +120,14 @@ impl Policy {
     /// and pending attestation included. `None` (the common case) is the
     /// exact pre-security arithmetic.
     ///
+    /// `topo` carries the topology layer's per-pool transfer charges
+    /// (`pool_extras`, `pool_of`) when the runtime has a pool
+    /// configuration and an active
+    /// [`TopologyConfig`](crate::pool::TopologyConfig): device `i`'s
+    /// estimate is charged `pool_extras[pool_of[i]]` of extra duration
+    /// *before* scoring, composing with the security extra. `None` is
+    /// the exact pre-topology arithmetic.
+    ///
     /// `energy` carries the energy layer's state when a Pareto
     /// [`EnergyObjective`](crate::energy::EnergyObjective) is in force:
     /// the objective *replaces* this policy's scoring for the selection
@@ -139,6 +147,7 @@ impl Policy {
         kind: TaskKind,
         ready_at: Seconds,
         security: Option<&crate::security::SecurePlan>,
+        topo: Option<(&[Seconds], &[usize])>,
         energy: Option<&mut crate::energy::EnergyState>,
         estimates: &mut Vec<Estimate>,
         plans: &mut Vec<(Seconds, Seconds)>,
@@ -150,13 +159,16 @@ impl Policy {
         plans.clear();
         candidates.clear();
         for (i, d) in devices.iter().enumerate() {
-            let extra = match security {
+            let mut extra = match security {
                 None => Seconds::ZERO,
                 Some(plan) => match plan.extra(i) {
                     Some(extra) => extra,
                     None => continue, // never a candidate
                 },
             };
+            if let Some((pool_extras, pool_of)) = topo {
+                extra += pool_extras[pool_of[i]];
+            }
             let start = ready_at.max(d.busy_until());
             let dur = d.spec.time_for(work, kind) + extra;
             // `busy_power * dur` is `DeviceSpec::energy_for` with the

@@ -1,0 +1,93 @@
+//! Tier-1 guard: pooled placement cost grows sub-linearly in fleet size.
+//!
+//! The whole point of the sharded scheduler is that placing a task on a
+//! 1024-device fleet should not cost 16× what it costs on a 64-device
+//! fleet. The engine counts every candidate-device evaluation
+//! ([`Runtime::placement_evals`]) — a deterministic, timer-free proxy
+//! for per-task scheduling cost — and this test pins two ratios:
+//!
+//! * **Sub-linear growth** — per-task evaluations on 1024 devices stay
+//!   within 3× of per-task evaluations on 64 devices (the fleet grew
+//!   16×), with identical pool size at both scales.
+//! * **Pruned vs flat** — on the 1024-device fleet the pooled engine
+//!   evaluates at least 3× fewer candidates per task than the flat
+//!   O(D) scan, while producing the bit-identical schedule.
+
+use legato_core::task::{AccessMode, TaskDescriptor, Work};
+use legato_hw::device::DeviceSpec;
+use legato_runtime::{EngineConfig, Policy, PoolConfig, Runtime};
+
+const POOL_SIZE: usize = 16;
+const TASKS: usize = 20_000;
+
+/// A fleet of `n` devices cycling through the reference specs — every
+/// 16-device pool holds the same mix of fast and slow hardware.
+fn fleet(n: usize) -> Vec<DeviceSpec> {
+    let specs = [
+        DeviceSpec::xeon_x86(),
+        DeviceSpec::gtx1080(),
+        DeviceSpec::fpga_kintex(),
+        DeviceSpec::arm64(),
+    ];
+    (0..n).map(|i| specs[i % specs.len()].clone()).collect()
+}
+
+/// `TASKS` independent tasks with varied sizes (so device busy times
+/// diverge and pool bounds separate), each writing its own region.
+fn submit_wide(rt: &mut Runtime) {
+    for i in 0..TASKS {
+        let flops = (1.0 + (i % 997) as f64 / 997.0) * 1.0e12;
+        rt.submit(
+            TaskDescriptor::named("t").with_work(Work::flops(flops)),
+            [(i as u64, AccessMode::Out)],
+        );
+    }
+}
+
+/// Run the wide workload on `n` devices and return (evals, makespan).
+fn run_wide(n: usize, pooled: bool) -> (u64, legato_core::units::Seconds) {
+    let mut cfg = EngineConfig::new()
+        .with_devices(fleet(n))
+        .with_policy(Policy::Performance)
+        .with_seed(1);
+    if pooled {
+        cfg = cfg.with_pools(PoolConfig::uniform(n, POOL_SIZE));
+    }
+    let mut rt = cfg.build().expect("valid engine config");
+    submit_wide(&mut rt);
+    let report = rt.run().expect("devices present");
+    (rt.placement_evals(), report.makespan)
+}
+
+#[test]
+fn per_task_cost_grows_sublinearly_with_fleet_size() {
+    let (small, _) = run_wide(64, true);
+    let (large, large_makespan) = run_wide(1024, true);
+    let (flat, flat_makespan) = run_wide(1024, false);
+
+    let small_per_task = small as f64 / TASKS as f64;
+    let large_per_task = large as f64 / TASKS as f64;
+    let flat_per_task = flat as f64 / TASKS as f64;
+
+    // The schedule itself must be unchanged by pruning.
+    assert_eq!(large_makespan, flat_makespan);
+
+    // 16× the devices, at most 3× the per-task evaluations.
+    assert!(
+        large_per_task <= 3.0 * small_per_task,
+        "per-task evals grew super-linearly: {large_per_task:.1} on 1024 \
+         devices vs {small_per_task:.1} on 64 devices"
+    );
+
+    // And at least 3× cheaper than the flat O(D) scan it replaces.
+    assert!(
+        large_per_task * 3.0 <= flat_per_task,
+        "pooled search not ≥3× cheaper than flat: {large_per_task:.1} \
+         pooled vs {flat_per_task:.1} flat evals per task"
+    );
+
+    eprintln!(
+        "per-task evals: 64-dev pooled {small_per_task:.1}, 1024-dev pooled \
+         {large_per_task:.1}, 1024-dev flat {flat_per_task:.1}"
+    );
+}

@@ -112,7 +112,6 @@ fn recs_box_modules_feed_the_runtime() {
     // full-utilization device model, which would mask the comparison.
     let specs: Vec<DeviceSpec> = recs
         .microservers()
-        .into_iter()
         .filter(|m| {
             matches!(
                 m.device.kind,

@@ -41,6 +41,11 @@ pub struct Measurement {
     /// Mean wall-clock nanoseconds per iteration (kept alongside the
     /// median so outlier skew is visible in the baseline).
     pub mean_ns_per_iter: f64,
+    /// Minimum wall-clock nanoseconds per iteration. For a
+    /// deterministic simulator body the minimum is the least-noisy
+    /// estimate there is — every nanosecond above it is interference —
+    /// so baseline comparisons prefer it when present.
+    pub min_ns_per_iter: f64,
     /// Number of timed iterations behind the estimates.
     pub iterations: u64,
     /// Declared throughput per iteration, if any.
@@ -131,6 +136,7 @@ where
         sample_size,
         ns_per_iter: 0.0,
         mean_ns_per_iter: 0.0,
+        min_ns_per_iter: 0.0,
         iterations: 0,
     };
     f(&mut bencher);
@@ -138,6 +144,7 @@ where
         id: id.to_string(),
         ns_per_iter: bencher.ns_per_iter,
         mean_ns_per_iter: bencher.mean_ns_per_iter,
+        min_ns_per_iter: bencher.min_ns_per_iter,
         iterations: bencher.iterations,
         throughput,
     };
@@ -153,6 +160,7 @@ pub struct Bencher {
     sample_size: u64,
     ns_per_iter: f64,
     mean_ns_per_iter: f64,
+    min_ns_per_iter: f64,
     iterations: u64,
 }
 
@@ -183,6 +191,8 @@ impl Bencher {
         }
         self.ns_per_iter = median(&mut samples);
         self.mean_ns_per_iter = samples.iter().sum::<f64>() / samples.len() as f64;
+        // `median` sorted the samples, so the minimum is the first.
+        self.min_ns_per_iter = samples.first().copied().unwrap_or(0.0);
         self.iterations = samples.len() as u64;
     }
 }
@@ -206,7 +216,7 @@ fn median(samples: &mut [f64]) -> f64 {
 ///
 /// Called by `criterion_main!` after every group has run. The output is a
 /// JSON array of `{id, ns_per_iter (median), mean_ns_per_iter,
-/// iterations, throughput}` objects.
+/// min_ns_per_iter, iterations, throughput}` objects.
 pub fn save_baseline_from_env() {
     let Ok(path) = std::env::var("CRITERION_SAVE_JSON") else {
         return;
@@ -220,10 +230,11 @@ pub fn save_baseline_from_env() {
             None => "null".to_string(),
         };
         out.push_str(&format!(
-            "  {{\"id\": {:?}, \"ns_per_iter\": {:.1}, \"mean_ns_per_iter\": {:.1}, \"iterations\": {}, \"throughput\": {}}}{}\n",
+            "  {{\"id\": {:?}, \"ns_per_iter\": {:.1}, \"mean_ns_per_iter\": {:.1}, \"min_ns_per_iter\": {:.1}, \"iterations\": {}, \"throughput\": {}}}{}\n",
             m.id,
             m.ns_per_iter,
             m.mean_ns_per_iter,
+            m.min_ns_per_iter,
             m.iterations,
             throughput,
             if i + 1 == all.len() { "" } else { "," }
