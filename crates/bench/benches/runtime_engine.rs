@@ -147,10 +147,58 @@ fn bench_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// Static analysis cost at cluster scale: the full default lint set
+/// (race, flow, feasibility, checkpoint closure) over the same 100k-task
+/// chain graph `bench_scaling` uses, next to the cost of *constructing*
+/// that graph. The acceptance bar tracked by `tests/analysis_scaling.rs`
+/// is analyze ≤ 10× build; these two rows record the actual ratio in
+/// `BENCH_runtime.json` so regressions show up in the baseline diff.
+fn bench_analyze(c: &mut Criterion) {
+    const TASKS: usize = 100_000;
+    let mut g = c.benchmark_group("runtime_engine/analyze");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TASKS as u64));
+    let devices = || {
+        vec![
+            DeviceSpec::xeon_x86(),
+            DeviceSpec::gtx1080(),
+            DeviceSpec::fpga_kintex(),
+            DeviceSpec::arm64(),
+        ]
+    };
+    let width = TASKS / 4;
+    let build = |rt: &mut Runtime| {
+        let mut builder = GraphBuilder::with_capacity(TASKS, TASKS).with_region_capacity(width);
+        for i in 0..TASKS {
+            let flops = (1.0 + (i % 997) as f64 / 997.0) * 1.0e12;
+            builder.task(
+                TaskDescriptor::named("t").with_work(Work::flops(flops)),
+                [((i % width) as u64, AccessMode::InOut)],
+            );
+        }
+        rt.reserve(TASKS, TASKS - width);
+        rt.submit_batch(builder);
+    };
+    g.bench_function("build_100k", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new(devices(), Policy::Performance, 42);
+            build(&mut rt);
+            black_box(rt)
+        })
+    });
+    g.bench_function("analyze_100k", |b| {
+        let mut rt = Runtime::new(devices(), Policy::Performance, 42);
+        build(&mut rt);
+        b.iter(|| black_box(rt.analyze()).error_count())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_executors,
     bench_ready_set_drain,
-    bench_scaling
+    bench_scaling,
+    bench_analyze
 );
 criterion_main!(benches);

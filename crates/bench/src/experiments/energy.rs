@@ -71,7 +71,6 @@ pub const REFERENCE_STEPS: [usize; 3] = [0, 1, 2];
 /// definition of a frontier cell: [`frontier`] builds its rows from it
 /// and the `undervolting` criterion bench times it, so the recorded
 /// frontier and the timed cells can never diverge.
-#[must_use]
 pub fn run_cell(
     scenario: Scenario,
     policy: Policy,

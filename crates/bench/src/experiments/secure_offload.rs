@@ -165,8 +165,21 @@ impl Scenario {
                 );
             }
         }
+        // The gather aggregates every chain's output, so information-flow
+        // discipline requires it to run at the highest level it reads:
+        // enclave-only whenever any chain is confidential. (The original
+        // Public gather was a real leak — enclave plaintext flowing into
+        // an unprotected task — caught by the `confidential-flow` lint in
+        // `legato-analyze` the first time these graphs were verified.)
+        let gather_level = if confidential > 0 {
+            SecurityLevel::Enclave
+        } else {
+            SecurityLevel::Public
+        };
         rt.submit(
-            TaskDescriptor::named("gather").with_work(Work::flops(1e9)),
+            TaskDescriptor::named("gather")
+                .with_work(Work::flops(1e9))
+                .with_requirements(Requirements::new().with_security(gather_level)),
             (0..self.chains as u64)
                 .map(|c| (CHAIN_REGION_BASE + c, AccessMode::In))
                 .collect::<Vec<_>>(),
@@ -200,7 +213,6 @@ pub struct SecureOffloadRow {
 /// This is the single definition of a sweep cell: [`sweep`] builds its
 /// rows from it and the `secure_offload` criterion bench times it, so
 /// the recorded overheads and the timed cells can never diverge.
-#[must_use]
 pub fn run_cell(
     scenario: Scenario,
     percent: u32,

@@ -332,6 +332,62 @@ impl TaskGraph {
         id
     }
 
+    /// Submit a task with an *explicit* predecessor list instead of
+    /// letting the graph infer dependences from the access declarations.
+    ///
+    /// This is the submission path for callers that already know (or
+    /// claim to know) their task's ordering — a tenant shipping a
+    /// pre-built DAG, a replayed trace, a test seeding a specific shape.
+    /// The access declarations are still recorded (they drive region
+    /// histories, liveness and checkpoint volume, and later *inferred*
+    /// tasks will order against this one), but nothing checks that
+    /// `deps` actually covers every data conflict: two explicit tasks
+    /// writing one region with no path between them is a real race the
+    /// graph will happily execute in nondeterministic order. Run such
+    /// graphs through the static analyzer (`legato-runtime`'s `analyze`
+    /// module) before trusting them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] if any dependence names a task
+    /// not yet in the graph — edges must point from an earlier submission
+    /// to a later one, which is also what keeps the graph acyclic by
+    /// construction.
+    pub fn add_task_with_deps<I, R>(
+        &mut self,
+        descriptor: TaskDescriptor,
+        accesses: I,
+        deps: &[TaskId],
+    ) -> Result<TaskId, CoreError>
+    where
+        I: IntoIterator<Item = (R, AccessMode)>,
+        R: Into<RegionId>,
+    {
+        for &d in deps {
+            if d.index() >= self.nodes.len() {
+                return Err(CoreError::UnknownTask(d));
+            }
+        }
+        let acc_start = self.access_arena.len();
+        self.access_arena
+            .extend(accesses.into_iter().map(|(r, m)| (r.into(), m)));
+        let acc = Span {
+            start: acc_start,
+            len: self.access_arena.len() - acc_start,
+        };
+        let acc = self.collapse_duplicate_accesses(acc);
+        let mut deps = deps.to_vec();
+        deps.sort_unstable();
+        deps.dedup();
+        let id = self.push_task_inner(descriptor, acc, Some(&deps));
+        let p = self.nodes[id.index()].preds;
+        for j in p.range() {
+            let pred = self.pred_arena[j].index();
+            self.succ_push(pred, id);
+        }
+        Ok(id)
+    }
+
     /// Core of task submission: infer dependences for a task whose access
     /// declarations already sit in the access arena at `acc`, record its
     /// predecessor span, update region histories, liveness and readiness —
@@ -341,23 +397,71 @@ impl TaskGraph {
     /// out-degrees first and lays successors out in one exactly-sized
     /// pass.
     fn push_task_core(&mut self, descriptor: TaskDescriptor, acc: Span) -> TaskId {
+        let acc = self.collapse_duplicate_accesses(acc);
+        self.push_task_inner(descriptor, acc, None)
+    }
+
+    /// Collapse duplicate declarations of the same region within one
+    /// task's access window to the [`AccessMode::join`] of their modes,
+    /// compacting the window in place (the span shrinks; freed arena
+    /// slots keep their stale values and are never referenced again).
+    ///
+    /// Without this, a task declaring `(r, In)` and `(r, Out)` would
+    /// leave two entries in its access list: inference still computed
+    /// the right predecessors (both entries consult the same history),
+    /// but every *consumer* of the access list — region-history updates,
+    /// liveness counters, checkpoint volume, the static analyzer — saw
+    /// the region twice with conflicting modes, and `(r, In)` + `(r,
+    /// Out)` double-counted `readers_outstanding` while recording the
+    /// task as a plain reader *and* the last writer.
+    fn collapse_duplicate_accesses(&mut self, acc: Span) -> Span {
+        let window = &mut self.access_arena[acc.range()];
+        let mut kept = 0usize;
+        for i in 0..window.len() {
+            let (region, mode) = window[i];
+            if let Some(slot) = window[..kept].iter_mut().find(|(r, _)| *r == region) {
+                slot.1 = slot.1.join(mode);
+            } else {
+                window[kept] = (region, mode);
+                kept += 1;
+            }
+        }
+        Span {
+            start: acc.start,
+            len: kept,
+        }
+    }
+
+    /// Shared tail of task submission: predecessors either inferred from
+    /// the access declarations (`explicit == None`) or taken verbatim
+    /// from the caller (`Some`, already validated, sorted and deduped).
+    fn push_task_inner(
+        &mut self,
+        descriptor: TaskDescriptor,
+        acc: Span,
+        explicit: Option<&[TaskId]>,
+    ) -> TaskId {
         let id = TaskId(self.nodes.len() as u64);
 
         let mut preds = std::mem::take(&mut self.pred_scratch);
         preds.clear();
-        for a in acc.range() {
-            let (region, mode) = self.access_arena[a];
-            let hist = self.regions.entry(region).or_default();
-            if mode.reads() {
-                if let Some(w) = hist.last_writer {
-                    preds.push(w);
+        if let Some(deps) = explicit {
+            preds.extend_from_slice(deps);
+        } else {
+            for a in acc.range() {
+                let (region, mode) = self.access_arena[a];
+                let hist = self.regions.entry(region).or_default();
+                if mode.reads() {
+                    if let Some(w) = hist.last_writer {
+                        preds.push(w);
+                    }
                 }
-            }
-            if mode.writes() {
-                if let Some(w) = hist.last_writer {
-                    preds.push(w);
+                if mode.writes() {
+                    if let Some(w) = hist.last_writer {
+                        preds.push(w);
+                    }
+                    preds.extend(hist.readers_since_write.iter().copied());
                 }
-                preds.extend(hist.readers_since_write.iter().copied());
             }
         }
         preds.sort_unstable();
@@ -447,14 +551,16 @@ impl TaskGraph {
     }
 
     /// Predecessors of task `i` (by index), borrowed from the arena.
+    /// `pub(crate)` so the [`reach`](crate::reach) oracle can walk edges
+    /// without per-task `Result` plumbing.
     #[inline]
-    fn preds_of(&self, i: usize) -> &[TaskId] {
+    pub(crate) fn preds_of(&self, i: usize) -> &[TaskId] {
         &self.pred_arena[self.nodes[i].preds.range()]
     }
 
     /// Successors of task `i` (by index), borrowed from the arena.
     #[inline]
-    fn succs_of(&self, i: usize) -> &[TaskId] {
+    pub(crate) fn succs_of(&self, i: usize) -> &[TaskId] {
         let s = self.nodes[i].succs;
         &self.succ_arena[s.start..s.start + s.len]
     }
@@ -861,9 +967,29 @@ impl TaskGraph {
     /// # Panics
     ///
     /// Panics if the edge set contains a cycle (impossible through the
-    /// public API, which only creates forward edges).
+    /// public API, which only creates forward edges). Use
+    /// [`TaskGraph::try_topological_order`] to get the cycle named
+    /// instead of a panic.
     #[must_use]
     pub fn topological_order(&self) -> Vec<TaskId> {
+        match self.try_topological_order() {
+            Ok(order) => order,
+            Err(cycle) => panic!("dependence edges must form a DAG, found cycle {cycle:?}"),
+        }
+    }
+
+    /// A topological order, or the tasks of a dependence cycle when one
+    /// exists: `Err(path)` names tasks `t₀ → t₁ → … → t₀` where each
+    /// task depends on the previous one and the first depends on the
+    /// last. The non-panicking form of
+    /// [`TaskGraph::topological_order`], used by the static analyzer to
+    /// turn a malformed edge set into a diagnostic instead of an abort.
+    ///
+    /// # Errors
+    ///
+    /// `Err(cycle)` when the edge set is not a DAG; the path is
+    /// non-empty and closed (last task has an edge to the first).
+    pub fn try_topological_order(&self) -> Result<Vec<TaskId>, Vec<TaskId>> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -890,8 +1016,38 @@ impl TaskGraph {
                 }
             }
         }
-        assert_eq!(order.len(), n, "dependence edges must form a DAG");
-        order
+        if order.len() == n {
+            return Ok(order);
+        }
+        // Kahn stalled: every unprocessed task has an unprocessed
+        // predecessor, so walking predecessors within the unprocessed set
+        // must revisit a task — that revisit closes a cycle.
+        let mut seen_at: Vec<Option<usize>> = vec![None; n];
+        let start = indegree
+            .iter()
+            .position(|&d| d > 0)
+            .expect("order is short, so some task kept indegree > 0");
+        let mut walk = vec![TaskId(start as u64)];
+        seen_at[start] = Some(0);
+        loop {
+            let at = walk.last().expect("walk starts non-empty").index();
+            let next = self
+                .preds_of(at)
+                .iter()
+                .copied()
+                .find(|p| indegree[p.index()] > 0)
+                .expect("unprocessed tasks keep an unprocessed predecessor");
+            if let Some(first) = seen_at[next.index()] {
+                // Revisited: walk[first..] closed the loop. It was
+                // discovered backwards (each step is "depends on"), so
+                // reverse it to read in dependence order.
+                let mut cycle = walk.split_off(first);
+                cycle.reverse();
+                return Err(cycle);
+            }
+            seen_at[next.index()] = Some(walk.len());
+            walk.push(next);
+        }
     }
 
     /// Critical path under a per-task cost function: returns the total cost
@@ -1245,6 +1401,100 @@ mod tests {
         let w0 = g.add_task(desc("w0"), [(0u64, AccessMode::Out)]);
         let w1 = g.add_task(desc("w1"), [(0u64, AccessMode::Out)]);
         assert_eq!(g.predecessors(w1).unwrap(), &[w0]);
+    }
+
+    #[test]
+    fn duplicate_declarations_collapse_to_the_joined_mode() {
+        // Regression: a task declaring one region as both `in` and `out`
+        // must end up with a single `inout` entry — the duplicate used
+        // to survive into the access list, double-counting liveness and
+        // recording the task as both a plain reader and the last writer.
+        let mut g = TaskGraph::new();
+        let t = g.add_task(
+            desc("t"),
+            [
+                (0u64, AccessMode::In),
+                (0u64, AccessMode::Out),
+                (1u64, AccessMode::In),
+            ],
+        );
+        assert_eq!(
+            g.accesses(t).unwrap(),
+            &[
+                (RegionId(0), AccessMode::InOut),
+                (RegionId(1), AccessMode::In)
+            ]
+        );
+        // The joined mode drives inference for later tasks: a follow-up
+        // writer to region 0 sees `t` as the last writer, and a reader
+        // sees a RAW dependence.
+        let r = g.add_task(desc("r"), [(0u64, AccessMode::In)]);
+        assert_eq!(g.predecessors(r).unwrap(), &[t]);
+    }
+
+    #[test]
+    fn duplicate_declarations_collapse_in_bulk_builds_too() {
+        let mut b = GraphBuilder::new();
+        let t = b.task(desc("t"), [(5u64, AccessMode::Out), (5u64, AccessMode::In)]);
+        b.task(desc("r"), [(5u64, AccessMode::In)]);
+        let g = b.build();
+        assert_eq!(g.accesses(t).unwrap(), &[(RegionId(5), AccessMode::InOut)]);
+        assert_eq!(g.predecessors(TaskId(1)).unwrap(), &[t]);
+    }
+
+    #[test]
+    fn explicit_deps_bypass_inference_but_update_history() {
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_task_with_deps(desc("a"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        // Same region, no declared ordering: the graph accepts the race.
+        let b = g
+            .add_task_with_deps(desc("b"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        assert_eq!(g.predecessors(b).unwrap(), &[] as &[TaskId]);
+        assert_eq!(g.ready().len(), 2);
+        // History was still recorded: an *inferred* successor orders
+        // against the explicit task's write.
+        let c = g.add_task(desc("c"), [(0u64, AccessMode::In)]);
+        assert_eq!(g.predecessors(c).unwrap(), &[b]);
+        // Unknown (future) dependences are refused.
+        let err = g
+            .add_task_with_deps(desc("d"), [(1u64, AccessMode::Out)], &[TaskId(99)])
+            .unwrap_err();
+        assert_eq!(err, CoreError::UnknownTask(TaskId(99)));
+        let _ = a;
+    }
+
+    #[test]
+    fn try_topological_order_names_a_cycle() {
+        // Cycles are impossible through the public API; forge one by
+        // rewiring arenas directly to prove the diagnostic path works.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let _b = g.add_task(desc("b"), [(0u64, AccessMode::InOut)]);
+        let c = g.add_task(desc("c"), [(0u64, AccessMode::InOut)]);
+        // Existing edges: a → b → c. Add the back edge c → a.
+        let pred_start = g.pred_arena.len();
+        g.pred_arena.push(c);
+        g.nodes[a.index()].preds = Span {
+            start: pred_start,
+            len: 1,
+        };
+        g.succ_push(c.index(), a);
+        let cycle = g.try_topological_order().unwrap_err();
+        assert_eq!(cycle.len(), 3, "{cycle:?}");
+        // Closed in dependence order: each task depends on the previous
+        // one, and the first depends on the last.
+        for pair in cycle.windows(2) {
+            assert!(g.predecessors(pair[1]).unwrap().contains(&pair[0]));
+        }
+        assert!(g
+            .predecessors(cycle[0])
+            .unwrap()
+            .contains(cycle.last().unwrap()));
+        // The panicking form still panics.
+        assert!(std::panic::catch_unwind(|| g.topological_order()).is_err());
     }
 
     #[test]

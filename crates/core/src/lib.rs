@@ -44,6 +44,7 @@
 
 pub mod error;
 pub mod graph;
+pub mod reach;
 pub mod requirements;
 pub mod stats;
 pub mod task;
@@ -51,6 +52,7 @@ pub mod units;
 
 pub use error::CoreError;
 pub use graph::{GraphBuilder, TaskGraph};
+pub use reach::Reachability;
 pub use requirements::{Confidentiality, Criticality, Requirements, SecurityLevel};
 pub use task::{AccessMode, TaskDescriptor, TaskId, TaskKind};
 pub use units::{Bytes, Joule, Seconds, Volt, Watt};

@@ -1,0 +1,249 @@
+//! Happens-before reachability over a [`TaskGraph`] — the oracle behind
+//! the static race and information-flow lints in `legato-runtime`.
+//!
+//! The oracle answers "does task *a* happen before task *b*?" for a
+//! chosen set of *source* tasks. It is a bitset transitive closure
+//! computed in one pass over the existing Kahn order: every task carries
+//! one bit per source, and a task's row is the union of its
+//! predecessors' rows plus the predecessors that are themselves sources.
+//! With `S` sources the pass costs `O(E · S / 64)` word operations and
+//! `O(V · S / 64)` memory — querying *all* pairs is available by passing
+//! every task as a source, but the analyzer deliberately narrows `S` to
+//! the tasks that actually need transitive resolution (conflicting
+//! accessors whose ordering is not witnessed by a direct edge), so on
+//! inference-built graphs, where every conflict has a direct edge, the
+//! closure degenerates to the free `S = 0` case and analysis stays
+//! linear in the graph.
+//!
+//! Dependence edges always point from an earlier submission to a later
+//! one, so submission id order *is* a topological order; the oracle
+//! still derives its walk from [`TaskGraph::try_topological_order`] so a
+//! malformed edge set surfaces as a named cycle instead of a wrong
+//! answer.
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+
+/// Transitive happens-before closure from a set of source tasks.
+///
+/// Build one with [`Reachability::over`], then query
+/// [`Reachability::reaches`] for any `(source, task)` pair. Queries for
+/// a `from` task that was not passed as a source return `false` — the
+/// caller owns the source set.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    /// Words per row: `ceil(sources / 64)`.
+    words: usize,
+    /// `n · words` bit matrix, row `t` = sources that happen before `t`.
+    bits: Vec<u64>,
+    /// Column index of each source task; `u32::MAX` = not a source.
+    column: Vec<u32>,
+}
+
+const NOT_A_SOURCE: u32 = u32::MAX;
+
+impl Reachability {
+    /// Compute the closure of `sources` over `graph`.
+    ///
+    /// Duplicate sources collapse to one column. The pass walks tasks in
+    /// topological (= submission) order, so each row is final when
+    /// visited.
+    ///
+    /// # Errors
+    ///
+    /// `Err(cycle)` when the edge set is not a DAG — the closed cycle
+    /// path from [`TaskGraph::try_topological_order`], for diagnostics.
+    pub fn over(graph: &TaskGraph, sources: &[TaskId]) -> Result<Self, Vec<TaskId>> {
+        let order = graph.try_topological_order()?;
+        let n = graph.len();
+        let mut column = vec![NOT_A_SOURCE; n];
+        let mut cols = 0u32;
+        for &s in sources {
+            if s.index() < n && column[s.index()] == NOT_A_SOURCE {
+                column[s.index()] = cols;
+                cols += 1;
+            }
+        }
+        let words = (cols as usize).div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        if words > 0 {
+            for &t in &order {
+                let i = t.index();
+                for p in 0..graph.preds_of(i).len() {
+                    let pred = graph.preds_of(i)[p].index();
+                    // Row union: everything reaching a predecessor
+                    // reaches this task.
+                    let (lo, hi) = (pred * words, i * words);
+                    for w in 0..words {
+                        bits[hi + w] |= bits[lo + w];
+                    }
+                    let col = column[pred];
+                    if col != NOT_A_SOURCE {
+                        bits[hi + (col as usize) / 64] |= 1u64 << (col % 64);
+                    }
+                }
+            }
+        }
+        Ok(Reachability {
+            words,
+            bits,
+            column,
+        })
+    }
+
+    /// Whether `from` (a source) happens strictly before `to`: a
+    /// dependence path `from → … → to` exists. `false` when `from` was
+    /// not passed as a source, when either id is out of range, or when
+    /// `from == to`.
+    #[must_use]
+    pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        let Some(&col) = self.column.get(from.index()) else {
+            return false;
+        };
+        if col == NOT_A_SOURCE || to.index() * self.words >= self.bits.len() {
+            return false;
+        }
+        let word = self.bits[to.index() * self.words + (col as usize) / 64];
+        word & (1u64 << (col % 64)) != 0
+    }
+
+    /// Whether two tasks are ordered either way (`a` before `b` or `b`
+    /// before `a`). Both directions require the respective task to be a
+    /// source.
+    #[must_use]
+    pub fn ordered(&self, a: TaskId, b: TaskId) -> bool {
+        self.reaches(a, b) || self.reaches(b, a)
+    }
+
+    /// Reconstruct one happens-before path `from → … → to` as evidence
+    /// for a diagnostic, or `None` when `from` does not reach `to`.
+    ///
+    /// Walks predecessor lists backwards from `to`, at each step picking
+    /// the first predecessor that is `from` or is reached by `from` —
+    /// `O(path · max degree)` queries against the closure.
+    #[must_use]
+    pub fn happens_before_path(
+        &self,
+        graph: &TaskGraph,
+        from: TaskId,
+        to: TaskId,
+    ) -> Option<Vec<TaskId>> {
+        if !self.reaches(from, to) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut at = to;
+        while at != from {
+            let step = graph
+                .preds_of(at.index())
+                .iter()
+                .copied()
+                .find(|&p| p == from || self.reaches(from, p))?;
+            path.push(step);
+            at = step;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Check whether `pred` is a *direct* predecessor of `task` — the cheap
+/// ordering witness the analyzer tries before falling back to the
+/// transitive closure. Predecessor lists are sorted by construction, so
+/// this is a binary search.
+#[must_use]
+pub fn has_direct_edge(graph: &TaskGraph, pred: TaskId, task: TaskId) -> bool {
+    task.index() < graph.len() && graph.preds_of(task.index()).binary_search(&pred).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AccessMode, TaskDescriptor};
+
+    fn desc(name: &'static str) -> TaskDescriptor {
+        TaskDescriptor::named(name)
+    }
+
+    /// diamond: a → {b, c} → d, via inferred dependences.
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(desc("b"), [(0u64, AccessMode::In), (1u64, AccessMode::Out)]);
+        let c = g.add_task(desc("c"), [(0u64, AccessMode::In), (2u64, AccessMode::Out)]);
+        let d = g.add_task(desc("d"), [(1u64, AccessMode::In), (2u64, AccessMode::In)]);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn transitive_closure_over_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let r = Reachability::over(&g, &[a, b, c, d]).expect("acyclic");
+        assert!(r.reaches(a, b) && r.reaches(a, c) && r.reaches(a, d));
+        assert!(r.reaches(b, d) && r.reaches(c, d));
+        assert!(!r.reaches(b, c) && !r.reaches(c, b));
+        assert!(!r.reaches(d, a));
+        assert!(!r.reaches(a, a), "happens-before is strict");
+        assert!(r.ordered(a, d) && !r.ordered(b, c));
+    }
+
+    #[test]
+    fn non_sources_never_reach() {
+        let (g, [a, _, _, d]) = diamond();
+        let r = Reachability::over(&g, &[a]).expect("acyclic");
+        assert!(r.reaches(a, d));
+        assert!(!r.reaches(d, a), "d was not a source");
+        assert!(!r.reaches(TaskId(99), a), "out of range");
+    }
+
+    #[test]
+    fn empty_source_set_is_free_and_inert() {
+        let (g, [a, _, _, d]) = diamond();
+        let r = Reachability::over(&g, &[]).expect("acyclic");
+        assert!(!r.reaches(a, d));
+    }
+
+    #[test]
+    fn path_reconstruction_witnesses_the_order() {
+        let (g, [a, b, c, d]) = diamond();
+        let r = Reachability::over(&g, &[a, b]).expect("acyclic");
+        let path = r.happens_before_path(&g, a, d).expect("a reaches d");
+        assert_eq!(path.first(), Some(&a));
+        assert_eq!(path.last(), Some(&d));
+        assert_eq!(path.len(), 3, "a → (b|c) → d");
+        for pair in path.windows(2) {
+            assert!(
+                has_direct_edge(&g, pair[0], pair[1]),
+                "{pair:?} must be an edge"
+            );
+        }
+        assert!(r.happens_before_path(&g, b, c).is_none());
+    }
+
+    #[test]
+    fn direct_edges_are_found_without_the_closure() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(has_direct_edge(&g, a, b));
+        assert!(has_direct_edge(&g, c, d));
+        assert!(!has_direct_edge(&g, a, d), "only transitive");
+        assert!(!has_direct_edge(&g, b, c));
+    }
+
+    #[test]
+    fn explicit_deps_participate_in_the_closure() {
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_task_with_deps(desc("a"), [(0u64, AccessMode::Out)], &[])
+            .expect("no deps");
+        let b = g
+            .add_task_with_deps(desc("b"), [(0u64, AccessMode::Out)], &[])
+            .expect("no deps");
+        let c = g
+            .add_task_with_deps(desc("c"), [(0u64, AccessMode::In)], &[a])
+            .expect("a exists");
+        let r = Reachability::over(&g, &[a, b]).expect("acyclic");
+        assert!(r.reaches(a, c));
+        assert!(!r.ordered(a, b), "the two writers race");
+        assert!(!r.reaches(b, c));
+    }
+}

@@ -89,6 +89,25 @@ impl AccessMode {
     pub fn writes(self) -> bool {
         matches!(self, AccessMode::Out | AccessMode::InOut)
     }
+
+    /// The strongest mode covering both `self` and `other`: the result
+    /// reads iff either reads and writes iff either writes. This is the
+    /// collapse rule for a task that declares the same region more than
+    /// once — `in` + `out` must become `inout`, or dependence inference
+    /// would miss one direction of the conflict.
+    #[must_use]
+    pub fn join(self, other: AccessMode) -> AccessMode {
+        match (
+            self.reads() || other.reads(),
+            self.writes() || other.writes(),
+        ) {
+            (true, true) => AccessMode::InOut,
+            (false, true) => AccessMode::Out,
+            // Declarations always read or write, so (false, false) is
+            // unreachable; folding it into `In` keeps the match total.
+            (_, false) => AccessMode::In,
+        }
+    }
 }
 
 /// Broad classification of what a task does, used by device cost models to

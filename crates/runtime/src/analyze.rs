@@ -1,0 +1,1331 @@
+//! Static task-graph verification — race, information-flow, feasibility
+//! and checkpoint diagnostics *before* a single event fires.
+//!
+//! The pillars only help if the submitted graph is actually safe to run:
+//! without this module, the engine discovers structural races (possible
+//! through [`TaskGraph::add_task_with_deps`]), confidentiality leaks and
+//! unsatisfiable placements *dynamically* — or not at all. A
+//! [`GraphLint`] pass runs over a [`TaskGraph`] plus the runtime's
+//! pillar configuration and emits an [`AnalysisReport`] of structured
+//! [`Diagnostic`]s; wired in through
+//! [`EngineConfig::with_analysis`](crate::config::EngineConfig::with_analysis),
+//! errors refuse the run ([`RuntimeError::AnalysisFailed`]) before any
+//! event dispatches, while warn-only mode attaches the report to
+//! [`RunReport`](crate::runtime::RunReport).
+//!
+//! Four lints ship by default:
+//!
+//! * **region race** ([`LintId::RegionRace`]) — conflicting accesses
+//!   (write/write or write/read) to one region between tasks with no
+//!   happens-before path. Ordering is proven in two phases: direct
+//!   dependence edges first (free on inference-built graphs, where every
+//!   conflict has one), then a bitset transitive closure
+//!   ([`legato_core::reach::Reachability`]) over only the unresolved
+//!   tasks — `O(E · suspects / 64)`, zero when there are none.
+//! * **confidential flow** ([`LintId::ConfidentialFlow`]) —
+//!   [`SecurityLevel`] as a lattice (public ⊑ sealed-io ⊑ enclave-only):
+//!   region taints propagate along the dataflow, and a reader below the
+//!   taint of what it reads is flagged with the full writer chain as
+//!   evidence. Enclave-only taint reaching a lower reader is an error;
+//!   sealed-io taint reaching a public reader is a warning (the data is
+//!   sealed at rest — the engine's seal-on-cross-device contract makes
+//!   the handoff priced, but it is almost certainly a graph bug).
+//! * **placement feasibility** ([`LintId::PlacementFeasibility`]) —
+//!   enclave-only tasks against the TEE-capable fleet (predicting
+//!   [`RuntimeError::NoSecurePlacement`] at build time), per-task memory
+//!   footprint against every eligible device's capacity, replica demand
+//!   against the TEE pool, and Pareto objectives whose bound or cap is
+//!   infeasible on the specs the engine will actually schedule against
+//!   (predicting bound/cap relaxations).
+//! * **checkpoint closure** ([`LintId::CheckpointClosure`]) — a
+//!   checkpoint-marked task depending on an unmarked one can never be
+//!   part of a dependence-closed checkpoint frontier
+//!   ([`TaskGraph::rollback`] rejects such frontiers at restore time);
+//!   partially declared region sizes that silently price live regions at
+//!   zero bytes are warned about.
+//!
+//! A malformed edge set (dependence cycle) short-circuits every lint
+//! into a single [`LintId::GraphCycle`] error naming the cycle path.
+//!
+//! [`SecurityLevel`]: legato_core::requirements::SecurityLevel
+//! [`TaskGraph`]: legato_core::graph::TaskGraph
+//! [`TaskGraph::add_task_with_deps`]: legato_core::graph::TaskGraph::add_task_with_deps
+//! [`TaskGraph::rollback`]: legato_core::graph::TaskGraph::rollback
+//! [`RuntimeError::AnalysisFailed`]: crate::error::RuntimeError::AnalysisFailed
+//! [`RuntimeError::NoSecurePlacement`]: crate::error::RuntimeError::NoSecurePlacement
+
+use std::collections::HashMap;
+use std::fmt;
+
+use legato_core::graph::TaskGraph;
+use legato_core::reach::{has_direct_edge, Reachability};
+use legato_core::requirements::SecurityLevel;
+use legato_core::task::{RegionId, TaskId};
+use legato_hw::device::Device;
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyObjective;
+use crate::resilience::ResilienceConfig;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but executable; attached to the report, never refuses
+    /// a run.
+    Warn,
+    /// The run would be nondeterministic, leak confidential data, or
+    /// fail at placement/restore time; refuses the run in
+    /// [`AnalysisMode::Enforce`].
+    Error,
+}
+
+/// Which lint produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintId {
+    /// Unordered conflicting region accesses.
+    RegionRace,
+    /// Confidentiality-lattice violations along the dataflow.
+    ConfidentialFlow,
+    /// Placements the device fleet cannot satisfy.
+    PlacementFeasibility,
+    /// Checkpoint frontiers that can never be dependence-closed.
+    CheckpointClosure,
+    /// The dependence edge set contains a cycle (not a lint pass — a
+    /// structural precondition every pass needs; reported when
+    /// [`TaskGraph::try_topological_order`] fails).
+    ///
+    /// [`TaskGraph::try_topological_order`]: legato_core::graph::TaskGraph::try_topological_order
+    GraphCycle,
+}
+
+impl LintId {
+    /// Stable kebab-case name, used in rendered diagnostics and report
+    /// files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::RegionRace => "region-race",
+            LintId::ConfidentialFlow => "confidential-flow",
+            LintId::PlacementFeasibility => "placement-feasibility",
+            LintId::CheckpointClosure => "checkpoint-closure",
+            LintId::GraphCycle => "graph-cycle",
+        }
+    }
+
+    /// The four default lint passes, in the order they run.
+    #[must_use]
+    pub fn default_set() -> [LintId; 4] {
+        [
+            LintId::RegionRace,
+            LintId::ConfidentialFlow,
+            LintId::PlacementFeasibility,
+            LintId::CheckpointClosure,
+        ]
+    }
+}
+
+/// One structured finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub lint: LintId,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The witness tasks (e.g. the two unordered writers, the
+    /// confidential producer and the leaking reader).
+    pub tasks: Vec<TaskId>,
+    /// The witness regions, when the finding is about data.
+    pub regions: Vec<RegionId>,
+    /// Evidence: a happens-before / dataflow path or a cycle, task by
+    /// task. Empty when the evidence is the *absence* of a path (a
+    /// race counterexample) or fleet-level (feasibility).
+    pub path: Vec<TaskId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+        };
+        write!(f, "{sev}[{}]: {}", self.lint.name(), self.message)?;
+        if !self.path.is_empty() {
+            write!(f, " (path ")?;
+            for (i, t) in self.path.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " -> ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of one analysis pass over a graph.
+#[must_use = "an unread analysis report hides the diagnostics it carries"]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Every finding, in lint order then discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Lints that ran (disabled lints are absent; a graph cycle
+    /// short-circuits the list to `[GraphCycle]`).
+    pub lints_run: Vec<LintId>,
+    /// Tasks in the graph when the analysis ran.
+    pub tasks_analyzed: usize,
+}
+
+impl AnalysisReport {
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the graph passed every lint with nothing to report.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks analyzed, {} error(s), {} warning(s)",
+            self.tasks_analyzed,
+            self.error_count(),
+            self.warning_count()
+        )?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether analysis findings refuse the run or only annotate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AnalysisMode {
+    /// Error-severity findings make [`Runtime::run`] /
+    /// [`Runtime::step`] return [`RuntimeError::AnalysisFailed`] before
+    /// any event is dispatched.
+    ///
+    /// [`Runtime::run`]: crate::runtime::Runtime::run
+    /// [`Runtime::step`]: crate::runtime::Runtime::step
+    /// [`RuntimeError::AnalysisFailed`]: crate::error::RuntimeError::AnalysisFailed
+    #[default]
+    Enforce,
+    /// The run proceeds regardless; the report is attached to
+    /// [`RunReport::analysis`](crate::runtime::RunReport::analysis).
+    WarnOnly,
+}
+
+/// Configuration of the pre-execution analysis
+/// ([`EngineConfig::with_analysis`](crate::config::EngineConfig::with_analysis)).
+#[must_use = "builder-style configs do nothing unless passed to EngineConfig"]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Enforce (refuse on errors) or warn-only.
+    pub mode: AnalysisMode,
+    /// Lints excluded from the run ([`LintId::GraphCycle`] cannot be
+    /// disabled — it is a structural precondition, not a pass).
+    pub disabled: Vec<LintId>,
+}
+
+impl AnalysisConfig {
+    /// All four lints, enforcing: errors refuse the run.
+    pub fn new() -> Self {
+        AnalysisConfig::default()
+    }
+
+    /// Report findings but never refuse the run.
+    pub fn warn_only(mut self) -> Self {
+        self.mode = AnalysisMode::WarnOnly;
+        self
+    }
+
+    /// Disable one lint pass.
+    pub fn without_lint(mut self, lint: LintId) -> Self {
+        if !self.disabled.contains(&lint) {
+            self.disabled.push(lint);
+        }
+        self
+    }
+
+    /// Whether a lint pass is enabled.
+    #[must_use]
+    pub fn lint_enabled(&self, lint: LintId) -> bool {
+        !self.disabled.contains(&lint)
+    }
+}
+
+/// Everything a lint pass may inspect: the graph and the runtime's
+/// pillar configuration, borrowed for the duration of the pass.
+pub struct AnalysisContext<'a> {
+    /// The dataflow graph under analysis.
+    pub graph: &'a TaskGraph,
+    /// The device fleet, with the specs the engine will actually
+    /// schedule against (operating-point derating already applied).
+    pub devices: &'a [Device],
+    /// The active Pareto objective, if any.
+    pub objective: Option<EnergyObjective>,
+    /// The checkpoint/restart configuration, when resilience mode is on.
+    pub resilience: Option<&'a ResilienceConfig>,
+}
+
+/// One pluggable lint pass. The four built-in passes implement this;
+/// custom passes can be run through [`run_with`].
+pub trait GraphLint {
+    /// Identity of the pass (its diagnostics should carry the same id).
+    fn id(&self) -> LintId;
+    /// Inspect the context and append findings.
+    fn check(&self, cx: &AnalysisContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// Run the configured default lints over a context.
+///
+/// A dependence cycle short-circuits: the report carries a single
+/// [`LintId::GraphCycle`] error naming the cycle path and no lint pass
+/// runs (none of them is meaningful on a non-DAG).
+pub fn run_lints(cx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisReport {
+    let passes: Vec<Box<dyn GraphLint>> = LintId::default_set()
+        .into_iter()
+        .filter(|l| config.lint_enabled(*l))
+        .map(|l| -> Box<dyn GraphLint> {
+            match l {
+                LintId::RegionRace => Box::new(RegionRaceLint),
+                LintId::ConfidentialFlow => Box::new(ConfidentialFlowLint),
+                LintId::PlacementFeasibility => Box::new(PlacementFeasibilityLint),
+                LintId::CheckpointClosure | LintId::GraphCycle => Box::new(CheckpointClosureLint),
+            }
+        })
+        .collect();
+    run_with(cx, &passes)
+}
+
+/// Run an arbitrary set of lint passes over a context (the extension
+/// point for custom passes). The cycle precondition is still checked
+/// first.
+pub fn run_with(cx: &AnalysisContext<'_>, passes: &[Box<dyn GraphLint>]) -> AnalysisReport {
+    let mut report = AnalysisReport {
+        tasks_analyzed: cx.graph.len(),
+        ..AnalysisReport::default()
+    };
+    if let Err(cycle) = cx.graph.try_topological_order() {
+        report.lints_run.push(LintId::GraphCycle);
+        report.diagnostics.push(Diagnostic {
+            lint: LintId::GraphCycle,
+            severity: Severity::Error,
+            tasks: cycle.clone(),
+            regions: Vec::new(),
+            message: format!(
+                "dependence edges form a cycle through {} task(s) starting at {}; \
+                 no execution order exists",
+                cycle.len(),
+                cycle[0]
+            ),
+            path: cycle,
+        });
+        return report;
+    }
+    for pass in passes {
+        report.lints_run.push(pass.id());
+        pass.check(cx, &mut report.diagnostics);
+    }
+    report
+}
+
+/// Per-region accessor scan state shared by the race lint.
+struct RegionWindow {
+    last_writer: Option<TaskId>,
+    readers: Vec<TaskId>,
+}
+
+/// The region race detector.
+///
+/// Task ids ascend along every dependence edge, so id order is a
+/// topological order and any happens-before path between two
+/// conflicting accessors can only run from the smaller id to the
+/// larger. Scanning each region's accessors in id order therefore
+/// reduces race freedom to ordering each access against the *window* of
+/// the last writer and the readers since it — `O(accesses)` pairs in
+/// total, each resolved by a direct-edge probe first and the bitset
+/// closure only for the leftovers.
+struct RegionRaceLint;
+
+impl GraphLint for RegionRaceLint {
+    fn id(&self) -> LintId {
+        LintId::RegionRace
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = cx.graph;
+        // (earlier, later, region, later-writes): ordering obligations.
+        let mut pairs: Vec<(TaskId, TaskId, RegionId, bool)> = Vec::new();
+        let mut windows: HashMap<RegionId, RegionWindow> = HashMap::new();
+        for i in 0..g.len() {
+            let t = TaskId(i as u64);
+            for &(region, mode) in g.accesses(t).expect("id in range") {
+                let w = windows.entry(region).or_insert(RegionWindow {
+                    last_writer: None,
+                    readers: Vec::new(),
+                });
+                if mode.writes() {
+                    if let Some(prev) = w.last_writer {
+                        pairs.push((prev, t, region, true));
+                    }
+                    // A write also conflicts with every read since the
+                    // last write (WAR) — unless this task is itself one
+                    // of those readers (InOut reads and writes).
+                    for &r in w.readers.iter().filter(|&&r| r != t) {
+                        pairs.push((r, t, region, true));
+                    }
+                    w.last_writer = Some(t);
+                    w.readers.clear();
+                }
+                if mode.reads() && !mode.writes() {
+                    if let Some(prev) = w.last_writer {
+                        pairs.push((prev, t, region, false));
+                    }
+                    w.readers.push(t);
+                }
+            }
+        }
+        // Phase 1: direct dependence edges witness the ordering for free
+        // (every pair on an inference-built graph resolves here).
+        pairs.retain(|&(a, b, _, _)| !has_direct_edge(g, a, b));
+        if pairs.is_empty() {
+            return;
+        }
+        // Phase 2: transitive closure over only the unresolved earlier
+        // tasks.
+        let sources: Vec<TaskId> = pairs.iter().map(|&(a, _, _, _)| a).collect();
+        let reach = Reachability::over(g, &sources).expect("cycle precondition checked by runner");
+        for (a, b, region, later_writes) in pairs {
+            if reach.reaches(a, b) {
+                continue;
+            }
+            let verb = if later_writes {
+                "write the same region"
+            } else {
+                "write and read the same region"
+            };
+            out.push(Diagnostic {
+                lint: LintId::RegionRace,
+                severity: Severity::Error,
+                tasks: vec![a, b],
+                regions: vec![region],
+                path: Vec::new(),
+                message: format!(
+                    "{a} and {b} {verb} {region:?} with no happens-before path between \
+                     them; their execution order (and the region's final value) is \
+                     nondeterministic"
+                ),
+            });
+        }
+    }
+}
+
+/// Taint of one region: the confidentiality level its current contents
+/// carry and a link into the provenance chain that produced them.
+#[derive(Clone, Copy)]
+struct Taint {
+    level: SecurityLevel,
+    prov: usize,
+}
+
+/// The confidentiality flow check.
+///
+/// Walks tasks in dataflow (id) order, propagating each region's taint:
+/// a task's *effective* level is the join of its own declared level and
+/// the taints of everything it reads, and every region it writes takes
+/// that effective level. A reader whose declared level sits strictly
+/// below the taint of a region it reads is flagged, with the writer
+/// chain from the original confidential producer as the evidence path —
+/// the static mirror of the engine's seal-on-cross-device contract.
+struct ConfidentialFlowLint;
+
+impl GraphLint for ConfidentialFlowLint {
+    fn id(&self) -> LintId {
+        LintId::ConfidentialFlow
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = cx.graph;
+        // Provenance arena: (task, parent entry) — each tainted write
+        // appends one node, so evidence paths reconstruct in O(path).
+        let mut prov: Vec<(TaskId, Option<usize>)> = Vec::new();
+        let mut taints: HashMap<RegionId, Taint> = HashMap::new();
+        for i in 0..g.len() {
+            let t = TaskId(i as u64);
+            let own = g.descriptor(t).expect("id in range").requirements.security;
+            // Join of the input taints (and the strongest one's
+            // provenance, for the evidence chain).
+            let mut in_level = SecurityLevel::Public;
+            let mut in_prov = None;
+            for &(region, mode) in g.accesses(t).expect("id in range") {
+                let Some(&taint) = taints.get(&region) else {
+                    continue;
+                };
+                if mode.reads() {
+                    if taint.level > own {
+                        let mut path: Vec<TaskId> = Vec::new();
+                        let mut at = Some(taint.prov);
+                        while let Some(p) = at {
+                            path.push(prov[p].0);
+                            at = prov[p].1;
+                        }
+                        path.reverse();
+                        let origin = path[0];
+                        path.push(t);
+                        let (severity, consequence) = if taint.level == SecurityLevel::Enclave {
+                            (
+                                Severity::Error,
+                                "enclave-only data must not flow below its level",
+                            )
+                        } else {
+                            (
+                                Severity::Warn,
+                                "the handoff is sealed at rest, so the reader gets \
+                                 ciphertext it has no business unsealing",
+                            )
+                        };
+                        out.push(Diagnostic {
+                            lint: LintId::ConfidentialFlow,
+                            severity,
+                            tasks: vec![origin, t],
+                            regions: vec![region],
+                            message: format!(
+                                "{t} ({own:?}) reads {region:?} carrying {:?}-tainted data \
+                                 originating at {origin}; {consequence}",
+                                taint.level
+                            ),
+                            path,
+                        });
+                    }
+                    if taint.level > in_level {
+                        in_level = taint.level;
+                        in_prov = Some(taint.prov);
+                    }
+                }
+            }
+            let effective = own.max(in_level);
+            if effective == SecurityLevel::Public {
+                // Public writes overwrite any stale taint.
+                for &(region, mode) in g.accesses(t).expect("id in range") {
+                    if mode.writes() {
+                        taints.remove(&region);
+                    }
+                }
+                continue;
+            }
+            let entry = prov.len();
+            let parent = if in_level >= own { in_prov } else { None };
+            prov.push((t, parent));
+            for &(region, mode) in g.accesses(t).expect("id in range") {
+                if mode.writes() {
+                    taints.insert(
+                        region,
+                        Taint {
+                            level: effective,
+                            prov: entry,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The placement feasibility check.
+struct PlacementFeasibilityLint;
+
+impl GraphLint for PlacementFeasibilityLint {
+    fn id(&self) -> LintId {
+        LintId::PlacementFeasibility
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = cx.graph;
+        let tee: Vec<usize> = cx
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.spec.tee.has_enclave())
+            .map(|(i, _)| i)
+            .collect();
+        // Fleet-level facts, hoisted out of the task loop.
+        let cap_ok = match cx.objective {
+            Some(EnergyObjective::MinMakespanUnderPowerCap(cap)) => {
+                cx.devices.iter().any(|d| d.spec.busy_power <= cap)
+            }
+            _ => true,
+        };
+        if !cap_ok && !g.is_empty() {
+            out.push(Diagnostic {
+                lint: LintId::PlacementFeasibility,
+                severity: Severity::Warn,
+                tasks: Vec::new(),
+                regions: Vec::new(),
+                path: Vec::new(),
+                message: "no device's busy power fits under the configured power cap; \
+                          every placement will relax the cap to the lowest-power device"
+                    .into(),
+            });
+        }
+        // Enclave-only tasks on a TEE-less fleet: one aggregated error
+        // (the fleet is the cause, the tasks are the witnesses).
+        let mut stranded: Vec<TaskId> = Vec::new();
+        for i in 0..g.len() {
+            let t = TaskId(i as u64);
+            let d = g.descriptor(t).expect("id in range");
+            let req = d.requirements;
+            let eligible: &[usize] = if req.security.requires_enclave() {
+                &tee
+            } else {
+                &[]
+            };
+            if req.security.requires_enclave() {
+                if tee.is_empty() {
+                    stranded.push(t);
+                    continue;
+                }
+                let replicas = req.criticality.replica_count();
+                if replicas > tee.len() {
+                    out.push(Diagnostic {
+                        lint: LintId::PlacementFeasibility,
+                        severity: Severity::Warn,
+                        tasks: vec![t],
+                        regions: Vec::new(),
+                        path: Vec::new(),
+                        message: format!(
+                            "{t} wants {replicas} replicas but only {} TEE-capable \
+                             device(s) exist; its replica set will shrink to the TEE pool",
+                            tee.len()
+                        ),
+                    });
+                }
+            }
+            // Memory footprint vs every eligible device.
+            let footprint = d.work.bytes;
+            let fits = if req.security.requires_enclave() {
+                eligible
+                    .iter()
+                    .any(|&i| cx.devices[i].spec.mem_capacity >= footprint)
+            } else {
+                cx.devices.iter().any(|d| d.spec.mem_capacity >= footprint)
+            };
+            if !fits && !cx.devices.is_empty() {
+                out.push(Diagnostic {
+                    lint: LintId::PlacementFeasibility,
+                    severity: Severity::Error,
+                    tasks: vec![t],
+                    regions: Vec::new(),
+                    path: Vec::new(),
+                    message: format!(
+                        "{t}'s declared footprint ({footprint}) exceeds the memory \
+                         capacity of every {}device",
+                        if req.security.requires_enclave() {
+                            "TEE-capable "
+                        } else {
+                            ""
+                        }
+                    ),
+                });
+            }
+            // Makespan bound vs the fastest device the engine will
+            // actually use (specs are already derated to the selected
+            // operating point, so this predicts real relaxations).
+            if let Some(EnergyObjective::MinEnergyWithinMakespan(bound)) = cx.objective {
+                let fastest = cx
+                    .devices
+                    .iter()
+                    .map(|dev| dev.spec.time_for(d.work, d.kind))
+                    .fold(f64::INFINITY, |acc, s| acc.min(s.0));
+                if fastest.is_finite() && fastest > bound.0 {
+                    out.push(Diagnostic {
+                        lint: LintId::PlacementFeasibility,
+                        severity: Severity::Warn,
+                        tasks: vec![t],
+                        regions: Vec::new(),
+                        path: Vec::new(),
+                        message: format!(
+                            "{t} needs at least {fastest:.3}s on the fastest device, \
+                             over the {bound} makespan bound; the bound will be relaxed"
+                        ),
+                    });
+                }
+            }
+        }
+        if !stranded.is_empty() {
+            let n = stranded.len();
+            let first = stranded[0];
+            out.push(Diagnostic {
+                lint: LintId::PlacementFeasibility,
+                severity: Severity::Error,
+                tasks: stranded,
+                regions: Vec::new(),
+                path: Vec::new(),
+                message: format!(
+                    "{n} enclave-only task(s) (first: {first}) but no device offers a \
+                     TEE; every one would fail with NoSecurePlacement at dispatch"
+                ),
+            });
+        }
+    }
+}
+
+/// The checkpoint-closure check (active only with a resilience
+/// configuration).
+struct CheckpointClosureLint;
+
+impl GraphLint for CheckpointClosureLint {
+    fn id(&self) -> LintId {
+        LintId::CheckpointClosure
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(res) = cx.resilience else {
+            return;
+        };
+        let g = cx.graph;
+        let marked = |t: TaskId| {
+            g.descriptor(t)
+                .expect("id in range")
+                .requirements
+                .checkpointed
+        };
+        for i in 0..g.len() {
+            let t = TaskId(i as u64);
+            if !marked(t) {
+                continue;
+            }
+            for &p in g.predecessors(t).expect("id in range") {
+                if !marked(p) {
+                    out.push(Diagnostic {
+                        lint: LintId::CheckpointClosure,
+                        severity: Severity::Error,
+                        tasks: vec![p, t],
+                        regions: Vec::new(),
+                        path: vec![p, t],
+                        message: format!(
+                            "checkpoint-marked {t} depends on unmarked {p}: the declared \
+                             checkpoint set is not closed under dependences, so no frontier \
+                             containing {t} can ever be checkpointed and restored \
+                             (rollback rejects unclosed frontiers)"
+                        ),
+                    });
+                }
+            }
+        }
+        // Partially declared region sizes: regions that can be live at a
+        // checkpoint (written by one task, read by a later one) but
+        // missing from the declaration are silently priced at zero. An
+        // entirely empty map means volume accounting is off by choice —
+        // only a *partial* declaration is suspicious.
+        if !res.region_sizes.is_empty() {
+            let mut written: HashMap<RegionId, TaskId> = HashMap::new();
+            let mut undeclared: Vec<RegionId> = Vec::new();
+            for i in 0..g.len() {
+                let t = TaskId(i as u64);
+                for &(region, mode) in g.accesses(t).expect("id in range") {
+                    let live_window = mode.reads()
+                        && written.get(&region).is_some_and(|&w| w != t)
+                        && !res.region_sizes.contains_key(&region)
+                        && !undeclared.contains(&region);
+                    if live_window {
+                        undeclared.push(region);
+                    }
+                    if mode.writes() {
+                        written.insert(region, t);
+                    }
+                }
+            }
+            if !undeclared.is_empty() {
+                let n = undeclared.len();
+                out.push(Diagnostic {
+                    lint: LintId::CheckpointClosure,
+                    severity: Severity::Warn,
+                    tasks: Vec::new(),
+                    message: format!(
+                        "{n} region(s) (first: {:?}) can be live at a checkpoint but have \
+                         no declared size; their checkpoint volume is priced as zero bytes",
+                        undeclared[0]
+                    ),
+                    regions: undeclared,
+                    path: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+/// Per-runtime analysis state: the configuration plus memoization of the
+/// last pass, so streaming submission re-analyzes only when the graph
+/// has grown.
+#[derive(Debug, Clone)]
+pub(crate) struct AnalysisState {
+    pub(crate) config: AnalysisConfig,
+    /// Graph length at the last pass; a longer graph re-triggers.
+    pub(crate) analyzed_len: usize,
+    /// The last pass's report (attached to `RunReport`).
+    pub(crate) report: Option<AnalysisReport>,
+}
+
+impl AnalysisState {
+    pub(crate) fn new(config: AnalysisConfig) -> Self {
+        AnalysisState {
+            config,
+            analyzed_len: 0,
+            report: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legato_core::graph::TaskGraph;
+    use legato_core::requirements::{Criticality, Requirements};
+    use legato_core::task::{AccessMode, TaskDescriptor, Work};
+    use legato_core::units::{Bytes, Seconds, Watt};
+    use legato_hw::device::{Device, DeviceId, DeviceSpec};
+
+    fn fleet(specs: Vec<DeviceSpec>) -> Vec<Device> {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Device::new(DeviceId(i as u64), s))
+            .collect()
+    }
+
+    fn analyze(graph: &TaskGraph, devices: &[Device]) -> AnalysisReport {
+        let cx = AnalysisContext {
+            graph,
+            devices,
+            objective: None,
+            resilience: None,
+        };
+        run_lints(&cx, &AnalysisConfig::new())
+    }
+
+    fn desc(name: &'static str) -> TaskDescriptor {
+        TaskDescriptor::named(name)
+    }
+
+    fn secure(name: &'static str, level: SecurityLevel) -> TaskDescriptor {
+        desc(name).with_requirements(Requirements::new().with_security(level))
+    }
+
+    fn only(report: &AnalysisReport, lint: LintId) -> Vec<&Diagnostic> {
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.lint == lint)
+            .collect()
+    }
+
+    // --- region race ---
+
+    #[test]
+    fn race_unordered_writers_are_reported_with_witnesses() {
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_task_with_deps(desc("a"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        let b = g
+            .add_task_with_deps(desc("b"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        let races = only(&report, LintId::RegionRace);
+        assert_eq!(races.len(), 1, "{report}");
+        assert_eq!(races[0].severity, Severity::Error);
+        assert_eq!(races[0].tasks, vec![a, b]);
+        assert_eq!(races[0].regions, vec![RegionId(0)]);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn race_unordered_writer_against_reader_is_reported() {
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_task_with_deps(desc("w"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        let r = g
+            .add_task_with_deps(desc("r"), [(0u64, AccessMode::In)], &[a])
+            .unwrap();
+        // A second writer ordered against `a` (explicit dep) but not
+        // against the reader: a write-after-read race.
+        let w2 = g
+            .add_task_with_deps(desc("w2"), [(0u64, AccessMode::Out)], &[a])
+            .unwrap();
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        let races = only(&report, LintId::RegionRace);
+        assert_eq!(races.len(), 1, "{report}");
+        assert_eq!(races[0].tasks, vec![r, w2]);
+    }
+
+    #[test]
+    fn race_inference_built_graph_is_clean() {
+        let mut g = TaskGraph::new();
+        g.add_task(desc("p"), [(0u64, AccessMode::Out)]);
+        g.add_task(desc("c1"), [(0u64, AccessMode::In)]);
+        g.add_task(desc("c2"), [(0u64, AccessMode::In)]);
+        g.add_task(desc("w"), [(0u64, AccessMode::InOut)]);
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.tasks_analyzed, 4);
+        assert_eq!(report.lints_run.len(), 4);
+    }
+
+    #[test]
+    fn race_transitive_ordering_needs_no_direct_edge() {
+        // a writes R0, c writes R0; the only path is a -> b -> c through
+        // explicit deps — phase 2 (the closure) must prove it.
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_task_with_deps(desc("a"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        let b = g
+            .add_task_with_deps(desc("b"), [(1u64, AccessMode::Out)], &[a])
+            .unwrap();
+        let _c = g
+            .add_task_with_deps(desc("c"), [(0u64, AccessMode::Out)], &[b])
+            .unwrap();
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        assert!(only(&report, LintId::RegionRace).is_empty(), "{report}");
+    }
+
+    // --- confidential flow ---
+
+    #[test]
+    fn flow_enclave_taint_reaching_public_reader_is_an_error() {
+        let mut g = TaskGraph::new();
+        let w = g.add_task(
+            secure("classify", SecurityLevel::Enclave),
+            [(0u64, AccessMode::Out)],
+        );
+        let r = g.add_task(
+            secure("log", SecurityLevel::Public),
+            [(0u64, AccessMode::In)],
+        );
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        let flows = only(&report, LintId::ConfidentialFlow);
+        assert_eq!(flows.len(), 1, "{report}");
+        assert_eq!(flows[0].severity, Severity::Error);
+        assert_eq!(flows[0].tasks, vec![w, r]);
+        assert_eq!(flows[0].path, vec![w, r]);
+    }
+
+    #[test]
+    fn flow_taint_propagates_through_intermediate_writers() {
+        // enclave -> confidential relay -> public: the relay reads
+        // enclave data (allowed downward? no — Confidential < Enclave,
+        // flagged) and re-writes it, so the public reader sees
+        // enclave-tainted data with the full chain as evidence.
+        let mut g = TaskGraph::new();
+        let w = g.add_task(
+            secure("produce", SecurityLevel::Enclave),
+            [(0u64, AccessMode::Out)],
+        );
+        let relay = g.add_task(
+            secure("relay", SecurityLevel::Confidential),
+            [(0u64, AccessMode::In), (1u64, AccessMode::Out)],
+        );
+        let r = g.add_task(
+            secure("sink", SecurityLevel::Public),
+            [(1u64, AccessMode::In)],
+        );
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        let flows = only(&report, LintId::ConfidentialFlow);
+        // Two findings: the relay itself reads above its level, and the
+        // sink reads the relayed taint.
+        assert_eq!(flows.len(), 2, "{report}");
+        let sink = flows
+            .iter()
+            .find(|d| d.tasks.contains(&r))
+            .expect("sink flagged");
+        assert_eq!(sink.path, vec![w, relay, r]);
+        assert_eq!(sink.tasks, vec![w, r]);
+    }
+
+    #[test]
+    fn flow_confidential_to_public_is_a_warning_not_an_error() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            secure("produce", SecurityLevel::Confidential),
+            [(0u64, AccessMode::Out)],
+        );
+        g.add_task(
+            secure("sink", SecurityLevel::Public),
+            [(0u64, AccessMode::In)],
+        );
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        let flows = only(&report, LintId::ConfidentialFlow);
+        assert_eq!(flows.len(), 1, "{report}");
+        assert_eq!(flows[0].severity, Severity::Warn);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn flow_level_respecting_graph_is_clean() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            secure("produce", SecurityLevel::Enclave),
+            [(0u64, AccessMode::Out)],
+        );
+        g.add_task(
+            secure("consume", SecurityLevel::Enclave),
+            [(0u64, AccessMode::In)],
+        );
+        // Public work on untainted regions is unaffected.
+        g.add_task(
+            secure("other", SecurityLevel::Public),
+            [(1u64, AccessMode::Out)],
+        );
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        assert!(
+            only(&report, LintId::ConfidentialFlow).is_empty(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn flow_public_overwrite_clears_the_taint() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            secure("produce", SecurityLevel::Enclave),
+            [(0u64, AccessMode::Out)],
+        );
+        // Out (not InOut): overwrites without reading, so no violation
+        // and the region is publicly rewritten from here on.
+        g.add_task(
+            secure("reset", SecurityLevel::Public),
+            [(0u64, AccessMode::Out)],
+        );
+        g.add_task(
+            secure("sink", SecurityLevel::Public),
+            [(0u64, AccessMode::In)],
+        );
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        assert!(
+            only(&report, LintId::ConfidentialFlow).is_empty(),
+            "{report}"
+        );
+    }
+
+    // --- placement feasibility ---
+
+    #[test]
+    fn feasibility_enclave_tasks_on_tee_less_fleet_is_an_error() {
+        let mut g = TaskGraph::new();
+        let t = g.add_task(
+            secure("sgx", SecurityLevel::Enclave),
+            [(0u64, AccessMode::Out)],
+        );
+        let report = analyze(
+            &g,
+            &fleet(vec![DeviceSpec::gtx1080(), DeviceSpec::fpga_kintex()]),
+        );
+        let feas = only(&report, LintId::PlacementFeasibility);
+        assert_eq!(feas.len(), 1, "{report}");
+        assert_eq!(feas[0].severity, Severity::Error);
+        assert_eq!(feas[0].tasks, vec![t]);
+        assert!(feas[0].message.contains("NoSecurePlacement"), "{}", feas[0]);
+    }
+
+    #[test]
+    fn feasibility_enclave_task_with_a_tee_device_is_clean() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            secure("sgx", SecurityLevel::Enclave),
+            [(0u64, AccessMode::Out)],
+        );
+        let report = analyze(
+            &g,
+            &fleet(vec![DeviceSpec::gtx1080(), DeviceSpec::xeon_x86()]),
+        );
+        assert!(
+            only(&report, LintId::PlacementFeasibility).is_empty(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn feasibility_oversized_footprint_is_an_error() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            desc("huge").with_work(Work::bytes(Bytes::gib(1024))),
+            [(0u64, AccessMode::Out)],
+        );
+        let report = analyze(
+            &g,
+            &fleet(vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080()]),
+        );
+        let feas = only(&report, LintId::PlacementFeasibility);
+        assert_eq!(feas.len(), 1, "{report}");
+        assert_eq!(feas[0].severity, Severity::Error);
+        assert!(feas[0].message.contains("exceeds"), "{}", feas[0]);
+    }
+
+    #[test]
+    fn feasibility_footprint_within_capacity_is_clean() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            desc("fits").with_work(Work::bytes(Bytes::gib(2))),
+            [(0u64, AccessMode::Out)],
+        );
+        let report = analyze(&g, &fleet(vec![DeviceSpec::fpga_kintex()]));
+        assert!(
+            only(&report, LintId::PlacementFeasibility).is_empty(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn feasibility_replica_demand_above_tee_pool_warns() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            desc("critical").with_requirements(
+                Requirements::new()
+                    .with_security(SecurityLevel::Enclave)
+                    .with_criticality(Criticality::Critical),
+            ),
+            [(0u64, AccessMode::Out)],
+        );
+        let report = analyze(
+            &g,
+            &fleet(vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080()]),
+        );
+        let feas = only(&report, LintId::PlacementFeasibility);
+        assert_eq!(feas.len(), 1, "{report}");
+        assert_eq!(feas[0].severity, Severity::Warn);
+        assert!(feas[0].message.contains("replica"), "{}", feas[0]);
+    }
+
+    #[test]
+    fn feasibility_unreachable_makespan_bound_warns() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            desc("heavy").with_work(Work::flops(1.0e15)),
+            [(0u64, AccessMode::Out)],
+        );
+        let devices = fleet(vec![DeviceSpec::xeon_x86()]);
+        let cx = AnalysisContext {
+            graph: &g,
+            devices: &devices,
+            objective: Some(EnergyObjective::MinEnergyWithinMakespan(Seconds(1.0e-3))),
+            resilience: None,
+        };
+        let report = run_lints(&cx, &AnalysisConfig::new());
+        let feas = only(&report, LintId::PlacementFeasibility);
+        assert_eq!(feas.len(), 1, "{report}");
+        assert_eq!(feas[0].severity, Severity::Warn);
+        assert!(feas[0].message.contains("bound"), "{}", feas[0]);
+    }
+
+    #[test]
+    fn feasibility_unreachable_power_cap_warns_once() {
+        let mut g = TaskGraph::new();
+        g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        g.add_task(desc("b"), [(1u64, AccessMode::Out)]);
+        let devices = fleet(vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080()]);
+        let cx = AnalysisContext {
+            graph: &g,
+            devices: &devices,
+            objective: Some(EnergyObjective::MinMakespanUnderPowerCap(Watt(1.0))),
+            resilience: None,
+        };
+        let report = run_lints(&cx, &AnalysisConfig::new());
+        let feas = only(&report, LintId::PlacementFeasibility);
+        assert_eq!(
+            feas.len(),
+            1,
+            "one fleet-level warning, not per task: {report}"
+        );
+        assert!(feas[0].message.contains("power"), "{}", feas[0]);
+    }
+
+    // --- checkpoint closure ---
+
+    fn ckpt(name: &'static str, marked: bool) -> TaskDescriptor {
+        desc(name).with_requirements(Requirements::new().with_checkpointing(marked))
+    }
+
+    #[test]
+    fn checkpoint_unmarked_predecessor_is_an_error() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(ckpt("raw", false), [(0u64, AccessMode::Out)]);
+        let b = g.add_task(ckpt("model", true), [(0u64, AccessMode::In)]);
+        let devices = fleet(vec![DeviceSpec::xeon_x86()]);
+        let res = crate::resilience::ResilienceConfig::new(Seconds(500.0));
+        let cx = AnalysisContext {
+            graph: &g,
+            devices: &devices,
+            objective: None,
+            resilience: Some(&res),
+        };
+        let report = run_lints(&cx, &AnalysisConfig::new());
+        let cks = only(&report, LintId::CheckpointClosure);
+        assert_eq!(cks.len(), 1, "{report}");
+        assert_eq!(cks[0].severity, Severity::Error);
+        assert_eq!(cks[0].tasks, vec![a, b]);
+    }
+
+    #[test]
+    fn checkpoint_closed_set_is_clean_and_lint_is_inert_without_resilience() {
+        let mut g = TaskGraph::new();
+        g.add_task(ckpt("raw", true), [(0u64, AccessMode::Out)]);
+        g.add_task(ckpt("model", true), [(0u64, AccessMode::In)]);
+        let devices = fleet(vec![DeviceSpec::xeon_x86()]);
+        let res = crate::resilience::ResilienceConfig::new(Seconds(500.0));
+        let cx = AnalysisContext {
+            graph: &g,
+            devices: &devices,
+            objective: None,
+            resilience: Some(&res),
+        };
+        let report = run_lints(&cx, &AnalysisConfig::new());
+        assert!(
+            only(&report, LintId::CheckpointClosure).is_empty(),
+            "{report}"
+        );
+
+        // The same violation without a resilience config is not a
+        // finding: nothing will ever checkpoint.
+        let mut g2 = TaskGraph::new();
+        g2.add_task(ckpt("raw", false), [(0u64, AccessMode::Out)]);
+        g2.add_task(ckpt("model", true), [(0u64, AccessMode::In)]);
+        let report = analyze(&g2, &devices);
+        assert!(
+            only(&report, LintId::CheckpointClosure).is_empty(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_partial_region_sizes_warn() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            ckpt("p", true),
+            [(0u64, AccessMode::Out), (1u64, AccessMode::Out)],
+        );
+        g.add_task(
+            ckpt("c", true),
+            [(0u64, AccessMode::In), (1u64, AccessMode::In)],
+        );
+        let devices = fleet(vec![DeviceSpec::xeon_x86()]);
+        // R0 declared, R1 (also live across the edge) missing.
+        let res = crate::resilience::ResilienceConfig::new(Seconds(500.0))
+            .with_region_sizes(HashMap::from([(RegionId(0), Bytes::mib(10))]));
+        let cx = AnalysisContext {
+            graph: &g,
+            devices: &devices,
+            objective: None,
+            resilience: Some(&res),
+        };
+        let report = run_lints(&cx, &AnalysisConfig::new());
+        let cks = only(&report, LintId::CheckpointClosure);
+        assert_eq!(cks.len(), 1, "{report}");
+        assert_eq!(cks[0].severity, Severity::Warn);
+        assert_eq!(cks[0].regions, vec![RegionId(1)]);
+    }
+
+    // --- config & report plumbing ---
+
+    #[test]
+    fn disabled_lints_do_not_run() {
+        let mut g = TaskGraph::new();
+        g.add_task_with_deps(desc("a"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        g.add_task_with_deps(desc("b"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        let devices = fleet(vec![DeviceSpec::xeon_x86()]);
+        let cx = AnalysisContext {
+            graph: &g,
+            devices: &devices,
+            objective: None,
+            resilience: None,
+        };
+        let config = AnalysisConfig::new().without_lint(LintId::RegionRace);
+        let report = run_lints(&cx, &config);
+        assert!(report.is_clean(), "{report}");
+        assert!(!report.lints_run.contains(&LintId::RegionRace));
+        assert_eq!(report.lints_run.len(), 3);
+    }
+
+    #[test]
+    fn report_renders_severity_lint_and_counts() {
+        let mut g = TaskGraph::new();
+        g.add_task_with_deps(desc("a"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        g.add_task_with_deps(desc("b"), [(0u64, AccessMode::Out)], &[])
+            .unwrap();
+        let report = analyze(&g, &fleet(vec![DeviceSpec::xeon_x86()]));
+        let text = report.to_string();
+        assert!(text.contains("error[region-race]"), "{text}");
+        assert!(text.contains("1 error(s)"), "{text}");
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 0);
+    }
+
+    #[test]
+    fn custom_passes_run_through_the_same_runner() {
+        struct CountTasks;
+        impl GraphLint for CountTasks {
+            fn id(&self) -> LintId {
+                LintId::RegionRace
+            }
+            fn check(&self, cx: &AnalysisContext<'_>, out: &mut Vec<Diagnostic>) {
+                if cx.graph.len() > 1 {
+                    out.push(Diagnostic {
+                        lint: self.id(),
+                        severity: Severity::Warn,
+                        tasks: Vec::new(),
+                        regions: Vec::new(),
+                        path: Vec::new(),
+                        message: "too many tasks for my taste".into(),
+                    });
+                }
+            }
+        }
+        let mut g = TaskGraph::new();
+        g.add_task(desc("a"), [(0u64, AccessMode::Out)]);
+        g.add_task(desc("b"), [(0u64, AccessMode::In)]);
+        let devices = fleet(vec![DeviceSpec::xeon_x86()]);
+        let cx = AnalysisContext {
+            graph: &g,
+            devices: &devices,
+            objective: None,
+            resilience: None,
+        };
+        let passes: Vec<Box<dyn GraphLint>> = vec![Box::new(CountTasks)];
+        let report = run_with(&cx, &passes);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.warning_count(), 1);
+    }
+}

@@ -36,6 +36,7 @@
 
 use legato_hw::device::DeviceSpec;
 
+use crate::analyze::{AnalysisConfig, AnalysisState};
 use crate::energy::{EnergyConfig, EnergyObjective, EnergyState};
 use crate::error::RuntimeError;
 use crate::pool::{DevicePools, PoolConfig, TopologyConfig, TopologyState};
@@ -47,6 +48,7 @@ use crate::security::SecurityConfig;
 /// Builder for a fully configured [`Runtime`]: devices, policy, seed,
 /// and the three pillars (resilience, security, energy) in one place.
 #[derive(Debug, Clone, Default)]
+#[must_use = "builder-style configs do nothing until build() constructs the runtime"]
 pub struct EngineConfig {
     devices: Vec<DeviceSpec>,
     policy: Option<Policy>,
@@ -57,47 +59,42 @@ pub struct EngineConfig {
     energy: Option<EnergyConfig>,
     pools: Option<PoolConfig>,
     topology: Option<TopologyConfig>,
+    analysis: Option<AnalysisConfig>,
 }
 
 impl EngineConfig {
     /// An empty configuration: no devices, [`Policy::Performance`],
     /// seed 0, no pillar enabled.
-    #[must_use]
     pub fn new() -> Self {
         EngineConfig::default()
     }
 
     /// The device specs the runtime schedules over (replaces any
     /// previously added devices).
-    #[must_use]
     pub fn with_devices(mut self, devices: Vec<DeviceSpec>) -> Self {
         self.devices = devices;
         self
     }
 
     /// Append one device spec.
-    #[must_use]
     pub fn with_device(mut self, device: DeviceSpec) -> Self {
         self.devices.push(device);
         self
     }
 
     /// The scheduling policy (default [`Policy::Performance`]).
-    #[must_use]
     pub fn with_policy(mut self, policy: Policy) -> Self {
         self.policy = Some(policy);
         self
     }
 
     /// The deterministic seed of the fault model (default 0).
-    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Maximum re-executions after detected faults (default 3).
-    #[must_use]
     pub fn with_max_retries(mut self, retries: u32) -> Self {
         self.max_retries = Some(retries);
         self
@@ -105,7 +102,6 @@ impl EngineConfig {
 
     /// Enable checkpoint/restart mode (see
     /// [`resilience`](crate::resilience)).
-    #[must_use]
     pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
         self.resilience = Some(config);
         self
@@ -114,7 +110,6 @@ impl EngineConfig {
     /// Tune the security layer's cost model (see
     /// [`security`](crate::security); the layer still activates only
     /// when a confidential task is submitted).
-    #[must_use]
     pub fn with_security(mut self, config: SecurityConfig) -> Self {
         self.security = Some(config);
         self
@@ -123,7 +118,6 @@ impl EngineConfig {
     /// Enable the energy layer: select operating points per device and
     /// optionally impose a Pareto objective (see
     /// [`energy`](crate::energy)).
-    #[must_use]
     pub fn with_energy(mut self, config: EnergyConfig) -> Self {
         self.energy = Some(config);
         self
@@ -136,7 +130,6 @@ impl EngineConfig {
     /// `Edp`; no active security plan, no Pareto objective) run the
     /// bound-and-prune sharded search — bit-identical selections to
     /// the flat scan, at a fraction of the per-task evaluations.
-    #[must_use]
     pub fn with_pools(mut self, config: PoolConfig) -> Self {
         self.pools = Some(config);
         self
@@ -146,9 +139,22 @@ impl EngineConfig {
     /// charges across pool boundaries, folded into the scheduler's
     /// estimates (see [`pool`](crate::pool)). Requires
     /// [`EngineConfig::with_pools`] on the same configuration.
-    #[must_use]
     pub fn with_topology(mut self, config: TopologyConfig) -> Self {
         self.topology = Some(config);
+        self
+    }
+
+    /// Enable pre-execution static analysis (see
+    /// [`analyze`](crate::analyze)): the lints run over the submitted
+    /// graph and this configuration's pillars before the first event of
+    /// every run. In
+    /// [`AnalysisMode::Enforce`](crate::analyze::AnalysisMode::Enforce)
+    /// (the default) error-severity findings make [`Runtime::run`] /
+    /// [`Runtime::step`] return [`RuntimeError::AnalysisFailed`]; in
+    /// warn-only mode the report is attached to
+    /// [`RunReport::analysis`](crate::runtime::RunReport::analysis).
+    pub fn with_analysis(mut self, config: AnalysisConfig) -> Self {
+        self.analysis = Some(config);
         self
     }
 
@@ -179,6 +185,7 @@ impl EngineConfig {
             energy,
             pools,
             topology,
+            analysis,
         } = self;
         if topology.is_some() && pools.is_none() {
             return Err(RuntimeError::invalid_parameter(
@@ -257,6 +264,9 @@ impl EngineConfig {
         }
         if let Some(cfg) = topology {
             rt.topology = TopologyState::from_config(cfg);
+        }
+        if let Some(cfg) = analysis {
+            rt.analysis = Some(AnalysisState::new(cfg));
         }
         Ok(rt)
     }

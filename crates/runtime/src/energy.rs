@@ -64,6 +64,7 @@ pub enum EnergyObjective {
 /// # let _ = cfg;
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "builder-style configs do nothing unless passed to EngineConfig"]
 pub struct EnergyConfig {
     /// Ladder rung applied to every device without an explicit override,
     /// clamped to each device's ladder length (devices with short
@@ -79,14 +80,12 @@ pub struct EnergyConfig {
 
 impl EnergyConfig {
     /// Energy accounting at nominal operating points, no objective.
-    #[must_use]
     pub fn new() -> Self {
         EnergyConfig::default()
     }
 
     /// Run every device `step` rungs down its ladder (clamped per
     /// device).
-    #[must_use]
     pub fn with_uniform_step(mut self, step: usize) -> Self {
         self.uniform_step = step;
         self
@@ -94,14 +93,12 @@ impl EnergyConfig {
 
     /// Pin `device` to ladder rung `point` (overrides the uniform step;
     /// validated against the device's ladder at build time).
-    #[must_use]
     pub fn with_device_point(mut self, device: usize, point: usize) -> Self {
         self.device_points.push((device, point));
         self
     }
 
     /// Schedule for minimum energy subject to the given makespan bound.
-    #[must_use]
     pub fn with_makespan_bound(mut self, bound: Seconds) -> Self {
         self.objective = Some(EnergyObjective::MinEnergyWithinMakespan(bound));
         self
@@ -109,7 +106,6 @@ impl EnergyConfig {
 
     /// Schedule for minimum makespan subject to the given per-device
     /// busy-power cap.
-    #[must_use]
     pub fn with_power_cap(mut self, cap: Watt) -> Self {
         self.objective = Some(EnergyObjective::MinMakespanUnderPowerCap(cap));
         self
@@ -135,6 +131,7 @@ impl EnergyConfig {
 /// [`RunReport::energy`](crate::runtime::RunReport::energy) whenever the
 /// runtime was built with an [`EnergyConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "stats are counters for the caller to inspect; dropping them unread is a bug"]
 pub struct EnergyStats {
     /// Joules spent executing tasks (busy power over execution time,
     /// from the per-device [`EnergyMeter`](legato_hw::power::EnergyMeter)s).

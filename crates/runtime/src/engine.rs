@@ -436,7 +436,9 @@ impl Runtime {
     /// [`RuntimeError::NoDevices`] when the runtime has no devices;
     /// [`RuntimeError::InvalidWeight`] for an unusable
     /// [`Policy::Weighted`] weight (validated up front, never a mid-run
-    /// panic).
+    /// panic); [`RuntimeError::AnalysisFailed`] when static analysis is
+    /// configured in enforce mode and found error-severity diagnostics
+    /// (also up front — no event dispatches on a refused graph).
     ///
     /// [`Policy`]: crate::scheduler::Policy
     /// [`Policy::Weighted`]: crate::scheduler::Policy::Weighted
@@ -450,6 +452,7 @@ impl Runtime {
             return Err(RuntimeError::NoDevices);
         }
         self.policy.validate()?;
+        self.ensure_analyzed()?;
         self.plan_resilience()?;
         while let Some(event) = self.next_event() {
             self.dispatch(event)?;
@@ -474,6 +477,7 @@ impl Runtime {
             return Err(RuntimeError::NoDevices);
         }
         self.policy.validate()?;
+        self.ensure_analyzed()?;
         self.plan_resilience()?;
         match self.next_event() {
             Some(event) => {
@@ -682,7 +686,6 @@ impl Runtime {
 
     /// The cumulative run report: every outcome, failure and statistic
     /// accumulated by the engine so far, plus whole-system energy.
-    #[must_use]
     pub fn report(&self) -> RunReport {
         // The outcome log is indexed by task id: the placement list falls
         // out sorted without sorting.
@@ -715,7 +718,44 @@ impl Runtime {
                 .energy
                 .active
                 .then(|| self.energy.stats(busy_energy, idle_energy, makespan)),
+            analysis: self.analysis.as_ref().and_then(|s| s.report.clone()),
         }
+    }
+
+    /// Run the static analyzer if it is configured and the graph has
+    /// grown since the last pass (streaming submission re-triggers). In
+    /// [`AnalysisMode::Enforce`](crate::analyze::AnalysisMode::Enforce)
+    /// error-severity findings refuse the run here — before any event is
+    /// dispatched; warn-only findings are memoized for
+    /// [`Runtime::report`].
+    fn ensure_analyzed(&mut self) -> Result<(), RuntimeError> {
+        let Some(state) = &self.analysis else {
+            return Ok(());
+        };
+        if self.graph.len() <= state.analyzed_len {
+            // The graph has not grown since the last pass — but the
+            // memoized verdict still binds: the graph is append-only, so
+            // a refused graph can never have become clean.
+            if state.config.mode == crate::analyze::AnalysisMode::Enforce {
+                if let Some(report) = &state.report {
+                    if report.has_errors() {
+                        return Err(RuntimeError::AnalysisFailed(Box::new(report.clone())));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // `analyze` borrows the runtime immutably, so compute first and
+        // write the memo back after.
+        let report = self.analyze();
+        let state = self.analysis.as_mut().expect("checked above");
+        state.analyzed_len = report.tasks_analyzed;
+        let enforce = state.config.mode == crate::analyze::AnalysisMode::Enforce;
+        state.report = Some(report.clone());
+        if enforce && report.has_errors() {
+            return Err(RuntimeError::AnalysisFailed(Box::new(report)));
+        }
+        Ok(())
     }
 
     /// Current virtual time of the engine (the time of the last processed

@@ -5,6 +5,8 @@ use std::fmt;
 
 use legato_core::task::TaskId;
 
+use crate::analyze::AnalysisReport;
+
 /// Errors produced by the task runtime.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -35,6 +37,14 @@ pub enum RuntimeError {
     /// The simulated secure layer refused an operation (enclave limit
     /// reached, attestation failure).
     Security(String),
+    /// Static analysis ([`EngineConfig::with_analysis`] in
+    /// [`AnalysisMode::Enforce`]) found error-severity diagnostics — the
+    /// run was refused before any event dispatched. The full report,
+    /// including warnings, rides along for rendering.
+    ///
+    /// [`EngineConfig::with_analysis`]: crate::config::EngineConfig::with_analysis
+    /// [`AnalysisMode::Enforce`]: crate::analyze::AnalysisMode::Enforce
+    AnalysisFailed(Box<AnalysisReport>),
     /// A caller-supplied parameter was outside its valid domain (a
     /// non-FPGA device handed to the low-voltage model, a non-positive
     /// working set, an operating-point index off a device's ladder, …).
@@ -81,6 +91,13 @@ impl fmt::Display for RuntimeError {
                 )
             }
             RuntimeError::Security(msg) => write!(f, "secure layer error: {msg}"),
+            RuntimeError::AnalysisFailed(report) => {
+                write!(
+                    f,
+                    "static analysis refused the run: {} error(s) — {report}",
+                    report.error_count()
+                )
+            }
             RuntimeError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
@@ -134,6 +151,27 @@ mod tests {
             e.to_string(),
             "invalid parameter `working_set_mbit`: must be positive, got -1"
         );
+    }
+
+    #[test]
+    fn display_analysis_failed() {
+        use crate::analyze::{Diagnostic, LintId, Severity};
+        let report = AnalysisReport {
+            diagnostics: vec![Diagnostic {
+                lint: LintId::RegionRace,
+                severity: Severity::Error,
+                tasks: vec![TaskId(1), TaskId(2)],
+                regions: vec![legato_core::task::RegionId(0)],
+                path: Vec::new(),
+                message: "T1 and T2 write the same region".into(),
+            }],
+            lints_run: vec![LintId::RegionRace],
+            tasks_analyzed: 3,
+        };
+        let e = RuntimeError::AnalysisFailed(Box::new(report));
+        let s = e.to_string();
+        assert!(s.contains("refused"), "{s}");
+        assert!(s.contains("region-race"), "{s}");
     }
 
     #[test]

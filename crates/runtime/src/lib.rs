@@ -45,6 +45,12 @@
 //! plans. All pillars are configured through one builder,
 //! [`EngineConfig`].
 //!
+//! Before any of that runs, the static [`analyze`] layer can verify the
+//! submitted graph against the pillar configuration — region races,
+//! confidentiality-lattice violations, infeasible placements, unclosable
+//! checkpoint frontiers — and refuse the run with structured diagnostics
+//! instead of discovering the problem mid-execution.
+//!
 //! ## Example
 //!
 //! ```
@@ -79,6 +85,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ckpt;
 pub mod config;
 pub mod elastic;
@@ -94,6 +101,9 @@ pub mod sched;
 pub mod scheduler;
 pub mod security;
 
+pub use analyze::{
+    AnalysisConfig, AnalysisMode, AnalysisReport, Diagnostic, GraphLint, LintId, Severity,
+};
 pub use config::EngineConfig;
 pub use energy::{EnergyConfig, EnergyObjective, EnergyStats};
 pub use error::RuntimeError;

@@ -75,6 +75,7 @@ use crate::scheduler::Policy;
 /// Every device must belong to exactly one pool; membership is
 /// validated when the runtime is built.
 #[derive(Debug, Clone, Default)]
+#[must_use = "builder-style configs do nothing unless passed to EngineConfig"]
 pub struct PoolConfig {
     pools: Vec<Vec<usize>>,
 }
@@ -82,7 +83,6 @@ pub struct PoolConfig {
 impl PoolConfig {
     /// An explicit partition: `pools[p]` lists the device indices of
     /// pool `p`. Empty pools are dropped.
-    #[must_use]
     pub fn from_membership(pools: Vec<Vec<usize>>) -> Self {
         PoolConfig { pools }
     }
@@ -91,7 +91,6 @@ impl PoolConfig {
     /// most) `pool_size` — the structure-free fallback when the fleet
     /// has no chassis or node grouping. A zero `pool_size` yields a
     /// single pool.
-    #[must_use]
     pub fn uniform(device_count: usize, pool_size: usize) -> Self {
         let size = pool_size.max(1).min(device_count.max(1));
         let pools = (0..device_count)
@@ -106,7 +105,6 @@ impl PoolConfig {
     /// (node order, then the node's device order) and the matching
     /// partition, ready for
     /// [`EngineConfig::with_devices`](crate::config::EngineConfig::with_devices).
-    #[must_use]
     pub fn from_nodes(nodes: &[NodeSpec]) -> (Vec<DeviceSpec>, PoolConfig) {
         let mut specs = Vec::new();
         let mut pools = Vec::with_capacity(nodes.len());
@@ -123,7 +121,6 @@ impl PoolConfig {
     /// partition. Devices on one carrier share the chassis backplane,
     /// which is exactly the locality boundary the topology cost model
     /// charges transfers across.
-    #[must_use]
     pub fn from_recs(chassis: &RecsBox) -> (Vec<DeviceSpec>, PoolConfig) {
         let mut specs = Vec::new();
         let mut pools = Vec::with_capacity(chassis.carriers.len());
@@ -491,6 +488,7 @@ impl DevicePools {
 /// producers recorded yet (or zero-size regions) the charge is zero and
 /// scheduling is bit-identical to a topology-free runtime.
 #[derive(Debug, Clone)]
+#[must_use = "builder-style configs do nothing unless passed to EngineConfig"]
 pub struct TopologyConfig {
     pub(crate) link: LinkModel,
     pub(crate) region_sizes: HashMap<RegionId, Bytes>,
@@ -501,7 +499,6 @@ impl TopologyConfig {
     /// A topology model over `link` (e.g.
     /// [`LinkModel::compute_network`]) with no declared region sizes:
     /// transfers are free until sizes are declared.
-    #[must_use]
     pub fn new(link: LinkModel) -> Self {
         TopologyConfig {
             link,
@@ -511,7 +508,6 @@ impl TopologyConfig {
     }
 
     /// Declared size of one region (overrides the default).
-    #[must_use]
     pub fn with_region_size(mut self, region: impl Into<RegionId>, bytes: Bytes) -> Self {
         self.region_sizes.insert(region.into(), bytes);
         self
@@ -519,7 +515,6 @@ impl TopologyConfig {
 
     /// Size assumed for regions without a declared size (default zero:
     /// undeclared regions transfer for free).
-    #[must_use]
     pub fn with_default_region_size(mut self, bytes: Bytes) -> Self {
         self.default_region_size = bytes;
         self

@@ -91,6 +91,7 @@ pub fn replicas_for(criticality: Criticality) -> usize {
 
 /// Replication statistics accumulated over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[must_use = "stats are counters for the caller to inspect; dropping them unread is a bug"]
 pub struct ReplicationStats {
     /// Tasks that ran exactly once.
     pub unreplicated: u64,

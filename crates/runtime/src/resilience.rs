@@ -55,6 +55,7 @@ use crate::scheduler::Policy;
 /// Configuration of the engine's checkpoint/restart mode
 /// ([`EngineConfig::with_resilience`](crate::config::EngineConfig::with_resilience)).
 #[derive(Debug, Clone)]
+#[must_use = "builder-style configs do nothing unless passed to EngineConfig"]
 pub struct ResilienceConfig {
     /// Assumed system MTBF driving the Young-interval choice. Must be
     /// positive (validated when the run plans its interval).
@@ -80,7 +81,6 @@ pub struct ResilienceConfig {
 impl ResilienceConfig {
     /// Checkpoint/restart against node-local NVMe with the async
     /// strategy — the paper's recommended configuration.
-    #[must_use]
     pub fn new(mtbf: Seconds) -> Self {
         ResilienceConfig {
             mtbf,
@@ -93,28 +93,24 @@ impl ResilienceConfig {
     }
 
     /// Use the given checkpoint write strategy.
-    #[must_use]
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
         self
     }
 
     /// Write checkpoints to the given storage tier.
-    #[must_use]
     pub fn with_tier(mut self, tier: StorageTier) -> Self {
         self.tier = tier;
         self
     }
 
     /// Declare region sizes for frontier-volume accounting.
-    #[must_use]
     pub fn with_region_sizes(mut self, sizes: HashMap<RegionId, Bytes>) -> Self {
         self.region_sizes = sizes;
         self
     }
 
     /// Cap the number of rollbacks before falling back to fail/poison.
-    #[must_use]
     pub fn with_max_rollbacks(mut self, n: u32) -> Self {
         self.max_rollbacks = n;
         self
@@ -124,6 +120,7 @@ impl ResilienceConfig {
 /// Checkpoint/restart counters reported in
 /// [`RunReport`](crate::runtime::RunReport).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "stats are counters for the caller to inspect; dropping them unread is a bug"]
 pub struct ResilienceStats {
     /// Checkpoints taken.
     pub checkpoints: u64,

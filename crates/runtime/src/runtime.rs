@@ -14,6 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::analyze::{self, AnalysisConfig, AnalysisContext, AnalysisReport, AnalysisState};
 use crate::energy::{EnergyState, EnergyStats};
 use crate::engine::EngineState;
 use crate::error::RuntimeError;
@@ -102,6 +103,7 @@ pub struct TaskOutcome {
 
 /// Result of a full run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use = "a run report carries the outcome of every task; dropping it unread discards the run"]
 pub struct RunReport {
     /// Completion time of the last task.
     pub makespan: Seconds,
@@ -129,6 +131,13 @@ pub struct RunReport {
     /// an [`EnergyConfig`](crate::energy::EnergyConfig)
     /// ([`EngineConfig::with_energy`](crate::config::EngineConfig::with_energy)).
     pub energy: Option<EnergyStats>,
+    /// The static analysis report; `Some` exactly when the runtime was
+    /// built with an [`AnalysisConfig`]
+    /// ([`EngineConfig::with_analysis`](crate::config::EngineConfig::with_analysis))
+    /// and the run started. In warn-only mode this is where findings
+    /// surface; in enforce mode a report that reaches a `RunReport` is
+    /// warning-only by construction (errors refuse the run).
+    pub analysis: Option<AnalysisReport>,
 }
 
 impl RunReport {
@@ -158,6 +167,9 @@ pub struct Runtime {
     pub(crate) pools: Option<DevicePools>,
     /// Topology cost model (inactive unless configured with pools).
     pub(crate) topology: TopologyState,
+    /// Static analysis configuration and memoized report; `None` =
+    /// analysis off.
+    pub(crate) analysis: Option<AnalysisState>,
 }
 
 impl Runtime {
@@ -183,7 +195,33 @@ impl Runtime {
             energy: EnergyState::default(),
             pools: None,
             topology: TopologyState::default(),
+            analysis: None,
         }
+    }
+
+    /// Run the static analyzer over the current graph and pillar
+    /// configuration, returning the report without touching engine
+    /// state. Uses the configured [`AnalysisConfig`] when the runtime
+    /// was built with one
+    /// ([`EngineConfig::with_analysis`](crate::config::EngineConfig::with_analysis)),
+    /// the default config otherwise — so ad-hoc callers (benches, CI
+    /// drivers) can lint any runtime.
+    pub fn analyze(&self) -> AnalysisReport {
+        let default_config;
+        let config = match &self.analysis {
+            Some(state) => &state.config,
+            None => {
+                default_config = AnalysisConfig::default();
+                &default_config
+            }
+        };
+        let cx = AnalysisContext {
+            graph: &self.graph,
+            devices: &self.devices,
+            objective: self.energy.objective,
+            resilience: self.resilience.as_ref().map(|r| &r.config),
+        };
+        analyze::run_lints(&cx, config)
     }
 
     /// Switch the engine into checkpoint/restart mode: periodic
@@ -223,7 +261,6 @@ impl Runtime {
 
     /// Security counters accumulated by the engine so far (also part of
     /// [`RunReport`]).
-    #[must_use]
     pub fn security_stats(&self) -> SecurityStats {
         self.security.stats
     }
@@ -309,6 +346,41 @@ impl Runtime {
             self.engine.push_ready(id);
         }
         id
+    }
+
+    /// Submit a task with *explicit* predecessors instead of inferred
+    /// dependences — the tenant-submitted-DAG entry point
+    /// ([`TaskGraph::add_task_with_deps`]): region accesses still feed
+    /// liveness and later inference, but this task's ordering is exactly
+    /// `deps`. The graph accepts under-ordered DAGs without complaint —
+    /// racy or leaky submissions are what the static analyzer
+    /// ([`EngineConfig::with_analysis`](crate::config::EngineConfig::with_analysis))
+    /// exists to catch before the run starts.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Graph`] when a dependence names a task that has
+    /// not been submitted (forward edges would break acyclicity).
+    ///
+    /// [`TaskGraph::add_task_with_deps`]: legato_core::graph::TaskGraph::add_task_with_deps
+    pub fn submit_with_deps<I, R>(
+        &mut self,
+        descriptor: TaskDescriptor,
+        accesses: I,
+        deps: &[TaskId],
+    ) -> Result<TaskId, RuntimeError>
+    where
+        I: IntoIterator<Item = (R, AccessMode)>,
+        R: Into<RegionId>,
+    {
+        if descriptor.requirements.security.seals_at_rest() {
+            self.security.activate(&self.devices);
+        }
+        let id = self.graph.add_task_with_deps(descriptor, accesses, deps)?;
+        if self.graph.state(id) == Ok(TaskState::Ready) {
+            self.engine.push_ready(id);
+        }
+        Ok(id)
     }
 
     /// Pre-size the graph for a workload of known scale: reserves node
@@ -557,6 +629,8 @@ impl Runtime {
                 .energy
                 .active
                 .then(|| self.energy.stats(busy_energy, idle_energy, makespan)),
+            // Likewise: the sweep never runs the analyzer.
+            analysis: None,
         })
     }
 
@@ -780,7 +854,7 @@ mod tests {
     fn reset_devices_clears_meters() {
         let mut rt = Runtime::new(specs(), Policy::Performance, 1);
         chain(&mut rt, 2, Criticality::Normal);
-        rt.run().unwrap();
+        let _ = rt.run().unwrap();
         rt.reset_devices();
         assert!(rt
             .devices()
@@ -874,7 +948,7 @@ mod tests {
         let mut rt = Runtime::new(specs(), Policy::Performance, 1);
         chain(&mut rt, 3, Criticality::Normal);
         assert!(rt.has_pending_events());
-        rt.run_sweep().unwrap();
+        let _ = rt.run_sweep().unwrap();
         assert!(
             !rt.has_pending_events(),
             "sweep must not leave phantom events behind"

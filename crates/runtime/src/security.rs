@@ -59,6 +59,7 @@ use crate::error::RuntimeError;
 /// The layer itself activates automatically when the first non-public
 /// task is submitted; the configuration only tunes its cost model.
 #[derive(Debug, Clone)]
+#[must_use = "builder-style configs do nothing unless passed to EngineConfig"]
 pub struct SecurityConfig {
     /// Declared size of each data region, used to price enclave-boundary
     /// crypto and cross-device seal traffic. Regions absent from the map
@@ -85,7 +86,6 @@ pub struct SecurityConfig {
 impl SecurityConfig {
     /// Defaults: no declared region sizes, one ecall/ocall pair in and
     /// one out, software-rate checkpoint sealing.
-    #[must_use]
     pub fn new() -> Self {
         SecurityConfig {
             region_sizes: HashMap::new(),
@@ -97,21 +97,18 @@ impl SecurityConfig {
     }
 
     /// Declare region sizes for crypto-traffic accounting.
-    #[must_use]
     pub fn with_region_sizes(mut self, sizes: HashMap<RegionId, Bytes>) -> Self {
         self.region_sizes = sizes;
         self
     }
 
     /// Set the ecall/ocall pairs charged per enclave task.
-    #[must_use]
     pub fn with_transitions(mut self, pairs: u32) -> Self {
         self.transitions = pairs;
         self
     }
 
     /// Set the checkpoint sealing throughput.
-    #[must_use]
     pub fn with_seal_bandwidth(mut self, bw: BytesPerSec) -> Self {
         self.seal_bandwidth = bw;
         self
@@ -128,6 +125,7 @@ impl Default for SecurityConfig {
 /// [`RunReport`](crate::runtime::RunReport). All zero unless the run
 /// executed confidential tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "stats are counters for the caller to inspect; dropping them unread is a bug"]
 pub struct SecurityStats {
     /// Replica executions of enclave-only tasks.
     pub enclave_tasks: u64,

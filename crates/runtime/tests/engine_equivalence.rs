@@ -167,7 +167,7 @@ proptest! {
 
         let mut batched = runtime(seed, resilient, &chains);
         submit_wave(&mut batched, &wave1);
-        batched.run().expect("devices present");
+        let _ = batched.run().expect("devices present");
         submit_wave(&mut batched, &wave2);
         let batched_report = batched.run().expect("devices present");
 
@@ -291,7 +291,7 @@ proptest! {
 
         let mut batched = runtime(seed, false, &chains);
         submit_wave(&mut batched, &wave1);
-        batched.run().expect("devices present");
+        let _ = batched.run().expect("devices present");
         submit_wave(&mut batched, &wave2);
         let batched_report = batched.run().expect("devices present");
 
