@@ -1,0 +1,49 @@
+//! Criterion bench for E10: device churn over the malleability layer —
+//! the ≥ 1k-task resilience graph at several churn rates × {drain-only,
+//! crash-only, crash-ckpt}, plus the churn-free baseline.
+//!
+//! Each cell measures how fast the simulator executes the scenario (the
+//! malleability machinery's own overhead: trace merging, drains,
+//! crash re-planning, rollback salvage), and declares the number of
+//! tasks the run *completed* as its throughput — so the
+//! `BENCH_elastic.json` baseline records the paper-shaped survival
+//! result next to the timings: at every churn rate the drain-only and
+//! crash-ckpt rows complete the whole graph while crash-only loses part
+//! of it (asserted in the experiment's own tests), and the simulated
+//! makespan-vs-churn-rate curve lives in the same rows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use legato_bench::experiments::elastic::{
+    reference_rates, reference_scenario, run_scenario, ChurnMode,
+};
+use std::hint::black_box;
+
+fn bench_churn(c: &mut Criterion) {
+    let scenario = reference_scenario();
+    let mut g = c.benchmark_group("elastic");
+    g.sample_size(10);
+    let mut cells = vec![("churn_0", 0, ChurnMode::None)];
+    for (label, events) in reference_rates() {
+        for mode in [
+            ChurnMode::DrainOnly,
+            ChurnMode::CrashOnly,
+            ChurnMode::CrashCkpt,
+        ] {
+            cells.push((label, events, mode));
+        }
+    }
+    for (label, events, mode) in cells {
+        // Completed-task count is deterministic per (scenario, events,
+        // mode, seed): declare it as the cell's throughput so the JSON
+        // baseline records survival alongside the timing.
+        let row = run_scenario(scenario, mode, events, 42);
+        g.throughput(Throughput::Elements(row.completed as u64));
+        g.bench_function(&format!("{label}/{}", mode.label()), |b| {
+            b.iter(|| black_box(run_scenario(scenario, mode, events, 42).completed))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! Criterion benches. Every function here is deterministic given its seed
 //! arguments.
 
+pub mod elastic;
 pub mod energy;
 pub mod engine;
 pub mod fig5;

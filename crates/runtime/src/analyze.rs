@@ -786,12 +786,18 @@ impl GraphLint for CheckpointClosureLint {
 
 /// Per-runtime analysis state: the configuration plus memoization of the
 /// last pass, so streaming submission re-analyzes only when the graph
-/// has grown.
+/// has grown — or the fleet has changed.
 #[derive(Debug, Clone)]
 pub(crate) struct AnalysisState {
     pub(crate) config: AnalysisConfig,
     /// Graph length at the last pass; a longer graph re-triggers.
     pub(crate) analyzed_len: usize,
+    /// Fleet epoch at the last pass (churn bumps the epoch on every
+    /// arrival and departure). Lint verdicts — placement feasibility in
+    /// particular — are computed against a concrete fleet, so a grown or
+    /// shrunk fleet must re-lint before the next dispatch; a memo keyed
+    /// on graph length alone would keep serving stale verdicts.
+    pub(crate) analyzed_epoch: u64,
     /// The last pass's report (attached to `RunReport`).
     pub(crate) report: Option<AnalysisReport>,
 }
@@ -801,6 +807,7 @@ impl AnalysisState {
         AnalysisState {
             config,
             analyzed_len: 0,
+            analyzed_epoch: 0,
             report: None,
         }
     }

@@ -37,6 +37,7 @@
 use legato_hw::device::DeviceSpec;
 
 use crate::analyze::{AnalysisConfig, AnalysisState};
+use crate::churn::{ChurnConfig, ChurnState};
 use crate::energy::{EnergyConfig, EnergyObjective, EnergyState};
 use crate::error::RuntimeError;
 use crate::pool::{DevicePools, PoolConfig, TopologyConfig, TopologyState};
@@ -60,6 +61,7 @@ pub struct EngineConfig {
     pools: Option<PoolConfig>,
     topology: Option<TopologyConfig>,
     analysis: Option<AnalysisConfig>,
+    churn: Option<ChurnConfig>,
 }
 
 impl EngineConfig {
@@ -158,6 +160,21 @@ impl EngineConfig {
         self
     }
 
+    /// Make the fleet malleable: replay a [`ChurnTrace`] of device
+    /// arrivals and departures into the engine's event order (see
+    /// [`churn`](crate::churn)). Planned departures drain, crashes fail
+    /// running work into the retry/rollback machinery, and arrivals
+    /// grow the pool/security structures incrementally. A configuration
+    /// with an empty trace arms the machinery without changing the
+    /// fleet — and schedules stay bit-identical to a churn-free
+    /// runtime.
+    ///
+    /// [`ChurnTrace`]: crate::churn::ChurnTrace
+    pub fn with_churn(mut self, config: ChurnConfig) -> Self {
+        self.churn = Some(config);
+        self
+    }
+
     /// Construct the runtime.
     ///
     /// With an [`EnergyConfig`], every device spec is derated to its
@@ -186,6 +203,7 @@ impl EngineConfig {
             pools,
             topology,
             analysis,
+            churn,
         } = self;
         if topology.is_some() && pools.is_none() {
             return Err(RuntimeError::invalid_parameter(
@@ -267,6 +285,10 @@ impl EngineConfig {
         }
         if let Some(cfg) = analysis {
             rt.analysis = Some(AnalysisState::new(cfg));
+        }
+        if let Some(cfg) = churn {
+            let fleet = rt.devices.len();
+            rt.churn = Some(ChurnState::new(cfg, fleet));
         }
         Ok(rt)
     }

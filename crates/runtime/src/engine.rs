@@ -64,15 +64,17 @@ use legato_core::requirements::SecurityLevel;
 use legato_core::task::{TaskId, TaskKind, Work};
 use legato_core::units::{Bytes, Joule, Seconds};
 use legato_fti::{checkpoint_cost, restart_cost, Strategy};
+use legato_hw::device::{Device, DeviceId, DeviceSpec};
 use rand::Rng;
 
+use crate::churn::{ChurnEventKind, ChurnOp, DeferredTask, DepartureKind};
 use crate::ckpt;
 use crate::error::RuntimeError;
 use crate::pool::DevicePools;
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict, MAX_REPLICAS};
 use crate::resilience::{CheckpointRecord, RollbackEvent};
 use crate::runtime::{golden_value, RunReport, Runtime, TaskOutcome};
-use crate::sched::Estimate;
+use crate::sched::{Estimate, Scheduler, ScoreNorm};
 use crate::security::SecurityState;
 
 /// The devices and per-replica results of one (possibly replicated)
@@ -120,6 +122,13 @@ enum EventKind {
     /// Periodic checkpoint of the completed frontier (resilience mode
     /// only; at most one is armed at a time).
     Checkpoint,
+    /// A fleet change fires (churn mode only). The payload is
+    /// `churn.ops[op]` — op slots are append-only, so the index stays
+    /// valid however many fleet changes pile up.
+    Churn {
+        /// Index into [`ChurnState::ops`](crate::churn::ChurnState).
+        op: u32,
+    },
 }
 
 /// Out-of-heap payload of one finish event. Carries the task facts the
@@ -146,6 +155,11 @@ struct FinishPayload {
     /// Enclave code measurement of the task type (meaningful only when
     /// `security` requires an enclave).
     measurement: u64,
+    /// Set when a device crash killed this attempt before its finish
+    /// event fired: the event stays queued (heap entries cannot be
+    /// retracted) and no-ops on arrival, so slot recycling and per-device
+    /// head promotion keep their invariants.
+    crashed: bool,
 }
 
 impl Ord for Event {
@@ -454,6 +468,7 @@ impl Runtime {
         self.policy.validate()?;
         self.ensure_analyzed()?;
         self.plan_resilience()?;
+        self.plan_churn();
         while let Some(event) = self.next_event() {
             self.dispatch(event)?;
         }
@@ -479,6 +494,7 @@ impl Runtime {
         self.policy.validate()?;
         self.ensure_analyzed()?;
         self.plan_resilience()?;
+        self.plan_churn();
         match self.next_event() {
             Some(event) => {
                 self.dispatch(event)?;
@@ -511,13 +527,20 @@ impl Runtime {
         match event.kind {
             EventKind::Ready(task) => self.handle_ready(task, event.time),
             EventKind::Finish { slot } => {
+                // Reclaim the slot even for a crash-tombstoned attempt:
+                // `take_finish` owns the recycling and per-device head
+                // promotion, and both must run for every queued event.
                 let payload = self.engine.take_finish(slot);
+                if payload.crashed {
+                    return Ok(());
+                }
                 self.handle_finish(payload, event.time)
             }
             EventKind::Checkpoint => {
                 self.handle_checkpoint(event.time);
                 Ok(())
             }
+            EventKind::Churn { op } => self.handle_churn(op, event.time),
         }
     }
 
@@ -586,6 +609,21 @@ impl Runtime {
     /// O(live regions) for the volume — both incremental views maintained
     /// by the graph, replacing the former full-graph scans.
     fn handle_checkpoint(&mut self, at: Seconds) {
+        let finish = self.take_checkpoint(at);
+        let res = self
+            .resilience
+            .as_ref()
+            .expect("checkpoint events exist only in resilience mode");
+        let interval = res.interval.expect("checkpoints are armed after planning");
+        self.engine.push_checkpoint(finish + interval);
+    }
+
+    /// The checkpoint itself, without re-arming the periodic chain:
+    /// shared by the periodic [`Self::handle_checkpoint`] event and the
+    /// drain path, which snapshots the frontier *once* when a device
+    /// leaves (the armed periodic event is untouched). Returns the
+    /// checkpoint's finish time.
+    fn take_checkpoint(&mut self, at: Seconds) -> Seconds {
         let completed: Arc<[TaskId]> = self.graph.completed().into();
         let security_snapshot = self.security.snapshot();
         let res = self
@@ -624,8 +662,7 @@ impl Runtime {
             Strategy::Initial => finish,
             Strategy::Async => start + res.config.tier.setup_latency,
         };
-        let interval = res.interval.expect("checkpoints are armed after planning");
-        self.engine.push_checkpoint(finish + interval);
+        finish
     }
 
     /// Restore the last checkpointed frontier after `task` exhausted its
@@ -659,8 +696,30 @@ impl Runtime {
         let (_start, resume) = res.storage.occupy_read(at, restart, record.bytes);
         // Every queued event is stale after the rollback: in-flight
         // attempts are aborted (their device-time and energy stay spent)
-        // and the armed checkpoint is re-based on the restart.
+        // and the armed checkpoint is re-based on the restart. Churn
+        // events are the exception — fleet changes are external reality,
+        // not speculative work, so they survive the rewind with their
+        // original `(time, seq)` keys.
+        let surviving_churn: Vec<Event> = if self.churn.is_some() {
+            self.engine
+                .heap
+                .iter()
+                .filter(|Reverse(e)| matches!(e.kind, EventKind::Churn { .. }))
+                .map(|Reverse(e)| *e)
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.engine.clear_events();
+        for e in surviving_churn {
+            self.engine.heap.push(Reverse(e));
+        }
+        if let Some(churn) = &mut self.churn {
+            // Parked placements rewind with the frontier: their tasks
+            // re-arm through the restored ready set, and the preserved
+            // timeout events no-op against the emptied list.
+            churn.deferred.clear();
+        }
         let ready = self.graph.rollback(&record.completed)?;
         // Region confidentiality rewinds with the frontier: discarded
         // post-checkpoint writes must not leave stale sealedness or
@@ -697,14 +756,34 @@ impl Runtime {
             .map(|p| p.finish)
             .fold(Seconds::ZERO, Seconds::max);
         let busy_energy: Joule = self.devices.iter().map(|d| d.meter().total()).sum();
-        let idle_energy: Joule = self
-            .devices
-            .iter()
-            .map(|d| {
-                let idle_time = (makespan - d.meter().elapsed()).max(Seconds::ZERO);
-                d.spec.idle_power * idle_time
-            })
-            .sum();
+        let idle_energy: Joule = match &self.churn {
+            // Churn-free fleet: every device idles whenever it is not
+            // busy, across the whole makespan (the pre-churn arithmetic,
+            // bit for bit).
+            None => self
+                .devices
+                .iter()
+                .map(|d| {
+                    let idle_time = (makespan - d.meter().elapsed()).max(Seconds::ZERO);
+                    d.spec.idle_power * idle_time
+                })
+                .sum(),
+            // Malleable fleet: a device draws idle power only while it is
+            // part of the fleet — from its arrival to its departure (or
+            // the makespan, whichever comes first).
+            Some(churn) => self
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let from = churn.arrived_at[i].min(makespan);
+                    let until = churn.departed_at[i].map_or(makespan, |t| t.min(makespan));
+                    let present = (until - from).max(Seconds::ZERO);
+                    let idle_time = (present - d.meter().elapsed()).max(Seconds::ZERO);
+                    d.spec.idle_power * idle_time
+                })
+                .sum(),
+        };
         RunReport {
             makespan,
             busy_energy,
@@ -719,6 +798,7 @@ impl Runtime {
                 .active
                 .then(|| self.energy.stats(busy_energy, idle_energy, makespan)),
             analysis: self.analysis.as_ref().and_then(|s| s.report.clone()),
+            churn: self.churn.as_ref().map(|c| c.stats),
         }
     }
 
@@ -732,7 +812,11 @@ impl Runtime {
         let Some(state) = &self.analysis else {
             return Ok(());
         };
-        if self.graph.len() <= state.analyzed_len {
+        // The memo binds to a *fleet* as well as a graph: placement
+        // feasibility verdicts are computed against the devices, so any
+        // churn (arrival or departure) invalidates them.
+        let fleet_epoch = self.churn.as_ref().map_or(0, |c| c.epoch);
+        if self.graph.len() <= state.analyzed_len && fleet_epoch == state.analyzed_epoch {
             // The graph has not grown since the last pass — but the
             // memoized verdict still binds: the graph is append-only, so
             // a refused graph can never have become clean.
@@ -750,6 +834,7 @@ impl Runtime {
         let report = self.analyze();
         let state = self.analysis.as_mut().expect("checked above");
         state.analyzed_len = report.tasks_analyzed;
+        state.analyzed_epoch = fleet_epoch;
         let enforce = state.config.mode == crate::analyze::AnalysisMode::Enforce;
         state.report = Some(report.clone());
         if enforce && report.has_errors() {
@@ -784,6 +869,12 @@ impl Runtime {
             .criticality
             .replica_count()
             .min(self.devices.len());
+        if let Some(churn) = &self.churn {
+            // Replicas spread over the *surviving* fleet. `.max(1)` keeps
+            // the attempt alive through a transiently empty pool — the
+            // k == 0 deferral below owns that case.
+            replicas = replicas.min(churn.available_count()).max(1);
+        }
         let (work, kind) = (desc.work, desc.kind);
         let security = desc.requirements.security;
         // Enclave-only tasks are restricted to TEE-capable devices: the
@@ -799,13 +890,23 @@ impl Runtime {
             .then(|| self.security.ensure_enclaves(desc.name.as_bytes()));
         let mut measurement = 0;
         if let Some(setup) = enclave_setup {
-            let tee = SecurityState::tee_device_count(&self.devices);
+            let tee = SecurityState::tee_device_count_available(
+                &self.devices,
+                self.churn.as_ref().map(|c| c.available.as_slice()),
+            );
             match setup {
                 Ok(m) if tee > 0 => {
                     replicas = replicas.min(tee);
                     measurement = m;
                 }
-                Ok(_) => {
+                Ok(m) => {
+                    // Under churn an empty TEE pool is (possibly) transient:
+                    // park the task for a bounded wait instead of refusing —
+                    // a re-arrival re-spreads it, the deadline fails it.
+                    if self.churn.is_some() {
+                        return self
+                            .defer_placement(task, work, kind, security, m, replicas, at, 0);
+                    }
                     self.engine.failed.push(task);
                     self.graph.fail(task)?;
                     return Err(RuntimeError::NoSecurePlacement(task));
@@ -922,6 +1023,7 @@ impl Runtime {
                 work,
                 kind,
                 at,
+                self.churn.as_ref().map(|c| c.available.as_slice()),
                 needs_sec.then_some(&self.security.plan),
                 topo,
                 self.energy.objective.is_some().then_some(&mut self.energy),
@@ -934,10 +1036,25 @@ impl Runtime {
             k
         };
         if k == 0 {
-            // Only reachable for an enclave-only task whose eligible set
-            // is empty — `handle_ready` guards the no-TEE case, so this
-            // is a defensive backstop. Fail the claimed task first so
-            // the graph stays consistent for follow-up runs.
+            // Under churn, an empty eligible set means every (capable)
+            // device departed: defer rather than refuse. Without churn
+            // this is only reachable for an enclave-only task whose
+            // eligible set is empty — `handle_ready` guards the no-TEE
+            // case, so that branch is a defensive backstop. Fail the
+            // claimed task first so the graph stays consistent for
+            // follow-up runs.
+            if self.churn.is_some() {
+                return self.defer_placement(
+                    task,
+                    work,
+                    kind,
+                    security,
+                    measurement,
+                    replicas,
+                    at,
+                    attempt,
+                );
+            }
             self.engine.failed.push(task);
             self.graph.fail(task)?;
             return Err(RuntimeError::NoSecurePlacement(task));
@@ -990,6 +1107,7 @@ impl Runtime {
                 golden,
                 security,
                 measurement,
+                crashed: false,
             },
         );
         Ok(())
@@ -1010,6 +1128,7 @@ impl Runtime {
             golden,
             security,
             measurement,
+            crashed: _,
         } = payload;
         let accepted = match vote(replicas.results()) {
             Verdict::Accept(v) => {
@@ -1128,5 +1247,535 @@ impl Runtime {
             }
         }
         Ok(())
+    }
+
+    /// Merge the churn trace into the engine's `(time, seq)` event order,
+    /// once per runtime: each trace event becomes a heap event carrying
+    /// an index into the append-only op list. A runtime without churn —
+    /// or with an empty trace — pushes nothing and touches no sequence
+    /// numbers, so its event order (and therefore its schedule) stays
+    /// bit-identical to a churn-free engine.
+    fn plan_churn(&mut self) {
+        let Some(churn) = &mut self.churn else {
+            return;
+        };
+        if churn.merged {
+            return;
+        }
+        churn.merged = true;
+        for i in 0..churn.config.trace.len() {
+            let ev = churn.config.trace.events()[i].clone();
+            let op = match ev.kind {
+                ChurnEventKind::Arrival {
+                    spec,
+                    pool,
+                    fault_prob,
+                } => ChurnOp::Arrive {
+                    spec,
+                    pool,
+                    fault_prob,
+                },
+                ChurnEventKind::Departure { device, kind } => ChurnOp::Depart {
+                    device,
+                    crash: kind == DepartureKind::Crash,
+                },
+            };
+            churn.ops.push(op);
+            let slot = (churn.ops.len() - 1) as u32;
+            let seq = self.engine.next_seq();
+            self.engine.heap.push(Reverse(Event {
+                time: ev.at,
+                seq,
+                kind: EventKind::Churn { op: slot },
+            }));
+        }
+    }
+
+    /// Apply one fleet change: arrival, departure (planned or crash),
+    /// drain completion, or deferral expiry.
+    fn handle_churn(&mut self, op: u32, at: Seconds) -> Result<(), RuntimeError> {
+        let op = self
+            .churn
+            .as_ref()
+            .expect("churn events exist only with churn state")
+            .ops[op as usize]
+            .clone();
+        match op {
+            ChurnOp::Arrive {
+                spec,
+                pool,
+                fault_prob,
+            } => self.handle_arrival(spec, pool, fault_prob, at),
+            ChurnOp::Depart { device, crash } => self.handle_departure(device, crash, at),
+            ChurnOp::DrainComplete { device } => {
+                self.handle_drain_complete(device, at);
+                Ok(())
+            }
+            ChurnOp::DeferTimeout { task, deadline } => self.handle_defer_timeout(task, deadline),
+        }
+    }
+
+    /// A device joins mid-run. It is appended at the next free index so
+    /// every positional per-device structure stays aligned, the pool
+    /// shards grow incrementally (spec classes re-deduped, availability
+    /// minima dirtied), the security layer learns the new platform, and
+    /// parked placements get another chance.
+    fn handle_arrival(
+        &mut self,
+        spec: DeviceSpec,
+        pool: Option<usize>,
+        fault_prob: f64,
+        at: Seconds,
+    ) -> Result<(), RuntimeError> {
+        let d = self.devices.len();
+        self.devices.push(Device::new(DeviceId(d as u64), spec));
+        let fp = fault_prob.clamp(0.0, 1.0);
+        self.fault_probs.push(fp);
+        if !self.energy.op_fault_probs.is_empty() {
+            // Keep the energy layer's per-device fault view aligned with
+            // the fleet.
+            self.energy.op_fault_probs.push(fp);
+        }
+        self.security.device_arrived(&self.devices[d])?;
+        if let Some(pools) = &mut self.pools {
+            pools.add_device(d, &self.devices, pool.unwrap_or(d));
+        }
+        let churn = self
+            .churn
+            .as_mut()
+            .expect("churn events exist only with churn state");
+        churn.alive.push(true);
+        churn.draining.push(false);
+        churn.available.push(true);
+        churn.arrived_at.push(at);
+        churn.departed_at.push(None);
+        churn.epoch += 1;
+        churn.stats.arrivals += 1;
+        self.redispatch_deferred(at)
+    }
+
+    /// A device leaves. Planned departures drain (no new placements, the
+    /// in-flight work completes, then a frontier checkpoint seals it);
+    /// crashes kill the in-flight work immediately. Departures naming
+    /// unknown, already-departed or draining devices are skipped, so
+    /// hand-written traces stay safe against any fleet.
+    fn handle_departure(
+        &mut self,
+        device: usize,
+        crash: bool,
+        at: Seconds,
+    ) -> Result<(), RuntimeError> {
+        {
+            let churn = self
+                .churn
+                .as_ref()
+                .expect("churn events exist only with churn state");
+            if device >= churn.alive.len() || !churn.alive[device] || churn.draining[device] {
+                return Ok(());
+            }
+        }
+        if crash {
+            self.handle_crash(device, at)
+        } else {
+            self.begin_drain(device, at);
+            Ok(())
+        }
+    }
+
+    /// Planned shrink: the device stops accepting placements immediately
+    /// (availability mask + shard removal), and a `DrainComplete` fires
+    /// when its committed timeline runs dry — every in-flight attempt
+    /// finishes normally, so the shrink wastes zero work.
+    fn begin_drain(&mut self, device: usize, at: Seconds) {
+        let free_at = self.devices[device].busy_until().max(at);
+        if let Some(pools) = &mut self.pools {
+            pools.remove_device(device);
+        }
+        let seq = self.engine.next_seq();
+        let churn = self
+            .churn
+            .as_mut()
+            .expect("churn events exist only with churn state");
+        churn.draining[device] = true;
+        churn.available[device] = false;
+        churn.epoch += 1;
+        churn.stats.departures += 1;
+        churn.ops.push(ChurnOp::DrainComplete { device });
+        let slot = (churn.ops.len() - 1) as u32;
+        self.engine.heap.push(Reverse(Event {
+            time: free_at,
+            seq,
+            kind: EventKind::Churn { op: slot },
+        }));
+    }
+
+    /// A drained device's last in-flight attempt finished: mark it gone
+    /// and seal the frontier with a checkpoint through the resilience
+    /// layer (when one is configured and planned), so a later crash rolls
+    /// back to *after* the shrink — the drained device's work is never
+    /// re-executed.
+    fn handle_drain_complete(&mut self, device: usize, at: Seconds) {
+        {
+            let churn = self
+                .churn
+                .as_mut()
+                .expect("churn events exist only with churn state");
+            if !churn.draining[device] {
+                return;
+            }
+            churn.draining[device] = false;
+            churn.alive[device] = false;
+            churn.departed_at[device] = Some(at);
+        }
+        if self
+            .resilience
+            .as_ref()
+            .is_some_and(|r| r.interval.is_some())
+        {
+            self.take_checkpoint(at);
+        }
+    }
+
+    /// Crash departure: the device and every in-flight attempt touching
+    /// it are lost at `at`. Queued attempts migrate (no retry charge);
+    /// running attempts are charged against their retry budget and fall
+    /// back to rollback once it is exhausted — exactly the detected-fault
+    /// path, with the partial execution counted as wasted work.
+    fn handle_crash(&mut self, device: usize, at: Seconds) -> Result<(), RuntimeError> {
+        if let Some(pools) = &mut self.pools {
+            pools.remove_device(device);
+        }
+        {
+            let churn = self
+                .churn
+                .as_mut()
+                .expect("churn events exist only with churn state");
+            churn.alive[device] = false;
+            churn.available[device] = false;
+            churn.departed_at[device] = Some(at);
+            churn.epoch += 1;
+            churn.stats.departures += 1;
+            churn.stats.crashes += 1;
+        }
+        // Tombstone every victim first — their queued finish events
+        // no-op, and replacements pushed below reuse only slots that
+        // were already free — then process the collected payloads.
+        // Crash handling allocates: it is the rare path, and clarity
+        // beats scratch reuse here.
+        let mut live = vec![true; self.engine.finish_slab.len()];
+        for &slot in &self.engine.free_slots {
+            live[slot as usize] = false;
+        }
+        let mut victims: Vec<FinishPayload> = Vec::new();
+        for (slot, payload) in self.engine.finish_slab.iter_mut().enumerate() {
+            if live[slot]
+                && !payload.crashed
+                && payload.replicas.devices[..payload.replicas.len as usize].contains(&device)
+            {
+                payload.crashed = true;
+                victims.push(*payload);
+            }
+        }
+        for payload in victims {
+            if self.crash_attempt(payload, device, at)? {
+                // A rollback rewound the run: the remaining victims were
+                // discarded with the rest of the in-flight work.
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle one attempt lost to a crash at `at`. Returns whether the
+    /// handling rolled the run back to a checkpoint, in which case the
+    /// caller must stop processing further victims (they were rewound).
+    fn crash_attempt(
+        &mut self,
+        payload: FinishPayload,
+        device: usize,
+        at: Seconds,
+    ) -> Result<bool, RuntimeError> {
+        let FinishPayload {
+            task,
+            replicas,
+            start,
+            attempt,
+            work,
+            kind,
+            security,
+            measurement,
+            ..
+        } = payload;
+        if security.requires_enclave() {
+            // The attempt re-spreads over the surviving TEE pool (or
+            // parks until one re-arrives).
+            self.churn
+                .as_mut()
+                .expect("churn events exist only with churn state")
+                .stats
+                .respreads += 1;
+        }
+        if start >= at {
+            // Queued, not yet running: nothing executed, so this is a
+            // pure migration — same attempt number, no retry charged.
+            self.churn
+                .as_mut()
+                .expect("churn events exist only with churn state")
+                .stats
+                .migrations += 1;
+            if replicas.len == 1 && !self.security.active && !self.topology.active() {
+                self.migrate_single(
+                    task,
+                    work,
+                    kind,
+                    security,
+                    measurement,
+                    device,
+                    start,
+                    at,
+                    attempt,
+                )?;
+            } else {
+                // Replicated or cost-coupled (security / topology)
+                // placements re-plan from scratch: their estimates are
+                // not a pure per-device roofline.
+                self.start_attempt(
+                    task,
+                    work,
+                    kind,
+                    security,
+                    measurement,
+                    replicas.len as usize,
+                    at,
+                    attempt,
+                )?;
+            }
+            return Ok(false);
+        }
+        // Running: the partial execution is lost, charged against the
+        // retry budget like a detected corruption.
+        self.churn
+            .as_mut()
+            .expect("churn events exist only with churn state")
+            .stats
+            .wasted_work += at - start;
+        self.engine.stats.detected += 1;
+        if attempt < self.max_retries {
+            self.engine.stats.retries += 1;
+            self.start_attempt(
+                task,
+                work,
+                kind,
+                security,
+                measurement,
+                replicas.len as usize,
+                at,
+                attempt + 1,
+            )?;
+            return Ok(false);
+        }
+        let can_roll = self.resilience.as_ref().is_some_and(|r| {
+            r.interval.is_some() && r.stats.rollbacks < u64::from(r.config.max_rollbacks)
+        });
+        if can_roll {
+            self.rollback_to_checkpoint(task, at)?;
+            Ok(true)
+        } else {
+            self.engine.failed.push(task);
+            self.graph.fail(task)?;
+            Ok(false)
+        }
+    }
+
+    /// Re-plan one queued single-replica attempt off a crashed device via
+    /// [`Scheduler::migrate`]: "stay" is scored as what the attempt would
+    /// have cost on the lost device, the alternatives are the survivors,
+    /// and the configured hysteresis damps oscillation. When `migrate`
+    /// answers "stay" — there is nothing left to stay on — the policy's
+    /// best survivor is used instead.
+    #[allow(clippy::too_many_arguments)]
+    fn migrate_single(
+        &mut self,
+        task: TaskId,
+        work: Work,
+        kind: TaskKind,
+        security: SecurityLevel,
+        measurement: u64,
+        lost: usize,
+        planned_start: Seconds,
+        at: Seconds,
+        attempt: u32,
+    ) -> Result<(), RuntimeError> {
+        let stay_dur = self.devices[lost].spec.time_for(work, kind);
+        let stay = Estimate::new(
+            planned_start + stay_dur,
+            self.devices[lost].spec.busy_power * stay_dur,
+        );
+        let mut estimates: Vec<Estimate> = Vec::new();
+        let mut plans: Vec<(Seconds, Seconds)> = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
+        {
+            let avail = &self
+                .churn
+                .as_ref()
+                .expect("migration only under churn")
+                .available;
+            for (i, d) in self.devices.iter().enumerate() {
+                if !avail[i] {
+                    continue;
+                }
+                let start = at.max(d.busy_until());
+                let dur = d.spec.time_for(work, kind);
+                estimates.push(Estimate::new(start + dur, d.spec.busy_power * dur));
+                plans.push((start, dur));
+                candidates.push(i);
+            }
+        }
+        self.engine.sched_evals += estimates.len() as u64;
+        if estimates.is_empty() {
+            return self.defer_placement(task, work, kind, security, measurement, 1, at, attempt);
+        }
+        let policy = self.policy.sanitized();
+        let norm = if policy.needs_norm() {
+            ScoreNorm::from_estimates(&estimates)
+        } else {
+            ScoreNorm::IDENTITY
+        };
+        let hysteresis = self
+            .churn
+            .as_ref()
+            .expect("checked above")
+            .config
+            .hysteresis;
+        let pick = policy
+            .migrate(&stay, &estimates, &norm, hysteresis)
+            .unwrap_or_else(|| policy.place(&estimates).expect("estimates is non-empty"));
+        let (d, plan_start, plan_dur) = (candidates[pick], plans[pick].0, plans[pick].1);
+        let (s, f) = self.devices[d].execute_planned(plan_start, plan_dur);
+        if let Some(pools) = &mut self.pools {
+            pools.mark_dirty(d);
+        }
+        let golden = golden_value(task);
+        let faulty = self.rng.gen_range(0.0..1.0) < self.fault_probs[d];
+        let mut devices = [0usize; MAX_REPLICAS];
+        devices[0] = d;
+        let mut results = [ReplicaResult(0); MAX_REPLICAS];
+        results[0] = if faulty {
+            ReplicaResult(golden ^ (1 + self.rng.gen_range(0..u64::MAX - 1)))
+        } else {
+            ReplicaResult(golden)
+        };
+        self.engine.push_finish(
+            f,
+            FinishPayload {
+                task,
+                replicas: ReplicaSet {
+                    devices,
+                    results,
+                    len: 1,
+                },
+                start: s,
+                attempt,
+                work,
+                kind,
+                golden,
+                security,
+                measurement,
+                crashed: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Park a task whose eligible device set is (transiently) empty: it
+    /// stays claimed, a timeout event bounds the wait, and the next
+    /// arrival re-plans it. This degrades what would be an immediate
+    /// [`RuntimeError::NoSecurePlacement`] refusal on a fixed fleet into
+    /// a bounded wait for re-arrival.
+    #[allow(clippy::too_many_arguments)]
+    fn defer_placement(
+        &mut self,
+        task: TaskId,
+        work: Work,
+        kind: TaskKind,
+        security: SecurityLevel,
+        measurement: u64,
+        replicas: usize,
+        at: Seconds,
+        attempt: u32,
+    ) -> Result<(), RuntimeError> {
+        let seq = self.engine.next_seq();
+        let churn = self.churn.as_mut().expect("callers check for churn");
+        let deadline = at + churn.config.defer_window;
+        churn.deferred.push(DeferredTask {
+            task,
+            work,
+            kind,
+            security,
+            measurement,
+            replicas,
+            attempt,
+            deadline,
+        });
+        churn.ops.push(ChurnOp::DeferTimeout { task, deadline });
+        let slot = (churn.ops.len() - 1) as u32;
+        churn.stats.deferred_placements += 1;
+        self.engine.heap.push(Reverse(Event {
+            time: deadline,
+            seq,
+            kind: EventKind::Churn { op: slot },
+        }));
+        Ok(())
+    }
+
+    /// A device arrived: every parked task gets a fresh placement
+    /// attempt. A task that still finds nothing re-parks under a new
+    /// deadline, and its old timeout event no-ops (deadline mismatch).
+    fn redispatch_deferred(&mut self, at: Seconds) -> Result<(), RuntimeError> {
+        let parked = match &mut self.churn {
+            Some(churn) if !churn.deferred.is_empty() => std::mem::take(&mut churn.deferred),
+            _ => return Ok(()),
+        };
+        for dt in parked {
+            self.start_attempt(
+                dt.task,
+                dt.work,
+                dt.kind,
+                dt.security,
+                dt.measurement,
+                dt.replicas,
+                at,
+                dt.attempt,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// A parked task's bounded wait expired without a usable arrival:
+    /// graceful degradation ends here with the same semantics as the
+    /// placement refusals — fail the task, poison its cone, surface the
+    /// dedicated error.
+    fn handle_defer_timeout(
+        &mut self,
+        task: TaskId,
+        deadline: Seconds,
+    ) -> Result<(), RuntimeError> {
+        let churn = self
+            .churn
+            .as_mut()
+            .expect("churn events exist only with churn state");
+        let Some(pos) = churn
+            .deferred
+            .iter()
+            .position(|dt| dt.task == task && dt.deadline == deadline)
+        else {
+            // Re-dispatched by an arrival, re-parked under a fresh
+            // deadline, or rewound by a rollback: stale timeout, no-op.
+            return Ok(());
+        };
+        churn.deferred.remove(pos);
+        self.engine.failed.push(task);
+        self.graph.fail(task)?;
+        Err(RuntimeError::DeferralExpired(task))
     }
 }

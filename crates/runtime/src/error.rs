@@ -55,6 +55,15 @@ pub enum RuntimeError {
         /// Why it was rejected, including the offending value.
         reason: String,
     },
+    /// Device churn left a task with no eligible device, the placement
+    /// was deferred ([`ChurnConfig::defer_window`]) waiting for a
+    /// re-arrival, and the window elapsed with the fleet still unable
+    /// to host it. Like [`RuntimeError::NoSecurePlacement`], the task
+    /// is failed and its downstream cone poisoned before the error is
+    /// returned, so a follow-up run reports it in `failed`.
+    ///
+    /// [`ChurnConfig::defer_window`]: crate::churn::ChurnConfig::defer_window
+    DeferralExpired(TaskId),
 }
 
 impl RuntimeError {
@@ -100,6 +109,13 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            RuntimeError::DeferralExpired(task) => {
+                write!(
+                    f,
+                    "task {task} found no eligible device before its churn deferral \
+                     window expired"
+                )
             }
         }
     }
@@ -172,6 +188,13 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("refused"), "{s}");
         assert!(s.contains("region-race"), "{s}");
+    }
+
+    #[test]
+    fn display_deferral_expired() {
+        let e = RuntimeError::DeferralExpired(TaskId(9));
+        assert!(e.to_string().contains("T9"), "{e}");
+        assert!(e.to_string().contains("deferral"), "{e}");
     }
 
     #[test]

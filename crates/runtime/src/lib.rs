@@ -45,6 +45,14 @@
 //! plans. All pillars are configured through one builder,
 //! [`EngineConfig`].
 //!
+//! The fleet itself is malleable ([`churn`]): a seeded trace of device
+//! arrivals and departures replays into the engine's event order —
+//! planned departures drain (frontier checkpoint, zero wasted work),
+//! crashes fail running attempts into the retry/rollback machinery and
+//! migrate queued placements, and arrivals grow the pool/security
+//! structures incrementally while re-dispatching placements deferred
+//! for want of an eligible device.
+//!
 //! Before any of that runs, the static [`analyze`] layer can verify the
 //! submitted graph against the pillar configuration — region races,
 //! confidentiality-lattice violations, infeasible placements, unclosable
@@ -86,6 +94,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod churn;
 pub mod ckpt;
 pub mod config;
 pub mod elastic;
@@ -104,6 +113,7 @@ pub mod security;
 pub use analyze::{
     AnalysisConfig, AnalysisMode, AnalysisReport, Diagnostic, GraphLint, LintId, Severity,
 };
+pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnStats, ChurnTrace, DepartureKind};
 pub use config::EngineConfig;
 pub use energy::{EnergyConfig, EnergyObjective, EnergyStats};
 pub use error::RuntimeError;

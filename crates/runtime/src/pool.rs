@@ -179,6 +179,12 @@ pub(crate) struct DevicePools {
     /// fleet cycling four reference specs has four classes and hundreds
     /// of shards), so the per-task roofline runs once per class.
     class_of: Vec<usize>,
+    /// A representative device index per spec class, kept so arriving
+    /// devices ([`DevicePools::add_device`]) re-dedupe against the
+    /// existing classes instead of growing one class per arrival.
+    /// Departed representatives stay valid: devices are tombstoned, not
+    /// removed from the device vector.
+    class_rep: Vec<usize>,
     /// Whether a member's `busy_until` changed since `min_busy[s]` was
     /// computed.
     dirty: Vec<bool>,
@@ -284,6 +290,7 @@ impl DevicePools {
             shard_of,
             shard_pool,
             class_of,
+            class_rep: class_rep.clone(),
             dirty: vec![true; n],
             min_busy: vec![Seconds::ZERO; n],
             max_rate: vec![[0.0; 4]; classes],
@@ -330,6 +337,64 @@ impl DevicePools {
     /// Every cached minimum is stale (device reset, sweep execution).
     pub(crate) fn mark_all_dirty(&mut self) {
         self.dirty.iter_mut().for_each(|f| *f = true);
+    }
+
+    /// Grow the structures for an arriving device `d` (which must be the
+    /// next index, i.e. `devices` already holds it at the end): re-dedupe
+    /// its spec against the existing classes, join an existing
+    /// same-class shard of `pool` or open a new one, and dirty the
+    /// shard's cached availability minimum. `pool` wraps modulo the pool
+    /// count, so round-robin callers need no bounds handling.
+    pub(crate) fn add_device(&mut self, d: usize, devices: &[Device], pool: usize) {
+        debug_assert_eq!(d + 1, devices.len(), "arrivals append at the end");
+        let p = pool % self.pool_count;
+        self.pool_of.push(p);
+        let spec = &devices[d].spec;
+        let class = self
+            .class_rep
+            .iter()
+            .position(|&r| devices[r].spec == *spec)
+            .unwrap_or_else(|| {
+                self.class_rep.push(d);
+                let mut rates = [0.0; 4];
+                for &(kind, slot) in &KNOWN_KINDS {
+                    rates[slot] = spec.peak_flops * spec.kind.efficiency(kind);
+                }
+                self.max_rate.push(rates);
+                self.max_peak.push(spec.peak_flops);
+                self.max_bw.push(spec.mem_bandwidth.0);
+                self.min_power.push(spec.busy_power.0);
+                self.class_dur.push(Seconds::ZERO);
+                self.class_rep.len() - 1
+            });
+        // One shard per (pool, class) — matching the build-time split,
+        // where a pool never holds two shards of the same spec. Members
+        // stay ascending: the new device's index exceeds every existing
+        // one.
+        let s = (0..self.members.len())
+            .find(|&s| self.shard_pool[s] == p && self.class_of[s] == class)
+            .unwrap_or_else(|| {
+                self.members.push(Vec::new());
+                self.shard_pool.push(p);
+                self.class_of.push(class);
+                self.dirty.push(true);
+                self.min_busy.push(Seconds::ZERO);
+                self.lbs.push(0.0);
+                self.members.len() - 1
+            });
+        self.members[s].push(d);
+        self.shard_of.push(s);
+        self.dirty[s] = true;
+    }
+
+    /// Remove a departed device from its shard. The shard itself stays
+    /// (possibly empty — its refreshed availability minimum folds to
+    /// infinity, so the bound self-prunes), which keeps every stored
+    /// shard index valid.
+    pub(crate) fn remove_device(&mut self, d: usize) {
+        let s = self.shard_of[d];
+        self.members[s].retain(|&m| m != d);
+        self.dirty[s] = true;
     }
 
     /// Bound on a spec class's execution duration: the roofline against
@@ -631,6 +696,7 @@ mod tests {
             work,
             kind,
             ready_at,
+            None,
             None,
             None,
             None,

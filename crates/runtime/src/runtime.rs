@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::analyze::{self, AnalysisConfig, AnalysisContext, AnalysisReport, AnalysisState};
+use crate::churn::{ChurnState, ChurnStats};
 use crate::energy::{EnergyState, EnergyStats};
 use crate::engine::EngineState;
 use crate::error::RuntimeError;
@@ -138,6 +139,10 @@ pub struct RunReport {
     /// surface; in enforce mode a report that reaches a `RunReport` is
     /// warning-only by construction (errors refuse the run).
     pub analysis: Option<AnalysisReport>,
+    /// Malleability counters; `Some` exactly when the runtime was built
+    /// with a [`ChurnConfig`](crate::churn::ChurnConfig)
+    /// ([`EngineConfig::with_churn`](crate::config::EngineConfig::with_churn)).
+    pub churn: Option<ChurnStats>,
 }
 
 impl RunReport {
@@ -170,6 +175,9 @@ pub struct Runtime {
     /// Static analysis configuration and memoized report; `None` =
     /// analysis off.
     pub(crate) analysis: Option<AnalysisState>,
+    /// Churn trace, live masks and deferred placements; `None` = the
+    /// fleet is fixed for the runtime's lifetime.
+    pub(crate) churn: Option<ChurnState>,
 }
 
 impl Runtime {
@@ -196,6 +204,7 @@ impl Runtime {
             pools: None,
             topology: TopologyState::default(),
             analysis: None,
+            churn: None,
         }
     }
 
@@ -215,9 +224,27 @@ impl Runtime {
                 &default_config
             }
         };
+        // Under churn, lint against the devices that are actually
+        // available now, not the build-time fleet (satellite of the
+        // placement-feasibility staleness fix). Churn is rare enough
+        // that the clone is acceptable.
+        let surviving;
+        let devices: &[Device] = match &self.churn {
+            Some(churn) if churn.available.iter().any(|&a| !a) => {
+                surviving = self
+                    .devices
+                    .iter()
+                    .zip(&churn.available)
+                    .filter(|(_, &a)| a)
+                    .map(|(d, _)| d.clone())
+                    .collect::<Vec<_>>();
+                &surviving
+            }
+            _ => &self.devices,
+        };
         let cx = AnalysisContext {
             graph: &self.graph,
-            devices: &self.devices,
+            devices,
             objective: self.energy.objective,
             resilience: self.resilience.as_ref().map(|r| &r.config),
         };
@@ -500,6 +527,15 @@ impl Runtime {
                  energy-objective workloads",
             ));
         }
+        if self.churn.is_some() {
+            // The sweep has no event order to merge churn into; it would
+            // silently run on the build-time fleet.
+            return Err(RuntimeError::invalid_parameter(
+                "churn",
+                "the topological sweep ignores device churn; use run() for \
+                 malleable fleets",
+            ));
+        }
         // The sweep executes every outstanding task itself; any ready
         // events the engine queued for them would be stale no-ops.
         self.engine.clear_events();
@@ -629,8 +665,10 @@ impl Runtime {
                 .energy
                 .active
                 .then(|| self.energy.stats(busy_energy, idle_energy, makespan)),
-            // Likewise: the sweep never runs the analyzer.
+            // Likewise: the sweep never runs the analyzer, and churn is
+            // refused above.
             analysis: None,
+            churn: None,
         })
     }
 

@@ -111,6 +111,11 @@ impl Policy {
     /// the chosen plans are handed back so the caller can commit them
     /// with [`Device::execute_planned`] — no re-evaluation anywhere.
     ///
+    /// `avail` carries the churn layer's availability mask when the
+    /// fleet is malleable: a departed or draining device is excluded
+    /// from the candidate set entirely. `None` (a fixed fleet) is the
+    /// exact pre-churn arithmetic.
+    ///
     /// `security` carries the per-device security plan of a confidential
     /// task (or of a task reading sealed regions): an ineligible device
     /// (enclave-only task, no TEE) is excluded from the candidate set
@@ -146,6 +151,7 @@ impl Policy {
         work: Work,
         kind: TaskKind,
         ready_at: Seconds,
+        avail: Option<&[bool]>,
         security: Option<&crate::security::SecurePlan>,
         topo: Option<(&[Seconds], &[usize])>,
         energy: Option<&mut crate::energy::EnergyState>,
@@ -159,6 +165,9 @@ impl Policy {
         plans.clear();
         candidates.clear();
         for (i, d) in devices.iter().enumerate() {
+            if avail.is_some_and(|a| !a[i]) {
+                continue; // departed or draining: never a candidate
+            }
             let mut extra = match security {
                 None => Seconds::ZERO,
                 Some(plan) => match plan.extra(i) {

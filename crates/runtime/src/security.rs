@@ -215,6 +215,11 @@ pub(crate) struct SecurityState {
     platforms: Vec<Option<Platform>>,
     /// `(device, measurement)` → enclave hosting that code image.
     enclaves: HashMap<(usize, u64), EnclaveId>,
+    /// Measurement → code image, for every task type that has run
+    /// through [`SecurityState::ensure_enclaves`]. A device that arrives
+    /// mid-run (churn) replays these so deferred or re-spread enclave
+    /// tasks can commit to it without the task name in hand.
+    codes: HashMap<u64, Vec<u8>>,
     /// Verifier-side attestation cache (one attestation per
     /// (enclave, device) pair).
     quotes: QuoteCache,
@@ -239,6 +244,7 @@ impl Default for SecurityState {
             active: false,
             platforms: Vec::new(),
             enclaves: HashMap::new(),
+            codes: HashMap::new(),
             quotes: QuoteCache::new(),
             producers: HashMap::new(),
             sealed_regions: HashSet::new(),
@@ -271,9 +277,57 @@ impl SecurityState {
             .collect();
     }
 
-    /// Number of devices that can host enclave-only tasks.
-    pub(crate) fn tee_device_count(devices: &[Device]) -> usize {
-        devices.iter().filter(|d| d.spec.tee.has_enclave()).count()
+    /// Number of devices that can host enclave-only tasks, restricted to
+    /// the churn layer's availability mask: a departed or draining TEE
+    /// device no longer counts toward the secure pool. `None` is the
+    /// fixed-fleet arithmetic.
+    pub(crate) fn tee_device_count_available(devices: &[Device], avail: Option<&[bool]>) -> usize {
+        devices
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| avail.is_none_or(|a| a[*i]) && d.spec.tee.has_enclave())
+            .count()
+    }
+
+    /// Grow the per-device platform table for a device that arrived
+    /// mid-run (churn), and replay every known code image onto it so
+    /// already-analysed enclave tasks (deferred placements, crash
+    /// re-spreads) can commit to the newcomer — their `ensure_enclaves`
+    /// pass ran before this device existed, and at re-dispatch time only
+    /// the measurement survives, not the task name. While the layer is
+    /// inactive this is a no-op: [`SecurityState::activate`] builds the
+    /// table from the full device list when the first non-public task is
+    /// submitted.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Security`] when the new platform refuses an
+    /// enclave (64-enclave limit).
+    pub(crate) fn device_arrived(&mut self, device: &Device) -> Result<(), RuntimeError> {
+        if !self.active {
+            return Ok(());
+        }
+        let d = self.platforms.len();
+        self.platforms.push(device.spec.tee.has_enclave().then(|| {
+            Platform::new(
+                platform_key(device.id.0),
+                device.spec.tee.execution_mode() == ExecutionMode::SecureHardware,
+            )
+        }));
+        if let Some(platform) = &mut self.platforms[d] {
+            // Sorted by measurement: enclave ids are allocated in
+            // creation order, and churn replays must stay bit-identical
+            // across runs of the same seed.
+            let mut measured: Vec<(&u64, &Vec<u8>)> = self.codes.iter().collect();
+            measured.sort_by_key(|&(&m, _)| m);
+            for (&m, code) in measured {
+                let id = platform
+                    .create_enclave(code)
+                    .map_err(|e| RuntimeError::Security(e.to_string()))?;
+                self.enclaves.insert((d, m), id);
+            }
+        }
+        Ok(())
     }
 
     /// Ensure every TEE device hosts an enclave for `code` (the task-type
@@ -285,6 +339,7 @@ impl SecurityState {
     /// (64-enclave limit).
     pub(crate) fn ensure_enclaves(&mut self, code: &[u8]) -> Result<u64, RuntimeError> {
         let m = measure(code);
+        self.codes.entry(m).or_insert_with(|| code.to_vec());
         for (d, platform) in self.platforms.iter_mut().enumerate() {
             let Some(platform) = platform else { continue };
             if let std::collections::hash_map::Entry::Vacant(slot) = self.enclaves.entry((d, m)) {

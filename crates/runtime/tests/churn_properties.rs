@@ -1,0 +1,206 @@
+//! Chaos properties pinning the malleability (churn) layer.
+//!
+//! Three contracts:
+//!
+//! * **Zero churn costs zero** — a runtime built with churn armed but an
+//!   empty trace produces a *bit-identical* report (schedule, energy,
+//!   stats, rollback trace) to a runtime that never heard of churn. The
+//!   malleability layer is pay-for-what-you-use.
+//! * **Determinism under churn** — the same seed (engine and trace alike)
+//!   replays the same fleet changes against the same schedule:
+//!   bit-identical reports and rollback traces, crashes included.
+//! * **Completion or clean refusal** — whatever the trace does to the
+//!   fleet, the run loop terminates, every error is a typed refusal
+//!   (an expired deferral), and the final report accounts for each
+//!   submitted task at most once — never both placed and failed.
+
+use std::collections::HashMap;
+
+use legato_core::requirements::{Criticality, Requirements};
+use legato_core::task::{AccessMode, RegionId, TaskDescriptor, Work};
+use legato_core::units::{Bytes, Seconds};
+use legato_hw::device::DeviceSpec;
+use legato_runtime::{
+    ChurnConfig, ChurnTrace, EngineConfig, Policy, ResilienceConfig, Runtime, RuntimeError,
+};
+use proptest::prelude::*;
+
+/// Chains → tasks → (flops, criticality selector).
+type ChainSpec = Vec<Vec<(f64, u8)>>;
+
+fn chains_strategy() -> impl Strategy<Value = ChainSpec> {
+    prop::collection::vec(prop::collection::vec((5e11f64..4e12, 0u8..3), 1..8), 1..6)
+}
+
+fn devices() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::xeon_x86(),
+        DeviceSpec::gtx1080(),
+        DeviceSpec::fpga_kintex(),
+    ]
+}
+
+fn criticality(sel: u8) -> Criticality {
+    match sel {
+        0 => Criticality::Normal,
+        1 => Criticality::High,
+        _ => Criticality::Critical,
+    }
+}
+
+fn submit_wave(rt: &mut Runtime, chains: &ChainSpec) {
+    for (c, chain) in chains.iter().enumerate() {
+        for &(flops, crit) in chain {
+            rt.submit(
+                TaskDescriptor::named("t")
+                    .with_work(Work::flops(flops))
+                    .with_requirements(Requirements::new().with_criticality(criticality(crit))),
+                [(c as u64, AccessMode::InOut)],
+            );
+        }
+    }
+}
+
+fn sizes(chains: &ChainSpec) -> HashMap<RegionId, Bytes> {
+    (0..chains.len() as u64)
+        .map(|c| (RegionId(c), Bytes::mib(16)))
+        .collect()
+}
+
+fn runtime(seed: u64, resilient: bool, churn: Option<ChurnConfig>, chains: &ChainSpec) -> Runtime {
+    let mut cfg = EngineConfig::new()
+        .with_devices(devices())
+        .with_policy(Policy::Weighted(0.5))
+        .with_seed(seed)
+        .with_max_retries(1);
+    if resilient {
+        cfg = cfg.with_resilience(
+            ResilienceConfig::new(Seconds(5.0))
+                .with_region_sizes(sizes(chains))
+                .with_max_rollbacks(10_000),
+        );
+    }
+    if let Some(churn) = churn {
+        cfg = cfg.with_churn(churn);
+    }
+    let mut rt = cfg.build().expect("valid engine config");
+    rt.set_fault_prob(1, 0.4);
+    rt
+}
+
+/// Drive `run()` to quiescence, tolerating per-task churn refusals: an
+/// expired deferral fails one task and poisons its cone, after which the
+/// rest of the graph keeps executing.
+fn run_to_quiescence(rt: &mut Runtime) -> (legato_runtime::RunReport, Vec<u64>) {
+    let mut refused = Vec::new();
+    loop {
+        match rt.run() {
+            Ok(report) => return (report, refused),
+            Err(RuntimeError::DeferralExpired(task)) => refused.push(task.0),
+            Err(e) => panic!("only deferral expiry is a legal churn refusal, got {e}"),
+        }
+    }
+}
+
+proptest! {
+    /// Churn armed with an empty trace is bit-identical to no churn at
+    /// all: same placements, makespan, energy, stats and rollback trace,
+    /// and the churn stats stay all-zero.
+    #[test]
+    fn zero_churn_runs_are_bit_identical_to_churn_free_runs(
+        chains in chains_strategy(),
+        seed in 0u64..300,
+        resilient in any::<bool>(),
+    ) {
+        let mut plain = runtime(seed, resilient, None, &chains);
+        submit_wave(&mut plain, &chains);
+        let plain_report = plain.run().expect("devices present");
+
+        let churn = ChurnConfig::new(ChurnTrace::new());
+        let mut armed = runtime(seed, resilient, Some(churn), &chains);
+        submit_wave(&mut armed, &chains);
+        let mut armed_report = armed.run().expect("devices present");
+
+        let churn_stats = armed_report.churn.take().expect("churn was configured");
+        prop_assert_eq!(churn_stats, Default::default());
+        prop_assert_eq!(&armed_report, &plain_report);
+        prop_assert_eq!(armed.rollback_trace(), plain.rollback_trace());
+    }
+
+    /// Equal seeds replay equal fleets: seeded churn traces (arrivals,
+    /// drains and crashes alike) over random graphs yield bit-identical
+    /// reports, refusal lists and rollback traces.
+    #[test]
+    fn equal_seeds_yield_bit_identical_churn_runs(
+        chains in chains_strategy(),
+        seed in 0u64..300,
+        trace_seed in 0u64..300,
+        events in 0usize..8,
+        crash_fraction in 0.0f64..1.0,
+        resilient in any::<bool>(),
+    ) {
+        let run = |()| {
+            let trace = ChurnTrace::seeded(
+                trace_seed,
+                devices().len(),
+                Seconds(60.0),
+                events,
+                &devices(),
+                crash_fraction,
+            );
+            let mut rt = runtime(seed, resilient, Some(ChurnConfig::new(trace)), &chains);
+            submit_wave(&mut rt, &chains);
+            let (report, refused) = run_to_quiescence(&mut rt);
+            (report, refused, rt.rollback_trace().to_vec())
+        };
+        let (a, refused_a, trace_a) = run(());
+        let (b, refused_b, trace_b) = run(());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(refused_a, refused_b);
+        prop_assert_eq!(trace_a, trace_b);
+    }
+
+    /// Whatever the churn does, the run terminates and the books
+    /// balance: placements are strictly sorted, each task is placed or
+    /// failed at most once (never both), and together they never exceed
+    /// the submitted graph.
+    #[test]
+    fn churn_runs_complete_or_refuse_cleanly(
+        chains in chains_strategy(),
+        seed in 0u64..300,
+        trace_seed in 0u64..300,
+        events in 0usize..8,
+        crash_fraction in 0.0f64..1.0,
+        resilient in any::<bool>(),
+    ) {
+        let trace = ChurnTrace::seeded(
+            trace_seed,
+            devices().len(),
+            Seconds(60.0),
+            events,
+            &devices(),
+            crash_fraction,
+        );
+        let mut rt = runtime(seed, resilient, Some(ChurnConfig::new(trace)), &chains);
+        submit_wave(&mut rt, &chains);
+        let (report, refused) = run_to_quiescence(&mut rt);
+
+        let total: usize = chains.iter().map(Vec::len).sum();
+        for pair in report.placements.windows(2) {
+            prop_assert!(pair[0].task < pair[1].task, "placements sorted by task");
+        }
+        for f in &report.failed {
+            prop_assert!(
+                report.placements.iter().all(|p| p.task != *f),
+                "task {} both placed and failed", f
+            );
+        }
+        prop_assert!(report.placements.len() + report.failed.len() <= total);
+        // Every typed refusal surfaced by the loop names a failed task.
+        for t in &refused {
+            prop_assert!(report.failed.iter().any(|f| f.0 == *t));
+        }
+        let stats = report.churn.expect("churn was configured");
+        prop_assert!(stats.crashes <= stats.departures);
+    }
+}
