@@ -14,3 +14,4 @@ pub mod ml;
 pub mod resilience;
 pub mod secure;
 pub mod secure_offload;
+pub mod service;

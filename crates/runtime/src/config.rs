@@ -128,10 +128,13 @@ impl EngineConfig {
     /// Shard the device fleet into pools for sub-linear placement (see
     /// [`pool`](crate::pool)). Membership is validated against the
     /// device list at [`EngineConfig::build`]. With a pool
-    /// configuration, scale-free placements (`Performance`, `Energy`,
-    /// `Edp`; no active security plan, no Pareto objective) run the
+    /// configuration, every policy placement — `Performance`, `Energy`,
+    /// `Edp` and `Weighted` (whose global min-max normalization is
+    /// reconstructed exactly from per-shard busy extrema) — runs the
     /// bound-and-prune sharded search — bit-identical selections to
-    /// the flat scan, at a fraction of the per-task evaluations.
+    /// the flat scan, at a fraction of the per-task evaluations. Only
+    /// an active security plan or a Pareto energy objective falls back
+    /// to the flat scan.
     pub fn with_pools(mut self, config: PoolConfig) -> Self {
         self.pools = Some(config);
         self

@@ -980,19 +980,17 @@ impl Runtime {
         // committed as-is — the roofline model runs once per candidate,
         // nowhere else.
         //
-        // With a pool configuration, scale-free placements route
-        // through the sharded bound-and-prune search instead of the
-        // flat O(D) scan — same selection, same plans (proptest-pinned
-        // in `tests/pool_equivalence.rs`). A `Weighted` policy (global
-        // min-max normalization), an active security plan (per-task
-        // device exclusions) or a Pareto energy objective (replaces the
-        // scoring) fall back to the flat path, where the topology
-        // extras still apply.
+        // With a pool configuration, policy placements — including
+        // `Weighted`, whose global min-max normalization the sharded
+        // search reconstructs exactly from per-shard busy extrema —
+        // route through the bound-and-prune search instead of the flat
+        // O(D) scan: same selection, same plans (proptest-pinned in
+        // `tests/pool_equivalence.rs`). An active security plan
+        // (per-task device exclusions) or a Pareto energy objective
+        // (replaces the scoring) fall back to the flat path, where the
+        // topology extras still apply.
         let mut planned = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
-        let use_pools = self.pools.is_some()
-            && !needs_sec
-            && self.energy.objective.is_none()
-            && !crate::sched::Scheduler::needs_norm(&self.policy);
+        let use_pools = self.pools.is_some() && !needs_sec && self.energy.objective.is_none();
         let k = if use_pools {
             let extras = topo_active.then_some(self.topology.pool_extras.as_slice());
             let (k, evaluated) = self.pools.as_mut().expect("checked above").plan_k(
@@ -1351,6 +1349,7 @@ impl Runtime {
         churn.departed_at.push(None);
         churn.epoch += 1;
         churn.stats.arrivals += 1;
+        churn.grow_elastic_width();
         self.redispatch_deferred(at)
     }
 
@@ -1400,6 +1399,7 @@ impl Runtime {
         churn.available[device] = false;
         churn.epoch += 1;
         churn.stats.departures += 1;
+        churn.refit_elastic_width();
         churn.ops.push(ChurnOp::DrainComplete { device });
         let slot = (churn.ops.len() - 1) as u32;
         self.engine.heap.push(Reverse(Event {
@@ -1456,6 +1456,7 @@ impl Runtime {
             churn.epoch += 1;
             churn.stats.departures += 1;
             churn.stats.crashes += 1;
+            churn.refit_elastic_width();
         }
         // Tombstone every victim first — their queued finish events
         // no-op, and replacements pushed below reuse only slots that

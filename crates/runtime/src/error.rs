@@ -64,6 +64,20 @@ pub enum RuntimeError {
     ///
     /// [`ChurnConfig::defer_window`]: crate::churn::ChurnConfig::defer_window
     DeferralExpired(TaskId),
+    /// A tenant's submission was refused by the service admission gate:
+    /// accepting it would push the tenant's queued-but-uncompleted task
+    /// count past its configured budget
+    /// ([`TenantSpec::with_budget`](crate::service::TenantSpec::with_budget)).
+    /// Backpressure, not failure — nothing is enqueued, the session
+    /// stays consistent, and the caller retries after draining.
+    AdmissionRejected {
+        /// The tenant whose budget is exhausted.
+        tenant: u32,
+        /// Tasks already admitted and not yet completed.
+        queued: usize,
+        /// The tenant's queued-task budget.
+        budget: usize,
+    },
 }
 
 impl RuntimeError {
@@ -115,6 +129,17 @@ impl fmt::Display for RuntimeError {
                     f,
                     "task {task} found no eligible device before its churn deferral \
                      window expired"
+                )
+            }
+            RuntimeError::AdmissionRejected {
+                tenant,
+                queued,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} rejected by admission control: {queued} tasks \
+                     queued against a budget of {budget}"
                 )
             }
         }
@@ -195,6 +220,18 @@ mod tests {
         let e = RuntimeError::DeferralExpired(TaskId(9));
         assert!(e.to_string().contains("T9"), "{e}");
         assert!(e.to_string().contains("deferral"), "{e}");
+    }
+
+    #[test]
+    fn display_admission_rejected() {
+        let e = RuntimeError::AdmissionRejected {
+            tenant: 4,
+            queued: 128,
+            budget: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tenant 4"), "{s}");
+        assert!(s.contains("budget of 128"), "{s}");
     }
 
     #[test]

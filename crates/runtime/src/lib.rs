@@ -109,6 +109,7 @@ pub mod runtime;
 pub mod sched;
 pub mod scheduler;
 pub mod security;
+pub mod service;
 
 pub use analyze::{
     AnalysisConfig, AnalysisMode, AnalysisReport, Diagnostic, GraphLint, LintId, Severity,
@@ -119,8 +120,9 @@ pub use energy::{EnergyConfig, EnergyObjective, EnergyStats};
 pub use error::RuntimeError;
 pub use pool::{PoolConfig, TopologyConfig};
 pub use replication::MAX_REPLICAS;
-pub use resilience::{ResilienceConfig, ResilienceStats, RollbackEvent};
+pub use resilience::{ResilienceConfig, ResilienceStats, RollbackEvent, SessionCheckpoint};
 pub use runtime::{ReplicaDevices, RunReport, Runtime, TaskOutcome};
 pub use sched::{Estimate, Scheduler, ScoreNorm};
 pub use scheduler::Policy;
 pub use security::{SecurityConfig, SecurityStats};
+pub use service::{Service, ServiceConfig, TenantId, TenantReport, TenantSpec};

@@ -37,12 +37,19 @@
 //! selected set, order and committed plans are bit-identical to the
 //! flat O(D) scan (proptest-pinned in `tests/pool_equivalence.rs`).
 //!
-//! The pooled path covers the scale-free policies
-//! ([`Policy::Performance`], [`Policy::Energy`], [`Policy::Edp`]) with
-//! no active security plan and no Pareto energy objective; the engine
-//! falls back to the flat scan otherwise (a `Weighted` policy needs a
-//! global min-max over all candidates, a security plan excludes
-//! devices per task, and a Pareto objective replaces the scoring).
+//! The pooled path covers every [`Policy`], including
+//! [`Policy::Weighted`]: the global min-max normalization a weighted
+//! score needs is derived **exactly** in O(shards) rather than O(D) —
+//! a shard's members share one spec, so their durations and energies
+//! coincide and only the queue delay varies, which means the shard's
+//! extreme finish times are `ready.max(min_busy) + dur` and
+//! `ready.max(max_busy) + dur` over its cached busy horizons. Folding
+//! those per-shard extremes reproduces, bit for bit, the
+//! [`ScoreNorm::from_estimates`] context the flat scan would have
+//! computed from all candidates (f64 min/max folds are
+//! order-independent). The engine falls back to the flat scan only
+//! when a security plan excludes devices per task or a Pareto energy
+//! objective replaces the scoring.
 //!
 //! The same pool structure carries the **topology cost model**
 //! ([`TopologyConfig`]): the pool that produced a region is tracked as
@@ -190,6 +197,11 @@ pub(crate) struct DevicePools {
     dirty: Vec<bool>,
     /// Cached `min(busy_until)` over the shard's members.
     min_busy: Vec<Seconds>,
+    /// Cached `max(busy_until)` over the shard's members — the other
+    /// extreme of the shard's finish-time range, which is all a
+    /// homogeneous shard contributes to the global min-max
+    /// normalization scale-dependent policies (`Weighted`) score under.
+    max_busy: Vec<Seconds>,
     /// Effective compute rate (`peak_flops · efficiency`) per spec
     /// class per known task kind.
     max_rate: Vec<[f64; 4]>,
@@ -293,6 +305,7 @@ impl DevicePools {
             class_rep: class_rep.clone(),
             dirty: vec![true; n],
             min_busy: vec![Seconds::ZERO; n],
+            max_busy: vec![Seconds::ZERO; n],
             max_rate: vec![[0.0; 4]; classes],
             max_peak: vec![0.0; classes],
             max_bw: vec![0.0; classes],
@@ -379,6 +392,7 @@ impl DevicePools {
                 self.class_of.push(class);
                 self.dirty.push(true);
                 self.min_busy.push(Seconds::ZERO);
+                self.max_busy.push(Seconds::ZERO);
                 self.lbs.push(0.0);
                 self.members.len() - 1
             });
@@ -443,22 +457,22 @@ impl DevicePools {
         out: &mut [(usize, Seconds, Seconds)],
     ) -> (usize, u64) {
         let policy = policy.sanitized();
-        debug_assert!(
-            !policy.needs_norm(),
-            "the pooled path is for scale-free policies only"
-        );
         let want = out.len().min(devices.len()).min(MAX_REPLICAS);
         if want == 0 {
             return (0, 0);
         }
         let n = self.members.len();
-        // Refresh stale availability minima (O(shard) per dirty shard).
+        // Refresh stale availability extrema (O(shard) per dirty shard).
         for s in 0..n {
             if self.dirty[s] {
                 self.min_busy[s] = self.members[s]
                     .iter()
                     .map(|&d| devices[d].busy_until())
                     .fold(Seconds(f64::INFINITY), Seconds::min);
+                self.max_busy[s] = self.members[s]
+                    .iter()
+                    .map(|&d| devices[d].busy_until())
+                    .fold(Seconds(f64::NEG_INFINITY), Seconds::max);
                 self.dirty[s] = false;
             }
         }
@@ -467,6 +481,37 @@ impl DevicePools {
         for c in 0..self.class_dur.len() {
             self.class_dur[c] = self.class_duration(c, work, kind);
         }
+        // Scale-dependent policies (`Weighted`) score under the min-max
+        // normalization of the full candidate set. Each shard is
+        // spec-homogeneous: every member shares one duration and one
+        // energy, so the shard's candidates span exactly
+        // [ready.max(min_busy)+dur, ready.max(max_busy)+dur] in time and
+        // a single point in energy. Folding those per-shard extremes
+        // over the non-empty shards is bit-identical to the flat path's
+        // fold over per-device estimates (f64 min/max folds are
+        // order-independent, and empty shards contribute no flat
+        // candidate either). Note `class_duration` equals
+        // `DeviceSpec::time_for` for every kind in `KNOWN_KINDS`, which
+        // covers the whole (non-exhaustive) enum today.
+        let norm = if policy.needs_norm() {
+            let (mut t_lo, mut t_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut e_lo, mut e_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for s in 0..n {
+                if self.members[s].is_empty() {
+                    continue;
+                }
+                let extra = extras.map_or(Seconds::ZERO, |e| e[self.shard_pool[s]]);
+                let dur = self.class_dur[self.class_of[s]] + extra;
+                let energy = (legato_core::units::Watt(self.min_power[self.class_of[s]]) * dur).0;
+                t_lo = t_lo.min((ready_at.max(self.min_busy[s]) + dur).0);
+                t_hi = t_hi.max((ready_at.max(self.max_busy[s]) + dur).0);
+                e_lo = e_lo.min(energy);
+                e_hi = e_hi.max(energy);
+            }
+            ScoreNorm::from_bounds(t_lo, t_hi, e_lo, e_hi)
+        } else {
+            ScoreNorm::IDENTITY
+        };
         // Score bound per shard — exactly the score of the shard's
         // least-busy member (one spec per shard; the topology extra is
         // pool-uniform). Track the best-bounded shard to seed the scan:
@@ -484,7 +529,11 @@ impl DevicePools {
                 ready_at.max(self.min_busy[s]) + dur,
                 legato_core::units::Watt(self.min_power[c]) * dur,
             );
-            self.lbs[s] = policy.score(&est, &ScoreNorm::IDENTITY);
+            // Under `norm` the bound stays exact: normalization is
+            // monotone non-decreasing in each dimension and the shard's
+            // energy is a single point, so the least-busy member still
+            // realizes the shard's minimum score.
+            self.lbs[s] = policy.score(&est, &norm);
             if self.lbs[s] < self.lbs[seed] {
                 seed = s;
             }
@@ -511,7 +560,7 @@ impl DevicePools {
                 let start = ready_at.max(dev.busy_until());
                 let dur = dev.spec.time_for(work, kind) + extra;
                 let est = Estimate::new(start + dur, dev.spec.busy_power * dur);
-                let score = policy.score(&est, &ScoreNorm::IDENTITY);
+                let score = policy.score(&est, &norm);
                 evaluated += 1;
                 let mut pos = filled.min(want);
                 while pos > 0 {
@@ -747,7 +796,12 @@ mod tests {
     fn pooled_matches_flat_on_fresh_fleet() {
         let devices = fleet(16);
         let mut pools = DevicePools::new(PoolConfig::uniform(16, 4), &devices).expect("valid");
-        for policy in [Policy::Performance, Policy::Energy, Policy::Edp] {
+        for policy in [
+            Policy::Performance,
+            Policy::Energy,
+            Policy::Edp,
+            Policy::Weighted(0.3),
+        ] {
             for k in 1..=3usize {
                 let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
                 let (filled, _) = pools.plan_k(
@@ -787,7 +841,12 @@ mod tests {
             }
         }
         let mut pools = DevicePools::new(PoolConfig::uniform(12, 3), &devices).expect("valid");
-        for policy in [Policy::Performance, Policy::Energy, Policy::Edp] {
+        for policy in [
+            Policy::Performance,
+            Policy::Energy,
+            Policy::Edp,
+            Policy::Weighted(0.7),
+        ] {
             let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
             let (filled, _) = pools.plan_k(
                 policy,
@@ -829,6 +888,86 @@ mod tests {
         );
         assert_eq!(filled, 3);
         assert_eq!([out[0].0, out[1].0, out[2].0], [0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_matches_flat_across_weights() {
+        // The weighted score reads the global min-max normalization; the
+        // pooled path reconstructs it from per-shard busy extrema. Every
+        // weight must reproduce the flat scan's selection bit for bit,
+        // busy timelines included.
+        let mut devices = fleet(12);
+        for (i, d) in devices.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                d.execute(
+                    Seconds::ZERO,
+                    Work::flops(1e12 * (1.0 + i as f64)),
+                    TaskKind::Compute,
+                );
+            }
+        }
+        let mut pools = DevicePools::new(PoolConfig::uniform(12, 4), &devices).expect("valid");
+        for w in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for k in 1..=3usize {
+                let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); MAX_REPLICAS];
+                let (filled, _) = pools.plan_k(
+                    Policy::Weighted(w),
+                    &devices,
+                    Work::new(3e12, Bytes::mib(512)),
+                    TaskKind::Compute,
+                    Seconds(1.0),
+                    None,
+                    &mut out[..k],
+                );
+                let flat = flat_plan(
+                    Policy::Weighted(w),
+                    &devices,
+                    Work::new(3e12, Bytes::mib(512)),
+                    TaskKind::Compute,
+                    Seconds(1.0),
+                    k,
+                );
+                assert_eq!(filled, flat.len(), "w={w} k={k}");
+                assert_eq!(&out[..filled], flat.as_slice(), "w={w} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_pruning_skips_strictly_worse_pools() {
+        // A time-leaning weighted run over one fast pool and many slow
+        // pools: the normalized ARM bounds stay strictly worse than the
+        // two GPU scores, so everything but the fast pool is pruned —
+        // Weighted no longer pays the flat O(fleet) scan.
+        let mut specs = vec![DeviceSpec::gtx1080(), DeviceSpec::gtx1080()];
+        for _ in 0..31 {
+            specs.push(DeviceSpec::arm64());
+            specs.push(DeviceSpec::arm64());
+        }
+        let devices: Vec<Device> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Device::new(DeviceId(i as u64), s))
+            .collect();
+        let mut pools =
+            DevicePools::new(PoolConfig::uniform(devices.len(), 2), &devices).expect("valid");
+        let mut out = [(0usize, Seconds::ZERO, Seconds::ZERO); 2];
+        let (filled, evaluated) = pools.plan_k(
+            Policy::Weighted(0.0),
+            &devices,
+            Work::flops(1e12),
+            TaskKind::Inference,
+            Seconds::ZERO,
+            None,
+            &mut out,
+        );
+        assert_eq!(filled, 2);
+        assert_eq!([out[0].0, out[1].0], [0, 1]);
+        assert!(
+            evaluated < devices.len() as u64 / 2,
+            "weighted pooled search must prune: evaluated {evaluated} of {}",
+            devices.len()
+        );
     }
 
     #[test]

@@ -117,6 +117,67 @@ impl ResilienceConfig {
     }
 }
 
+/// The sealed frontier of one tenant session in the service layer
+/// ([`Service`](crate::service::Service)): which session-local tasks the
+/// last seal covers, how many bytes it wrote, and the cumulative FTI
+/// write cost. A restart resumes the session from exactly this record —
+/// sealed tasks are never re-executed, everything else is re-queued.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Session-local indices of every task the seal covers, in seal
+    /// order.
+    pub completed: Vec<u64>,
+    /// Task-aware bytes written across all seals of this session.
+    pub bytes: Bytes,
+    /// Cumulative checkpoint write cost ([`legato_fti::checkpoint_cost`]
+    /// on the store's tier and strategy).
+    pub seal_cost: Seconds,
+}
+
+/// Per-tenant checkpoint namespaces for the service layer: each session
+/// seals its own completed frontier independently through the same FTI
+/// cost model the engine's whole-run checkpoints use, so one tenant's
+/// seal cadence never couples to another's. Keyed by tenant id.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    fti: FtiConfig,
+    tier: StorageTier,
+    strategy: Strategy,
+    sessions: HashMap<u32, SessionCheckpoint>,
+}
+
+impl SessionStore {
+    /// A store writing seals to `tier` with the given strategy.
+    #[must_use]
+    pub fn new(tier: StorageTier, strategy: Strategy) -> Self {
+        SessionStore {
+            fti: FtiConfig::default(),
+            tier,
+            strategy,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Seal `completed` (session-local task indices, newly completed
+    /// since the last seal) with `bytes` of frontier volume into
+    /// `tenant`'s namespace; returns the priced write cost of this seal.
+    pub fn seal(&mut self, tenant: u32, completed: &[u64], bytes: Bytes) -> Seconds {
+        let cost = checkpoint_cost(&self.fti, &self.tier, self.strategy, bytes);
+        let session = self.sessions.entry(tenant).or_default();
+        session.completed.extend_from_slice(completed);
+        session.bytes += bytes;
+        session.seal_cost += cost;
+        cost
+    }
+
+    /// The session's cumulative checkpoint record; `None` before its
+    /// first seal.
+    #[must_use]
+    pub fn session(&self, tenant: u32) -> Option<&SessionCheckpoint> {
+        self.sessions.get(&tenant)
+    }
+}
+
 /// Checkpoint/restart counters reported in
 /// [`RunReport`](crate::runtime::RunReport).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]

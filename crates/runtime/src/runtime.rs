@@ -16,14 +16,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::analyze::{self, AnalysisConfig, AnalysisContext, AnalysisReport, AnalysisState};
 use crate::churn::{ChurnState, ChurnStats};
+use crate::elastic::ElasticPool;
 use crate::energy::{EnergyState, EnergyStats};
 use crate::engine::EngineState;
 use crate::error::RuntimeError;
 use crate::pool::{DevicePools, TopologyState};
 use crate::replication::{vote, ReplicaResult, ReplicationStats, Verdict};
-use crate::resilience::{ResilienceConfig, ResilienceState, ResilienceStats, RollbackEvent};
+use crate::resilience::{ResilienceState, ResilienceStats, RollbackEvent};
 use crate::scheduler::Policy;
-use crate::security::{SecurityConfig, SecurityState, SecurityStats};
+use crate::security::{SecurityState, SecurityStats};
 
 /// Devices one (possibly replicated) attempt ran on, stored inline —
 /// replica sets are bounded by [`MAX_REPLICAS`](crate::replication::MAX_REPLICAS),
@@ -121,7 +122,7 @@ pub struct RunReport {
     /// poisoned and skipped), in submission order.
     pub failed: Vec<TaskId>,
     /// Checkpoint/restart counters; `Some` exactly when the runtime was
-    /// built with a [`ResilienceConfig`]
+    /// built with a [`ResilienceConfig`](crate::resilience::ResilienceConfig)
     /// ([`EngineConfig::with_resilience`](crate::config::EngineConfig::with_resilience)).
     pub resilience: Option<ResilienceStats>,
     /// Security counters; `Some` exactly when the run executed
@@ -251,39 +252,10 @@ impl Runtime {
         analyze::run_lints(&cx, config)
     }
 
-    /// Switch the engine into checkpoint/restart mode: periodic
-    /// checkpoints of the completed frontier (interval from Young's
-    /// formula over the configured MTBF, volume from the task-declared
-    /// live regions, cost from the FTI strategy and storage tier), and
-    /// rollback to the last checkpoint — instead of fail-and-poison —
-    /// when a task exhausts its retry budget.
-    ///
-    /// The interval is planned lazily at the next [`Runtime::step`], so
-    /// tasks submitted before the run starts inform the estimate. The
-    /// legacy [`Runtime::run_sweep`] ignores resilience mode entirely.
-    #[deprecated(note = "build the runtime with EngineConfig::new().with_resilience(..) instead")]
-    pub fn enable_resilience(&mut self, config: ResilienceConfig) {
-        self.resilience = Some(ResilienceState::new(config));
-    }
-
     /// Whether checkpoint/restart mode is enabled.
     #[must_use]
     pub fn resilience_enabled(&self) -> bool {
         self.resilience.is_some()
-    }
-
-    /// Tune the security layer's cost model (declared region sizes for
-    /// crypto traffic, transitions per enclave task, checkpoint sealing
-    /// rate).
-    ///
-    /// The layer itself needs no enabling: it activates when the first
-    /// task with a non-public
-    /// [`SecurityLevel`](legato_core::requirements::SecurityLevel) is
-    /// submitted, and an all-public run is bit-identical to one on a
-    /// runtime that never heard of security (proptest-pinned).
-    #[deprecated(note = "build the runtime with EngineConfig::new().with_security(..) instead")]
-    pub fn configure_security(&mut self, config: SecurityConfig) {
-        self.security.config = config;
     }
 
     /// Security counters accumulated by the engine so far (also part of
@@ -298,6 +270,16 @@ impl Runtime {
     #[must_use]
     pub fn rollback_trace(&self) -> &[RollbackEvent] {
         self.resilience.as_ref().map_or(&[], |r| r.trace.as_slice())
+    }
+
+    /// The elastic-width pool tracked alongside device churn, re-fitted
+    /// whenever a departure or crash leaves the surviving fleet narrower
+    /// than its planned width
+    /// ([`ChurnConfig::with_elastic_pool`](crate::churn::ChurnConfig::with_elastic_pool)).
+    /// `None` when churn is disabled or no pool was attached.
+    #[must_use]
+    pub fn elastic_pool(&self) -> Option<&ElasticPool> {
+        self.churn.as_ref().and_then(|c| c.elastic.as_ref())
     }
 
     /// Virtual time at which the last checkpoint (the current restore
@@ -1139,21 +1121,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_pillar_shims_still_configure_the_runtime() {
-        // The pre-EngineConfig entry points keep working for downstream
-        // callers mid-migration.
-        let mut rt = Runtime::new(specs(), Policy::Performance, 1);
-        #[allow(deprecated)]
-        rt.enable_resilience(resilient_config(5.0));
-        #[allow(deprecated)]
-        rt.configure_security(SecurityConfig::new());
-        assert!(rt.resilience_enabled());
-        heavy_chain(&mut rt, 30, Criticality::Normal);
-        let rep = rt.run().unwrap();
-        assert!(rep.resilience.expect("shim enabled resilience").checkpoints > 0);
-    }
-
-    #[test]
     fn checkpoint_chain_survives_a_second_run() {
         let mut rt = resilient_rt(1, Policy::Performance, resilient_config(5.0));
         heavy_chain(&mut rt, 30, Criticality::Normal);
@@ -1169,6 +1136,7 @@ mod tests {
 
     mod security {
         use super::*;
+        use crate::resilience::ResilienceConfig;
         use crate::security::SecurityConfig;
         use legato_core::requirements::SecurityLevel;
         use legato_core::units::Bytes;

@@ -85,6 +85,24 @@ impl ScoreNorm {
         }
     }
 
+    /// Min-max normalization from precomputed bounds. The pooled
+    /// scheduler derives the exact candidate-set bounds in O(shards)
+    /// (every shard is spec-homogeneous, so its members share one
+    /// duration and one energy; only the queue delay varies, and the
+    /// shard caches its min/max busy horizon) — this constructor lets it
+    /// build the identical context [`ScoreNorm::from_estimates`] would
+    /// have produced from the flat candidate scan, without materializing
+    /// the estimates.
+    #[must_use]
+    pub(crate) fn from_bounds(t_lo: f64, t_hi: f64, e_lo: f64, e_hi: f64) -> Self {
+        ScoreNorm {
+            t_lo,
+            t_hi,
+            e_lo,
+            e_hi,
+        }
+    }
+
     /// Normalization against fixed reference magnitudes: a value `v` maps
     /// to `v / reference`. Used when scores from different candidate sets
     /// must stay comparable (e.g. migration hysteresis).

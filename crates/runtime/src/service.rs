@@ -1,0 +1,748 @@
+//! Multi-tenant streaming service atop the event-driven engine.
+//!
+//! The engine executes one task graph for one caller. A LEGaTO
+//! deployment is longer-lived than that: many tenants stream task
+//! submissions at a shared fleet continuously, each with its own QoS
+//! share, and the operator needs to know what every tenant consumed and
+//! to survive a service restart without losing finished work. The
+//! [`Service`] wraps one [`Runtime`] with exactly that session layer:
+//!
+//! * **Weighted-fair admission order** — each tenant registers with a
+//!   QoS share ([`TenantSpec::with_share`], the HEATS customer weight
+//!   generalized to whole sessions). Pending submissions are interleaved
+//!   into the engine's submission order by stride scheduling: the tenant
+//!   with the lowest virtual time dispatches next and pays `1/share`
+//!   per task, so a share-2 tenant dispatches twice as often as a
+//!   share-1 tenant under backlog. With a single tenant the dispatch
+//!   order degenerates to FIFO and the engine sees bit-identical
+//!   submissions to a bare [`Runtime`].
+//! * **Admission control** — each tenant has a bounded budget of
+//!   admitted-but-uncompleted tasks. A submission past the budget is
+//!   refused with [`RuntimeError::AdmissionRejected`] before anything
+//!   is enqueued: backpressure, not failure.
+//! * **Region namespacing** — tenant `t`'s region `r` becomes
+//!   `(t << 32) | r` in the engine, so two tenants naming the same
+//!   region id never serialize on each other (tenant 0 maps
+//!   identically, which is what makes single-tenant runs bit-identical).
+//! * **Metering** — per-tenant [`TenantReport`]: tasks completed, busy
+//!   joules of every replica the tenant's tasks ran, its proportional
+//!   share of the security layer's enclave/seal premium, and the bytes
+//!   its session seals wrote. Confidential tenants
+//!   ([`TenantSpec::confidential`]) route through the security module
+//!   onto TEE-capable devices unchanged — the service only upgrades the
+//!   requirement, the engine's security machinery does the rest.
+//! * **Restart-surviving sessions** — [`Service::seal`] checkpoints each
+//!   session's completed frontier through the FTI cost model
+//!   ([`SessionStore`]); [`Service::restart`] rebuilds the engine from
+//!   the retained [`EngineConfig`] and re-queues only unsealed work.
+//!   Sealed tasks are never re-executed; an unsealed task whose sealed
+//!   producer is gone becomes a root (its input is in the checkpoint).
+//!
+//! [`SessionStore`]: crate::resilience::SessionStore
+
+use std::collections::{HashMap, VecDeque};
+
+use legato_core::requirements::SecurityLevel;
+use legato_core::task::{AccessMode, RegionId, TaskDescriptor};
+use legato_core::units::{Bytes, Joule, Seconds};
+use legato_fti::Strategy;
+use legato_hw::storage::StorageTier;
+use serde::{Deserialize, Serialize};
+
+use crate::config::EngineConfig;
+use crate::error::RuntimeError;
+use crate::resilience::{SessionCheckpoint, SessionStore};
+use crate::runtime::{RunReport, Runtime};
+
+/// A registered tenant, issued by [`Service::register`] in registration
+/// order starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant {}", self.0)
+    }
+}
+
+/// Per-tenant QoS declaration handed to [`Service::register`].
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "a tenant spec does nothing until registered with a Service"]
+pub struct TenantSpec {
+    /// Weighted-fair share: relative dispatch rate under backlog. Must
+    /// be positive and finite; validated at registration.
+    pub share: f64,
+    /// Admitted-but-uncompleted task budget; `None` uses the service's
+    /// [`ServiceConfig::with_default_budget`].
+    pub budget: Option<usize>,
+    /// Whether every task this tenant submits is upgraded to at least
+    /// [`SecurityLevel::Confidential`] (sealed I/O through the security
+    /// module; enclave-only tasks keep their stronger requirement).
+    pub confidential: bool,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec::new()
+    }
+}
+
+impl TenantSpec {
+    /// An equal-share (1.0), default-budget, public tenant.
+    pub fn new() -> Self {
+        TenantSpec {
+            share: 1.0,
+            budget: None,
+            confidential: false,
+        }
+    }
+
+    /// Set the weighted-fair share.
+    pub fn with_share(mut self, share: f64) -> Self {
+        self.share = share;
+        self
+    }
+
+    /// Set the queued-task budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Route every submission through the security layer (sealed I/O at
+    /// minimum).
+    pub fn confidential(mut self) -> Self {
+        self.confidential = true;
+        self
+    }
+}
+
+/// Per-tenant meter, accumulated across runs and restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "meters are the tenant's bill; dropping them unread is a bug"]
+pub struct TenantReport {
+    /// Tasks of this tenant that completed (re-executions after a
+    /// restart re-meter: the work really was redone).
+    pub tasks_completed: u64,
+    /// Busy energy of every replica the tenant's accepted attempts ran
+    /// on (`busy_power × attempt duration`, summed over replicas).
+    pub busy_energy: Joule,
+    /// The tenant's proportional share of the security layer's
+    /// enclave + sealing time, split by sealed-task completions.
+    pub enclave_premium: Seconds,
+    /// Bytes this tenant's session seals wrote.
+    pub checkpoint_bytes: Bytes,
+    /// Submissions refused by admission control.
+    pub admission_rejections: u64,
+}
+
+/// One logged submission: the session's durable record of what the
+/// tenant asked for, replayed (unsealed tasks only) on restart.
+#[derive(Debug, Clone)]
+struct LoggedTask {
+    descriptor: TaskDescriptor,
+    /// Session-local region accesses (un-namespaced).
+    accesses: Vec<(RegionId, AccessMode)>,
+}
+
+#[derive(Debug, Clone)]
+struct TenantState {
+    spec: TenantSpec,
+    /// Stride-scheduler virtual time; the pending tenant with the lowest
+    /// value dispatches next.
+    vtime: f64,
+    /// Session-local indices admitted but not yet handed to the engine.
+    pending: VecDeque<u64>,
+    /// Every task this session ever admitted, by session-local index.
+    log: Vec<LoggedTask>,
+    completed: Vec<bool>,
+    sealed: Vec<bool>,
+    /// Completed count (so the queued-task budget check is O(1)).
+    done: usize,
+    meter: TenantReport,
+}
+
+impl TenantState {
+    fn queued(&self) -> usize {
+        self.log.len() - self.done
+    }
+}
+
+/// Builder for a [`Service`]: the engine configuration every (re)start
+/// builds from, plus the session-layer knobs.
+#[derive(Debug, Clone)]
+#[must_use = "builder-style configs do nothing until build() constructs the service"]
+pub struct ServiceConfig {
+    /// Engine configuration, retained by the service so
+    /// [`Service::restart`] can rebuild an identical runtime.
+    pub engine: EngineConfig,
+    /// Queued-task budget for tenants that do not set their own
+    /// (default 1024).
+    pub default_budget: usize,
+    /// Declared size of each *session-local* region, used to price the
+    /// frontier volume of session seals. Absent regions count as zero.
+    pub region_sizes: HashMap<RegionId, Bytes>,
+    /// Storage tier session seals are written to.
+    pub tier: StorageTier,
+    /// Checkpoint write strategy for session seals.
+    pub strategy: Strategy,
+}
+
+impl ServiceConfig {
+    /// Service over `engine` with a 1024-task default budget, sealing
+    /// sessions to node-local NVMe asynchronously.
+    pub fn new(engine: EngineConfig) -> Self {
+        ServiceConfig {
+            engine,
+            default_budget: 1024,
+            region_sizes: HashMap::new(),
+            tier: StorageTier::local_nvme(),
+            strategy: Strategy::Async,
+        }
+    }
+
+    /// Queued-task budget for tenants without an explicit one.
+    pub fn with_default_budget(mut self, budget: usize) -> Self {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Declare session-local region sizes for seal-volume accounting.
+    pub fn with_region_sizes(mut self, sizes: HashMap<RegionId, Bytes>) -> Self {
+        self.region_sizes = sizes;
+        self
+    }
+
+    /// Write session seals to the given storage tier.
+    pub fn with_tier(mut self, tier: StorageTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Construct the service (builds the wrapped engine).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`EngineConfig::build`] reports for the wrapped engine.
+    pub fn build(self) -> Result<Service, RuntimeError> {
+        let rt = self.engine.clone().build()?;
+        let store = SessionStore::new(self.tier.clone(), self.strategy);
+        Ok(Service {
+            config: self,
+            rt,
+            store,
+            tenants: Vec::new(),
+            task_of: Vec::new(),
+            metered: Vec::new(),
+            premium_seen: Seconds::ZERO,
+        })
+    }
+}
+
+/// A long-running multi-tenant session layer over one [`Runtime`]. See
+/// the [module docs](self) for the contract.
+#[derive(Debug, Clone)]
+pub struct Service {
+    config: ServiceConfig,
+    rt: Runtime,
+    store: SessionStore,
+    tenants: Vec<TenantState>,
+    /// Engine task id → (tenant, session-local index). Rebuilt from the
+    /// session logs on restart.
+    task_of: Vec<(u32, u64)>,
+    /// Engine task ids already absorbed into the meters (the engine's
+    /// report is cumulative; this keeps metering idempotent).
+    metered: Vec<bool>,
+    /// Security premium already distributed to tenant meters.
+    premium_seen: Seconds,
+}
+
+impl Service {
+    /// Register a tenant; ids are issued in registration order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidParameter`] for a non-positive or
+    /// non-finite share, or an explicit budget of zero (it could never
+    /// admit anything).
+    pub fn register(&mut self, spec: TenantSpec) -> Result<TenantId, RuntimeError> {
+        if !(spec.share.is_finite() && spec.share > 0.0) {
+            return Err(RuntimeError::invalid_parameter(
+                "share",
+                format!("must be a positive finite share, got {}", spec.share),
+            ));
+        }
+        if spec.budget == Some(0) {
+            return Err(RuntimeError::invalid_parameter(
+                "budget",
+                "a zero budget can never admit a task",
+            ));
+        }
+        let id = TenantId(self.tenants.len() as u32);
+        self.tenants.push(TenantState {
+            spec,
+            vtime: 0.0,
+            pending: VecDeque::new(),
+            log: Vec::new(),
+            completed: Vec::new(),
+            sealed: Vec::new(),
+            done: 0,
+            meter: TenantReport::default(),
+        });
+        Ok(id)
+    }
+
+    /// Submit one task on behalf of `tenant`. Dependencies are inferred
+    /// from region accesses exactly as in [`Runtime::submit`], within
+    /// the tenant's namespaced region space. Returns the session-local
+    /// task index.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AdmissionRejected`] when the tenant's
+    /// admitted-but-uncompleted count is at its budget (nothing is
+    /// enqueued); [`RuntimeError::InvalidParameter`] for an unknown
+    /// tenant.
+    pub fn submit<I, R>(
+        &mut self,
+        tenant: TenantId,
+        descriptor: TaskDescriptor,
+        accesses: I,
+    ) -> Result<u64, RuntimeError>
+    where
+        I: IntoIterator<Item = (R, AccessMode)>,
+        R: Into<RegionId>,
+    {
+        let budget = self.budget_of(tenant)?;
+        let t = &mut self.tenants[tenant.0 as usize];
+        if t.queued() >= budget {
+            t.meter.admission_rejections += 1;
+            return Err(RuntimeError::AdmissionRejected {
+                tenant: tenant.0,
+                queued: t.queued(),
+                budget,
+            });
+        }
+        let mut descriptor = descriptor;
+        if t.spec.confidential && !descriptor.requirements.security.seals_at_rest() {
+            descriptor.requirements.security = SecurityLevel::Confidential;
+        }
+        let accesses: Vec<(RegionId, AccessMode)> =
+            accesses.into_iter().map(|(r, m)| (r.into(), m)).collect();
+        let idx = t.log.len() as u64;
+        t.log.push(LoggedTask {
+            descriptor,
+            accesses,
+        });
+        t.completed.push(false);
+        t.sealed.push(false);
+        t.pending.push_back(idx);
+        Ok(idx)
+    }
+
+    /// Dispatch every pending submission into the engine in stride
+    /// order: lowest virtual time first, ties to the lowest tenant id,
+    /// each dispatch advancing the tenant's virtual time by `1/share`.
+    fn dispatch_pending(&mut self) {
+        loop {
+            let mut next: Option<usize> = None;
+            for (i, t) in self.tenants.iter().enumerate() {
+                if t.pending.is_empty() {
+                    continue;
+                }
+                match next {
+                    Some(b) if self.tenants[b].vtime <= t.vtime => {}
+                    _ => next = Some(i),
+                }
+            }
+            let Some(i) = next else { break };
+            let t = &mut self.tenants[i];
+            let idx = t.pending.pop_front().expect("selected non-empty queue");
+            let logged = &t.log[idx as usize];
+            let descriptor = logged.descriptor.clone();
+            let accesses: Vec<(RegionId, AccessMode)> = logged
+                .accesses
+                .iter()
+                .map(|&(r, m)| (namespace(i as u32, r), m))
+                .collect();
+            t.vtime += 1.0 / t.spec.share;
+            let id = self.rt.submit(descriptor, accesses);
+            debug_assert_eq!(id.0 as usize, self.task_of.len());
+            self.task_of.push((i as u32, idx));
+            self.metered.push(false);
+        }
+    }
+
+    /// Dispatch pending submissions and run the engine to quiescence;
+    /// meters are brought up to date and every session's completed
+    /// frontier is sealed. The report is the engine's cumulative
+    /// [`RunReport`] — with a single tenant it is bit-identical to a
+    /// bare [`Runtime::run`] over the same submissions.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Runtime::run`] reports. Meters and sessions are still
+    /// synchronized with everything the engine completed before the
+    /// error, so a failed run loses no accounting.
+    pub fn run(&mut self) -> Result<RunReport, RuntimeError> {
+        self.dispatch_pending();
+        let outcome = self.rt.run();
+        let report = self.rt.report();
+        self.absorb(&report);
+        self.seal();
+        let _ = outcome?;
+        Ok(report)
+    }
+
+    /// Dispatch pending submissions and advance the engine by one event
+    /// (see [`Runtime::step`]); meters are synchronized after the step.
+    /// Sessions are *not* sealed — call [`Service::seal`] to checkpoint
+    /// mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Runtime::step`].
+    pub fn step(&mut self) -> Result<Option<Seconds>, RuntimeError> {
+        self.dispatch_pending();
+        let stepped = self.rt.step();
+        let report = self.rt.report();
+        self.absorb(&report);
+        stepped
+    }
+
+    /// Absorb newly completed outcomes into the tenant meters, then
+    /// distribute the security layer's premium growth over the sealed
+    /// tasks that completed since the last absorption.
+    fn absorb(&mut self, report: &RunReport) {
+        let mut sealed_done: Vec<u64> = vec![0; self.tenants.len()];
+        let mut sealed_total = 0u64;
+        for p in &report.placements {
+            let i = p.task.0 as usize;
+            if self.metered[i] {
+                continue;
+            }
+            self.metered[i] = true;
+            let (tenant, idx) = self.task_of[i];
+            let dur = p.finish - p.start;
+            let energy: Joule = p
+                .devices
+                .iter()
+                .map(|&d| self.rt.devices()[d].spec.busy_power * dur)
+                .sum();
+            let t = &mut self.tenants[tenant as usize];
+            t.meter.tasks_completed += 1;
+            t.meter.busy_energy += energy;
+            if !t.completed[idx as usize] {
+                t.completed[idx as usize] = true;
+                t.done += 1;
+            }
+            if t.log[idx as usize]
+                .descriptor
+                .requirements
+                .security
+                .seals_at_rest()
+            {
+                sealed_done[tenant as usize] += 1;
+                sealed_total += 1;
+            }
+        }
+        let premium = report
+            .security
+            .map_or(Seconds::ZERO, |s| s.enclave_time + s.seal_time);
+        let grown = premium - self.premium_seen;
+        if sealed_total > 0 && grown > Seconds::ZERO {
+            self.premium_seen = premium;
+            let per_task = grown / sealed_total as f64;
+            for (t, &n) in self.tenants.iter_mut().zip(&sealed_done) {
+                t.meter.enclave_premium += per_task * n as f64;
+            }
+        }
+    }
+
+    /// Seal every session's completed-but-unsealed frontier through the
+    /// FTI checkpoint layer: the seal's byte volume is the declared size
+    /// of the regions those tasks wrote
+    /// ([`ServiceConfig::with_region_sizes`]), and the priced write cost
+    /// accumulates on the session record. Called by [`Service::run`];
+    /// public so stream-style drivers ([`Service::step`]) can checkpoint
+    /// at their own cadence.
+    pub fn seal(&mut self) {
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            let mut fresh: Vec<u64> = Vec::new();
+            let mut bytes = Bytes::ZERO;
+            for idx in 0..t.log.len() {
+                if !t.completed[idx] || t.sealed[idx] {
+                    continue;
+                }
+                fresh.push(idx as u64);
+                t.sealed[idx] = true;
+                for &(r, m) in &t.log[idx].accesses {
+                    if m.writes() {
+                        bytes += self
+                            .config
+                            .region_sizes
+                            .get(&r)
+                            .copied()
+                            .unwrap_or(Bytes::ZERO);
+                    }
+                }
+            }
+            if fresh.is_empty() {
+                continue;
+            }
+            self.store.seal(i as u32, &fresh, bytes);
+            t.meter.checkpoint_bytes += bytes;
+        }
+    }
+
+    /// Rebuild the engine from the retained [`EngineConfig`] and resume
+    /// every session from its last seal: sealed tasks are carried over
+    /// as completed (never re-executed), everything else — pending,
+    /// in-flight, and completed-but-unsealed — is re-queued for the
+    /// next [`Service::run`]. Meters persist (re-executed work
+    /// re-meters: it really is redone); virtual time restarts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`EngineConfig::build`] reports.
+    pub fn restart(&mut self) -> Result<(), RuntimeError> {
+        self.rt = self.config.engine.clone().build()?;
+        self.task_of.clear();
+        self.metered.clear();
+        self.premium_seen = Seconds::ZERO;
+        for t in &mut self.tenants {
+            t.vtime = 0.0;
+            t.pending.clear();
+            t.done = 0;
+            for idx in 0..t.log.len() {
+                if t.sealed[idx] {
+                    t.completed[idx] = true;
+                    t.done += 1;
+                } else {
+                    t.completed[idx] = false;
+                    t.pending.push_back(idx as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The tenant's meter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered tenant id.
+    pub fn tenant_report(&self, tenant: TenantId) -> &TenantReport {
+        &self.tenants[tenant.0 as usize].meter
+    }
+
+    /// The tenant's session checkpoint; `None` before its first seal.
+    #[must_use]
+    pub fn session(&self, tenant: TenantId) -> Option<&SessionCheckpoint> {
+        self.store.session(tenant.0)
+    }
+
+    /// Admitted-but-uncompleted tasks charged against the tenant's
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered tenant id.
+    #[must_use]
+    pub fn queued(&self, tenant: TenantId) -> usize {
+        self.tenants[tenant.0 as usize].queued()
+    }
+
+    /// Registered tenant count.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Read-only access to the wrapped engine (placement-eval counters,
+    /// device meters, security stats).
+    #[must_use]
+    pub fn engine(&self) -> &Runtime {
+        &self.rt
+    }
+
+    fn budget_of(&self, tenant: TenantId) -> Result<usize, RuntimeError> {
+        let t = self.tenants.get(tenant.0 as usize).ok_or_else(|| {
+            RuntimeError::invalid_parameter("tenant", format!("{tenant} is not registered"))
+        })?;
+        Ok(t.spec.budget.unwrap_or(self.config.default_budget))
+    }
+}
+
+/// Tenant `t`'s session-local region `r` in the engine's flat region
+/// space. Identity for tenant 0, so single-tenant services submit the
+/// engine's native region ids.
+fn namespace(tenant: u32, r: RegionId) -> RegionId {
+    debug_assert!(r.0 < 1 << 32, "session-local regions are 32-bit");
+    RegionId((u64::from(tenant) << 32) | (r.0 & 0xFFFF_FFFF))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Policy;
+    use legato_core::requirements::Requirements;
+    use legato_core::task::Work;
+    use legato_hw::device::DeviceSpec;
+
+    fn engine() -> EngineConfig {
+        EngineConfig::new()
+            .with_devices(vec![DeviceSpec::xeon_x86(), DeviceSpec::gtx1080()])
+            .with_policy(Policy::Performance)
+            .with_seed(7)
+    }
+
+    fn task() -> TaskDescriptor {
+        TaskDescriptor::named("t").with_work(Work::flops(1e12))
+    }
+
+    #[test]
+    fn admission_gate_rejects_past_the_budget_and_recovers() {
+        let mut svc = ServiceConfig::new(engine()).build().unwrap();
+        let a = svc.register(TenantSpec::new().with_budget(2)).unwrap();
+        svc.submit(a, task(), [(0u64, AccessMode::Out)]).unwrap();
+        svc.submit(a, task(), [(1u64, AccessMode::Out)]).unwrap();
+        let err = svc
+            .submit(a, task(), [(2u64, AccessMode::Out)])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::AdmissionRejected {
+                    tenant: 0,
+                    queued: 2,
+                    budget: 2
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(svc.tenant_report(a).admission_rejections, 1);
+        // Draining the queue re-opens the gate.
+        let _ = svc.run().unwrap();
+        assert_eq!(svc.queued(a), 0);
+        svc.submit(a, task(), [(2u64, AccessMode::Out)]).unwrap();
+    }
+
+    #[test]
+    fn stride_dispatch_favors_the_heavier_share() {
+        let mut svc = ServiceConfig::new(engine()).build().unwrap();
+        let light = svc.register(TenantSpec::new().with_share(1.0)).unwrap();
+        let heavy = svc.register(TenantSpec::new().with_share(3.0)).unwrap();
+        for r in 0..8u64 {
+            svc.submit(light, task(), [(r, AccessMode::Out)]).unwrap();
+            svc.submit(heavy, task(), [(r, AccessMode::Out)]).unwrap();
+        }
+        let _ = svc.run().unwrap();
+        // Under backlog the share-3 tenant dispatches 3 of every 4
+        // slots, so its mean finish time is strictly earlier.
+        let mean = |t: TenantId| {
+            let report = svc.engine().report();
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for p in &report.placements {
+                if svc.task_of[p.task.0 as usize].0 == t.0 {
+                    sum += p.finish.0;
+                    n += 1;
+                }
+            }
+            sum / f64::from(n)
+        };
+        assert!(
+            mean(heavy) < mean(light),
+            "share-3 tenant should finish earlier on average: {} vs {}",
+            mean(heavy),
+            mean(light)
+        );
+        assert_eq!(svc.tenant_report(heavy).tasks_completed, 8);
+        assert_eq!(svc.tenant_report(light).tasks_completed, 8);
+    }
+
+    #[test]
+    fn namespacing_isolates_same_named_regions() {
+        let mut svc = ServiceConfig::new(engine()).build().unwrap();
+        let a = svc.register(TenantSpec::new()).unwrap();
+        let b = svc.register(TenantSpec::new()).unwrap();
+        // Both tenants hammer "their" region 0: no cross-tenant
+        // serialization may appear.
+        for _ in 0..4 {
+            svc.submit(a, task(), [(0u64, AccessMode::InOut)]).unwrap();
+            svc.submit(b, task(), [(0u64, AccessMode::InOut)]).unwrap();
+        }
+        let report = svc.run().unwrap();
+        // Two independent 4-deep chains over two devices finish in 4
+        // serialized steps, not 8.
+        let dur = DeviceSpec::xeon_x86()
+            .time_for(Work::flops(1e12), legato_core::task::TaskKind::Compute);
+        assert!(
+            report.makespan < dur * 6.0,
+            "tenants serialized on each other: makespan {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn confidential_tenant_routes_through_the_security_module() {
+        let mut svc = ServiceConfig::new(engine()).build().unwrap();
+        let c = svc.register(TenantSpec::new().confidential()).unwrap();
+        svc.submit(c, task(), [(0u64, AccessMode::Out)]).unwrap();
+        let report = svc.run().unwrap();
+        let sec = report.security.expect("security layer activated");
+        assert!(sec.confidential_tasks >= 1, "{sec:?}");
+    }
+
+    #[test]
+    fn enclave_premium_is_metered_to_the_tenant_that_caused_it() {
+        let mut svc = ServiceConfig::new(engine()).build().unwrap();
+        let public = svc.register(TenantSpec::new()).unwrap();
+        let enclave = svc.register(TenantSpec::new()).unwrap();
+        svc.submit(public, task(), [(0u64, AccessMode::Out)])
+            .unwrap();
+        svc.submit(
+            enclave,
+            task().with_requirements(Requirements::new().with_security(SecurityLevel::Enclave)),
+            [(0u64, AccessMode::Out)],
+        )
+        .unwrap();
+        let _ = svc.run().unwrap();
+        assert_eq!(svc.tenant_report(public).enclave_premium, Seconds::ZERO);
+        assert!(svc.tenant_report(enclave).enclave_premium > Seconds::ZERO);
+    }
+
+    #[test]
+    fn sessions_seal_and_survive_restart() {
+        let sizes = [(RegionId(0), Bytes::mib(64))].into_iter().collect();
+        let mut svc = ServiceConfig::new(engine())
+            .with_region_sizes(sizes)
+            .build()
+            .unwrap();
+        let a = svc.register(TenantSpec::new()).unwrap();
+        svc.submit(a, task(), [(0u64, AccessMode::Out)]).unwrap();
+        let _ = svc.run().unwrap();
+        let session = svc.session(a).expect("sealed after run").clone();
+        assert_eq!(session.completed, vec![0]);
+        assert_eq!(session.bytes, Bytes::mib(64));
+        assert!(session.seal_cost > Seconds::ZERO);
+        assert_eq!(svc.tenant_report(a).checkpoint_bytes, Bytes::mib(64));
+
+        svc.restart().unwrap();
+        // Nothing unsealed: the restarted engine has nothing to redo.
+        let report = svc.run().unwrap();
+        assert!(report.placements.is_empty(), "sealed task was re-executed");
+        assert_eq!(svc.tenant_report(a).tasks_completed, 1);
+    }
+
+    #[test]
+    fn rejects_bad_tenant_specs() {
+        let mut svc = ServiceConfig::new(engine()).build().unwrap();
+        assert!(svc.register(TenantSpec::new().with_share(0.0)).is_err());
+        assert!(svc
+            .register(TenantSpec::new().with_share(f64::NAN))
+            .is_err());
+        assert!(svc.register(TenantSpec::new().with_budget(0)).is_err());
+    }
+}

@@ -7,11 +7,12 @@
 //!
 //! * **Pooled ≡ flat** — the same workload on the same seed produces a
 //!   bit-identical [`RunReport`] and rollback trace whether the engine
-//!   searches pools or scans the fleet, across scale-free policies
-//!   (where the pruned path is active), `Weighted` (which falls back to
-//!   the flat path by design), security mixes (which force the flat
-//!   fallback per confidential task) and resilience (whose rollbacks
-//!   reset devices and must re-dirty every pool).
+//!   searches pools or scans the fleet, across every policy — the
+//!   scale-free ones and `Weighted`, whose global min-max normalization
+//!   the pooled path reconstructs exactly from per-shard busy extrema —
+//!   security mixes (which force the flat fallback per confidential
+//!   task) and resilience (whose rollbacks reset devices and must
+//!   re-dirty every pool).
 //! * **Never more work** — the pooled engine evaluates at most as many
 //!   candidate devices as the flat engine on the identical schedule.
 //! * **Zero-cost topology ≡ no topology** — a configured topology whose

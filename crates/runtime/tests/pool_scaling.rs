@@ -46,9 +46,14 @@ fn submit_wide(rt: &mut Runtime) {
 
 /// Run the wide workload on `n` devices and return (evals, makespan).
 fn run_wide(n: usize, pooled: bool) -> (u64, legato_core::units::Seconds) {
+    run_wide_with(Policy::Performance, n, pooled)
+}
+
+/// Same wide workload under an arbitrary policy.
+fn run_wide_with(policy: Policy, n: usize, pooled: bool) -> (u64, legato_core::units::Seconds) {
     let mut cfg = EngineConfig::new()
         .with_devices(fleet(n))
-        .with_policy(Policy::Performance)
+        .with_policy(policy)
         .with_seed(1);
     if pooled {
         cfg = cfg.with_pools(PoolConfig::uniform(n, POOL_SIZE));
@@ -89,5 +94,41 @@ fn per_task_cost_grows_sublinearly_with_fleet_size() {
     eprintln!(
         "per-task evals: 64-dev pooled {small_per_task:.1}, 1024-dev pooled \
          {large_per_task:.1}, 1024-dev flat {flat_per_task:.1}"
+    );
+}
+
+#[test]
+fn weighted_placement_no_longer_pays_the_flat_scan() {
+    // `Weighted` historically fell back to the flat O(fleet) scan (its
+    // global min-max normalization needed every candidate); the pooled
+    // path now reconstructs that normalization from per-shard busy
+    // extrema, so weighted placement must show the same sub-linear
+    // eval profile as the scale-free policies — with the identical
+    // schedule.
+    let policy = Policy::Weighted(0.5);
+    let (small, _) = run_wide_with(policy, 64, true);
+    let (large, large_makespan) = run_wide_with(policy, 1024, true);
+    let (flat, flat_makespan) = run_wide_with(policy, 1024, false);
+
+    let small_per_task = small as f64 / TASKS as f64;
+    let large_per_task = large as f64 / TASKS as f64;
+    let flat_per_task = flat as f64 / TASKS as f64;
+
+    assert_eq!(large_makespan, flat_makespan);
+
+    assert!(
+        large_per_task <= 3.0 * small_per_task,
+        "weighted per-task evals grew super-linearly: {large_per_task:.1} \
+         on 1024 devices vs {small_per_task:.1} on 64 devices"
+    );
+    assert!(
+        large_per_task * 3.0 <= flat_per_task,
+        "weighted pooled search not ≥3× cheaper than flat: \
+         {large_per_task:.1} pooled vs {flat_per_task:.1} flat evals per task"
+    );
+
+    eprintln!(
+        "weighted per-task evals: 64-dev pooled {small_per_task:.1}, 1024-dev \
+         pooled {large_per_task:.1}, 1024-dev flat {flat_per_task:.1}"
     );
 }
